@@ -1,0 +1,57 @@
+//! Critical-cycle engines: global Howard on the full TPN versus the
+//! Theorem 1 columnwise algorithm (which never builds the TPN).  The
+//! columnwise path should win by orders of magnitude on shapes with a
+//! large `lcm` — this is the paper's polynomial-vs-pseudo-polynomial gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_core::deterministic;
+use repstream_maxplus::cycle_ratio::maximum_cycle_ratio;
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+
+fn times_for(shape: &MappingShape) -> ResourceTable<f64> {
+    ResourceTable::from_fns(
+        shape,
+        |s, p| 1.0 + ((s * 3 + p) % 5) as f64 * 0.7,
+        |f, s, d| 0.5 + ((f + s * 2 + d) % 7) as f64 * 0.4,
+    )
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_cycle");
+    group.sample_size(10);
+    let shapes: Vec<(&str, MappingShape)> = vec![
+        ("m=6", MappingShape::new(vec![1, 2, 3, 1])),
+        ("m=420", MappingShape::new(vec![1, 3, 4, 5, 6, 7, 1])),
+        ("m=2520", MappingShape::new(vec![5, 7, 8, 9])),
+    ];
+    for (label, shape) in &shapes {
+        let times = times_for(shape);
+        group.bench_with_input(BenchmarkId::new("global_howard", label), shape, |b, shape| {
+            // Include TPN + graph construction: that is the real cost of
+            // the global method.
+            b.iter(|| {
+                let tpn = Tpn::build(shape, ExecModel::Overlap);
+                let g = tpn.to_token_graph(&times);
+                maximum_cycle_ratio(&g).unwrap().ratio
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("columnwise_thm1", label),
+            shape,
+            |b, shape| {
+                b.iter(|| deterministic::throughput_columnwise_shape(shape, &times))
+            },
+        );
+    }
+    // Columnwise also handles shapes whose TPN would be enormous.
+    let huge = MappingShape::new(vec![16, 27, 25, 49, 11]);
+    let times = times_for(&huge);
+    group.bench_function("columnwise_thm1/m=5821200", |b| {
+        b.iter(|| deterministic::throughput_columnwise_shape(&huge, &times))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

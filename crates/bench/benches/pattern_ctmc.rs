@@ -1,0 +1,30 @@
+//! Cost of the Theorem 3 pattern chain as `S(u,v) = C(u+v−1,u−1)·v`
+//! grows, versus Theorem 4's O(1) closed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_markov::pattern::{homogeneous_throughput, pattern_throughput, state_count};
+
+fn bench_pattern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_ctmc");
+    group.sample_size(10);
+    for (u, v) in [(2, 3), (3, 4), (3, 5), (4, 5), (4, 7)] {
+        let rate: Vec<Vec<f64>> = (0..u)
+            .map(|a| (0..v).map(|b| 0.5 + ((a + 2 * b) % 4) as f64 * 0.3).collect())
+            .collect();
+        let label = format!("{u}x{v} S={}", state_count(u, v));
+        group.bench_with_input(
+            BenchmarkId::new("heterogeneous_ctmc", &label),
+            &rate,
+            |bch, rate| bch.iter(|| pattern_throughput(rate, 1 << 22).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("closed_form_thm4", &label),
+            &(u, v),
+            |bch, &(u, v)| bch.iter(|| homogeneous_throughput(u, v, 1.0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Law sampling throughput — the inner loop of every Monte-Carlo run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_stochastic::law::Law;
+use repstream_stochastic::rng::seeded_rng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let laws: Vec<(&str, Law)> = vec![
+        ("det", Law::det(1.0)),
+        ("exp", Law::exp_mean(1.0)),
+        ("uniform", Law::uniform_spread(1.0, 0.5)),
+        ("gamma2", Law::gamma_mean(2.0, 1.0)),
+        ("gamma0.5", Law::gamma_mean(0.5, 1.0)),
+        ("beta2", Law::beta_sym(2.0, 1.0)),
+        ("gauss", Law::NormalNonneg { mu: 1.0, sigma: 0.2 }),
+        ("weibull", Law::weibull_mean(2.0, 1.0)),
+        ("pareto", Law::pareto_mean(2.5, 1.0)),
+        ("lognormal", Law::log_normal_mean(1.0, 0.5)),
+    ];
+    let mut group = c.benchmark_group("samplers");
+    for (name, law) in laws {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &law, |b, law| {
+            let mut rng = seeded_rng(1);
+            b.iter(|| law.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

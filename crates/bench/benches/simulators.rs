@@ -1,0 +1,71 @@
+//! The three simulation engines on the seven-stage pipeline — the §7.7
+//! running-time comparison as a Criterion bench (10 000 data sets,
+//! exponential laws).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repstream_core::chainsim::{self, ChainSimOptions};
+use repstream_core::timing;
+use repstream_petri::egsim::{self, EgSimOptions};
+use repstream_petri::shape::ExecModel;
+use repstream_petri::tpn::Tpn;
+use repstream_platformsim as platformsim;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::examples::seven_stage_pipeline;
+
+const DATASETS: usize = 10_000;
+
+fn bench_sims(c: &mut Criterion) {
+    let sys = seven_stage_pipeline();
+    let shape = sys.shape();
+    let laws = timing::laws(&sys, LawFamily::Exponential);
+    let tpn = Tpn::build(&shape, ExecModel::Overlap);
+
+    let mut group = c.benchmark_group("simulators_10k");
+    group.sample_size(10);
+    group.bench_function("eg_sim", |b| {
+        b.iter(|| {
+            egsim::simulate(
+                &tpn,
+                &laws,
+                EgSimOptions {
+                    datasets: DATASETS,
+                    warmup: DATASETS / 10,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("platformsim", |b| {
+        b.iter(|| {
+            platformsim::simulate(
+                &shape,
+                ExecModel::Overlap,
+                &laws,
+                platformsim::SimOptions {
+                    datasets: DATASETS,
+                    warmup: DATASETS / 10,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("chainsim", |b| {
+        b.iter(|| {
+            chainsim::simulate(
+                &sys,
+                ExecModel::Overlap,
+                &laws,
+                ChainSimOptions {
+                    datasets: DATASETS,
+                    warmup: DATASETS / 10,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sims);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Stationary solvers (GTH vs uniformized power iteration) on pattern
+//! marking chains of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::net::comm_pattern;
+
+fn bench_stationary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary");
+    group.sample_size(10);
+    for (u, v) in [(2, 3), (3, 4), (4, 5)] {
+        let net = comm_pattern(u, v, |a, b| 0.4 + ((3 * a + b) % 5) as f64 * 0.25);
+        let mg = MarkingGraph::build(&net, MarkingOptions::default()).unwrap();
+        let label = format!("{u}x{v} ({} states)", mg.states.len());
+        group.bench_with_input(BenchmarkId::new("gth", &label), &mg, |b, mg| {
+            b.iter(|| mg.ctmc.stationary_gth())
+        });
+        group.bench_with_input(BenchmarkId::new("power", &label), &mg, |b, mg| {
+            b.iter(|| mg.ctmc.stationary_power(1e-12, 200_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stationary);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! TPN construction cost — the paper claims `O(m·N)` (§3.3); this bench
+//! verifies construction stays linear in the number of transitions across
+//! growing shapes and both execution models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_petri::shape::{ExecModel, MappingShape};
+use repstream_petri::tpn::Tpn;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpn_build");
+    group.sample_size(20);
+    let shapes: Vec<(&str, MappingShape)> = vec![
+        ("A(1,2,3,1)", MappingShape::new(vec![1, 2, 3, 1])),
+        ("7stage m=420", MappingShape::new(vec![1, 3, 4, 5, 6, 7, 1])),
+        ("m=2520", MappingShape::new(vec![5, 7, 8, 9])),
+        ("C m=10395", MappingShape::new(vec![5, 21, 27, 11])),
+    ];
+    for (label, shape) in &shapes {
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            group.bench_with_input(
+                BenchmarkId::new(model.label(), label),
+                shape,
+                |b, shape| b.iter(|| Tpn::build(std::hint::black_box(shape), model)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

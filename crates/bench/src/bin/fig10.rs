@@ -1,0 +1,78 @@
+//! Figure 10 — throughput vs number of processed data sets.
+//!
+//! The seven-stage pipeline (replication 1,3,4,5,6,7,1) simulated with
+//! constant and exponential times by both simulators; the horizontal
+//! reference is the deterministic theory (the role ERS `scscyc` plays in
+//! the paper).  The `K/T(K)` estimate climbs to the steady rate once the
+//! pipeline-fill transient amortizes (the paper sees convergence from
+//! ~10 000 data sets).
+
+use repstream_bench::{Args, Table};
+use repstream_core::{deterministic, timing};
+use repstream_petri::egsim;
+use repstream_petri::shape::ExecModel;
+use repstream_petri::tpn::Tpn;
+use repstream_platformsim as platformsim;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::examples::seven_stage_pipeline;
+
+fn main() {
+    let args = Args::parse();
+    let sys = seven_stage_pipeline();
+    let shape = sys.shape();
+    let tpn = Tpn::build(&shape, ExecModel::Overlap);
+
+    let checkpoints: Vec<usize> = if args.smoke {
+        vec![100, 500, 1000]
+    } else {
+        vec![
+            100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 30_000, 40_000, 50_000,
+        ]
+    };
+    let theory = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, fam) in [
+        ("Cst", LawFamily::Deterministic),
+        ("Exp", LawFamily::Exponential),
+    ] {
+        let laws = timing::laws(&sys, fam);
+        // eg_sim.
+        let pts = egsim::throughput_vs_datasets(&tpn, &laws, &checkpoints, args.seed);
+        series.push((
+            format!("{name} (eg_sim)"),
+            pts.iter().map(|&(_, r)| r).collect(),
+        ));
+        // platform simulator (one run per checkpoint; the paper's SimGrid
+        // runs are independent per point).
+        let mut v = Vec::new();
+        for &k in &checkpoints {
+            let r = platformsim::simulate(
+                &shape,
+                ExecModel::Overlap,
+                &laws,
+                platformsim::SimOptions {
+                    datasets: k,
+                    warmup: k / 10,
+                    seed: args.seed ^ 0x5151,
+                    ..Default::default()
+                },
+            );
+            v.push(r.throughput);
+        }
+        series.push((format!("{name} (platformsim)"), v));
+    }
+
+    let mut headers = vec!["datasets".to_string(), "Cst (theory)".to_string()];
+    headers.extend(series.iter().map(|(n, _)| n.clone()));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr_refs);
+    for (i, &k) in checkpoints.iter().enumerate() {
+        let mut row = vec![k.to_string(), Table::num(theory)];
+        for (_, v) in &series {
+            row.push(Table::num(v[i]));
+        }
+        table.row(row);
+    }
+    table.emit(args.out.as_deref());
+}

@@ -1,0 +1,64 @@
+//! Figure 12 — fidelity of the event-graph model: throughput vs number of
+//! stages.
+//!
+//! A costly 5 → 7 communication pattern is chained 1…25 times.  Because
+//! the Overlap TPN has no backward dependences, the throughput must not
+//! depend on the number of chained blocks — for constant times, for
+//! exponential times (simulated), and for Theorem 4's analytic value.
+//! All series are normalized to the single-block constant throughput.
+
+use repstream_bench::{Args, Table};
+use repstream_core::exponential;
+use repstream_core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream_core::{deterministic, timing};
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::scenarios::repeated_pattern;
+
+fn main() {
+    let args = Args::parse();
+    let reps_list: Vec<usize> = if args.smoke {
+        vec![1, 2, 3]
+    } else {
+        vec![1, 2, 3, 5, 8, 12, 16, 20, 25]
+    };
+    let datasets = if args.smoke { 2000 } else { 10_000 };
+
+    let base = deterministic::analyze(&repeated_pattern(1, 1.0), ExecModel::Overlap).throughput;
+
+    let mut table = Table::new(&[
+        "stages",
+        "Cst (sim)",
+        "Exp (sim)",
+        "Exp (Theorem 4)",
+        "Cst (theory)",
+    ]);
+    for &reps in &reps_list {
+        let sys = repeated_pattern(reps, 1.0);
+        let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let thm = exponential::throughput_overlap(&sys).unwrap().throughput;
+        let sim = |fam: LawFamily, seed: u64| {
+            let laws = timing::laws(&sys, fam);
+            throughput_once(
+                &sys,
+                ExecModel::Overlap,
+                &laws,
+                MonteCarloOptions {
+                    datasets,
+                    warmup: datasets / 10,
+                    seed,
+                    engine: SimEngine::Platform,
+                    ..Default::default()
+                },
+            )
+        };
+        table.row(vec![
+            (2 * reps).to_string(),
+            Table::num(sim(LawFamily::Deterministic, args.seed) / base),
+            Table::num(sim(LawFamily::Exponential, args.seed ^ 1) / base),
+            Table::num(thm / base),
+            Table::num(det / base),
+        ]);
+    }
+    table.emit(args.out.as_deref());
+}

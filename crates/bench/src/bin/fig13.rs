@@ -1,0 +1,60 @@
+//! Figure 13 — single communication, homogeneous network.
+//!
+//! A single `u → v` communication between negligible computations, for
+//! replication factors 2 ≤ u, v ≤ 9: simulated constant and exponential
+//! throughputs against Theorem 4's prediction
+//! `g·u′v′λ/(u′+v′−1)`.  All normalized to the constant throughput
+//! `min(u,v)·λ` (the paper's y-axis).
+
+use repstream_bench::{Args, Table};
+use repstream_core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream_core::{deterministic, exponential, timing};
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::scenarios::single_comm;
+
+fn main() {
+    let args = Args::parse();
+    let range: Vec<usize> = if args.smoke {
+        vec![2, 3]
+    } else {
+        (2..=9).collect()
+    };
+    let datasets = if args.smoke { 10_000 } else { 60_000 };
+
+    let mut table = Table::new(&[
+        "u.v",
+        "Cst (sim)",
+        "Exp (sim)",
+        "Exp (Theorem 4)",
+    ]);
+    for &u in &range {
+        for &v in &range {
+            let sys = single_comm(u, v, 1.0);
+            let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+            let thm = exponential::throughput_overlap(&sys).unwrap().throughput;
+            let sim = |fam: LawFamily, seed: u64| {
+                let laws = timing::laws(&sys, fam);
+                throughput_once(
+                    &sys,
+                    ExecModel::Overlap,
+                    &laws,
+                    MonteCarloOptions {
+                        datasets,
+                        warmup: datasets / 10,
+                        seed,
+                        engine: SimEngine::Platform,
+                        ..Default::default()
+                    },
+                )
+            };
+            table.row(vec![
+                format!("{u}.{v}"),
+                Table::num(sim(LawFamily::Deterministic, args.seed) / det),
+                Table::num(sim(LawFamily::Exponential, args.seed ^ 3) / det),
+                Table::num(thm / det),
+            ]);
+        }
+    }
+    table.emit(args.out.as_deref());
+}

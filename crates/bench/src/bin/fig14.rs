@@ -1,0 +1,71 @@
+//! Figure 14 — single communication, heterogeneous network.
+//!
+//! Link mean times drawn uniformly in [100, 1000].  The paper observes
+//! that with heterogeneous links the exponential case almost coincides
+//! with the constant case (a single slow link serializes the round-robin),
+//! unlike the homogeneous network of Figure 13.  Series are normalized to
+//! the constant (platform-simulated) throughput; the exact exponential
+//! value comes from the heterogeneous pattern CTMC (Theorem 3), the
+//! constant theory from the columnwise critical cycle (the `scscyc` role).
+
+use repstream_bench::{Args, Table};
+use repstream_core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream_core::{deterministic, exponential, timing};
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::scenarios::single_comm_heterogeneous;
+
+fn main() {
+    let args = Args::parse();
+    let range: Vec<usize> = if args.smoke {
+        vec![2, 3]
+    } else {
+        (2..=9).collect()
+    };
+    let datasets = if args.smoke { 10_000 } else { 60_000 };
+
+    let mut table = Table::new(&[
+        "u.v",
+        "Cst (eg_sim)",
+        "Cst (platformsim)",
+        "Exp (eg_sim)",
+        "Exp (platformsim)",
+        "Exp (Thm3 CTMC)",
+        "Cst (theory)",
+    ]);
+    for &u in &range {
+        for &v in &range {
+            let sys = single_comm_heterogeneous(u, v, args.seed ^ ((u * 31 + v) as u64));
+            let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+            let thm3 = exponential::throughput_overlap(&sys)
+                .map(|r| r.throughput)
+                .unwrap_or(f64::NAN);
+            let sim = |fam: LawFamily, engine: SimEngine, seed: u64| {
+                let laws = timing::laws(&sys, fam);
+                throughput_once(
+                    &sys,
+                    ExecModel::Overlap,
+                    &laws,
+                    MonteCarloOptions {
+                        datasets,
+                        warmup: datasets / 10,
+                        seed,
+                        engine,
+                        ..Default::default()
+                    },
+                )
+            };
+            let cst_plat = sim(LawFamily::Deterministic, SimEngine::Platform, args.seed);
+            table.row(vec![
+                format!("{u}.{v}"),
+                Table::num(sim(LawFamily::Deterministic, SimEngine::EventGraph, args.seed) / cst_plat),
+                Table::num(1.0),
+                Table::num(sim(LawFamily::Exponential, SimEngine::EventGraph, args.seed ^ 7) / cst_plat),
+                Table::num(sim(LawFamily::Exponential, SimEngine::Platform, args.seed ^ 9) / cst_plat),
+                Table::num(thm3 / cst_plat),
+                Table::num(det / cst_plat),
+            ]);
+        }
+    }
+    table.emit(args.out.as_deref());
+}

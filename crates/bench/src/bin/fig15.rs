@@ -1,0 +1,65 @@
+//! Figure 15 — the constant-vs-exponential gap as a function of the
+//! number of senders.
+//!
+//! For a single `u → v` homogeneous communication the paper derives the
+//! ratio `ρ_exp / ρ_cst = max(u,v)/(u+v−1)` (which tends to 1/2 as the
+//! asymmetry vanishes and to 1 as one side dominates).  We sweep the
+//! number of senders at fixed `v`, print simulated and analytic series
+//! normalized by the constant throughput, and the closed-form ratio.
+
+use repstream_bench::{Args, Table};
+use repstream_core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream_core::{deterministic, exponential, timing};
+use repstream_petri::shape::{gcd, ExecModel};
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::scenarios::single_comm;
+
+fn main() {
+    let args = Args::parse();
+    let v = 7usize; // fixed receiver side, as in the paper's sweep
+    let senders: Vec<usize> = if args.smoke {
+        vec![2, 3]
+    } else {
+        (2..=15).collect()
+    };
+    let datasets = if args.smoke { 10_000 } else { 60_000 };
+
+    let mut table = Table::new(&[
+        "senders",
+        "Cst (sim)",
+        "Exp (sim)",
+        "Exp (Theorem)",
+        "closed_form_ratio",
+    ]);
+    for &u in &senders {
+        let sys = single_comm(u, v, 1.0);
+        let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let thm = exponential::throughput_overlap(&sys).unwrap().throughput;
+        let g = gcd(u, v);
+        let (up, vp) = (u / g, v / g);
+        let closed = up.max(vp) as f64 / (up + vp - 1) as f64;
+        let sim = |fam: LawFamily, seed: u64| {
+            let laws = timing::laws(&sys, fam);
+            throughput_once(
+                &sys,
+                ExecModel::Overlap,
+                &laws,
+                MonteCarloOptions {
+                    datasets,
+                    warmup: datasets / 10,
+                    seed,
+                    engine: SimEngine::Platform,
+                    ..Default::default()
+                },
+            )
+        };
+        table.row(vec![
+            u.to_string(),
+            Table::num(sim(LawFamily::Deterministic, args.seed) / det),
+            Table::num(sim(LawFamily::Exponential, args.seed ^ 5) / det),
+            Table::num(thm / det),
+            Table::num(closed),
+        ]);
+    }
+    table.emit(args.out.as_deref());
+}

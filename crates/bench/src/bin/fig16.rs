@@ -1,0 +1,70 @@
+//! Figure 16 — N.B.U.E. laws are sandwiched (Theorem 7).
+//!
+//! On the single-communication sweep, every N.B.U.E. law (the paper uses
+//! "Gauss X" — truncated normals with variance √X — and symmetric
+//! "Beta X") must land between the exponential and constant curves.
+//! Values are normalized by the constant throughput.
+
+use repstream_bench::{Args, Table};
+use repstream_core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream_core::{deterministic, timing};
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::scenarios::single_comm;
+
+/// Mean communication time.  The paper draws link means in [100, 1000];
+/// a large mean matters for the "Gauss X" laws whose *absolute* variance
+/// is fixed at √X — at small means the truncation at zero would distort
+/// the mean and the sandwich comparison.
+const COMM_MEAN: f64 = 550.0;
+
+fn main() {
+    let args = Args::parse();
+    let v = 7usize;
+    let senders: Vec<usize> = if args.smoke {
+        vec![2, 3]
+    } else {
+        (2..=15).collect()
+    };
+    let datasets = if args.smoke { 8_000 } else { 40_000 };
+
+    let families = [
+        LawFamily::Deterministic,
+        LawFamily::Exponential,
+        LawFamily::Gauss(5.0),
+        LawFamily::Gauss(10.0),
+        LawFamily::BetaSym(1.0),
+        LawFamily::BetaSym(2.0),
+        // Extensions: more N.B.U.E. laws for the sandwich.
+        LawFamily::Gamma(4.0),
+        LawFamily::Weibull(2.0),
+    ];
+    let mut headers: Vec<String> = vec!["senders".into()];
+    headers.extend(families.iter().map(|f| f.label()));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr);
+
+    for &u in &senders {
+        let sys = single_comm(u, v, COMM_MEAN);
+        let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let mut row = vec![u.to_string()];
+        for (i, fam) in families.iter().enumerate() {
+            let laws = timing::laws(&sys, *fam);
+            let rho = throughput_once(
+                &sys,
+                ExecModel::Overlap,
+                &laws,
+                MonteCarloOptions {
+                    datasets,
+                    warmup: datasets / 10,
+                    seed: args.seed ^ (i as u64) << 8,
+                    engine: SimEngine::Platform,
+                    ..Default::default()
+                },
+            );
+            row.push(Table::num(rho / det));
+        }
+        table.row(row);
+    }
+    table.emit(args.out.as_deref());
+}

@@ -1,0 +1,106 @@
+//! §7.7 — running time of the tools.
+//!
+//! Wall-clock seconds of every engine on the seven-stage pipeline at
+//! increasing data-set budgets, plus the (budget-independent) analytic
+//! methods.  The paper reports "< 1 s at 100 data sets, ~3 min at
+//! 100 000 events" for its C tools; our engines are measured the same
+//! way.
+
+use repstream_bench::{timed, Args, Table};
+use repstream_core::chainsim::{self, ChainSimOptions};
+use repstream_core::{deterministic, exponential, timing};
+use repstream_petri::egsim::{self, EgSimOptions};
+use repstream_petri::shape::ExecModel;
+use repstream_petri::tpn::Tpn;
+use repstream_platformsim as platformsim;
+use repstream_stochastic::law::LawFamily;
+use repstream_workload::examples::seven_stage_pipeline;
+
+fn main() {
+    let args = Args::parse();
+    let sys = seven_stage_pipeline();
+    let shape = sys.shape();
+    let budgets: Vec<usize> = if args.smoke {
+        vec![100, 1000]
+    } else {
+        vec![100, 1_000, 10_000, 100_000]
+    };
+
+    // Analytic methods (independent of the budget).
+    let (_, t_global) = timed(|| deterministic::analyze(&sys, ExecModel::Overlap));
+    let (_, t_colwise) = timed(|| deterministic::throughput_columnwise(&sys));
+    let (_, t_thm4) = timed(|| exponential::throughput_overlap(&sys).unwrap());
+    let mut table = Table::new(&["tool", "datasets", "seconds"]);
+    table.row(vec![
+        "critical-cycle (global TPN)".into(),
+        "-".into(),
+        Table::num(t_global),
+    ]);
+    table.row(vec![
+        "critical-cycle (columnwise, Thm 1)".into(),
+        "-".into(),
+        Table::num(t_colwise),
+    ]);
+    table.row(vec![
+        "exponential decomposition (Thm 3/4)".into(),
+        "-".into(),
+        Table::num(t_thm4),
+    ]);
+
+    let det = timing::laws(&sys, LawFamily::Deterministic);
+    let exp = timing::laws(&sys, LawFamily::Exponential);
+    let tpn = Tpn::build(&shape, ExecModel::Overlap);
+
+    for &k in &budgets {
+        for (label, laws) in [("Cst", &det), ("Exp", &exp)] {
+            let (_, t) = timed(|| {
+                egsim::simulate(
+                    &tpn,
+                    laws,
+                    EgSimOptions {
+                        datasets: k,
+                        warmup: k / 10,
+                        seed: args.seed,
+                    },
+                )
+            });
+            table.row(vec![format!("eg_sim {label}"), k.to_string(), Table::num(t)]);
+            let (_, t) = timed(|| {
+                platformsim::simulate(
+                    &shape,
+                    ExecModel::Overlap,
+                    laws,
+                    platformsim::SimOptions {
+                        datasets: k,
+                        warmup: k / 10,
+                        seed: args.seed,
+                        ..Default::default()
+                    },
+                )
+            });
+            table.row(vec![
+                format!("platformsim {label}"),
+                k.to_string(),
+                Table::num(t),
+            ]);
+            let (_, t) = timed(|| {
+                chainsim::simulate(
+                    &sys,
+                    ExecModel::Overlap,
+                    laws,
+                    ChainSimOptions {
+                        datasets: k,
+                        warmup: k / 10,
+                        seed: args.seed,
+                    },
+                )
+            });
+            table.row(vec![
+                format!("chainsim {label}"),
+                k.to_string(),
+                Table::num(t),
+            ]);
+        }
+    }
+    table.emit(args.out.as_deref());
+}

@@ -1,0 +1,364 @@
+//! Exponential-law throughput — Section 5 of the paper.
+//!
+//! * [`throughput_overlap`] — Theorem 3's column decomposition: the
+//!   Overlap TPN has no cycle across columns, so each connected component
+//!   is analysed in isolation (processors in closed form, communication
+//!   components through their pattern CTMC — with Theorem 4's closed form
+//!   `u·v·λ/(u+v−1)` as a fast path when the component's links share one
+//!   rate) and the results compose by feed-forward `min`;
+//! * [`throughput_strict`] — Theorem 2's general method: the global
+//!   marking-graph CTMC (the Strict TPN is safe, so the chain is exact);
+//! * [`throughput_overlap_bounded`] — the same global chain for Overlap
+//!   with a finite buffer capacity, used to validate the decomposition
+//!   (the value increases to the true throughput as the capacity grows).
+//!
+//! Complexities match the paper: the decomposition is
+//! `O(N · exp(max R_i))` in general and polynomial when each column is
+//! rate-homogeneous (Theorem 4); the global chain is exponential
+//! (Theorem 2).
+
+use crate::model::System;
+use crate::timing::exponential_rates;
+use repstream_markov::marking::{MarkingError, MarkingGraph, MarkingOptions};
+use repstream_markov::net::EventNet;
+use repstream_markov::pattern;
+use repstream_petri::shape::{gcd, ExecModel, MappingShape, Resource, ResourceTable};
+use repstream_petri::tpn::Tpn;
+
+/// Errors of the exponential analyses.
+#[derive(Debug)]
+pub enum ExpError {
+    /// A pattern CTMC exceeded the state budget
+    /// (`S(u,v) = C(u+v−1,u−1)·v` grows exponentially).
+    PatternTooLarge {
+        /// Pattern sender count.
+        u: usize,
+        /// Pattern receiver count.
+        v: usize,
+        /// The underlying marking error.
+        source: MarkingError,
+    },
+    /// The global marking graph failed (too many states, or unexpectedly
+    /// unsafe).
+    MarkingGraph(MarkingError),
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::PatternTooLarge { u, v, source } => {
+                write!(f, "pattern {u}×{v} chain too large: {source}")
+            }
+            ExpError::MarkingGraph(e) => write!(f, "marking graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// Where a throughput candidate comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRef {
+    /// Processor `slot` of stage `stage`.
+    Compute {
+        /// Stage index.
+        stage: usize,
+        /// Team slot.
+        slot: usize,
+    },
+    /// Connected component `component` of the communication of file
+    /// `file` (`0 ≤ component < gcd(R_file, R_{file+1})`).
+    Comm {
+        /// File index.
+        file: usize,
+        /// Component index.
+        component: usize,
+    },
+}
+
+/// One candidate system throughput contributed by a component
+/// (`ρ_cand = m × per-transition inner rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The component.
+    pub place: ColumnRef,
+    /// Its candidate throughput (data sets per time unit).
+    pub rate: f64,
+}
+
+/// Result of the Overlap decomposition.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// System throughput (minimum candidate).
+    pub throughput: f64,
+    /// The binding component.
+    pub bottleneck: Candidate,
+    /// All candidates, in column order.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Options for the exponential analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// State budget per pattern chain (Theorem 3 path).
+    pub max_pattern_states: usize,
+    /// State budget for the global marking chain (Theorem 2 path).
+    pub max_states: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            max_pattern_states: 2_000_000,
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// Theorem 3/4: throughput of the Overlap model by column decomposition.
+pub fn throughput_overlap(system: &System) -> Result<ExpReport, ExpError> {
+    throughput_overlap_opts(system, ExpOptions::default())
+}
+
+/// As [`throughput_overlap`] with explicit budgets.
+pub fn throughput_overlap_opts(
+    system: &System,
+    opts: ExpOptions,
+) -> Result<ExpReport, ExpError> {
+    let rates = exponential_rates(system);
+    throughput_overlap_with_rates(&system.shape(), &rates, opts)
+}
+
+/// Decomposition working directly on a shape and per-resource rates (used
+/// by benches that sweep synthetic columns without a full platform).
+pub fn throughput_overlap_with_rates(
+    shape: &MappingShape,
+    rates: &ResourceTable<f64>,
+    opts: ExpOptions,
+) -> Result<ExpReport, ExpError> {
+    let n = shape.n_stages();
+    let mut candidates = Vec::new();
+
+    // Compute columns: processor cycles never interfere; the inner
+    // data-set rate of processor p is its own rate λ_p, and the candidate
+    // system throughput is m · λ_p / (m / R_i) = R_i · λ_p.
+    for stage in 0..n {
+        let r = shape.team_size(stage);
+        for slot in 0..r {
+            let lam = *rates.get(Resource::Proc { stage, slot });
+            candidates.push(Candidate {
+                place: ColumnRef::Compute { stage, slot },
+                rate: r as f64 * lam,
+            });
+        }
+    }
+
+    // Communication columns: g components, each a u′×v′ pattern.
+    for file in 0..n.saturating_sub(1) {
+        let u = shape.team_size(file);
+        let v = shape.team_size(file + 1);
+        let g = gcd(u, v);
+        let (up, vp) = (u / g, v / g);
+        for component in 0..g {
+            let rate_at = |a: usize, b: usize| {
+                *rates.get(Resource::Link {
+                    file,
+                    src: component + g * a,
+                    dst: component + g * b,
+                })
+            };
+            // Homogeneous component → Theorem 4 closed form.
+            let first = rate_at(0, 0);
+            let mut homogeneous = true;
+            'scan: for a in 0..up {
+                for b in 0..vp {
+                    if (rate_at(a, b) - first).abs() > 1e-12 * first {
+                        homogeneous = false;
+                        break 'scan;
+                    }
+                }
+            }
+            let inner = if homogeneous {
+                pattern::homogeneous_throughput(up, vp, first)
+            } else {
+                let matrix: Vec<Vec<f64>> = (0..up)
+                    .map(|a| (0..vp).map(|b| rate_at(a, b)).collect())
+                    .collect();
+                pattern::pattern_throughput(&matrix, opts.max_pattern_states).map_err(
+                    |source| ExpError::PatternTooLarge {
+                        u: up,
+                        v: vp,
+                        source,
+                    },
+                )?
+            };
+            candidates.push(Candidate {
+                place: ColumnRef::Comm { file, component },
+                rate: g as f64 * inner,
+            });
+        }
+    }
+
+    let bottleneck = *candidates
+        .iter()
+        .min_by(|a, b| a.rate.partial_cmp(&b.rate).unwrap())
+        .expect("at least one compute column");
+    Ok(ExpReport {
+        throughput: bottleneck.rate,
+        bottleneck,
+        candidates,
+    })
+}
+
+/// Theorem 2: exact throughput of the **Strict** model through the global
+/// marking-graph CTMC (the Strict TPN is safe).
+pub fn throughput_strict(system: &System, opts: ExpOptions) -> Result<f64, ExpError> {
+    let shape = system.shape();
+    let tpn = Tpn::build(&shape, ExecModel::Strict);
+    let rates = exponential_rates(system);
+    let net = EventNet::from_tpn(&tpn, &rates);
+    let mg = MarkingGraph::build(
+        &net,
+        MarkingOptions {
+            max_states: opts.max_states,
+            capacity: None,
+        },
+    )
+    .map_err(ExpError::MarkingGraph)?;
+    Ok(mg.throughput_of(&net, &tpn.last_column()))
+}
+
+/// Validation variant: global CTMC of the **Overlap** TPN with a finite
+/// per-place capacity.  Under-estimates the infinite-buffer throughput and
+/// increases towards it with the capacity.
+pub fn throughput_overlap_bounded(
+    system: &System,
+    capacity: u32,
+    opts: ExpOptions,
+) -> Result<f64, ExpError> {
+    let shape = system.shape();
+    let tpn = Tpn::build(&shape, ExecModel::Overlap);
+    let rates = exponential_rates(system);
+    let net = EventNet::from_tpn(&tpn, &rates);
+    let mg = MarkingGraph::build(
+        &net,
+        MarkingOptions {
+            max_states: opts.max_states,
+            capacity: Some(capacity),
+        },
+    )
+    .map_err(ExpError::MarkingGraph)?;
+    Ok(mg.throughput_of(&net, &tpn.last_column()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Application, Mapping, Platform};
+
+    fn system(teams: Vec<Vec<usize>>, speeds: Vec<f64>, bw: f64) -> System {
+        let n = teams.len();
+        let app = Application::uniform(n, 6.0, 12.0).unwrap();
+        let platform = Platform::complete(speeds, bw).unwrap();
+        System::new(app, platform, Mapping::new(teams).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_stage_sums_rates() {
+        // Homogeneous 3-replica stage: ρ = R·λ = 3·(1/6)·… per proc speed 2
+        // → time 3, λ = 1/3, ρ = 1.
+        let sys = system(vec![vec![0, 1, 2]], vec![2.0, 2.0, 2.0], 1.0);
+        let rep = throughput_overlap(&sys).unwrap();
+        assert!((rep.throughput - 1.0).abs() < 1e-12, "{rep:?}");
+    }
+
+    #[test]
+    fn heterogeneous_stage_bound_by_slowest() {
+        // Round-robin: ρ = R·λ_slow = 2·(0.5/6) = 1/6.
+        let sys = system(vec![vec![0, 1]], vec![2.0, 0.5], 1.0);
+        let rep = throughput_overlap(&sys).unwrap();
+        assert!((rep.throughput - 2.0 * 0.5 / 6.0).abs() < 1e-12);
+        assert_eq!(
+            rep.bottleneck.place,
+            ColumnRef::Compute { stage: 0, slot: 1 }
+        );
+    }
+
+    #[test]
+    fn comm_bound_uses_theorem_4() {
+        // Fast processors, slow homogeneous network: 2×3 pattern,
+        // comm time 12/1 = 12 → λ = 1/12, inner = 6λ/4 = 1/8.
+        let sys = system(vec![vec![0, 1], vec![2, 3, 4]], vec![100.0; 5], 1.0);
+        let rep = throughput_overlap(&sys).unwrap();
+        assert!((rep.throughput - 1.0 / 8.0).abs() < 1e-12, "{rep:?}");
+        assert_eq!(
+            rep.bottleneck.place,
+            ColumnRef::Comm { file: 0, component: 0 }
+        );
+    }
+
+    #[test]
+    fn components_split_by_gcd() {
+        // 2 → 4: g = 2 components of 1×2 patterns; inner = 2λ/2 = λ each,
+        // candidate = g·λ = 2λ.
+        let sys = system(
+            vec![vec![0, 1], vec![2, 3, 4, 5]],
+            vec![100.0; 6],
+            1.0,
+        );
+        let rep = throughput_overlap(&sys).unwrap();
+        let comm: Vec<&Candidate> = rep
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.place, ColumnRef::Comm { .. }))
+            .collect();
+        assert_eq!(comm.len(), 2);
+        let lam = 1.0 / 12.0;
+        for c in comm {
+            assert!((c.rate - 2.0 * lam).abs() < 1e-12, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pattern_solved_exactly() {
+        // Make one link slow: the pattern CTMC must be invoked and the
+        // result must fall between the homogeneous extremes.
+        let app = Application::uniform(2, 0.06, 12.0).unwrap();
+        let mut platform = Platform::complete(vec![100.0; 5], 1.0).unwrap();
+        platform.set_bandwidth(0, 2, 0.5); // slower link 0→2
+        let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
+        let sys = System::new(app, platform, mapping).unwrap();
+        let rep = throughput_overlap(&sys).unwrap();
+        let lam_fast = 1.0 / 12.0;
+        let lam_slow = 0.5 / 12.0;
+        let hi = pattern::homogeneous_throughput(2, 3, lam_fast);
+        let lo = pattern::homogeneous_throughput(2, 3, lam_slow);
+        assert!(
+            rep.throughput > lo && rep.throughput < hi,
+            "{lo} < {} < {hi}",
+            rep.throughput
+        );
+    }
+
+    #[test]
+    fn strict_ctmc_runs_on_small_system() {
+        let sys = system(vec![vec![0], vec![1]], vec![1.0, 1.0], 4.0);
+        let rho = throughput_strict(&sys, ExpOptions::default()).unwrap();
+        // Must be below the deterministic Strict throughput 1/9.
+        assert!(rho > 0.0 && rho < 1.0 / 9.0, "rho {rho}");
+    }
+
+    #[test]
+    fn overlap_bounded_increases_with_capacity() {
+        let sys = system(vec![vec![0], vec![1]], vec![1.0, 2.0], 4.0);
+        let mut last = 0.0;
+        for cap in [1, 2, 4] {
+            let rho = throughput_overlap_bounded(&sys, cap, ExpOptions::default()).unwrap();
+            assert!(rho >= last - 1e-12);
+            last = rho;
+        }
+        // Upper bound: the decomposition value (infinite buffers).
+        let rep = throughput_overlap(&sys).unwrap();
+        assert!(last <= rep.throughput + 1e-9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Mapping construction heuristics — the paper's "future work" (§8).
+//!
+//! Finding the optimal one-to-many mapping is NP-complete even without
+//! communications [Benoit et al., SPAA'10 ref. 3]; the paper closes by
+//! proposing to use its throughput evaluators to score heuristics.  This
+//! module does exactly that:
+//!
+//! * [`greedy`] — seed one processor per stage (fastest processors on the
+//!   heaviest stages), then repeatedly give the next fastest idle
+//!   processor to the stage where it raises the (column-wise,
+//!   deterministic) throughput the most;
+//! * [`random_search`] — uniformly random valid mappings, keep the best;
+//! * [`local_search`] — hill-climbing over single-processor moves starting
+//!   from any mapping.
+//!
+//! Scores come from [`crate::deterministic`]; callers can re-rank the few
+//! best candidates with the exponential analyses when variability matters.
+
+use crate::deterministic;
+use crate::model::{Application, Mapping, ModelError, Platform, System};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::rng::seeded_rng;
+
+/// Errors of the heuristics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Fewer processors than stages — no valid one-to-many mapping exists.
+    NotEnoughProcessors {
+        /// Processors available.
+        procs: usize,
+        /// Stages to place.
+        stages: usize,
+    },
+    /// Propagated model validation error.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::NotEnoughProcessors { procs, stages } => {
+                write!(f, "{procs} processors cannot serve {stages} stages")
+            }
+            OptError::Model(e) => write!(f, "model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<ModelError> for OptError {
+    fn from(e: ModelError) -> Self {
+        OptError::Model(e)
+    }
+}
+
+/// Throughput of a candidate mapping (deterministic score).
+fn score(
+    app: &Application,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: ExecModel,
+) -> Result<f64, OptError> {
+    let system = System::new(app.clone(), platform.clone(), mapping.clone())?;
+    Ok(match model {
+        // Columnwise evaluation is exact for Overlap and much faster.
+        ExecModel::Overlap => deterministic::throughput_columnwise(&system),
+        ExecModel::Strict => deterministic::analyze(&system, model).throughput,
+    })
+}
+
+/// A scored mapping.
+#[derive(Debug, Clone)]
+pub struct ScoredMapping {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Its deterministic throughput under the chosen model.
+    pub throughput: f64,
+}
+
+/// Greedy constructive heuristic.
+pub fn greedy(
+    app: &Application,
+    platform: &Platform,
+    model: ExecModel,
+) -> Result<ScoredMapping, OptError> {
+    let n = app.n_stages();
+    let m = platform.n_processors();
+    if m < n {
+        return Err(OptError::NotEnoughProcessors { procs: m, stages: n });
+    }
+    // Processors fastest-first; stages heaviest-first.
+    let mut procs: Vec<usize> = (0..m).collect();
+    procs.sort_by(|&a, &b| platform.speed(b).partial_cmp(&platform.speed(a)).unwrap());
+    let mut stages: Vec<usize> = (0..n).collect();
+    stages.sort_by(|&a, &b| app.work(b).partial_cmp(&app.work(a)).unwrap());
+
+    let mut teams: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (idx, &stage) in stages.iter().enumerate() {
+        teams[stage].push(procs[idx]);
+    }
+    let mut free: Vec<usize> = procs[n..].to_vec();
+    let mut best = score(app, platform, &Mapping::new(teams.clone())?, model)?;
+
+    // Give each remaining processor to the stage that benefits the most.
+    while let Some(p) = free.first().copied() {
+        let mut best_gain = 0.0;
+        let mut best_stage = None;
+        for stage in 0..n {
+            teams[stage].push(p);
+            if let Ok(mapping) = Mapping::new(teams.clone()) {
+                if let Ok(s) = score(app, platform, &mapping, model) {
+                    if s > best + best_gain + 1e-12 {
+                        best_gain = s - best;
+                        best_stage = Some(stage);
+                    }
+                }
+            }
+            teams[stage].pop();
+        }
+        match best_stage {
+            Some(stage) => {
+                teams[stage].push(p);
+                free.remove(0);
+                best += best_gain;
+            }
+            None => break, // no processor placement helps any more
+        }
+    }
+    let mapping = Mapping::new(teams)?;
+    let throughput = score(app, platform, &mapping, model)?;
+    Ok(ScoredMapping {
+        mapping,
+        throughput,
+    })
+}
+
+/// Uniformly random valid mapping over a subset of processors.
+pub fn random_mapping<R: Rng>(
+    app: &Application,
+    platform: &Platform,
+    rng: &mut R,
+) -> Result<Mapping, OptError> {
+    let n = app.n_stages();
+    let m = platform.n_processors();
+    if m < n {
+        return Err(OptError::NotEnoughProcessors { procs: m, stages: n });
+    }
+    let mut procs: Vec<usize> = (0..m).collect();
+    procs.shuffle(rng);
+    // Use a random count of processors in [n, m].
+    let used = rng.gen_range(n..=m);
+    let mut teams: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &p) in procs[..used].iter().enumerate() {
+        if i < n {
+            teams[i].push(p); // each stage gets one first
+        } else {
+            teams[rng.gen_range(0..n)].push(p);
+        }
+    }
+    Ok(Mapping::new(teams)?)
+}
+
+/// Random search: sample `iters` mappings, keep the best.
+pub fn random_search(
+    app: &Application,
+    platform: &Platform,
+    model: ExecModel,
+    iters: usize,
+    seed: u64,
+) -> Result<ScoredMapping, OptError> {
+    let mut rng = seeded_rng(seed);
+    let mut best: Option<ScoredMapping> = None;
+    for _ in 0..iters.max(1) {
+        let mapping = random_mapping(app, platform, &mut rng)?;
+        let throughput = score(app, platform, &mapping, model)?;
+        if best.as_ref().map_or(true, |b| throughput > b.throughput) {
+            best = Some(ScoredMapping {
+                mapping,
+                throughput,
+            });
+        }
+    }
+    Ok(best.expect("at least one iteration"))
+}
+
+/// Hill climbing: move one processor between teams (or drop it) while the
+/// score improves.
+pub fn local_search(
+    app: &Application,
+    platform: &Platform,
+    start: &Mapping,
+    model: ExecModel,
+    max_rounds: usize,
+) -> Result<ScoredMapping, OptError> {
+    let n = app.n_stages();
+    let mut teams: Vec<Vec<usize>> = start.teams().to_vec();
+    let mut best = score(app, platform, &Mapping::new(teams.clone())?, model)?;
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        'moves: for from in 0..n {
+            for pos in 0..teams[from].len() {
+                if teams[from].len() == 1 {
+                    continue; // teams must stay non-empty
+                }
+                let p = teams[from].remove(pos);
+                // Try every destination (including dropping the processor).
+                for to in (0..n).chain(std::iter::once(usize::MAX)) {
+                    if to == from {
+                        continue;
+                    }
+                    if to != usize::MAX {
+                        teams[to].push(p);
+                    }
+                    if let Ok(mapping) = Mapping::new(teams.clone()) {
+                        if let Ok(s) = score(app, platform, &mapping, model) {
+                            if s > best + 1e-12 {
+                                best = s;
+                                improved = true;
+                                continue 'moves;
+                            }
+                        }
+                    }
+                    if to != usize::MAX {
+                        teams[to].pop();
+                    }
+                }
+                teams[from].insert(pos, p); // undo
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let mapping = Mapping::new(teams)?;
+    let throughput = score(app, platform, &mapping, model)?;
+    Ok(ScoredMapping {
+        mapping,
+        throughput,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> (Application, Platform) {
+        let app = Application::new(vec![2.0, 8.0, 2.0], vec![1.0, 1.0]).unwrap();
+        let platform = Platform::complete(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 50.0).unwrap();
+        (app, platform)
+    }
+
+    #[test]
+    fn greedy_replicates_the_heavy_stage() {
+        let (app, platform) = instance();
+        let g = greedy(&app, &platform, ExecModel::Overlap).unwrap();
+        // Stage 1 is 4× heavier: greedy should give it the spare
+        // processors (teams 1/4/1 would balance: 2/1, 8/4, 2/1 → rate 0.5).
+        assert!(
+            g.mapping.team(1).len() >= 3,
+            "heavy stage got {:?}",
+            g.mapping.teams()
+        );
+        assert!(g.throughput >= 0.45, "throughput {}", g.throughput);
+    }
+
+    #[test]
+    fn greedy_beats_random_search_usually() {
+        let (app, platform) = instance();
+        let g = greedy(&app, &platform, ExecModel::Overlap).unwrap();
+        let r = random_search(&app, &platform, ExecModel::Overlap, 30, 7).unwrap();
+        // Not a theorem, but on this instance greedy is optimal.
+        assert!(g.throughput >= r.throughput - 1e-9);
+    }
+
+    #[test]
+    fn local_search_improves_one_to_one() {
+        let (app, platform) = instance();
+        let start = Mapping::new(vec![vec![0], vec![1], vec![2]]).unwrap();
+        let base = score(&app, &platform, &start, ExecModel::Overlap).unwrap();
+        let improved =
+            local_search(&app, &platform, &start, ExecModel::Overlap, 10).unwrap();
+        assert!(improved.throughput >= base, "{} < {base}", improved.throughput);
+    }
+
+    #[test]
+    fn too_few_processors_rejected() {
+        let app = Application::uniform(4, 1.0, 1.0).unwrap();
+        let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            greedy(&app, &platform, ExecModel::Overlap).unwrap_err(),
+            OptError::NotEnoughProcessors { procs: 2, stages: 4 }
+        ));
+    }
+
+    #[test]
+    fn random_mappings_are_valid() {
+        let (app, platform) = instance();
+        let mut rng = seeded_rng(3);
+        for _ in 0..50 {
+            let m = random_mapping(&app, &platform, &mut rng).unwrap();
+            assert_eq!(m.n_stages(), 3);
+        }
+    }
+}

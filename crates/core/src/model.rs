@@ -1,0 +1,394 @@
+//! Applications, platforms and one-to-many mappings (§2.1–2.2).
+
+use repstream_petri::shape::MappingShape;
+
+/// Index of a processor in a [`Platform`].
+pub type ProcId = usize;
+
+/// Validation errors for model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The application needs at least one stage.
+    NoStages,
+    /// `file_sizes` must have exactly `stages − 1` entries.
+    FileCountMismatch {
+        /// Number of stages.
+        stages: usize,
+        /// Number of file sizes supplied.
+        files: usize,
+    },
+    /// Work, size, speed or bandwidth values must be positive and finite.
+    NonPositive {
+        /// Description of the offending quantity.
+        what: &'static str,
+    },
+    /// A mapping team is empty.
+    EmptyTeam {
+        /// The stage with no processors.
+        stage: usize,
+    },
+    /// A processor appears in more than one team (the paper's rule: at
+    /// most one stage per processor).
+    ProcessorReused {
+        /// The reused processor.
+        proc: ProcId,
+    },
+    /// A mapping references a processor the platform does not have.
+    UnknownProcessor {
+        /// The out-of-range id.
+        proc: ProcId,
+    },
+    /// Mapping and application disagree on the number of stages.
+    StageCountMismatch {
+        /// Stages in the application.
+        app: usize,
+        /// Teams in the mapping.
+        mapping: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NoStages => write!(f, "application has no stages"),
+            ModelError::FileCountMismatch { stages, files } => write!(
+                f,
+                "expected {} file sizes for {stages} stages, got {files}",
+                stages - 1
+            ),
+            ModelError::NonPositive { what } => {
+                write!(f, "{what} must be positive and finite")
+            }
+            ModelError::EmptyTeam { stage } => {
+                write!(f, "stage {stage} has an empty team")
+            }
+            ModelError::ProcessorReused { proc } => {
+                write!(f, "processor {proc} is mapped to more than one stage")
+            }
+            ModelError::UnknownProcessor { proc } => {
+                write!(f, "mapping references unknown processor {proc}")
+            }
+            ModelError::StageCountMismatch { app, mapping } => write!(
+                f,
+                "application has {app} stages but the mapping has {mapping} teams"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A linear-chain streaming application: stage works `w_i` (flop) and
+/// inter-stage file sizes `δ_i` (bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    work: Vec<f64>,
+    file_sizes: Vec<f64>,
+}
+
+impl Application {
+    /// Build from per-stage work and per-file sizes
+    /// (`file_sizes.len() == work.len() − 1`).
+    pub fn new(work: Vec<f64>, file_sizes: Vec<f64>) -> Result<Self, ModelError> {
+        if work.is_empty() {
+            return Err(ModelError::NoStages);
+        }
+        if file_sizes.len() + 1 != work.len() {
+            return Err(ModelError::FileCountMismatch {
+                stages: work.len(),
+                files: file_sizes.len(),
+            });
+        }
+        if !work.iter().all(|w| *w > 0.0 && w.is_finite()) {
+            return Err(ModelError::NonPositive { what: "stage work" });
+        }
+        if !file_sizes.iter().all(|s| *s > 0.0 && s.is_finite()) {
+            return Err(ModelError::NonPositive { what: "file size" });
+        }
+        Ok(Application { work, file_sizes })
+    }
+
+    /// `n` identical stages of work `w` with files of size `d`.
+    pub fn uniform(n: usize, w: f64, d: f64) -> Result<Self, ModelError> {
+        Application::new(vec![w; n], vec![d; n.saturating_sub(1)])
+    }
+
+    /// Number of stages `N`.
+    pub fn n_stages(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Work of stage `i` (flop).
+    pub fn work(&self, stage: usize) -> f64 {
+        self.work[stage]
+    }
+
+    /// Size of file `i` (bytes), flowing from stage `i` to `i+1`.
+    pub fn file_size(&self, file: usize) -> f64 {
+        self.file_sizes[file]
+    }
+}
+
+/// A fully connected heterogeneous platform: processor speeds (flop/s) and
+/// pairwise link bandwidths (bytes/s).  Links can be logical (e.g. a
+/// star-shaped physical network), as in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    speeds: Vec<f64>,
+    /// `bandwidth[p][q]` for the directed link `p → q`.
+    bandwidth: Vec<Vec<f64>>,
+}
+
+impl Platform {
+    /// Build from speeds and a full bandwidth matrix (diagonal ignored).
+    pub fn new(speeds: Vec<f64>, bandwidth: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        if !speeds.iter().all(|s| *s > 0.0 && s.is_finite()) {
+            return Err(ModelError::NonPositive { what: "speed" });
+        }
+        let m = speeds.len();
+        if bandwidth.len() != m || bandwidth.iter().any(|row| row.len() != m) {
+            return Err(ModelError::NonPositive {
+                what: "bandwidth matrix shape",
+            });
+        }
+        for (p, row) in bandwidth.iter().enumerate() {
+            for (q, b) in row.iter().enumerate() {
+                if p != q && !(*b > 0.0 && b.is_finite()) {
+                    return Err(ModelError::NonPositive { what: "bandwidth" });
+                }
+            }
+        }
+        Ok(Platform { speeds, bandwidth })
+    }
+
+    /// Fully connected platform with per-processor speeds and a single
+    /// bandwidth everywhere.
+    pub fn complete(speeds: Vec<f64>, bandwidth: f64) -> Result<Self, ModelError> {
+        let m = speeds.len();
+        Platform::new(speeds, vec![vec![bandwidth; m]; m])
+    }
+
+    /// Homogeneous platform: `m` processors of speed `s`, bandwidth `b`.
+    pub fn homogeneous(m: usize, s: f64, b: f64) -> Result<Self, ModelError> {
+        Platform::complete(vec![s; m], b)
+    }
+
+    /// Number of processors `M`.
+    pub fn n_processors(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Speed of processor `p` (flop/s).
+    pub fn speed(&self, p: ProcId) -> f64 {
+        self.speeds[p]
+    }
+
+    /// Bandwidth of the directed link `p → q` (bytes/s).
+    pub fn bandwidth(&self, p: ProcId, q: ProcId) -> f64 {
+        self.bandwidth[p][q]
+    }
+
+    /// Set one directed bandwidth (builder-style tweak).
+    pub fn set_bandwidth(&mut self, p: ProcId, q: ProcId, b: f64) {
+        assert!(b > 0.0 && b.is_finite());
+        self.bandwidth[p][q] = b;
+    }
+}
+
+/// A one-to-many mapping: `teams[i]` lists the processors executing stage
+/// `i`, in round-robin order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    teams: Vec<Vec<ProcId>>,
+}
+
+impl Mapping {
+    /// Build and validate team disjointness.
+    pub fn new(teams: Vec<Vec<ProcId>>) -> Result<Self, ModelError> {
+        if teams.is_empty() {
+            return Err(ModelError::NoStages);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (stage, team) in teams.iter().enumerate() {
+            if team.is_empty() {
+                return Err(ModelError::EmptyTeam { stage });
+            }
+            for &p in team {
+                if !seen.insert(p) {
+                    return Err(ModelError::ProcessorReused { proc: p });
+                }
+            }
+        }
+        Ok(Mapping { teams })
+    }
+
+    /// One processor per stage, in order `0, 1, 2, …` (no replication).
+    pub fn one_to_one(n_stages: usize) -> Self {
+        Mapping {
+            teams: (0..n_stages).map(|i| vec![i]).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.teams.len()
+    }
+
+    /// The team of a stage.
+    pub fn team(&self, stage: usize) -> &[ProcId] {
+        &self.teams[stage]
+    }
+
+    /// All teams.
+    pub fn teams(&self) -> &[Vec<ProcId>] {
+        &self.teams
+    }
+
+    /// Team sizes as a [`MappingShape`] (drives the TPN construction).
+    pub fn shape(&self) -> MappingShape {
+        MappingShape::new(self.teams.iter().map(Vec::len).collect())
+    }
+}
+
+/// A validated (application, platform, mapping) triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct System {
+    app: Application,
+    platform: Platform,
+    mapping: Mapping,
+}
+
+impl System {
+    /// Validate cross-references and build.
+    pub fn new(
+        app: Application,
+        platform: Platform,
+        mapping: Mapping,
+    ) -> Result<Self, ModelError> {
+        if app.n_stages() != mapping.n_stages() {
+            return Err(ModelError::StageCountMismatch {
+                app: app.n_stages(),
+                mapping: mapping.n_stages(),
+            });
+        }
+        for team in mapping.teams() {
+            for &p in team {
+                if p >= platform.n_processors() {
+                    return Err(ModelError::UnknownProcessor { proc: p });
+                }
+            }
+        }
+        Ok(System {
+            app,
+            platform,
+            mapping,
+        })
+    }
+
+    /// The application.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The mapping shape (team sizes).
+    pub fn shape(&self) -> MappingShape {
+        self.mapping.shape()
+    }
+
+    /// Processor id serving stage `stage` at team position `slot`.
+    pub fn proc_at(&self, stage: usize, slot: usize) -> ProcId {
+        self.mapping.team(stage)[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app2() -> Application {
+        Application::new(vec![4.0, 6.0], vec![10.0]).unwrap()
+    }
+
+    #[test]
+    fn application_validation() {
+        assert_eq!(
+            Application::new(vec![], vec![]).unwrap_err(),
+            ModelError::NoStages
+        );
+        assert!(matches!(
+            Application::new(vec![1.0, 2.0], vec![]).unwrap_err(),
+            ModelError::FileCountMismatch { .. }
+        ));
+        assert!(matches!(
+            Application::new(vec![1.0, -2.0], vec![1.0]).unwrap_err(),
+            ModelError::NonPositive { .. }
+        ));
+        let a = Application::uniform(3, 2.0, 5.0).unwrap();
+        assert_eq!(a.n_stages(), 3);
+        assert_eq!(a.work(2), 2.0);
+        assert_eq!(a.file_size(1), 5.0);
+    }
+
+    #[test]
+    fn platform_validation() {
+        assert!(Platform::homogeneous(3, 1.0, 2.0).is_ok());
+        assert!(matches!(
+            Platform::complete(vec![1.0, 0.0], 1.0).unwrap_err(),
+            ModelError::NonPositive { .. }
+        ));
+        let mut p = Platform::homogeneous(2, 1.0, 2.0).unwrap();
+        p.set_bandwidth(0, 1, 7.0);
+        assert_eq!(p.bandwidth(0, 1), 7.0);
+        assert_eq!(p.bandwidth(1, 0), 2.0);
+    }
+
+    #[test]
+    fn mapping_validation() {
+        assert!(matches!(
+            Mapping::new(vec![vec![0], vec![]]).unwrap_err(),
+            ModelError::EmptyTeam { stage: 1 }
+        ));
+        assert!(matches!(
+            Mapping::new(vec![vec![0, 1], vec![1]]).unwrap_err(),
+            ModelError::ProcessorReused { proc: 1 }
+        ));
+        let m = Mapping::new(vec![vec![2], vec![0, 1]]).unwrap();
+        assert_eq!(m.shape().teams(), &[1, 2]);
+    }
+
+    #[test]
+    fn system_cross_validation() {
+        let plat = Platform::homogeneous(3, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            System::new(app2(), plat.clone(), Mapping::one_to_one(3)).unwrap_err(),
+            ModelError::StageCountMismatch { .. }
+        ));
+        assert!(matches!(
+            System::new(
+                app2(),
+                plat.clone(),
+                Mapping::new(vec![vec![0], vec![7]]).unwrap()
+            )
+            .unwrap_err(),
+            ModelError::UnknownProcessor { proc: 7 }
+        ));
+        let sys = System::new(
+            app2(),
+            plat,
+            Mapping::new(vec![vec![2], vec![0, 1]]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sys.proc_at(1, 1), 1);
+        assert_eq!(sys.shape().n_paths(), 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Human-readable full-system reports.
+//!
+//! [`system_report`] runs every applicable analysis on a system and
+//! renders one text block: shape, deterministic periods and critical
+//! resources for both models, the exponential decomposition with its
+//! per-component candidates, and the Theorem 7 sandwich.  Used by the CLI
+//! (`repstream` binary) and handy in tests and examples.
+
+use crate::bounds;
+use crate::deterministic;
+use crate::exponential::{self, ColumnRef};
+use crate::model::System;
+use repstream_petri::shape::ExecModel;
+use std::fmt::Write;
+
+/// Options for report generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// Include the Strict model (needs the global TPN; skipped for shapes
+    /// with more rows than this).
+    pub max_rows_strict: usize,
+    /// List every per-component throughput candidate of the exponential
+    /// decomposition.
+    pub list_candidates: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            max_rows_strict: 20_000,
+            list_candidates: true,
+        }
+    }
+}
+
+/// Render the full analysis of `system` as text.
+pub fn system_report(system: &System, opts: ReportOptions) -> String {
+    let mut s = String::new();
+    let shape = system.shape();
+    writeln!(
+        s,
+        "system: {} stages on {} processors, teams {:?}",
+        shape.n_stages(),
+        system.platform().n_processors(),
+        shape.teams()
+    )
+    .unwrap();
+    writeln!(s, "paths (TPN rows): m = {}", shape.n_paths()).unwrap();
+
+    // Deterministic, Overlap (columnwise — works for any m) + global when
+    // feasible.
+    let rho_cw = deterministic::throughput_columnwise(system);
+    writeln!(s, "\n[overlap/deterministic]").unwrap();
+    writeln!(s, "  throughput (Theorem 1) = {rho_cw:.6}").unwrap();
+    if shape.n_paths() <= opts.max_rows_strict {
+        let det = deterministic::analyze(system, ExecModel::Overlap);
+        writeln!(s, "  period P = {:.6}   1/Mct = {:.6}", det.period, det.bound_throughput)
+            .unwrap();
+        writeln!(
+            s,
+            "  critical resource dictates rate: {}",
+            det.has_critical_resource
+        )
+        .unwrap();
+        for r in &det.critical_resources {
+            writeln!(s, "    critical: {r}").unwrap();
+        }
+
+        let st = deterministic::analyze(system, ExecModel::Strict);
+        writeln!(s, "\n[strict/deterministic]").unwrap();
+        writeln!(
+            s,
+            "  throughput = {:.6}   period P = {:.6}   1/Mct = {:.6}",
+            st.throughput, st.period, st.bound_throughput
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "  critical resource dictates rate: {}",
+            st.has_critical_resource
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            s,
+            "  (global TPN and Strict analyses skipped: m = {} rows)",
+            shape.n_paths()
+        )
+        .unwrap();
+    }
+
+    // Exponential decomposition.
+    writeln!(s, "\n[overlap/exponential — Theorems 3/4]").unwrap();
+    match exponential::throughput_overlap(system) {
+        Ok(rep) => {
+            writeln!(s, "  throughput = {:.6}", rep.throughput).unwrap();
+            writeln!(s, "  bottleneck: {}", describe(rep.bottleneck.place)).unwrap();
+            if opts.list_candidates {
+                for c in &rep.candidates {
+                    writeln!(s, "    {:<28} candidate rate {:.6}", describe(c.place), c.rate)
+                        .unwrap();
+                }
+            }
+        }
+        Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
+    }
+
+    // Theorem 7 sandwich.
+    if let Ok(b) = bounds::nbue_bounds(system, ExecModel::Overlap) {
+        writeln!(s, "\n[N.B.U.E. sandwich — Theorem 7, overlap]").unwrap();
+        writeln!(
+            s,
+            "  any N.B.U.E. timing: throughput in [{:.6}, {:.6}] ({:?})",
+            b.lower, b.upper, b.method
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn describe(place: ColumnRef) -> String {
+    match place {
+        ColumnRef::Compute { stage, slot } => format!("compute stage {stage} slot {slot}"),
+        ColumnRef::Comm { file, component } => {
+            format!("communication file {file} component {component}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Application, Mapping, Platform};
+
+    fn system() -> System {
+        let app = Application::uniform(2, 6.0, 12.0).unwrap();
+        let platform = Platform::complete(vec![1.0, 1.0, 1.0], 4.0).unwrap();
+        System::new(
+            app,
+            platform,
+            Mapping::new(vec![vec![0], vec![1, 2]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let r = system_report(&system(), ReportOptions::default());
+        for needle in [
+            "teams [1, 2]",
+            "[overlap/deterministic]",
+            "[strict/deterministic]",
+            "Theorems 3/4",
+            "N.B.U.E. sandwich",
+            "bottleneck:",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn big_shapes_skip_the_global_tpn() {
+        let app = Application::uniform(4, 1.0, 1.0).unwrap();
+        let platform = Platform::complete(vec![1.0; 64], 4.0).unwrap();
+        let teams: Vec<Vec<usize>> = {
+            let sizes = [5usize, 21, 27, 11];
+            let mut v = Vec::new();
+            let mut next = 0;
+            for &r in &sizes {
+                v.push((next..next + r).collect());
+                next += r;
+            }
+            v
+        };
+        let sys = System::new(app, platform, Mapping::new(teams).unwrap()).unwrap();
+        let r = system_report(
+            &sys,
+            ReportOptions {
+                max_rows_strict: 5_000,
+                ..Default::default()
+            },
+        );
+        assert!(r.contains("skipped: m = 10395"), "{r}");
+        assert!(r.contains("Theorem 1"), "{r}");
+    }
+
+    #[test]
+    fn candidates_can_be_suppressed() {
+        let r = system_report(
+            &system(),
+            ReportOptions {
+                list_candidates: false,
+                ..Default::default()
+            },
+        );
+        assert!(!r.contains("candidate rate"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-resource timing tables derived from a [`System`].
+//!
+//! The deterministic time of a resource is the mapping's nominal value
+//! (§2.4): `w_i / s_p` for a processor, `δ_i / b_{p,q}` for a link.
+//! Stochastic experiments keep those values as the *means* and vary the
+//! law family — exactly the paper's setup, where every law is calibrated
+//! to the deterministic mean.
+
+use crate::model::System;
+use repstream_petri::shape::{Resource, ResourceTable};
+use repstream_stochastic::law::{Law, LawFamily};
+
+/// Deterministic per-resource times (`w_i/s_p`, `δ_i/b_{p,q}`).
+pub fn deterministic_times(system: &System) -> ResourceTable<f64> {
+    let shape = system.shape();
+    ResourceTable::from_fns(
+        &shape,
+        |stage, slot| {
+            let p = system.proc_at(stage, slot);
+            system.app().work(stage) / system.platform().speed(p)
+        },
+        |file, src, dst| {
+            let p = system.proc_at(file, src);
+            let q = system.proc_at(file + 1, dst);
+            system.app().file_size(file) / system.platform().bandwidth(p, q)
+        },
+    )
+}
+
+/// Exponential rates per resource (`1 / deterministic time`), as consumed
+/// by the Markovian analyses.
+pub fn exponential_rates(system: &System) -> ResourceTable<f64> {
+    deterministic_times(system).map(|_, &t| 1.0 / t)
+}
+
+/// Law table with every resource following `family` at its deterministic
+/// mean.
+pub fn laws(system: &System, family: LawFamily) -> ResourceTable<Law> {
+    deterministic_times(system).map(|_, &t| family.law_with_mean(t))
+}
+
+/// Law table with separate families for computations and communications.
+pub fn laws_split(
+    system: &System,
+    comp: LawFamily,
+    comm: LawFamily,
+) -> ResourceTable<Law> {
+    deterministic_times(system).map(|r, &t| match r {
+        Resource::Proc { .. } => comp.law_with_mean(t),
+        Resource::Link { .. } => comm.law_with_mean(t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Application, Mapping, Platform};
+
+    fn system() -> System {
+        let app = Application::new(vec![6.0, 9.0], vec![12.0]).unwrap();
+        let platform = Platform::new(
+            vec![2.0, 3.0, 1.0],
+            vec![
+                vec![1.0, 4.0, 6.0],
+                vec![1.0, 1.0, 2.0],
+                vec![3.0, 1.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let mapping = Mapping::new(vec![vec![2], vec![0, 1]]).unwrap();
+        System::new(app, platform, mapping).unwrap()
+    }
+
+    #[test]
+    fn deterministic_table_values() {
+        let s = system();
+        let t = deterministic_times(&s);
+        // Stage 0 on proc 2 (speed 1): 6.0.
+        assert_eq!(*t.get(Resource::Proc { stage: 0, slot: 0 }), 6.0);
+        // Stage 1 slot 0 = proc 0 (speed 2): 4.5; slot 1 = proc 1: 3.0.
+        assert_eq!(*t.get(Resource::Proc { stage: 1, slot: 0 }), 4.5);
+        assert_eq!(*t.get(Resource::Proc { stage: 1, slot: 1 }), 3.0);
+        // File 0 (12 bytes) from proc 2: to proc 0 (bw 3) = 4; to proc 1
+        // (bw 1) = 12.
+        assert_eq!(*t.get(Resource::Link { file: 0, src: 0, dst: 0 }), 4.0);
+        assert_eq!(*t.get(Resource::Link { file: 0, src: 0, dst: 1 }), 12.0);
+    }
+
+    #[test]
+    fn rates_invert_times() {
+        let s = system();
+        let t = deterministic_times(&s);
+        let r = exponential_rates(&s);
+        for (res, &time) in t.iter() {
+            assert!((r.get(res) * time - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn law_tables_preserve_means() {
+        let s = system();
+        let t = deterministic_times(&s);
+        for fam in [
+            LawFamily::Exponential,
+            LawFamily::Gamma(3.0),
+            LawFamily::BetaSym(2.0),
+        ] {
+            let l = laws(&s, fam);
+            for (res, law) in l.iter() {
+                assert!(
+                    (law.mean() - t.get(res)).abs() < 1e-9,
+                    "{fam:?} at {res}: {} vs {}",
+                    law.mean(),
+                    t.get(res)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_laws_differ_by_kind() {
+        let s = system();
+        let l = laws_split(&s, LawFamily::Deterministic, LawFamily::Exponential);
+        assert!(l.get(Resource::Proc { stage: 0, slot: 0 }).is_deterministic());
+        assert!(l
+            .get(Resource::Link { file: 0, src: 0, dst: 0 })
+            .is_exponential());
+    }
+}

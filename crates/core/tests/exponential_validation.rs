@@ -1,0 +1,176 @@
+//! Validation of the exponential analyses (Theorems 3/4) against long
+//! Monte-Carlo runs of the event-graph simulator — the analogue of the
+//! paper's Figure 13/14 checks, as tests.
+
+use repstream_core::exponential::{throughput_overlap, throughput_strict, ExpOptions};
+use repstream_core::model::{Application, Mapping, Platform, System};
+use repstream_core::simulate::{monte_carlo_family, MonteCarloOptions, SimEngine};
+use repstream_core::timing;
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::law::LawFamily;
+
+fn sim_exp(system: &System, model: ExecModel, datasets: usize) -> f64 {
+    monte_carlo_family(
+        system,
+        model,
+        LawFamily::Exponential,
+        MonteCarloOptions {
+            datasets,
+            warmup: datasets / 10,
+            replications: 4,
+            seed: 2024,
+            engine: SimEngine::EventGraph,
+            total_rate_metric: false,
+        },
+    )
+    .mean
+}
+
+fn comm_bound_system(u: usize, v: usize, bw_fn: impl Fn(usize, usize) -> f64) -> System {
+    // Negligible computations, a single communication column u → v.
+    let app = Application::new(vec![1e-7, 1e-7], vec![1.0]).unwrap();
+    let m = u + v;
+    let mut platform = Platform::complete(vec![1e9; m], 1.0).unwrap();
+    for s in 0..u {
+        for d in 0..v {
+            platform.set_bandwidth(s, u + d, bw_fn(s, d));
+        }
+    }
+    let mapping = Mapping::new(vec![
+        (0..u).collect::<Vec<_>>(),
+        (u..u + v).collect::<Vec<_>>(),
+    ])
+    .unwrap();
+    System::new(app, platform, mapping).unwrap()
+}
+
+#[test]
+fn theorem4_homogeneous_23() {
+    // 2×3 homogeneous: exact inner throughput 6λ/4.
+    let sys = comm_bound_system(2, 3, |_, _| 1.0);
+    let exact = throughput_overlap(&sys).unwrap().throughput;
+    assert!((exact - 1.5).abs() < 1e-9, "exact {exact}");
+    let sim = sim_exp(&sys, ExecModel::Overlap, 120_000);
+    assert!((sim - exact).abs() < 0.02 * exact, "sim {sim} vs {exact}");
+}
+
+#[test]
+fn theorem3_heterogeneous_pattern_matches_simulation() {
+    // Heterogeneous 2×3 links: the pattern CTMC must match simulation.
+    let bw = |s: usize, d: usize| 0.5 + 0.4 * ((s + 2 * d) % 4) as f64;
+    let sys = comm_bound_system(2, 3, bw);
+    let exact = throughput_overlap(&sys).unwrap().throughput;
+    let sim = sim_exp(&sys, ExecModel::Overlap, 160_000);
+    assert!(
+        (sim - exact).abs() < 0.025 * exact,
+        "pattern ctmc {exact} vs sim {sim}"
+    );
+}
+
+#[test]
+fn theorem3_components_with_gcd() {
+    // 4 → 6: g = 2 components of 2×3 patterns with different rates.
+    let bw = |s: usize, d: usize| if s % 2 == 0 && d % 2 == 0 { 0.6 } else { 1.2 };
+    let sys = comm_bound_system(4, 6, bw);
+    let exact = throughput_overlap(&sys).unwrap().throughput;
+    let sim = sim_exp(&sys, ExecModel::Overlap, 160_000);
+    assert!(
+        (sim - exact).abs() < 0.03 * exact,
+        "components {exact} vs sim {sim}"
+    );
+}
+
+#[test]
+fn pattern_quotient_with_copies_is_faithful() {
+    // Teams (2, 3, 4) give m = 12: the first comm column (2→3, lcm 6) has
+    // c = 2 copies of its pattern.  The paper analyses the single pattern;
+    // the unrolled component must agree (homogeneous case — the quotient
+    // argument of Theorem 3).
+    let app = Application::new(vec![1e-7, 1e-7, 1e-7], vec![1.0, 1e-7]).unwrap();
+    let mut platform = Platform::complete(vec![1e9; 9], 1e9).unwrap();
+    for s in 0..2 {
+        for d in 0..3 {
+            platform.set_bandwidth(s, 2 + d, 1.0);
+        }
+    }
+    let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4], vec![5, 6, 7, 8]]).unwrap();
+    let sys = System::new(app, platform, mapping).unwrap();
+    let exact = throughput_overlap(&sys).unwrap().throughput;
+    assert!((exact - 1.5).abs() < 1e-9, "Theorem 4 value, got {exact}");
+    let sim = sim_exp(&sys, ExecModel::Overlap, 120_000);
+    assert!(
+        (sim - exact).abs() < 0.02 * exact,
+        "c=2 quotient: sim {sim} vs pattern {exact}"
+    );
+}
+
+#[test]
+fn compute_and_comm_bottlenecks_interact() {
+    // Replicated middle stage is the bottleneck, not the comm columns.
+    let app = Application::new(vec![1.0, 12.0, 1.0], vec![1.0, 1.0]).unwrap();
+    let platform = Platform::complete(vec![4.0, 1.0, 1.0, 1.0, 4.0], 10.0).unwrap();
+    let mapping = Mapping::new(vec![vec![0], vec![1, 2, 3], vec![4]]).unwrap();
+    let sys = System::new(app, platform, mapping).unwrap();
+    let rep = throughput_overlap(&sys).unwrap();
+    // Stage 1: R·λ = 3/12 = 0.25.
+    assert!((rep.throughput - 0.25).abs() < 1e-9, "{rep:?}");
+    let sim = sim_exp(&sys, ExecModel::Overlap, 120_000);
+    assert!((sim - 0.25).abs() < 0.02, "sim {sim}");
+}
+
+#[test]
+fn strict_ctmc_matches_simulation_on_replicated_mapping() {
+    let app = Application::uniform(2, 4.0, 6.0).unwrap();
+    let platform = Platform::complete(vec![1.0, 1.0, 1.0], 3.0).unwrap();
+    let mapping = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+    let sys = System::new(app, platform, mapping).unwrap();
+    let exact = throughput_strict(&sys, ExpOptions::default()).unwrap();
+    let sim = sim_exp(&sys, ExecModel::Strict, 200_000);
+    assert!(
+        (sim - exact).abs() < 0.02 * exact,
+        "strict ctmc {exact} vs sim {sim}"
+    );
+}
+
+#[test]
+fn overlap_exponential_below_deterministic() {
+    // Theorem 7's two extremes, ordered, over several mappings.
+    for teams in [
+        vec![vec![0], vec![1, 2]],
+        vec![vec![0, 1], vec![2, 3, 4]],
+        vec![vec![0], vec![1, 2, 3], vec![4]],
+    ] {
+        let app = Application::uniform(teams.len(), 5.0, 8.0).unwrap();
+        let platform = Platform::complete(vec![1.0; 5], 2.0).unwrap();
+        let sys = System::new(app, platform, Mapping::new(teams.clone()).unwrap()).unwrap();
+        let exp = throughput_overlap(&sys).unwrap().throughput;
+        let det = repstream_core::deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        assert!(exp <= det + 1e-9, "{teams:?}: exp {exp} > det {det}");
+    }
+}
+
+#[test]
+fn laws_table_reaches_simulators() {
+    // Smoke-test the timing plumbing end to end with a non-trivial family.
+    let app = Application::uniform(2, 5.0, 8.0).unwrap();
+    let platform = Platform::complete(vec![1.0; 4], 2.0).unwrap();
+    let sys = System::new(
+        app,
+        platform,
+        Mapping::new(vec![vec![0], vec![1, 2]]).unwrap(),
+    )
+    .unwrap();
+    let laws = timing::laws(&sys, LawFamily::Gamma(3.0));
+    let v = repstream_core::simulate::throughput_once(
+        &sys,
+        ExecModel::Overlap,
+        &laws,
+        MonteCarloOptions {
+            datasets: 20_000,
+            warmup: 2_000,
+            engine: SimEngine::Platform,
+            ..Default::default()
+        },
+    );
+    assert!(v > 0.0 && v.is_finite());
+}

@@ -1,0 +1,266 @@
+//! Continuous-time Markov chains and stationary solvers.
+//!
+//! The chains produced by marking graphs are irreducible (every state is
+//! positive recurrent, as the paper notes below Theorem 2), so a unique
+//! stationary distribution exists.  Two solvers:
+//!
+//! * [`Ctmc::stationary_gth`] — Grassmann–Taksar–Heyman elimination on the
+//!   uniformized chain.  Subtraction-free, hence numerically stable; `O(n³)`
+//!   time, `O(n²)` space — the default up to ~1 500 states;
+//! * [`Ctmc::stationary_power`] — uniformized power iteration; sparse,
+//!   `O(iters · nnz)`, used for the larger Strict marking graphs.
+//!
+//! [`Ctmc::stationary`] picks automatically; the test-suite pins both
+//! solvers against each other and against closed forms.
+
+/// A CTMC in sparse row form: `trans[s]` lists `(target, rate)`.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    trans: Vec<Vec<(usize, f64)>>,
+}
+
+impl Ctmc {
+    /// Build from sparse rows.  Self-rates are ignored (a CTMC has no
+    /// self-transitions; diagonal entries of the generator are implied).
+    pub fn new(trans: Vec<Vec<(usize, f64)>>) -> Self {
+        let n = trans.len();
+        for row in &trans {
+            for &(j, r) in row {
+                assert!(j < n, "dangling transition target");
+                assert!(r > 0.0 && r.is_finite(), "rates must be positive");
+            }
+        }
+        Ctmc { trans }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Number of non-zero rate entries.
+    pub fn nnz(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing transitions of state `s`.
+    pub fn row(&self, s: usize) -> &[(usize, f64)] {
+        &self.trans[s]
+    }
+
+    /// Total exit rate of state `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.trans[s].iter().map(|&(_, r)| r).sum()
+    }
+
+    /// Uniformization constant (max exit rate, padded 10%).
+    fn uniformization(&self) -> f64 {
+        let max = (0..self.n_states())
+            .map(|s| self.exit_rate(s))
+            .fold(0.0, f64::max);
+        (max * 1.1).max(1e-300)
+    }
+
+    /// Stationary distribution by GTH elimination (subtraction-free).
+    ///
+    /// Works on the uniformized DTMC `P = I + Q/Λ`, which has the same
+    /// stationary vector.  `O(n³)`; intended for ≤ ~1500 states.
+    pub fn stationary_gth(&self) -> Vec<f64> {
+        let n = self.n_states();
+        assert!(n > 0);
+        if n == 1 {
+            return vec![1.0];
+        }
+        let lam = self.uniformization();
+        // Dense uniformized chain.
+        let mut p = vec![0.0f64; n * n];
+        for (s, row) in self.trans.iter().enumerate() {
+            let mut self_p = 1.0;
+            for &(j, r) in row {
+                p[s * n + j] += r / lam;
+                self_p -= r / lam;
+            }
+            p[s * n + s] += self_p;
+        }
+        // GTH elimination: for k = n−1 … 1, redistribute state k's
+        // probability flow over the remaining states using only additions
+        // and divisions (Grassmann–Taksar–Heyman).  The entries p[i][k]
+        // (i < k) are divided by the departure mass S_k of state k, so the
+        // back-substitution can use them directly.
+        for k in (1..n).rev() {
+            let s: f64 = (0..k).map(|j| p[k * n + j]).sum();
+            debug_assert!(s > 0.0, "reducible chain during GTH at state {k}");
+            for i in 0..k {
+                p[i * n + k] /= s;
+            }
+            for i in 0..k {
+                let pik = p[i * n + k];
+                if pik > 0.0 {
+                    for j in 0..k {
+                        p[i * n + j] += pik * p[k * n + j];
+                    }
+                }
+            }
+        }
+        // Back-substitution.
+        let mut pi = vec![0.0f64; n];
+        pi[0] = 1.0;
+        for k in 1..n {
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += pi[i] * p[i * n + k];
+            }
+            pi[k] = acc;
+        }
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        pi
+    }
+
+    /// Stationary distribution by uniformized power iteration.
+    ///
+    /// Converges geometrically for the (aperiodic, irreducible) uniformized
+    /// chains of marking graphs; iteration stops when the L1 change drops
+    /// below `tol` or after `max_iters` sweeps.
+    pub fn stationary_power(&self, tol: f64, max_iters: usize) -> Vec<f64> {
+        let n = self.n_states();
+        assert!(n > 0);
+        let lam = self.uniformization();
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..max_iters {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            for (s, row) in self.trans.iter().enumerate() {
+                let mut stay = pi[s];
+                for &(j, r) in row {
+                    let w = pi[s] * r / lam;
+                    next[j] += w;
+                    stay -= w;
+                }
+                next[s] += stay;
+            }
+            let diff: f64 = pi
+                .iter()
+                .zip(next.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            std::mem::swap(&mut pi, &mut next);
+            if diff < tol {
+                break;
+            }
+        }
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        pi
+    }
+
+    /// Stationary distribution: GTH for small chains, power iteration for
+    /// large ones.
+    pub fn stationary(&self) -> Vec<f64> {
+        if self.n_states() <= 1500 {
+            self.stationary_gth()
+        } else {
+            self.stationary_power(1e-13, 200_000)
+        }
+    }
+
+    /// Verify `π Q = 0` (stationarity residual, max-norm) — used by tests.
+    pub fn stationarity_residual(&self, pi: &[f64]) -> f64 {
+        let n = self.n_states();
+        let mut residual = vec![0.0f64; n];
+        for (s, row) in self.trans.iter().enumerate() {
+            for &(j, r) in row {
+                residual[j] += pi[s] * r;
+                residual[s] -= pi[s] * r;
+            }
+        }
+        residual.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state birth–death chain: π = (μ, λ)/(λ+μ).
+    fn two_state(lam: f64, mu: f64) -> Ctmc {
+        Ctmc::new(vec![vec![(1, lam)], vec![(0, mu)]])
+    }
+
+    #[test]
+    fn two_state_closed_form() {
+        let c = two_state(2.0, 3.0);
+        let pi = c.stationary_gth();
+        assert!((pi[0] - 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+        let pw = c.stationary_power(1e-14, 100_000);
+        assert!((pw[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mm1k_queue_closed_form() {
+        // M/M/1/K birth–death: π_i ∝ ρ^i.
+        let (lam, mu, k) = (1.5, 2.0, 6usize);
+        let mut rows = vec![Vec::new(); k + 1];
+        for i in 0..k {
+            rows[i].push((i + 1, lam));
+            rows[i + 1].push((i, mu));
+        }
+        let c = Ctmc::new(rows);
+        let pi = c.stationary();
+        let rho: f64 = lam / mu;
+        let z: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for i in 0..=k {
+            assert!(
+                (pi[i] - rho.powi(i as i32) / z).abs() < 1e-10,
+                "state {i}: {} vs {}",
+                pi[i],
+                rho.powi(i as i32) / z
+            );
+        }
+        assert!(c.stationarity_residual(&pi) < 1e-10);
+    }
+
+    #[test]
+    fn gth_matches_power_on_random_chain() {
+        // Deterministic pseudo-random strongly connected chain.
+        let n = 40;
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut x = 12345u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) as f64) / (u32::MAX as f64) + 0.05
+        };
+        for i in 0..n {
+            rows[i].push(((i + 1) % n, rnd())); // ring keeps it irreducible
+            rows[i].push(((i * 7 + 3) % n, rnd()));
+        }
+        let c = Ctmc::new(rows);
+        let a = c.stationary_gth();
+        let b = c.stationary_power(1e-14, 500_000);
+        for i in 0..n {
+            assert!((a[i] - b[i]).abs() < 1e-8, "state {i}: {} vs {}", a[i], b[i]);
+        }
+        assert!(c.stationarity_residual(&a) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ring_is_uniform() {
+        let n = 17;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n).map(|i| vec![((i + 1) % n, 3.0)]).collect();
+        let pi = Ctmc::new(rows).stationary();
+        for &p in &pi {
+            assert!((p - 1.0 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_state() {
+        let c = Ctmc::new(vec![Vec::new()]);
+        assert_eq!(c.stationary(), vec![1.0]);
+    }
+}

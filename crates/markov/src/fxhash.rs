@@ -1,0 +1,90 @@
+//! A minimal Fx-style hasher for marking deduplication.
+//!
+//! Reachability BFS hashes millions of short byte strings (markings);
+//! SipHash's HashDoS protection is pointless here and measurably slower
+//! (see the repository's `critical_cycle`/`marking` benches).  This is the
+//! classic `FxHasher` multiply-rotate scheme, self-contained so the
+//! workspace does not need an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hasher: one multiply and rotate per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Mix the length first so zero-padded tails stay distinct.
+        self.add_to_hash(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello"), h(b"hello"));
+        assert_ne!(h(b"hello"), h(b"hellp"));
+        assert_ne!(h(b"\x00\x01"), h(b"\x01\x00"));
+        assert_ne!(h(b""), h(b"\x00"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+        for i in 0..1000usize {
+            m.insert(vec![(i % 256) as u8, (i / 256) as u8], i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&vec![5u8, 0u8]], 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # repstream-markov
+//!
+//! Continuous-time Markov chains over Petri-net markings — the engine
+//! behind the exponential-law throughput results of the paper (Section 5).
+//!
+//! When every firing time is exponential, the marking of a timed event
+//! graph is a CTMC: in marking `M` the enabled transitions race, transition
+//! `t` wins with rate `λ_t` and moves the net to `M − •t + t•`
+//! (Theorem 2).  The throughput is then the stationary probability-weighted
+//! firing rate of the last-column transitions.
+//!
+//! Modules:
+//!
+//! * [`net`] — a minimal event-net representation ([`net::EventNet`]) and
+//!   constructors: adapters from `repstream-petri` TPNs and the `u × v`
+//!   communication *pattern* of Theorem 3;
+//! * [`marking`] — reachable-marking enumeration (BFS with an FxHash map,
+//!   optional capacity bound for non-safe nets) producing a [`ctmc::Ctmc`];
+//! * [`ctmc`] — stationary solvers: GTH elimination (subtraction-free,
+//!   exact up to rounding) and uniformized power iteration for large sparse
+//!   chains;
+//! * [`pattern`] — the Young-diagram pattern chain of Theorem 3: the state
+//!   count `S(u,v) = C(u+v−1, u−1) · v`, its stationary throughput under
+//!   arbitrary per-link rates, and the homogeneous closed form
+//!   `u·v·λ/(u+v−1)` of Theorem 4;
+//! * [`transient`] — finite-horizon analysis by uniformization: `π(t)` and
+//!   the expected completions over `[0, t]` (the analytic counterpart of
+//!   the paper's throughput-vs-data-sets curves);
+//! * [`fxhash`] — a small Fx-style hasher for marking deduplication
+//!   (markings are short byte strings; SipHash is measurably slower and
+//!   HashDoS is irrelevant here).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ctmc;
+pub mod fxhash;
+pub mod marking;
+pub mod net;
+pub mod pattern;
+pub mod transient;
+
+pub use ctmc::Ctmc;
+pub use marking::{MarkingGraph, MarkingOptions};
+pub use net::EventNet;

@@ -1,0 +1,199 @@
+//! Transient analysis by uniformization.
+//!
+//! The stationary solvers give the long-run throughput; uniformization
+//! gives the *ramp*: state probabilities at finite time `t`, hence the
+//! expected number of completions over `[0, t]` and the finite-horizon
+//! throughput curve that the paper's Figure 10 measures by simulation.
+//!
+//! For generator `Q` with uniformization rate `Λ ≥ max_s q_s`, let
+//! `P = I + Q/Λ`.  Then
+//!
+//! ```text
+//!   π(t) = Σ_{k≥0} Poisson(Λt; k) · π(0) Pᵏ
+//! ```
+//!
+//! truncated when the Poisson tail falls below a tolerance.  The expected
+//! reward accumulated by time `t` (e.g. firings of the last TPN column)
+//! integrates the same series.
+
+use crate::ctmc::Ctmc;
+
+/// Transient distribution `π(t)` starting from `pi0`.
+///
+/// Truncates the Poisson series once the accumulated weight exceeds
+/// `1 − tol`; cost is `O(Λt · nnz)`.
+pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Vec<f64> {
+    let n = ctmc.n_states();
+    assert_eq!(pi0.len(), n);
+    assert!(t >= 0.0);
+    let lam = uniformization_rate(ctmc);
+    let mut vk = pi0.to_vec(); // π(0) P^k
+    let mut out = vec![0.0; n];
+    poisson_sum(lam * t, tol, |weight| {
+        for (o, v) in out.iter_mut().zip(vk.iter()) {
+            *o += weight * v;
+        }
+        step(ctmc, lam, &mut vk);
+    });
+    // Numerical cleanup: renormalize.
+    let s: f64 = out.iter().sum();
+    if s > 0.0 {
+        for v in &mut out {
+            *v /= s;
+        }
+    }
+    out
+}
+
+/// Expected total reward accumulated over `[0, t]`, where state `s` earns
+/// `reward[s]` per unit time.  With `reward[s] = Σ λ_t·[t enabled]` over
+/// the last-column transitions this is the expected number of completed
+/// data sets by time `t`.
+pub fn expected_accumulated_reward(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    reward: &[f64],
+    t: f64,
+    tol: f64,
+) -> f64 {
+    let n = ctmc.n_states();
+    assert_eq!(pi0.len(), n);
+    assert_eq!(reward.len(), n);
+    let lam = uniformization_rate(ctmc);
+    // ∫₀ᵗ π(u)·r du = (1/Λ) Σ_k [Poisson tail > k](Λt) · π(0)Pᵏ·r —
+    // using the identity ∫₀ᵗ Poisson(Λu;k) Λ du = P(Poisson(Λt) > k).
+    let mut vk = pi0.to_vec();
+    let mut acc = 0.0;
+    // tail(k) = P(N > k) computed alongside the pmf.
+    let lt = lam * t;
+    let mut pmf = (-lt).exp();
+    let mut cdf = pmf;
+    let mut k = 0usize;
+    let kmax = series_cap(lt, tol);
+    loop {
+        let tail = 1.0 - cdf;
+        let dot: f64 = vk.iter().zip(reward.iter()).map(|(a, b)| a * b).sum();
+        acc += tail * dot;
+        if k >= kmax {
+            break;
+        }
+        step(ctmc, lam, &mut vk);
+        k += 1;
+        pmf *= lt / k as f64;
+        cdf += pmf;
+    }
+    acc / lam
+}
+
+fn uniformization_rate(ctmc: &Ctmc) -> f64 {
+    let max = (0..ctmc.n_states())
+        .map(|s| ctmc.exit_rate(s))
+        .fold(0.0f64, f64::max);
+    (max * 1.05).max(1e-300)
+}
+
+/// One uniformized step: `v ← v P` with `P = I + Q/Λ`.
+fn step(ctmc: &Ctmc, lam: f64, v: &mut Vec<f64>) {
+    let n = ctmc.n_states();
+    let mut next = vec![0.0f64; n];
+    for (s, val) in v.iter().enumerate() {
+        if *val == 0.0 {
+            continue;
+        }
+        let mut stay = *val;
+        for &(j, r) in ctmc.row(s) {
+            let w = val * r / lam;
+            next[j] += w;
+            stay -= w;
+        }
+        next[s] += stay;
+    }
+    *v = next;
+}
+
+/// Number of Poisson terms needed for mass `1 − tol` (mean + safety).
+fn series_cap(mean: f64, tol: f64) -> usize {
+    let sigma = mean.sqrt().max(1.0);
+    (mean + 8.0 * sigma + 10.0 - (tol.log10())).ceil() as usize
+}
+
+/// Drive `f` with Poisson(mean) weights until the mass reaches `1 − tol`.
+fn poisson_sum(mean: f64, tol: f64, mut f: impl FnMut(f64)) {
+    let mut pmf = (-mean).exp();
+    let mut acc = 0.0;
+    let cap = series_cap(mean, tol);
+    for k in 0..=cap {
+        f(pmf);
+        acc += pmf;
+        if acc >= 1.0 - tol {
+            break;
+        }
+        pmf *= mean / (k as f64 + 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state chain 0 →λ 1 →μ 0.
+    fn two_state(lam: f64, mu: f64) -> Ctmc {
+        Ctmc::new(vec![vec![(1, lam)], vec![(0, mu)]])
+    }
+
+    #[test]
+    fn transient_converges_to_stationary() {
+        let c = two_state(2.0, 3.0);
+        let p = transient_distribution(&c, &[1.0, 0.0], 50.0, 1e-12);
+        assert!((p[0] - 0.6).abs() < 1e-9, "{p:?}");
+        assert!((p[1] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_at_zero_is_initial() {
+        let c = two_state(2.0, 3.0);
+        let p = transient_distribution(&c, &[0.0, 1.0], 0.0, 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_closed_form_two_state() {
+        // p₀(t) = μ/(λ+μ) + λ/(λ+μ)·e^{−(λ+μ)t} from state 0.
+        let (lam, mu) = (2.0, 3.0);
+        let c = two_state(lam, mu);
+        for &t in &[0.1, 0.3, 0.7, 1.5] {
+            let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-13);
+            let expect = mu / (lam + mu) + lam / (lam + mu) * (-(lam + mu) * t).exp();
+            assert!((p[0] - expect).abs() < 1e-9, "t={t}: {} vs {expect}", p[0]);
+        }
+    }
+
+    #[test]
+    fn accumulated_reward_poisson_counter() {
+        // Single state with a self-loop rate λ... a CTMC can't have a
+        // self-transition, so use the two-state cycle with equal rates: the
+        // total firing reward over [0,t] must be λ_eff·t asymptotically
+        // with λ_eff = 1/(1/λ + 1/μ).
+        let (lam, mu) = (2.0, 2.0);
+        let c = two_state(lam, mu);
+        // Reward = rate of leaving each state = expected firings/unit.
+        let reward = vec![lam, mu];
+        let t = 200.0;
+        let r = expected_accumulated_reward(&c, &[1.0, 0.0], &reward, t, 1e-12);
+        // Each unit of time yields on average 2 transitions (states always
+        // firing at rate 2): reward rate = 2.
+        assert!((r - 2.0 * t).abs() < 0.02 * 2.0 * t, "r {r}");
+    }
+
+    #[test]
+    fn reward_ramp_is_increasing_and_concaveish() {
+        let c = two_state(1.0, 5.0);
+        let reward = vec![1.0, 0.0]; // only state 0 earns
+        let mut last = 0.0;
+        for &t in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+            let r = expected_accumulated_reward(&c, &[1.0, 0.0], &reward, t, 1e-12);
+            assert!(r >= last - 1e-12, "not increasing at {t}");
+            last = r;
+        }
+    }
+}

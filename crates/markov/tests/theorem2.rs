@@ -1,0 +1,130 @@
+//! Theorem 2 end-to-end: the marking-graph CTMC of a Strict TPN must give
+//! the same exponential-law throughput as long Monte-Carlo runs of the
+//! event-graph simulator, and the capacity-bounded CTMC of an Overlap TPN
+//! must approach the simulator's value from below as buffers grow.
+
+use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::net::EventNet;
+use repstream_petri::egsim::{simulate, EgSimOptions};
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+use repstream_stochastic::law::Law;
+
+fn exp_laws(shape: &MappingShape, comp: f64, comm: f64) -> ResourceTable<Law> {
+    ResourceTable::from_fns(
+        shape,
+        |_, _| Law::exp_mean(comp),
+        |_, _, _| Law::exp_mean(comm),
+    )
+}
+
+fn rates(shape: &MappingShape, comp: f64, comm: f64) -> ResourceTable<f64> {
+    ResourceTable::from_fns(shape, |_, _| 1.0 / comp, |_, _, _| 1.0 / comm)
+}
+
+fn ctmc_throughput_strict(shape: &MappingShape, comp: f64, comm: f64) -> f64 {
+    let tpn = Tpn::build(shape, ExecModel::Strict);
+    let net = EventNet::from_tpn(&tpn, &rates(shape, comp, comm));
+    let mg = MarkingGraph::build(&net, MarkingOptions::default()).expect("safe Strict TPN");
+    mg.throughput_of(&net, &tpn.last_column())
+}
+
+fn sim_throughput(shape: &MappingShape, model: ExecModel, comp: f64, comm: f64) -> f64 {
+    let tpn = Tpn::build(shape, model);
+    let r = simulate(
+        &tpn,
+        &exp_laws(shape, comp, comm),
+        EgSimOptions {
+            datasets: 400_000,
+            warmup: 40_000,
+            seed: 42,
+        },
+    );
+    r.steady_throughput
+}
+
+#[test]
+fn strict_tpns_are_safe() {
+    for teams in [vec![1, 1], vec![2, 1], vec![1, 2, 1], vec![2, 3], vec![3, 2, 2]] {
+        let shape = MappingShape::new(teams.clone());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let net = EventNet::from_tpn(&tpn, &rates(&shape, 1.0, 1.0));
+        let res = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                max_states: 1 << 21,
+                capacity: None,
+            },
+        );
+        assert!(res.is_ok(), "{teams:?}: {:?}", res.err());
+    }
+}
+
+#[test]
+fn strict_two_stage_ctmc_matches_simulation() {
+    let shape = MappingShape::new(vec![1, 1]);
+    let exact = ctmc_throughput_strict(&shape, 2.0, 1.0);
+    let sim = sim_throughput(&shape, ExecModel::Strict, 2.0, 1.0);
+    assert!(
+        (exact - sim).abs() < 0.01 * exact,
+        "ctmc {exact} vs sim {sim}"
+    );
+    // Sanity: must be below the deterministic Strict bound 1/(max cycle).
+    // P0: 2+1 = 3, P1: 1+2 = 3 ⇒ det rate 1/3.
+    assert!(exact < 1.0 / 3.0);
+}
+
+#[test]
+fn strict_replicated_ctmc_matches_simulation() {
+    let shape = MappingShape::new(vec![2, 1]);
+    let exact = ctmc_throughput_strict(&shape, 3.0, 1.0);
+    let sim = sim_throughput(&shape, ExecModel::Strict, 3.0, 1.0);
+    assert!(
+        (exact - sim).abs() < 0.015 * exact,
+        "ctmc {exact} vs sim {sim}"
+    );
+}
+
+#[test]
+fn overlap_capacity_ctmc_converges_to_simulation() {
+    // A unique bottleneck (stage 0, rate 1/2) keeps the downstream queues
+    // subcritical, so the finite-buffer truncation converges geometrically
+    // in the capacity.  (With two equally-critical stages the gap closes
+    // only as O(1/√B) — that regime is exercised by the simulator tests.)
+    let shape = MappingShape::new(vec![1, 1]);
+    let tpn = Tpn::build(&shape, ExecModel::Overlap);
+    let stage_rate = |stage: usize| if stage == 0 { 0.5 } else { 1.0 / 1.4 };
+    let rate_table = ResourceTable::from_fns(&shape, |s, _| stage_rate(s), |_, _, _| 1.0);
+    let net = EventNet::from_tpn(&tpn, &rate_table);
+    let laws = rate_table.map(|_, &r| Law::exp_mean(1.0 / r));
+    let sim = simulate(
+        &tpn,
+        &laws,
+        EgSimOptions {
+            datasets: 400_000,
+            warmup: 40_000,
+            seed: 42,
+        },
+    )
+    .steady_throughput;
+
+    let mut last = 0.0;
+    for cap in [1u32, 2, 4, 8, 16] {
+        let mg = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                max_states: 1 << 21,
+                capacity: Some(cap),
+            },
+        )
+        .unwrap();
+        let rho = mg.throughput_of(&net, &tpn.last_column());
+        assert!(rho >= last - 1e-12, "cap {cap} decreased throughput");
+        assert!(rho <= sim * 1.02, "cap {cap}: {rho} above simulated {sim}");
+        last = rho;
+    }
+    assert!(
+        (last - sim).abs() < 0.03 * sim,
+        "cap-16 ctmc {last} vs sim {sim}"
+    );
+}

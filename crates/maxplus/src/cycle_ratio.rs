@@ -1,0 +1,725 @@
+//! Maximum cycle ratio engines.
+//!
+//! The deterministic period of a timed event graph is the maximum over all
+//! cycles of `Σ weight / Σ tokens` ([Baccelli et al. 1992]; the paper's
+//! Section 4).  Three engines are provided:
+//!
+//! * [`howard`] — multi-chain policy iteration (Cochet-Terrasson, Gaubert
+//!   et al. flavour), the production engine: near-linear in practice and
+//!   returns a *critical cycle certificate*;
+//! * [`lawler`] — binary search over `λ` with positive-cycle detection on
+//!   re-weighted arcs `w − λ·t` (Bellman–Ford): simple, robust, used as a
+//!   fallback and as a cross-check oracle;
+//! * [`karp`] — Karp's exact dynamic program for the special case where
+//!   every arc carries exactly one token (maximum cycle *mean*);
+//! * [`brute_force`] — exponential simple-cycle enumeration, the ground
+//!   truth for the property tests on small random graphs.
+//!
+//! All engines agree on their common domain; the test-suite enforces this.
+
+use crate::graph::{ArcId, NodeId, TokenGraph};
+use crate::scc::{condense, Condensation, SccId};
+
+/// Result of a cycle-ratio computation: the ratio and a certificate cycle
+/// achieving it (arc ids of the input graph, in walk order).
+#[derive(Debug, Clone)]
+pub struct CycleRatio {
+    /// The maximum cycle ratio (`f64::INFINITY` if a token-free cycle
+    /// exists, which deadlocks the event graph).
+    pub ratio: f64,
+    /// Arcs of a critical cycle (empty when only the value was computed).
+    pub critical_cycle: Vec<ArcId>,
+}
+
+/// Maximum cycle ratio of the whole graph; `None` when the graph is
+/// acyclic.  Runs [`howard`] per SCC and self-checks the certificate;
+/// falls back to [`lawler`] in the (never observed) event that policy
+/// iteration fails to converge.
+pub fn maximum_cycle_ratio(g: &TokenGraph) -> Option<CycleRatio> {
+    let cond = condense(g);
+    maximum_cycle_ratio_with(g, &cond)
+}
+
+/// As [`maximum_cycle_ratio`], reusing a precomputed condensation.
+pub fn maximum_cycle_ratio_with(g: &TokenGraph, cond: &Condensation) -> Option<CycleRatio> {
+    let mut best: Option<CycleRatio> = None;
+    for (cid, r) in scc_cycle_ratios(g, cond).into_iter().enumerate() {
+        let _ = cid;
+        if let Some(r) = r {
+            if best.as_ref().map_or(true, |b| r.ratio > b.ratio) {
+                best = Some(r);
+            }
+        }
+    }
+    best
+}
+
+/// Per-SCC maximum cycle ratio (`None` for acyclic components).
+pub fn scc_cycle_ratios(g: &TokenGraph, cond: &Condensation) -> Vec<Option<CycleRatio>> {
+    (0..cond.n_comps())
+        .map(|cid| scc_ratio(g, cond, cid))
+        .collect()
+}
+
+fn scc_has_arcs(g: &TokenGraph, cond: &Condensation, cid: SccId) -> bool {
+    cond.members[cid].iter().any(|&u| {
+        g.out_arcs(u)
+            .iter()
+            .any(|&a| cond.comp_of[g.arc(a).dst] == cid)
+    })
+}
+
+fn scc_ratio(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRatio> {
+    if !scc_has_arcs(g, cond, cid) {
+        return None;
+    }
+    // Token-free cycle ⇒ infinite ratio (deadlocked event graph).
+    if let Some(cycle) = tokenless_cycle_in_scc(g, cond, cid) {
+        return Some(CycleRatio {
+            ratio: f64::INFINITY,
+            critical_cycle: cycle,
+        });
+    }
+    match howard_scc(g, cond, cid) {
+        Some(r) => Some(r),
+        None => {
+            // Extremely defensive fallback; `howard_scc` only gives up on
+            // its iteration cap.
+            let nodes: Vec<NodeId> = cond.members[cid].clone();
+            lawler_subgraph(g, &nodes).map(|ratio| CycleRatio {
+                ratio,
+                critical_cycle: Vec::new(),
+            })
+        }
+    }
+}
+
+/// A cycle made only of token-free arcs inside the SCC, if any.
+fn tokenless_cycle_in_scc(
+    g: &TokenGraph,
+    cond: &Condensation,
+    cid: SccId,
+) -> Option<Vec<ArcId>> {
+    // DFS over 0-token arcs restricted to the component.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: std::collections::HashMap<NodeId, Color> = cond.members[cid]
+        .iter()
+        .map(|&u| (u, Color::White))
+        .collect();
+    let mut parent_arc: std::collections::HashMap<NodeId, ArcId> = Default::default();
+
+    for &start in &cond.members[cid] {
+        if color[&start] != Color::White {
+            continue;
+        }
+        // Iterative DFS.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        *color.get_mut(&start).unwrap() = Color::Grey;
+        while let Some(&(u, pos)) = stack.last() {
+            let outs = g.out_arcs(u);
+            if pos >= outs.len() {
+                *color.get_mut(&u).unwrap() = Color::Black;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("frame").1 += 1;
+            let aid = outs[pos];
+            let arc = g.arc(aid);
+            if arc.tokens != 0 || cond.comp_of[arc.dst] != cid {
+                continue;
+            }
+            match color[&arc.dst] {
+                Color::White => {
+                    parent_arc.insert(arc.dst, aid);
+                    *color.get_mut(&arc.dst).unwrap() = Color::Grey;
+                    stack.push((arc.dst, 0));
+                }
+                Color::Grey => {
+                    // Found a cycle: unwind from u back to arc.dst.
+                    let mut cycle = vec![aid];
+                    let mut cur = u;
+                    while cur != arc.dst {
+                        let pa = parent_arc[&cur];
+                        cycle.push(pa);
+                        cur = g.arc(pa).src;
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Howard policy iteration
+// ---------------------------------------------------------------------------
+
+/// Maximum cycle ratio of the whole graph via Howard policy iteration.
+/// Convenience wrapper over the per-SCC engine; `None` when acyclic.
+pub fn howard(g: &TokenGraph) -> Option<CycleRatio> {
+    maximum_cycle_ratio(g)
+}
+
+/// Howard policy iteration on one SCC.  Returns `None` only when the
+/// iteration cap is hit (callers then fall back to [`lawler`]).
+fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRatio> {
+    let nodes = &cond.members[cid];
+    let k = nodes.len();
+    // Local indexing.
+    let mut local_of: std::collections::HashMap<NodeId, usize> = Default::default();
+    for (i, &u) in nodes.iter().enumerate() {
+        local_of.insert(u, i);
+    }
+    // Local arcs (both endpoints in the SCC).
+    struct LArc {
+        dst: usize,
+        w: f64,
+        t: f64,
+        id: ArcId,
+    }
+    let mut out: Vec<Vec<LArc>> = (0..k).map(|_| Vec::new()).collect();
+    let mut wmax: f64 = 1.0;
+    for (i, &u) in nodes.iter().enumerate() {
+        for &aid in g.out_arcs(u) {
+            let a = g.arc(aid);
+            if cond.comp_of[a.dst] == cid {
+                out[i].push(LArc {
+                    dst: local_of[&a.dst],
+                    w: a.weight,
+                    t: f64::from(a.tokens),
+                    id: aid,
+                });
+                wmax = wmax.max(a.weight.abs());
+            }
+        }
+    }
+    debug_assert!(out.iter().all(|o| !o.is_empty()), "SCC node without out-arc");
+
+    let eps = 1e-12 * wmax;
+    let mut policy: Vec<usize> = vec![0; k]; // index into out[u]
+    let mut lambda = vec![0.0f64; k];
+    let mut pot = vec![0.0f64; k];
+
+    // Policy evaluation: in the functional graph `u → succ(u)` defined by
+    // the current policy, find the cycle reached from every node, set
+    // `λ[u]` to that cycle's ratio, and compute potentials `v` satisfying
+    // `v[u] = w(u) − λ[u]·t(u) + v[succ(u)]` with `v = 0` at the cycle
+    // root.
+    let evaluate = |policy: &[usize], lambda: &mut [f64], pot: &mut [f64], out: &[Vec<LArc>]| {
+        let k = policy.len();
+        // 0 = unvisited, 1 = on current walk, 2 = resolved.
+        let mut state = vec![0u8; k];
+        let mut walk: Vec<usize> = Vec::new();
+        for s in 0..k {
+            if state[s] != 0 {
+                continue;
+            }
+            walk.clear();
+            let mut u = s;
+            while state[u] == 0 {
+                state[u] = 1;
+                walk.push(u);
+                u = out[u][policy[u]].dst;
+            }
+            if state[u] == 1 {
+                // Found a new cycle; `u` is its entry point on the walk.
+                let cstart = walk.iter().position(|&x| x == u).unwrap();
+                let cycle = &walk[cstart..];
+                let mut w = 0.0;
+                let mut t = 0.0;
+                for &x in cycle {
+                    let a = &out[x][policy[x]];
+                    w += a.w;
+                    t += a.t;
+                }
+                debug_assert!(t > 0.0, "tokenless policy cycle");
+                let lam = w / t;
+                // Potentials around the cycle, backwards from the root.
+                lambda[u] = lam;
+                pot[u] = 0.0;
+                // Walk the cycle in order, computing v forward is awkward;
+                // go around once collecting nodes then back-substitute.
+                let mut order: Vec<usize> = Vec::with_capacity(cycle.len());
+                let mut x = u;
+                loop {
+                    order.push(x);
+                    x = out[x][policy[x]].dst;
+                    if x == u {
+                        break;
+                    }
+                }
+                // v[last] follows from v[root]; iterate in reverse.
+                for i in (1..order.len()).rev() {
+                    let y = order[i];
+                    let a = &out[y][policy[y]];
+                    let vnext = if a.dst == u { 0.0 } else { pot[a.dst] };
+                    lambda[y] = lam;
+                    pot[y] = a.w - lam * a.t + vnext;
+                    state[y] = 2;
+                }
+                state[u] = 2;
+            }
+            // Resolve the tail of the walk (nodes leading into the cycle or
+            // into previously resolved territory), in reverse.
+            for &x in walk.iter().rev() {
+                if state[x] == 2 {
+                    continue;
+                }
+                let a = &out[x][policy[x]];
+                lambda[x] = lambda[a.dst];
+                pot[x] = a.w - lambda[x] * a.t + pot[a.dst];
+                state[x] = 2;
+            }
+        }
+    };
+
+    // Bounded iterations: policy iteration converges in far fewer steps.
+    let cap = 64 + 8 * k;
+    let mut converged = false;
+    for _ in 0..cap {
+        evaluate(&policy, &mut lambda, &mut pot, &out);
+
+        // Phase 1: ratio improvement.
+        let mut improved = false;
+        for u in 0..k {
+            let cur = lambda[u];
+            let mut best = policy[u];
+            let mut best_l = cur;
+            for (ai, a) in out[u].iter().enumerate() {
+                if lambda[a.dst] > best_l + eps {
+                    best_l = lambda[a.dst];
+                    best = ai;
+                }
+            }
+            if best != policy[u] {
+                policy[u] = best;
+                improved = true;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Phase 2: potential improvement within the same ratio class.
+        for u in 0..k {
+            let lu = lambda[u];
+            let mut best = policy[u];
+            let a0 = &out[u][policy[u]];
+            let mut best_v = a0.w - lu * a0.t + pot[a0.dst];
+            for (ai, a) in out[u].iter().enumerate() {
+                if (lambda[a.dst] - lu).abs() <= eps.max(1e-9 * wmax) {
+                    let v = a.w - lu * a.t + pot[a.dst];
+                    if v > best_v + eps.max(1e-10 * wmax) {
+                        best_v = v;
+                        best = ai;
+                    }
+                }
+            }
+            if best != policy[u] {
+                policy[u] = best;
+                improved = true;
+            }
+        }
+        if !improved {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return None;
+    }
+
+    // Extract the critical cycle: from a node of maximal λ, follow the
+    // policy until a node repeats.
+    let (start, _) = lambda
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let mut seen = vec![usize::MAX; k];
+    let mut u = start;
+    let mut step = 0usize;
+    while seen[u] == usize::MAX {
+        seen[u] = step;
+        step += 1;
+        u = out[u][policy[u]].dst;
+    }
+    // u is on the cycle; walk it once collecting arc ids.
+    let mut cycle = Vec::new();
+    let cycle_start = u;
+    loop {
+        let a = &out[u][policy[u]];
+        cycle.push(a.id);
+        u = a.dst;
+        if u == cycle_start {
+            break;
+        }
+    }
+    let ratio = g.cycle_ratio_of(&cycle);
+    Some(CycleRatio {
+        ratio,
+        critical_cycle: cycle,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lawler binary search
+// ---------------------------------------------------------------------------
+
+/// Maximum cycle ratio via Lawler's parametric search; `None` if acyclic.
+///
+/// Bisects `λ` on `[min(0, min w), Σ max(w,0) + 1]`; at each probe, a
+/// positive cycle under weights `w − λ·t` is sought with Bellman–Ford
+/// (longest-path relaxations).  Numerically robust; `O(|V||E| log(1/ε))`.
+pub fn lawler(g: &TokenGraph) -> Option<f64> {
+    let nodes: Vec<NodeId> = (0..g.n_nodes()).collect();
+    lawler_subgraph(g, &nodes)
+}
+
+/// Lawler's search restricted to the subgraph induced by `nodes`.
+pub fn lawler_subgraph(g: &TokenGraph, nodes: &[NodeId]) -> Option<f64> {
+    let mut local_of = vec![usize::MAX; g.n_nodes()];
+    for (i, &u) in nodes.iter().enumerate() {
+        local_of[u] = i;
+    }
+    let arcs: Vec<(usize, usize, f64, f64)> = g
+        .arcs()
+        .iter()
+        .filter(|a| local_of[a.src] != usize::MAX && local_of[a.dst] != usize::MAX)
+        .map(|a| {
+            (
+                local_of[a.src],
+                local_of[a.dst],
+                a.weight,
+                f64::from(a.tokens),
+            )
+        })
+        .collect();
+    if arcs.is_empty() {
+        return None;
+    }
+    let n = nodes.len();
+
+    // Tokenless positive-weight cycles make the ratio infinite; but a
+    // tokenless cycle of any weight means deadlock for an event graph, so
+    // report ∞ as soon as a cycle survives at an absurdly large λ.
+    let w_lo = arcs.iter().map(|a| a.2).fold(f64::INFINITY, f64::min).min(0.0);
+    let w_hi: f64 = arcs.iter().map(|a| a.2.max(0.0)).sum::<f64>() + 1.0;
+
+    let positive_cycle = |lam: f64| -> bool {
+        // Longest-path Bellman–Ford from a virtual source connected to all.
+        let mut dist = vec![0.0f64; n];
+        let tol = 1e-14 * (1.0 + lam.abs()) * (1.0 + w_hi);
+        for _round in 0..n {
+            let mut changed = false;
+            for &(s, d, w, t) in &arcs {
+                let cand = dist[s] + w - lam * t;
+                if cand > dist[d] + tol {
+                    dist[d] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        // Still relaxable after n rounds ⇒ positive cycle.
+        let mut changed = false;
+        for &(s, d, w, t) in &arcs {
+            if dist[s] + w - lam * t > dist[d] + tol {
+                changed = true;
+                break;
+            }
+        }
+        changed
+    };
+
+    // Is there a cycle at all?  Probe at λ slightly below the minimum
+    // possible ratio: any cycle is then positive... except cycles whose
+    // arcs all weigh exactly `w_lo` with tokens; use a strictly smaller λ.
+    if !positive_cycle(w_lo - 1.0) {
+        return None;
+    }
+    if positive_cycle(w_hi) {
+        // Only a tokenless cycle can stay positive beyond the sum of
+        // positive weights.
+        return Some(f64::INFINITY);
+    }
+
+    let (mut lo, mut hi) = (w_lo - 1.0, w_hi);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if positive_cycle(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+// ---------------------------------------------------------------------------
+// Karp (unit tokens)
+// ---------------------------------------------------------------------------
+
+/// Karp's maximum cycle *mean* algorithm.  Exact (up to float addition) but
+/// only applicable when **every arc carries exactly one token**, in which
+/// case the cycle ratio coincides with the cycle mean.
+///
+/// Returns `None` for acyclic graphs.
+///
+/// # Panics
+/// Panics if some arc does not carry exactly one token.
+pub fn karp(g: &TokenGraph) -> Option<f64> {
+    for a in g.arcs() {
+        assert_eq!(a.tokens, 1, "karp requires unit tokens on every arc");
+    }
+    let n = g.n_nodes();
+    if n == 0 || g.n_arcs() == 0 {
+        return None;
+    }
+    const NEG: f64 = f64::NEG_INFINITY;
+    // d[k][v] = max weight of a k-arc walk ending in v (multi-source).
+    let mut prev = vec![0.0f64; n];
+    let mut table: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    table.push(prev.clone());
+    for _k in 1..=n {
+        let mut cur = vec![NEG; n];
+        for a in g.arcs() {
+            if prev[a.src] > NEG {
+                let cand = prev[a.src] + a.weight;
+                if cand > cur[a.dst] {
+                    cur[a.dst] = cand;
+                }
+            }
+        }
+        table.push(cur.clone());
+        prev = cur;
+    }
+    let dn = &table[n];
+    let mut best: Option<f64> = None;
+    for v in 0..n {
+        if dn[v] == NEG {
+            continue;
+        }
+        // min over k of (d_n − d_k)/(n − k)
+        let mut vmin = f64::INFINITY;
+        for (k, row) in table.iter().enumerate().take(n) {
+            if row[v] > NEG {
+                vmin = vmin.min((dn[v] - row[v]) / (n - k) as f64);
+            }
+        }
+        if vmin.is_finite() {
+            best = Some(best.map_or(vmin, |b: f64| b.max(vmin)));
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Brute force oracle
+// ---------------------------------------------------------------------------
+
+/// Exhaustive enumeration of simple cycles (test oracle).  Exponential:
+/// guarded to small graphs.
+///
+/// # Panics
+/// Panics if the graph has more than 24 nodes.
+pub fn brute_force(g: &TokenGraph) -> Option<CycleRatio> {
+    assert!(g.n_nodes() <= 24, "brute force is for small graphs only");
+    let n = g.n_nodes();
+    let mut best: Option<CycleRatio> = None;
+
+    // Enumerate simple cycles whose smallest node is `start`.
+    for start in 0..n {
+        let mut path_arcs: Vec<ArcId> = Vec::new();
+        let mut on_path = vec![false; n];
+        dfs(
+            g,
+            start,
+            start,
+            &mut on_path,
+            &mut path_arcs,
+            &mut best,
+        );
+    }
+    return best;
+
+    fn dfs(
+        g: &TokenGraph,
+        start: NodeId,
+        u: NodeId,
+        on_path: &mut Vec<bool>,
+        path_arcs: &mut Vec<ArcId>,
+        best: &mut Option<CycleRatio>,
+    ) {
+        on_path[u] = true;
+        for &aid in g.out_arcs(u) {
+            let a = g.arc(aid);
+            if a.dst == start {
+                path_arcs.push(aid);
+                let w: f64 = path_arcs.iter().map(|&x| g.arc(x).weight).sum();
+                let t: u64 = path_arcs
+                    .iter()
+                    .map(|&x| u64::from(g.arc(x).tokens))
+                    .sum();
+                let ratio = if t == 0 { f64::INFINITY } else { w / t as f64 };
+                if best.as_ref().map_or(true, |b| ratio > b.ratio) {
+                    *best = Some(CycleRatio {
+                        ratio,
+                        critical_cycle: path_arcs.clone(),
+                    });
+                }
+                path_arcs.pop();
+            } else if a.dst > start && !on_path[a.dst] {
+                path_arcs.push(aid);
+                dfs(g, start, a.dst, on_path, path_arcs, best);
+                path_arcs.pop();
+            }
+        }
+        on_path[u] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, arcs: &[(usize, usize, f64, u32)]) -> TokenGraph {
+        let mut g = TokenGraph::new(n);
+        for &(s, d, w, t) in arcs {
+            g.add_arc(s, d, w, t);
+        }
+        g
+    }
+
+    #[test]
+    fn acyclic_has_no_ratio() {
+        let g = g(3, &[(0, 1, 5.0, 1), (1, 2, 3.0, 0)]);
+        assert!(maximum_cycle_ratio(&g).is_none());
+        assert!(lawler(&g).is_none());
+    }
+
+    #[test]
+    fn single_self_loop() {
+        let g = g(1, &[(0, 0, 7.0, 2)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 3.5).abs() < 1e-9);
+        assert_eq!(r.critical_cycle.len(), 1);
+        assert!((lawler(&g).unwrap() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_competing_cycles() {
+        // cycle A: 0->1->0 ratio (3+2)/2 = 2.5 ; cycle B: 0->0 ratio 4.
+        let g = g(2, &[(0, 1, 3.0, 1), (1, 0, 2.0, 1), (0, 0, 4.0, 1)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 4.0).abs() < 1e-9);
+        assert_eq!(g.cycle_ratio_of(&r.critical_cycle), r.ratio);
+        assert!((lawler(&g).unwrap() - 4.0).abs() < 1e-6);
+        assert!((karp(&g).unwrap() - 4.0).abs() < 1e-9);
+        assert!((brute_force(&g).unwrap().ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokens_divide_the_weight() {
+        // One big cycle with 3 tokens total: ratio = (1+2+3)/3 = 2,
+        // versus a self loop of ratio 1.9.
+        let g = g(
+            3,
+            &[
+                (0, 1, 1.0, 1),
+                (1, 2, 2.0, 1),
+                (2, 0, 3.0, 1),
+                (1, 1, 1.9, 1),
+            ],
+        );
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 2.0).abs() < 1e-9);
+        assert_eq!(r.critical_cycle.len(), 3);
+    }
+
+    #[test]
+    fn multi_token_arc() {
+        // 0->1 (w=10,t=0), 1->0 (w=0,t=2): ratio 10/2 = 5.
+        let g = g(2, &[(0, 1, 10.0, 0), (1, 0, 0.0, 2)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 5.0).abs() < 1e-9);
+        assert!((lawler(&g).unwrap() - 5.0).abs() < 1e-6);
+        assert!((brute_force(&g).unwrap().ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokenless_cycle_is_infinite() {
+        let g = g(2, &[(0, 1, 1.0, 0), (1, 0, 1.0, 0), (0, 0, 3.0, 1)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!(r.ratio.is_infinite());
+        assert_eq!(lawler(&g).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn disconnected_components_take_global_max() {
+        let g = g(4, &[(0, 1, 1.0, 1), (1, 0, 1.0, 1), (2, 3, 9.0, 1), (3, 2, 1.0, 1)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_arcs_pick_heaviest() {
+        let g = g(2, &[(0, 1, 1.0, 1), (0, 1, 6.0, 1), (1, 0, 0.0, 0)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karp_matches_on_unit_token_cycles() {
+        let g = g(
+            4,
+            &[
+                (0, 1, 2.0, 1),
+                (1, 2, 8.0, 1),
+                (2, 0, 2.0, 1),
+                (2, 3, 1.0, 1),
+                (3, 2, 9.0, 1),
+            ],
+        );
+        let h = maximum_cycle_ratio(&g).unwrap().ratio;
+        let k = karp(&g).unwrap();
+        let l = lawler(&g).unwrap();
+        let b = brute_force(&g).unwrap().ratio;
+        assert!((h - b).abs() < 1e-9, "howard {h} vs brute {b}");
+        assert!((k - b).abs() < 1e-9, "karp {k} vs brute {b}");
+        assert!((l - b).abs() < 1e-6, "lawler {l} vs brute {b}");
+    }
+
+    #[test]
+    fn certificate_always_achieves_ratio() {
+        let g = g(
+            5,
+            &[
+                (0, 1, 3.0, 1),
+                (1, 2, 1.0, 0),
+                (2, 0, 2.5, 2),
+                (2, 3, 4.0, 1),
+                (3, 4, 2.0, 1),
+                (4, 2, 1.0, 1),
+                (4, 4, 2.9, 1),
+            ],
+        );
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((g.cycle_ratio_of(&r.critical_cycle) - r.ratio).abs() < 1e-12);
+        let b = brute_force(&g).unwrap().ratio;
+        assert!((r.ratio - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Token-weighted precedence graphs.
+//!
+//! A [`TokenGraph`] is the precedence graph of a timed event graph: nodes
+//! are transitions, and every place becomes an arc carrying
+//!
+//! * `weight` — by convention, the firing time of the **destination**
+//!   transition (so that the weight of a cycle equals the sum of firing
+//!   times of the transitions it traverses), and
+//! * `tokens` — the initial marking of the place.
+//!
+//! The maximum cycle ratio `Σ weight / Σ tokens` over all cycles of this
+//! graph is the period of the event graph (see [`crate::cycle_ratio`]).
+
+/// Node index.
+pub type NodeId = usize;
+/// Arc index.
+pub type ArcId = usize;
+
+/// One arc of the precedence graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Arc weight (firing time of the destination transition).
+    pub weight: f64,
+    /// Token count (initial marking of the underlying place).
+    pub tokens: u32,
+}
+
+/// A directed multigraph with weighted, token-carrying arcs.
+#[derive(Debug, Clone, Default)]
+pub struct TokenGraph {
+    arcs: Vec<Arc>,
+    out: Vec<Vec<ArcId>>,
+    inc: Vec<Vec<ArcId>>,
+}
+
+impl TokenGraph {
+    /// Empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TokenGraph {
+            arcs: Vec::new(),
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of arcs.
+    pub fn n_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Append a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Append an arc, returning its id.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or the weight is not finite.
+    pub fn add_arc(&mut self, src: NodeId, dst: NodeId, weight: f64, tokens: u32) -> ArcId {
+        assert!(src < self.n_nodes() && dst < self.n_nodes(), "bad endpoint");
+        assert!(weight.is_finite(), "non-finite arc weight {weight}");
+        let id = self.arcs.len();
+        self.arcs.push(Arc {
+            src,
+            dst,
+            weight,
+            tokens,
+        });
+        self.out[src].push(id);
+        self.inc[dst].push(id);
+        id
+    }
+
+    /// The arc with the given id.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id]
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Ids of arcs leaving `u`.
+    pub fn out_arcs(&self, u: NodeId) -> &[ArcId] {
+        &self.out[u]
+    }
+
+    /// Ids of arcs entering `u`.
+    pub fn in_arcs(&self, u: NodeId) -> &[ArcId] {
+        &self.inc[u]
+    }
+
+    /// Replace the weight of an arc (used when re-timing a fixed topology).
+    pub fn set_weight(&mut self, id: ArcId, weight: f64) {
+        assert!(weight.is_finite());
+        self.arcs[id].weight = weight;
+    }
+
+    /// `true` if some cycle consists solely of token-free arcs — such a
+    /// cycle deadlocks an event graph, so builders use this as a liveness
+    /// check.  Detected by Kahn-style peeling of the 0-token subgraph.
+    pub fn has_tokenless_cycle(&self) -> bool {
+        self.tokenless_topo_order().is_none()
+    }
+
+    /// Topological order of the subgraph of 0-token arcs, or `None` if that
+    /// subgraph has a cycle.  This order is what a dater recurrence must
+    /// follow when evaluating all transitions for the same occurrence index
+    /// (see `repstream-petri`'s simulator).
+    pub fn tokenless_topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.n_nodes();
+        let mut indeg = vec![0usize; n];
+        for a in &self.arcs {
+            if a.tokens == 0 {
+                indeg[a.dst] += 1;
+            }
+        }
+        let mut stack: Vec<NodeId> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &aid in &self.out[u] {
+                let a = &self.arcs[aid];
+                if a.tokens == 0 {
+                    indeg[a.dst] -= 1;
+                    if indeg[a.dst] == 0 {
+                        stack.push(a.dst);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Sum of `weight` and of `tokens` along a cycle given as arc ids.
+    /// Panics if the arcs do not form a closed walk.
+    pub fn cycle_ratio_of(&self, cycle: &[ArcId]) -> f64 {
+        assert!(!cycle.is_empty());
+        let mut w = 0.0;
+        let mut t = 0u64;
+        for win in cycle.windows(2) {
+            assert_eq!(
+                self.arcs[win[0]].dst,
+                self.arcs[win[1]].src,
+                "arcs do not chain"
+            );
+        }
+        assert_eq!(
+            self.arcs[*cycle.last().unwrap()].dst,
+            self.arcs[cycle[0]].src,
+            "walk is not closed"
+        );
+        for &aid in cycle {
+            w += self.arcs[aid].weight;
+            t += u64::from(self.arcs[aid].tokens);
+        }
+        assert!(t > 0, "cycle without tokens has infinite ratio");
+        w / t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> TokenGraph {
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 3.0, 0);
+        g.add_arc(1, 0, 2.0, 1);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = two_cycle();
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.n_arcs(), 2);
+        assert_eq!(g.out_arcs(0), &[0]);
+        assert_eq!(g.in_arcs(0), &[1]);
+        assert_eq!(g.arc(0).weight, 3.0);
+    }
+
+    #[test]
+    fn tokenless_cycle_detection() {
+        let mut g = two_cycle();
+        assert!(!g.has_tokenless_cycle());
+        g.add_arc(0, 0, 1.0, 0); // tokenless self loop deadlocks
+        assert!(g.has_tokenless_cycle());
+    }
+
+    #[test]
+    fn topo_order_respects_zero_arcs() {
+        let mut g = TokenGraph::new(3);
+        g.add_arc(0, 1, 1.0, 0);
+        g.add_arc(1, 2, 1.0, 0);
+        g.add_arc(2, 0, 1.0, 1);
+        let order = g.tokenless_topo_order().unwrap();
+        let pos: Vec<usize> = (0..3).map(|u| order.iter().position(|&x| x == u).unwrap()).collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn ratio_of_explicit_cycle() {
+        let g = two_cycle();
+        assert_eq!(g.cycle_ratio_of(&[0, 1]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "walk is not closed")]
+    fn open_walk_panics() {
+        let mut g = TokenGraph::new(3);
+        let a = g.add_arc(0, 1, 1.0, 1);
+        let b = g.add_arc(1, 2, 1.0, 1);
+        g.cycle_ratio_of(&[a, b]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # repstream-maxplus
+//!
+//! Max-plus algebra and critical-cycle machinery for timed event graphs.
+//!
+//! A timed event graph (a Petri net in which every place has exactly one
+//! input and one output transition) is equivalent to a recurrence that is
+//! *linear in the (max, +) semiring* [Baccelli, Cohen, Olsder, Quadrat,
+//! *Synchronization and Linearity*, 1992].  Its asymptotic behaviour — and
+//! hence the period/throughput of the deterministic streaming systems of
+//! the paper — is governed by the **maximum cycle ratio**
+//!
+//! ```text
+//!   P  =  max over cycles C of   Σ_{t ∈ C} τ(t)  /  Σ_{p ∈ C} m₀(p)
+//! ```
+//!
+//! where `τ` are firing times and `m₀` initial token counts.  This crate
+//! provides:
+//!
+//! * [`semiring`] — the max-plus scalar, with the usual `⊕ = max`,
+//!   `⊗ = +` operations;
+//! * [`matrix`] — dense max-plus matrices and recurrences (used as an
+//!   independent oracle of the cycle-ratio engines);
+//! * [`graph`] — [`graph::TokenGraph`], a weighted graph whose arcs carry a
+//!   firing time and a token count (the precedence graph of an event
+//!   graph);
+//! * [`scc`] — iterative Tarjan strongly-connected components and the
+//!   condensation DAG;
+//! * [`cycle_ratio`] — three engines for the maximum cycle ratio: Howard
+//!   policy iteration (fast, yields a critical-cycle certificate), Lawler
+//!   binary search (robust fallback), Karp dynamic programming (exact on
+//!   unit-token graphs), plus an exponential brute-force oracle for tests;
+//! * [`rates`] — propagation of per-component asymptotic firing rates
+//!   through the condensation DAG (feed-forward composition of throughputs,
+//!   the skeleton of Theorems 1 and 4 of the paper).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cycle_ratio;
+pub mod graph;
+pub mod matrix;
+pub mod rates;
+pub mod recurrence;
+pub mod scc;
+pub mod semiring;
+
+pub use cycle_ratio::{howard, lawler, CycleRatio};
+pub use graph::{ArcId, NodeId, TokenGraph};
+pub use scc::{Condensation, SccId};
+pub use semiring::MaxPlus;

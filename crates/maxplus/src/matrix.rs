@@ -1,0 +1,246 @@
+//! Dense max-plus matrices.
+//!
+//! Used as an *independent oracle* for the cycle-ratio engines: on a
+//! strongly connected event graph with 0/1 tokens, the dater recurrence
+//! `x(n) = A ⊗ x(n−1)` (with `A = A₀* ⊗ A₁`) grows linearly with slope
+//! equal to the max-plus eigenvalue of `A`, which equals the maximum cycle
+//! ratio.  The power iteration here estimates that slope.
+
+use crate::graph::TokenGraph;
+use crate::semiring::MaxPlus;
+
+/// A dense square max-plus matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPlusMatrix {
+    n: usize,
+    data: Vec<MaxPlus>, // row major
+}
+
+impl MaxPlusMatrix {
+    /// The `n × n` matrix filled with ε (−∞).
+    pub fn zeros(n: usize) -> Self {
+        MaxPlusMatrix {
+            n,
+            data: vec![MaxPlus::ZERO; n * n],
+        }
+    }
+
+    /// The max-plus identity: `e` on the diagonal, ε elsewhere.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, MaxPlus::ONE);
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> MaxPlus {
+        self.data[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: MaxPlus) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// `⊕`-accumulate into entry `(i, j)` (keep the max).
+    pub fn join(&mut self, i: usize, j: usize, v: MaxPlus) {
+        let cur = self.get(i, j);
+        self.set(i, j, cur + v);
+    }
+
+    /// Matrix ⊗ matrix.
+    pub fn mul(&self, rhs: &MaxPlusMatrix) -> MaxPlusMatrix {
+        assert_eq!(self.n, rhs.n);
+        let n = self.n;
+        let mut out = MaxPlusMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = aik * rhs.get(k, j);
+                    out.join(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix ⊗ vector.
+    pub fn apply(&self, x: &[MaxPlus]) -> Vec<MaxPlus> {
+        assert_eq!(x.len(), self.n);
+        let mut out = vec![MaxPlus::ZERO; self.n];
+        for i in 0..self.n {
+            let mut acc = MaxPlus::ZERO;
+            for j in 0..self.n {
+                acc = acc + self.get(i, j) * x[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kleene star `A* = I ⊕ A ⊕ A² ⊕ …` via Floyd–Warshall.
+    ///
+    /// Requires that `A` has no cycle of positive weight (for our use, `A₀`
+    /// comes from token-free arcs with non-negative weights forming a DAG,
+    /// so all its cycles are absent entirely).
+    ///
+    /// # Panics
+    /// Panics if a positive-weight diagonal appears (divergent star).
+    pub fn star(&self) -> MaxPlusMatrix {
+        let n = self.n;
+        let mut d = self.clone();
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d.get(i, k);
+                if dik.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = dik * d.get(k, j);
+                    d.join(i, j, v);
+                }
+            }
+        }
+        for i in 0..n {
+            assert!(
+                d.get(i, i).value() <= 1e-12,
+                "divergent Kleene star: positive cycle at node {i}"
+            );
+            d.join(i, i, MaxPlus::ONE);
+        }
+        d
+    }
+
+    /// Estimate the max-plus eigenvalue by power iteration: the growth rate
+    /// of `x(k) = A ⊗ x(k−1)` from `x(0) = 0`.  For an irreducible matrix
+    /// this converges to the unique eigenvalue (the maximum cycle mean of
+    /// the precedence graph of `A`).
+    pub fn growth_rate(&self, iterations: usize) -> f64 {
+        let mut x = vec![MaxPlus::ONE; self.n];
+        let burn = iterations / 2;
+        let mut x_burn = Vec::new();
+        for k in 0..iterations {
+            if k == burn {
+                x_burn = x.iter().map(|v| v.value()).collect();
+            }
+            x = self.apply(&x);
+        }
+        let vmax_end = x
+            .iter()
+            .map(|v| v.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let vmax_burn = x_burn.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (vmax_end - vmax_burn) / (iterations - burn) as f64
+    }
+}
+
+/// Build the one-step dater matrix `A = A₀* ⊗ A₁` of an event graph whose
+/// arcs all carry 0 or 1 token.
+///
+/// `x_j(n) = max over arcs (i→j, tokens=m) of x_i(n − m) + w` becomes
+/// `x(n) = A₀ ⊗ x(n) ⊕ A₁ ⊗ x(n−1)`, solved as `x(n) = A₀* A₁ x(n−1)`.
+///
+/// # Panics
+/// Panics if some arc carries more than one token, or if token-free arcs
+/// form a cycle.
+pub fn dater_matrix(g: &TokenGraph) -> MaxPlusMatrix {
+    let n = g.n_nodes();
+    let mut a0 = MaxPlusMatrix::zeros(n);
+    let mut a1 = MaxPlusMatrix::zeros(n);
+    for arc in g.arcs() {
+        match arc.tokens {
+            0 => a0.join(arc.dst, arc.src, MaxPlus::new(arc.weight)),
+            1 => a1.join(arc.dst, arc.src, MaxPlus::new(arc.weight)),
+            t => panic!("dater_matrix supports tokens ∈ {{0,1}}, got {t}"),
+        }
+    }
+    assert!(
+        !g.has_tokenless_cycle(),
+        "token-free cycle: dater recurrence undefined"
+    );
+    a0.star().mul(&a1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut a = MaxPlusMatrix::zeros(3);
+        a.set(0, 1, MaxPlus::from(2.0));
+        a.set(1, 2, MaxPlus::from(-1.0));
+        a.set(2, 0, MaxPlus::from(4.0));
+        let i = MaxPlusMatrix::identity(3);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn apply_matches_mul() {
+        let mut a = MaxPlusMatrix::zeros(2);
+        a.set(0, 0, MaxPlus::from(1.0));
+        a.set(0, 1, MaxPlus::from(3.0));
+        a.set(1, 0, MaxPlus::from(2.0));
+        let x = vec![MaxPlus::from(0.0), MaxPlus::from(1.0)];
+        let y = a.apply(&x);
+        assert_eq!(y[0].value(), 4.0); // max(1+0, 3+1)
+        assert_eq!(y[1].value(), 2.0);
+    }
+
+    #[test]
+    fn star_of_dag() {
+        // 0 -> 1 (5), 1 -> 2 (7): star gives the longest path closure.
+        let mut a = MaxPlusMatrix::zeros(3);
+        a.set(1, 0, MaxPlus::from(5.0));
+        a.set(2, 1, MaxPlus::from(7.0));
+        let s = a.star();
+        assert_eq!(s.get(2, 0).value(), 12.0);
+        assert_eq!(s.get(1, 0).value(), 5.0);
+        assert_eq!(s.get(0, 0).value(), 0.0);
+        assert!(s.get(0, 2).is_zero());
+    }
+
+    #[test]
+    fn growth_rate_of_simple_cycle() {
+        // Two-node cycle with weights 3 and 2, both arcs one token:
+        // eigenvalue = (3+2)/2 = 2.5.
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 3.0, 1);
+        g.add_arc(1, 0, 2.0, 1);
+        let a = dater_matrix(&g);
+        let rate = a.growth_rate(400);
+        assert!((rate - 2.5).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn growth_rate_with_tokenless_arcs() {
+        // 0 -(w=1, t=1)-> 1 -(w=4, t=0)-> 0 : single cycle, ratio 5/1.
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 1.0, 1);
+        g.add_arc(1, 0, 4.0, 0);
+        let a = dater_matrix(&g);
+        let rate = a.growth_rate(400);
+        assert!((rate - 5.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "token-free cycle")]
+    fn tokenless_cycle_panics() {
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 1.0, 0);
+        g.add_arc(1, 0, 1.0, 0);
+        dater_matrix(&g);
+    }
+}

@@ -1,0 +1,135 @@
+//! Asymptotic firing-rate propagation through the condensation DAG.
+//!
+//! In a (deterministic or stochastic) event graph that is not strongly
+//! connected, every transition of an SCC fires at the same asymptotic rate,
+//! and a component can never fire faster than any component feeding it:
+//!
+//! ```text
+//!   r(C) = min( r_inner(C),  min over predecessors D of r(D) )
+//! ```
+//!
+//! where `r_inner(C)` is the rate of `C` in isolation (the reciprocal of
+//! its maximum cycle ratio in the deterministic case).  This first-order
+//! composition rule is the skeleton of Theorem 1/Theorem 4 of the paper and
+//! follows from the sub-additive ergodic theory of (max,+) systems
+//! [Baccelli et al. 1992, ch. 7].
+
+use crate::cycle_ratio::scc_cycle_ratios;
+use crate::graph::TokenGraph;
+use crate::scc::{condense, Condensation, SccId};
+
+/// Per-component and per-node asymptotic firing rates of an event graph.
+#[derive(Debug, Clone)]
+pub struct AsymptoticRates {
+    /// The SCC decomposition the rates refer to.
+    pub cond: Condensation,
+    /// Inner rate of each component in isolation (`+∞` for acyclic
+    /// components, which impose no constraint of their own).
+    pub inner: Vec<f64>,
+    /// Propagated rate of each component (`min` composition).
+    pub rate: Vec<f64>,
+}
+
+impl AsymptoticRates {
+    /// Asymptotic firing rate of a given node (transitions per time unit).
+    pub fn node_rate(&self, node: usize) -> f64 {
+        self.rate[self.cond.comp_of[node]]
+    }
+}
+
+/// Propagate `inner` rates through the condensation by the min rule.
+///
+/// `inner[c]` may be `f64::INFINITY` for components without own cycles.
+/// Returns the vector of propagated rates, in component indexing.
+pub fn propagate_min(cond: &Condensation, inner: &[f64]) -> Vec<f64> {
+    assert_eq!(inner.len(), cond.n_comps());
+    let preds = cond.predecessors();
+    let mut rate = vec![f64::INFINITY; cond.n_comps()];
+    for &c in &cond.topo {
+        let mut r = inner[c];
+        for &p in &preds[c] {
+            r = r.min(rate[p]);
+        }
+        rate[c] = r;
+    }
+    rate
+}
+
+/// Full deterministic analysis of an event graph: per-SCC cycle ratios,
+/// inner rates (`1/ratio`), and min-propagated rates.
+pub fn asymptotic_rates(g: &TokenGraph) -> AsymptoticRates {
+    let cond = condense(g);
+    let ratios = scc_cycle_ratios(g, &cond);
+    let inner: Vec<f64> = ratios
+        .iter()
+        .map(|r| match r {
+            None => f64::INFINITY,
+            Some(cr) if cr.ratio <= 0.0 => f64::INFINITY,
+            Some(cr) => 1.0 / cr.ratio,
+        })
+        .collect();
+    let rate = propagate_min(&cond, &inner);
+    AsymptoticRates { cond, inner, rate }
+}
+
+/// The components with no outgoing condensation edge (the "last column"
+/// components of a feed-forward TPN end up here).
+pub fn sink_components(cond: &Condensation) -> Vec<SccId> {
+    let mut has_out = vec![false; cond.n_comps()];
+    for &(s, _) in &cond.edges {
+        has_out[s] = true;
+    }
+    (0..cond.n_comps()).filter(|&c| !has_out[c]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_on_a_chain() {
+        // cycle(ratio 2) -> cycle(ratio 1) -> cycle(ratio 4)
+        let mut g = TokenGraph::new(3);
+        g.add_arc(0, 0, 2.0, 1);
+        g.add_arc(1, 1, 1.0, 1);
+        g.add_arc(2, 2, 4.0, 1);
+        g.add_arc(0, 1, 0.0, 0);
+        g.add_arc(1, 2, 0.0, 0);
+        let r = asymptotic_rates(&g);
+        assert!((r.node_rate(0) - 0.5).abs() < 1e-9);
+        assert!((r.node_rate(1) - 0.5).abs() < 1e-9, "upstream limits");
+        assert!((r.node_rate(2) - 0.25).abs() < 1e-9, "own cycle binds");
+    }
+
+    #[test]
+    fn acyclic_components_do_not_constrain() {
+        let mut g = TokenGraph::new(3);
+        g.add_arc(0, 0, 5.0, 1);
+        g.add_arc(0, 1, 100.0, 0); // pass-through node, no own cycle
+        g.add_arc(1, 2, 0.0, 0);
+        g.add_arc(2, 2, 1.0, 1);
+        let r = asymptotic_rates(&g);
+        assert!(r.inner[r.cond.comp_of[1]].is_infinite());
+        assert!((r.node_rate(2) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_takes_global_min() {
+        //      /-> c1 (ratio 3) \
+        // c0 ->                   -> c3 (ratio 1)
+        //      \-> c2 (ratio 5) /
+        let mut g = TokenGraph::new(4);
+        g.add_arc(0, 0, 2.0, 1);
+        g.add_arc(1, 1, 3.0, 1);
+        g.add_arc(2, 2, 5.0, 1);
+        g.add_arc(3, 3, 1.0, 1);
+        g.add_arc(0, 1, 0.0, 0);
+        g.add_arc(0, 2, 0.0, 0);
+        g.add_arc(1, 3, 0.0, 0);
+        g.add_arc(2, 3, 0.0, 0);
+        let r = asymptotic_rates(&g);
+        assert!((r.node_rate(3) - 0.2).abs() < 1e-9, "slowest branch wins");
+        let sinks = sink_components(&r.cond);
+        assert_eq!(sinks, vec![r.cond.comp_of[3]]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dater recurrences on token graphs with arbitrary initial markings.
+//!
+//! Generalizes the 0/1-token evolution used by the TPN simulator: arcs may
+//! carry any number of tokens `m₀`, and the completion time of the `n`-th
+//! firing of node `t` is
+//!
+//! ```text
+//!   x_t(n) = max over arcs a = (s → t, w, m₀) of x_s(n − m₀) + w
+//! ```
+//!
+//! with `x(k) = 0` for `k ≤ 0`.  A ring buffer per node keeps the last
+//! `max m₀` values.  On a strongly connected graph, `x_t(n)/n` converges
+//! to the maximum cycle ratio — giving an independent numerical oracle
+//! for [`crate::cycle_ratio`] on *multi-token* graphs (where the matrix
+//! oracle of [`crate::matrix`] does not apply).
+
+use crate::graph::TokenGraph;
+
+/// Evolves the dater recurrence of a token graph.
+#[derive(Debug, Clone)]
+pub struct Recurrence<'a> {
+    g: &'a TokenGraph,
+    /// Evaluation order of the 0-token subgraph.
+    topo: Vec<usize>,
+    /// Ring buffers: `hist[u][k]` = x_u(n − k) after `step` returns.
+    hist: Vec<Vec<f64>>,
+    n: u64,
+}
+
+impl<'a> Recurrence<'a> {
+    /// Prepare a recurrence; fails (None) if token-free arcs form a cycle.
+    pub fn new(g: &'a TokenGraph) -> Option<Self> {
+        let topo = g.tokenless_topo_order()?;
+        let depth = 1 + g.arcs().iter().map(|a| a.tokens).max().unwrap_or(0) as usize;
+        Some(Recurrence {
+            g,
+            topo,
+            hist: vec![vec![0.0; depth]; g.n_nodes()],
+            n: 0,
+        })
+    }
+
+    /// Completion time of the latest firing of node `u`.
+    pub fn latest(&self, u: usize) -> f64 {
+        self.hist[u][0]
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.n
+    }
+
+    /// Fire every node once (one "round").
+    pub fn step(&mut self) {
+        // Shift histories: x(n−k) ← x(n−k+1).
+        for h in &mut self.hist {
+            for k in (1..h.len()).rev() {
+                h[k] = h[k - 1];
+            }
+        }
+        for &u in &self.topo {
+            let mut best = 0.0f64;
+            for &aid in self.g.in_arcs(u) {
+                let a = self.g.arc(aid);
+                let x = if a.tokens == 0 {
+                    // Same round: already updated (topo order).
+                    self.hist[a.src][0]
+                } else {
+                    self.hist[a.src][a.tokens as usize]
+                };
+                best = best.max(x + a.weight);
+            }
+            self.hist[u][0] = best;
+        }
+        self.n += 1;
+    }
+
+    /// Estimate the asymptotic growth rate (cycle time) by running
+    /// `rounds` steps and differencing the second half.
+    pub fn growth_rate(&mut self, rounds: usize) -> f64 {
+        let half = (rounds / 2).max(1);
+        for _ in 0..half {
+            self.step();
+        }
+        let mid = (0..self.g.n_nodes())
+            .map(|u| self.latest(u))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for _ in half..rounds {
+            self.step();
+        }
+        let end = (0..self.g.n_nodes())
+            .map(|u| self.latest(u))
+            .fold(f64::NEG_INFINITY, f64::max);
+        (end - mid) / (rounds - half).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_ratio::maximum_cycle_ratio;
+
+    #[test]
+    fn single_cycle_growth() {
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 3.0, 1);
+        g.add_arc(1, 0, 2.0, 1);
+        let mut rec = Recurrence::new(&g).unwrap();
+        let rate = rec.growth_rate(500);
+        assert!((rate - 2.5).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn multi_token_cycle_growth() {
+        // Ratio (10 + 0)/3 with a 3-token arc — the matrix oracle cannot
+        // handle this, the recurrence can.
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 10.0, 0);
+        g.add_arc(1, 0, 0.0, 3);
+        let expect = maximum_cycle_ratio(&g).unwrap().ratio;
+        assert!((expect - 10.0 / 3.0).abs() < 1e-9);
+        let mut rec = Recurrence::new(&g).unwrap();
+        let rate = rec.growth_rate(900);
+        assert!((rate - expect).abs() < 1e-6, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn growth_matches_howard_on_random_strongly_connected() {
+        // Ring with chords and mixed token counts.
+        let n = 6;
+        let mut g = TokenGraph::new(n);
+        for i in 0..n {
+            g.add_arc(i, (i + 1) % n, 1.0 + i as f64, 1 + (i % 2) as u32);
+        }
+        g.add_arc(0, 3, 7.0, 0);
+        g.add_arc(3, 0, 2.0, 2);
+        let expect = maximum_cycle_ratio(&g).unwrap().ratio;
+        let mut rec = Recurrence::new(&g).unwrap();
+        let rate = rec.growth_rate(4000);
+        assert!(
+            (rate - expect).abs() < 1e-3 * expect,
+            "rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn deadlocked_graph_is_rejected() {
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, 1.0, 0);
+        g.add_arc(1, 0, 1.0, 0);
+        assert!(Recurrence::new(&g).is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Strongly connected components and the condensation DAG.
+//!
+//! The TPNs of the paper are feed-forward between columns (Overlap) or have
+//! limited backward structure (Strict); all analyses start by decomposing
+//! into SCCs.  Tarjan's algorithm is implemented iteratively so that large
+//! unrolled TPNs (tens of thousands of transitions) cannot overflow the
+//! call stack.
+
+use crate::graph::{NodeId, TokenGraph};
+
+/// Index of a strongly connected component.
+pub type SccId = usize;
+
+/// SCC decomposition plus condensation DAG of a [`TokenGraph`].
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// For each node, the id of its component.
+    pub comp_of: Vec<SccId>,
+    /// For each component, its member nodes.
+    pub members: Vec<Vec<NodeId>>,
+    /// Deduplicated condensation edges `(src_comp, dst_comp)`, src ≠ dst.
+    pub edges: Vec<(SccId, SccId)>,
+    /// Component ids in a topological order of the condensation.
+    pub topo: Vec<SccId>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn n_comps(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the component contains a cycle (more than one node, or a
+    /// single node with a self-arc — the caller passes that predicate since
+    /// the condensation itself does not retain arcs).
+    pub fn is_trivial(&self, c: SccId) -> bool {
+        self.members[c].len() == 1
+    }
+
+    /// Predecessor components of each component.
+    pub fn predecessors(&self) -> Vec<Vec<SccId>> {
+        let mut preds = vec![Vec::new(); self.n_comps()];
+        for &(s, d) in &self.edges {
+            preds[d].push(s);
+        }
+        preds
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative).
+///
+/// Components are emitted in reverse topological order by Tarjan; the
+/// returned [`Condensation::topo`] re-sorts them into forward topological
+/// order of the condensation DAG.
+pub fn condense(g: &TokenGraph) -> Condensation {
+    let n = g.n_nodes();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut comp_of = vec![UNVISITED; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frame: (node, next out-arc position).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (u, ref mut pos)) = call.last_mut() {
+            if *pos < g.out_arcs(u).len() {
+                let aid = g.out_arcs(u)[*pos];
+                *pos += 1;
+                let v = g.arc(aid).dst;
+                if index[v] == UNVISITED {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push((v, 0));
+                } else if on_stack[v] {
+                    low[u] = low[u].min(index[v]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[u]);
+                }
+                if low[u] == index[u] {
+                    let cid = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = cid;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order.
+    let n_comps = members.len();
+    let topo: Vec<SccId> = (0..n_comps).rev().collect();
+
+    // Deduplicated condensation edges.
+    let mut edges: Vec<(SccId, SccId)> = g
+        .arcs()
+        .iter()
+        .map(|a| (comp_of[a.src], comp_of[a.dst]))
+        .filter(|&(s, d)| s != d)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+
+    Condensation {
+        comp_of,
+        members,
+        edges,
+        topo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, arcs: &[(usize, usize)]) -> TokenGraph {
+        let mut g = TokenGraph::new(n);
+        for &(s, d) in arcs {
+            g.add_arc(s, d, 1.0, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = condense(&g);
+        assert_eq!(c.n_comps(), 1);
+        assert_eq!(c.members[0].len(), 3);
+        assert!(c.edges.is_empty());
+    }
+
+    #[test]
+    fn chain_of_singletons() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = condense(&g);
+        assert_eq!(c.n_comps(), 4);
+        // topo order of the condensation must respect the chain.
+        let pos: Vec<usize> = (0..4)
+            .map(|u| {
+                let cu = c.comp_of[u];
+                c.topo.iter().position(|&x| x == cu).unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]);
+        assert_eq!(c.edges.len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // cycle {0,1} -> cycle {2,3}
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let c = condense(&g);
+        assert_eq!(c.n_comps(), 2);
+        let c01 = c.comp_of[0];
+        let c23 = c.comp_of[2];
+        assert_eq!(c.comp_of[1], c01);
+        assert_eq!(c.comp_of[3], c23);
+        assert_eq!(c.edges, vec![(c01, c23)]);
+        let p01 = c.topo.iter().position(|&x| x == c01).unwrap();
+        let p23 = c.topo.iter().position(|&x| x == c23).unwrap();
+        assert!(p01 < p23);
+        let preds = c.predecessors();
+        assert_eq!(preds[c23], vec![c01]);
+        assert!(preds[c01].is_empty());
+    }
+
+    #[test]
+    fn parallel_arcs_and_self_loops() {
+        let mut g = graph(2, &[(0, 1), (0, 1)]);
+        g.add_arc(1, 1, 1.0, 1); // self loop
+        let c = condense(&g);
+        assert_eq!(c.n_comps(), 2);
+        assert_eq!(c.edges.len(), 1, "parallel arcs deduplicated");
+    }
+
+    #[test]
+    fn deep_graph_no_stack_overflow() {
+        // 100k-node path — the recursive formulation would overflow.
+        let n = 100_000;
+        let mut g = TokenGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_arc(i, i + 1, 1.0, 1);
+        }
+        let c = condense(&g);
+        assert_eq!(c.n_comps(), n);
+    }
+}

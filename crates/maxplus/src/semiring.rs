@@ -1,0 +1,144 @@
+//! The max-plus semiring scalar.
+//!
+//! `(ℝ ∪ {−∞}, ⊕, ⊗)` with `a ⊕ b = max(a, b)` and `a ⊗ b = a + b`.
+//! The additive identity is `−∞` (called [`MaxPlus::ZERO`]) and the
+//! multiplicative identity is `0` (called [`MaxPlus::ONE`]).
+
+use std::ops::{Add, Mul};
+
+/// A max-plus scalar: an `f64` where `−∞` is the additive identity.
+///
+/// `Add` is overloaded as the semiring ⊕ (max) and `Mul` as ⊗ (+), so
+/// polynomial-looking code reads like the algebra:
+///
+/// ```
+/// use repstream_maxplus::MaxPlus;
+/// let a = MaxPlus::from(2.0);
+/// let b = MaxPlus::from(5.0);
+/// assert_eq!((a + b).value(), 5.0);      // ⊕ = max
+/// assert_eq!((a * b).value(), 7.0);      // ⊗ = +
+/// assert_eq!((MaxPlus::ZERO + a), a);    // −∞ is neutral for ⊕
+/// assert_eq!((MaxPlus::ONE * a), a);     // 0 is neutral for ⊗
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MaxPlus(f64);
+
+impl MaxPlus {
+    /// Additive identity `ε = −∞`.
+    pub const ZERO: MaxPlus = MaxPlus(f64::NEG_INFINITY);
+    /// Multiplicative identity `e = 0`.
+    pub const ONE: MaxPlus = MaxPlus(0.0);
+
+    /// Wrap a float.
+    pub fn new(v: f64) -> Self {
+        MaxPlus(v)
+    }
+
+    /// The underlying float.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `true` when this is the additive identity `−∞`.
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Semiring power: `a^{⊗ n} = n·a` in conventional arithmetic.
+    pub fn pow(self, n: u32) -> Self {
+        if self.is_zero() && n == 0 {
+            return MaxPlus::ONE;
+        }
+        MaxPlus(self.0 * n as f64)
+    }
+}
+
+impl From<f64> for MaxPlus {
+    fn from(v: f64) -> Self {
+        MaxPlus(v)
+    }
+}
+
+impl Add for MaxPlus {
+    type Output = MaxPlus;
+    /// Semiring ⊕: max.
+    fn add(self, rhs: MaxPlus) -> MaxPlus {
+        MaxPlus(self.0.max(rhs.0))
+    }
+}
+
+impl Mul for MaxPlus {
+    type Output = MaxPlus;
+    /// Semiring ⊗: conventional addition (with `−∞` absorbing).
+    fn mul(self, rhs: MaxPlus) -> MaxPlus {
+        if self.is_zero() || rhs.is_zero() {
+            MaxPlus::ZERO
+        } else {
+            MaxPlus(self.0 + rhs.0)
+        }
+    }
+}
+
+impl std::iter::Sum for MaxPlus {
+    fn sum<I: Iterator<Item = MaxPlus>>(iter: I) -> MaxPlus {
+        iter.fold(MaxPlus::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for MaxPlus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            write!(f, "ε")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        let a = MaxPlus::from(3.5);
+        assert_eq!(MaxPlus::ZERO + a, a);
+        assert_eq!(a + MaxPlus::ZERO, a);
+        assert_eq!(MaxPlus::ONE * a, a);
+        assert_eq!(a * MaxPlus::ONE, a);
+        assert_eq!(MaxPlus::ZERO * a, MaxPlus::ZERO);
+    }
+
+    #[test]
+    fn ops() {
+        let a = MaxPlus::from(2.0);
+        let b = MaxPlus::from(-1.0);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a * b).value(), 1.0);
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = MaxPlus::from(1.0);
+        let b = MaxPlus::from(4.0);
+        let c = MaxPlus::from(-2.0);
+        // a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn powers() {
+        assert_eq!(MaxPlus::from(2.0).pow(3).value(), 6.0);
+        assert_eq!(MaxPlus::from(2.0).pow(0).value(), 0.0);
+        assert_eq!(MaxPlus::ZERO.pow(0), MaxPlus::ONE);
+        assert!(MaxPlus::ZERO.pow(2).is_zero());
+    }
+
+    #[test]
+    fn sum_folds_max() {
+        let s: MaxPlus = [1.0, 7.0, 3.0].into_iter().map(MaxPlus::from).sum();
+        assert_eq!(s.value(), 7.0);
+        let empty: MaxPlus = std::iter::empty::<MaxPlus>().sum();
+        assert!(empty.is_zero());
+    }
+}

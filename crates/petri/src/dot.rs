@@ -1,0 +1,137 @@
+//! Graphviz export of timed Petri nets.
+//!
+//! Renders the row × column layout of §3 (compare Figures 2–3 of the
+//! paper): transitions are boxes labelled with their operation and
+//! resource, places are arcs (dashed when they carry the initial token),
+//! colour-coded by their structural role.  Output is `dot` text for
+//! `dot -Tsvg`.
+
+use crate::shape::Resource;
+use crate::tpn::{PlaceKind, Tpn, TransKind};
+use std::fmt::Write;
+
+/// Render the TPN as a Graphviz `digraph`.
+pub fn to_dot(tpn: &Tpn) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph tpn {{").unwrap();
+    writeln!(s, "  rankdir=LR;").unwrap();
+    writeln!(s, "  node [shape=box, fontsize=10, fontname=\"monospace\"];").unwrap();
+    writeln!(
+        s,
+        "  label=\"TPN ({} model): {} rows x {} cols\"; labelloc=top;",
+        tpn.model().label(),
+        tpn.rows(),
+        tpn.cols()
+    )
+    .unwrap();
+
+    // One cluster per row keeps the layout close to the paper's figures.
+    for row in 0..tpn.rows() {
+        writeln!(s, "  subgraph cluster_row{row} {{").unwrap();
+        writeln!(s, "    style=dotted; label=\"row {row}\";").unwrap();
+        for col in 0..tpn.cols() {
+            let id = tpn.trans_id(row, col);
+            let t = &tpn.transitions()[id];
+            let (label, shape) = match t.kind {
+                TransKind::Compute { stage, .. } => {
+                    (format!("T{stage}\\n{}", t.resource), "box")
+                }
+                TransKind::Comm { file, .. } => {
+                    (format!("F{file}\\n{}", t.resource), "oval")
+                }
+            };
+            writeln!(s, "    t{id} [label=\"{label}\", shape={shape}];").unwrap();
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+
+    for p in tpn.places() {
+        let color = match p.kind {
+            PlaceKind::RowForward => "black",
+            PlaceKind::RoundRobinCompute => "blue",
+            PlaceKind::OnePortOut => "darkgreen",
+            PlaceKind::OnePortIn => "purple",
+            PlaceKind::StrictSequence => "red",
+        };
+        let style = if p.tokens > 0 {
+            ", style=dashed, label=\"●\""
+        } else {
+            ""
+        };
+        writeln!(s, "  t{} -> t{} [color={color}{style}];", p.src, p.dst).unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// A compact textual summary of the TPN structure (row/column layout,
+/// place counts per kind, resource usage) for debugging and docs.
+pub fn summary(tpn: &Tpn) -> String {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for p in tpn.places() {
+        let k = match p.kind {
+            PlaceKind::RowForward => "row-forward",
+            PlaceKind::RoundRobinCompute => "round-robin",
+            PlaceKind::OnePortOut => "one-port-out",
+            PlaceKind::OnePortIn => "one-port-in",
+            PlaceKind::StrictSequence => "strict-sequence",
+        };
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let mut resources: std::collections::BTreeSet<Resource> = Default::default();
+    for t in tpn.transitions() {
+        resources.insert(t.resource);
+    }
+    let tokens: u32 = tpn.places().iter().map(|p| p.tokens).sum();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "TPN[{}]: {} rows x {} cols = {} transitions, {} places, {} tokens",
+        tpn.model().label(),
+        tpn.rows(),
+        tpn.cols(),
+        tpn.transitions().len(),
+        tpn.places().len(),
+        tokens
+    )
+    .unwrap();
+    for (k, c) in counts {
+        writeln!(s, "  places[{k}] = {c}").unwrap();
+    }
+    writeln!(s, "  distinct resources = {}", resources.len()).unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ExecModel, MappingShape};
+
+    #[test]
+    fn dot_is_wellformed() {
+        let shape = MappingShape::new(vec![1, 2, 1]);
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let dot = to_dot(&tpn);
+            assert!(dot.starts_with("digraph tpn {"));
+            assert!(dot.trim_end().ends_with('}'));
+            // One node per transition, one edge per place.
+            let nodes = dot.matches("[label=\"").count();
+            assert!(nodes >= tpn.transitions().len());
+            let edges = dot.matches(" -> ").count();
+            assert_eq!(edges, tpn.places().len());
+            // Balanced braces.
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn summary_counts_match() {
+        let shape = MappingShape::new(vec![1, 2, 3, 1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let s = summary(&tpn);
+        assert!(s.contains("6 rows x 7 cols = 42 transitions"));
+        assert!(s.contains("places[row-forward] = 36"));
+        assert!(s.contains("distinct resources ="));
+    }
+}

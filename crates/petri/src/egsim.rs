@@ -1,0 +1,525 @@
+//! Stochastic simulation of the TPN by its (max,+) dater recurrence.
+//!
+//! For a timed event graph, the completion time of the `n`-th firing of
+//! transition `t` obeys
+//!
+//! ```text
+//!   x_t(n) = τ_t(n) + max over places p = (s → t, m₀) of x_s(n − m₀)
+//! ```
+//!
+//! with `x(0) ≡ 0` (all resources initially free).  Because the paper's
+//! TPNs are 0/1-marked, two time vectors suffice and each round costs
+//! `O(#places)`.  This module plays the role of ERS `eg_sim` in the
+//! paper's evaluation: it estimates the throughput under *any* firing-time
+//! law, not just deterministic or exponential ones.
+//!
+//! Two timing modes are supported:
+//!
+//! * [`simulate`] — the **independent case** of §2.4: every firing of every
+//!   resource draws an I.I.D. time from the resource's law;
+//! * [`simulate_associated`] — the **associated case** of §6.2: the work
+//!   `w_i(d)` and file sizes `δ_i(d)` are drawn per *data set* `d` and
+//!   shared by every resource that processes `d`, while speeds and
+//!   bandwidths may fluctuate per operation.  This produces the positive
+//!   correlation ("association") across stages analysed by Theorem 8.
+
+use crate::shape::ResourceTable;
+use crate::tpn::{Tpn, TransKind};
+use rand::Rng;
+use repstream_stochastic::law::Law;
+use repstream_stochastic::rng::{seeded_rng, SimRng};
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EgSimOptions {
+    /// Number of data sets to process (the paper sweeps 10 … 50 000).
+    pub datasets: usize,
+    /// Data sets discarded before measuring the steady-state rate.
+    pub warmup: usize,
+    /// RNG seed (every run is reproducible).
+    pub seed: u64,
+}
+
+impl Default for EgSimOptions {
+    fn default() -> Self {
+        EgSimOptions {
+            datasets: 10_000,
+            warmup: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EgSimReport {
+    /// `K / T(K)` — the paper's simulator definition of throughput
+    /// ("number of processed instances divided by total completion time").
+    pub throughput: f64,
+    /// Steady-state estimate `(K − W) / (T(K) − T(W))`, which removes the
+    /// pipeline fill transient.
+    pub steady_throughput: f64,
+    /// Completion time of the last data set.
+    pub makespan: f64,
+    /// Number of data sets processed.
+    pub datasets: usize,
+}
+
+/// The recurrence engine, reusable across rounds.
+struct Runner<'a> {
+    tpn: &'a Tpn,
+    topo: Vec<usize>,
+    /// x(n−1) per transition.
+    prev: Vec<f64>,
+    /// x(n) per transition.
+    cur: Vec<f64>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(tpn: &'a Tpn) -> Self {
+        let topo = tpn
+            .zero_token_topo_order()
+            .expect("TPN deadlock: token-free cycle");
+        let nt = tpn.transitions().len();
+        Runner {
+            tpn,
+            topo,
+            prev: vec![0.0; nt],
+            cur: vec![0.0; nt],
+        }
+    }
+
+    /// Advance one round (= one firing of every transition, = `m` data
+    /// sets).  `tau(t)` supplies the firing duration of transition `t` for
+    /// this round.
+    fn step(&mut self, mut tau: impl FnMut(usize) -> f64) {
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        for &t in &self.topo {
+            let mut start = 0.0f64;
+            for &pid in self.tpn.in_places(t) {
+                let p = self.tpn.places()[pid];
+                let ready = if p.tokens == 0 {
+                    self.cur[p.src]
+                } else {
+                    self.prev[p.src]
+                };
+                start = start.max(ready);
+            }
+            self.cur[t] = start + tau(t);
+        }
+    }
+}
+
+/// Draw a strictly positive sample (guards divisions in associated mode).
+fn positive_sample<R: Rng + ?Sized>(law: &Law, rng: &mut R) -> f64 {
+    for _ in 0..64 {
+        let v = law.sample(rng);
+        if v > 0.0 {
+            return v;
+        }
+    }
+    panic!("law {} keeps sampling non-positive values", law.name());
+}
+
+/// Simulate the independent case: each firing of each transition draws its
+/// duration from the law of the transition's resource.
+pub fn simulate(tpn: &Tpn, laws: &ResourceTable<Law>, opts: EgSimOptions) -> EgSimReport {
+    let checkpoints = [opts.warmup.max(1), opts.datasets];
+    let r = run_collect(tpn, laws, &checkpoints, opts.seed);
+    report_from_checkpoints(&r, opts)
+}
+
+/// Simulate and return `(K, K/T(K))` at each requested checkpoint (sorted
+/// ascending).  One pass; used by the Figure 10/11 harnesses.
+pub fn throughput_vs_datasets(
+    tpn: &Tpn,
+    laws: &ResourceTable<Law>,
+    checkpoints: &[usize],
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    run_collect(tpn, laws, checkpoints, seed)
+        .into_iter()
+        .map(|(k, t)| (k, k as f64 / t))
+        .collect()
+}
+
+/// Core loop: completion time `T(K)` at each checkpoint.
+fn run_collect(
+    tpn: &Tpn,
+    laws: &ResourceTable<Law>,
+    checkpoints: &[usize],
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    assert!(!checkpoints.is_empty());
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoints must be sorted"
+    );
+    let mut rng = seeded_rng(seed);
+    let m = tpn.rows();
+    let last_col: Vec<usize> = tpn.last_column();
+    let target = *checkpoints.last().unwrap();
+    assert!(target > 0);
+
+    // Per-transition laws, resolved once.
+    let trans_laws: Vec<Law> = tpn
+        .transitions()
+        .iter()
+        .map(|t| *laws.get(t.resource))
+        .collect();
+    let all_det = trans_laws.iter().all(Law::is_deterministic);
+
+    let mut runner = Runner::new(tpn);
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut next_cp = 0usize;
+    let mut completed = 0usize;
+    let mut tmax = 0.0f64;
+
+    let rounds = target.div_ceil(m);
+    for _round in 0..rounds {
+        if all_det {
+            runner.step(|t| match trans_laws[t] {
+                Law::Deterministic { value } => value,
+                _ => unreachable!(),
+            });
+        } else {
+            // Split borrows: `runner.step` borrows runner mutably; sample
+            // through the shared rng captured by the closure.
+            let laws_ref = &trans_laws;
+            let rng_ref = &mut rng;
+            runner.step(move |t| laws_ref[t].sample(rng_ref));
+        }
+        // Data sets of this round complete at the last-column times, in
+        // row order of data-set indexing.
+        for (j, &t) in last_col.iter().enumerate() {
+            let _ = j;
+            tmax = tmax.max(runner.cur[t]);
+            completed += 1;
+            while next_cp < checkpoints.len() && completed == checkpoints[next_cp] {
+                out.push((completed, tmax));
+                next_cp += 1;
+            }
+            if completed == target {
+                break;
+            }
+        }
+    }
+    // Duplicate checkpoints equal to target may remain.
+    while next_cp < checkpoints.len() {
+        out.push((checkpoints[next_cp], tmax));
+        next_cp += 1;
+    }
+    out
+}
+
+fn report_from_checkpoints(pts: &[(usize, f64)], _opts: EgSimOptions) -> EgSimReport {
+    let (w, tw) = pts[0];
+    let (k, tk) = pts[pts.len() - 1];
+    let steady = if k > w && tk > tw {
+        (k - w) as f64 / (tk - tw)
+    } else {
+        k as f64 / tk
+    };
+    EgSimReport {
+        throughput: k as f64 / tk,
+        steady_throughput: steady,
+        makespan: tk,
+        datasets: k,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Associated case (§6.2)
+// ---------------------------------------------------------------------------
+
+/// Laws of the associated model: sizes are drawn per data set and shared,
+/// while resource speeds fluctuate per operation.
+#[derive(Debug, Clone)]
+pub struct AssociatedLaws {
+    /// `w_i(d)`: work of stage `i` for data set `d` (flop), one law per
+    /// stage.
+    pub work: Vec<Law>,
+    /// `δ_i(d)`: size of file `i` for data set `d` (bytes), one law per
+    /// file (`N − 1` entries).
+    pub file: Vec<Law>,
+    /// Speeds (`Proc` entries, flop/s) and bandwidths (`Link` entries,
+    /// bytes/s), sampled fresh at every operation.
+    pub rates: ResourceTable<Law>,
+}
+
+/// Simulate the associated case of §6.2: computation times of the same
+/// data set on different processors are positively correlated through the
+/// shared size draws.
+pub fn simulate_associated(
+    tpn: &Tpn,
+    laws: &AssociatedLaws,
+    opts: EgSimOptions,
+) -> EgSimReport {
+    let n = tpn.shape().n_stages();
+    assert_eq!(laws.work.len(), n, "one work law per stage");
+    assert_eq!(laws.file.len(), n - 1, "one size law per file");
+
+    let mut rng: SimRng = seeded_rng(opts.seed);
+    let m = tpn.rows();
+    let last_col = tpn.last_column();
+    let target = opts.datasets;
+    let cols = tpn.cols();
+
+    let mut runner = Runner::new(tpn);
+    // Per-round shared draws: work[stage][row], size[file][row].
+    let mut work = vec![vec![0.0f64; m]; n];
+    let mut size = vec![vec![0.0f64; m]; n.saturating_sub(1)];
+
+    let mut completed = 0usize;
+    let mut tmax = 0.0f64;
+    let mut t_warm = 0.0f64;
+    let mut warm_count = 0usize;
+
+    let rounds = target.div_ceil(m);
+    for _round in 0..rounds {
+        for (i, lw) in laws.work.iter().enumerate() {
+            for j in 0..m {
+                work[i][j] = positive_sample(lw, &mut rng);
+            }
+        }
+        for (i, lf) in laws.file.iter().enumerate() {
+            for j in 0..m {
+                size[i][j] = positive_sample(lf, &mut rng);
+            }
+        }
+        let transitions = tpn.transitions();
+        let work_ref = &work;
+        let size_ref = &size;
+        let rates = &laws.rates;
+        let rng_ref = &mut rng;
+        runner.step(move |t| {
+            let tr = &transitions[t];
+            let rate = positive_sample(rates.get(tr.resource), rng_ref);
+            let amount = match tr.kind {
+                TransKind::Compute { stage, row } => work_ref[stage][row],
+                TransKind::Comm { file, row } => size_ref[file][row],
+            };
+            amount / rate
+        });
+        for &t in &last_col {
+            tmax = tmax.max(runner.cur[t]);
+            completed += 1;
+            if completed == opts.warmup.max(1) {
+                t_warm = tmax;
+                warm_count = completed;
+            }
+            if completed == target {
+                break;
+            }
+        }
+        let _ = cols;
+    }
+    let steady = if completed > warm_count && tmax > t_warm {
+        (completed - warm_count) as f64 / (tmax - t_warm)
+    } else {
+        completed as f64 / tmax
+    };
+    EgSimReport {
+        throughput: completed as f64 / tmax,
+        steady_throughput: steady,
+        makespan: tmax,
+        datasets: completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ExecModel, MappingShape};
+
+    fn laws_det(shape: &MappingShape, comp: f64, comm: f64) -> ResourceTable<Law> {
+        ResourceTable::from_fns(shape, |_, _| Law::det(comp), |_, _, _| Law::det(comm))
+    }
+
+    #[test]
+    fn single_stage_deterministic_rate() {
+        // One stage, one processor, time 2: throughput → 0.5.
+        let shape = MappingShape::new(vec![1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let r = simulate(
+            &tpn,
+            &laws_det(&shape, 2.0, 0.0),
+            EgSimOptions {
+                datasets: 1000,
+                warmup: 100,
+                seed: 1,
+            },
+        );
+        assert!((r.steady_throughput - 0.5).abs() < 1e-9, "{r:?}");
+        assert!((r.makespan - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replicated_stage_multiplies_rate() {
+        // One stage on 3 processors, each time 3: throughput → 1.
+        let shape = MappingShape::new(vec![3]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let r = simulate(
+            &tpn,
+            &laws_det(&shape, 3.0, 0.0),
+            EgSimOptions {
+                datasets: 3000,
+                warmup: 300,
+                seed: 1,
+            },
+        );
+        assert!((r.steady_throughput - 1.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn two_stage_pipeline_bottleneck() {
+        // comp 1 then comp 4, comm 2; Overlap: throughput = 1/4.
+        let shape = MappingShape::new(vec![1, 1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let times = ResourceTable::from_fns(
+            &shape,
+            |s, _| Law::det(if s == 0 { 1.0 } else { 4.0 }),
+            |_, _, _| Law::det(2.0),
+        );
+        let r = simulate(
+            &tpn,
+            &times,
+            EgSimOptions {
+                datasets: 2000,
+                warmup: 200,
+                seed: 1,
+            },
+        );
+        assert!((r.steady_throughput - 0.25).abs() < 1e-9, "{r:?}");
+        // Strict: the receiver P1 has cycle recv 2 + comp 4 = 6.
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let r = simulate(
+            &tpn,
+            &times,
+            EgSimOptions {
+                datasets: 2000,
+                warmup: 200,
+                seed: 1,
+            },
+        );
+        assert!((r.steady_throughput - 1.0 / 6.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn throughput_vs_datasets_is_increasing_to_limit() {
+        // The K/T(K) estimate climbs towards the steady rate as the
+        // pipeline fill cost amortizes.
+        let shape = MappingShape::new(vec![1, 2, 1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let laws = laws_det(&shape, 2.0, 1.0);
+        let pts = throughput_vs_datasets(&tpn, &laws, &[10, 100, 1000, 10_000], 3);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "{pts:?}");
+        }
+        // Deterministic limit: stage 1 on two procs of time 2 → rate 1;
+        // stages 0 and 2 rate 1/2 each → bottleneck 1/2.
+        assert!((pts[3].1 - 0.5).abs() < 0.01, "{pts:?}");
+    }
+
+    #[test]
+    fn unreplicated_overlap_chain_is_insensitive_to_law() {
+        // Without replication, a feed-forward Overlap chain saturates at
+        // the bottleneck resource's rate whatever the law (the stations
+        // fire back to back): exp ≈ det.  This is why the paper calls the
+        // non-replicated case "easy".
+        let shape = MappingShape::new(vec![1, 1, 1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let det = laws_det(&shape, 2.0, 1.0);
+        let exp = det.map(|_, l| Law::exp_mean(l.mean().max(1e-12)));
+        let opts = EgSimOptions {
+            datasets: 40_000,
+            warmup: 4_000,
+            seed: 7,
+        };
+        let rd = simulate(&tpn, &det, opts);
+        let re = simulate(&tpn, &exp, opts);
+        assert!((rd.steady_throughput - 0.5).abs() < 1e-9);
+        assert!(
+            (re.steady_throughput - 0.5).abs() < 0.02,
+            "exp {re:?} should match det {rd:?}"
+        );
+    }
+
+    #[test]
+    fn exponential_times_slow_replicated_communications() {
+        // Theorem 4: a 2×3 replicated communication has exponential
+        // throughput u·v·λ/(u+v−1) = 1.5λ versus deterministic min(u,v)·λ
+        // = 2λ.  With negligible computation, the simulator must land near
+        // the 25% gap.
+        let shape = MappingShape::new(vec![2, 3]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let det = ResourceTable::from_fns(
+            &shape,
+            |_, _| Law::det(1e-6),
+            |_, _, _| Law::det(1.0),
+        );
+        let exp = det.map(|r, l| match r {
+            crate::shape::Resource::Link { .. } => Law::exp_mean(l.mean()),
+            _ => *l,
+        });
+        let opts = EgSimOptions {
+            datasets: 60_000,
+            warmup: 6_000,
+            seed: 11,
+        };
+        let rd = simulate(&tpn, &det, opts);
+        let re = simulate(&tpn, &exp, opts);
+        assert!((rd.steady_throughput - 2.0).abs() < 1e-3, "det {rd:?}");
+        assert!(
+            (re.steady_throughput - 1.5).abs() < 0.05,
+            "exp {re:?} should be ≈ 1.5 (Theorem 4)"
+        );
+    }
+
+    #[test]
+    fn seeds_reproduce_and_differ() {
+        let shape = MappingShape::new(vec![2, 3]);
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let laws = laws_det(&shape, 1.0, 1.0).map(|_, _| Law::exp_mean(1.0));
+        let o = |seed| EgSimOptions {
+            datasets: 500,
+            warmup: 50,
+            seed,
+        };
+        let a = simulate(&tpn, &laws, o(5));
+        let b = simulate(&tpn, &laws, o(5));
+        let c = simulate(&tpn, &laws, o(6));
+        assert_eq!(a.throughput, b.throughput);
+        assert_ne!(a.throughput, c.throughput);
+    }
+
+    #[test]
+    fn associated_mode_runs_and_matches_means() {
+        // With deterministic sizes and speeds the associated mode must
+        // equal the independent deterministic run.
+        let shape = MappingShape::new(vec![1, 2]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let assoc = AssociatedLaws {
+            work: vec![Law::det(6.0), Law::det(4.0)],
+            file: vec![Law::det(10.0)],
+            rates: ResourceTable::from_fns(&shape, |_, _| Law::det(2.0), |_, _, _| Law::det(5.0)),
+        };
+        let opts = EgSimOptions {
+            datasets: 2000,
+            warmup: 200,
+            seed: 1,
+        };
+        let ra = simulate_associated(&tpn, &assoc, opts);
+        let det = ResourceTable::from_fns(
+            &shape,
+            |s, _| Law::det(if s == 0 { 3.0 } else { 1.0 }),
+            |_, _, _| Law::det(2.0),
+        );
+        let rd = simulate(&tpn, &det, opts);
+        assert!(
+            (ra.steady_throughput - rd.steady_throughput).abs() < 1e-9,
+            "assoc {ra:?} vs det {rd:?}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Structural invariants of the TPNs.
+//!
+//! The paper's constructions come with strong structural guarantees that
+//! this module makes checkable:
+//!
+//! * every **resource cycle** (round-robin / one-port / strict-sequence
+//!   chain) is a P-semiflow carrying exactly one token — the marking sum
+//!   over its places is invariant under firing, which is why resources
+//!   can never serve two operations at once;
+//! * in the **Strict** model, every forward place belongs to some
+//!   resource cycle's complement through which its token count is
+//!   bounded: the net is *safe* (1-bounded).  [`check_safety`] certifies
+//!   this by exploring the reachable markings of small nets, and
+//!   [`resource_cycles`] returns the structural semiflows for any size.
+
+use crate::shape::Resource;
+use crate::tpn::{PlaceKind, Tpn};
+use std::collections::HashMap;
+
+/// One resource cycle: the place set of a structural P-semiflow with
+/// token weight 1.
+#[derive(Debug, Clone)]
+pub struct ResourceCycle {
+    /// The resource whose serialization this cycle implements (for
+    /// `StrictSequence` cycles this is the processor's compute resource).
+    pub resource: Resource,
+    /// The structural role of the places.
+    pub kind: PlaceKind,
+    /// Place indices forming the cycle.
+    pub places: Vec<usize>,
+}
+
+/// Extract all resource cycles of the TPN, grouped by (resource, kind).
+///
+/// For each group the places form a single directed cycle over the
+/// resource's transitions, with total initial marking exactly 1.
+pub fn resource_cycles(tpn: &Tpn) -> Vec<ResourceCycle> {
+    let mut groups: HashMap<(Resource, PlaceKind), Vec<usize>> = HashMap::new();
+    for (pid, p) in tpn.places().iter().enumerate() {
+        if p.kind == PlaceKind::RowForward {
+            continue;
+        }
+        // The owning resource: for compute round-robin the processor of
+        // the source transition; for one-port cycles the port's processor
+        // (also recoverable from the transitions); for strict sequences
+        // the processor owning the pair.  We key on the *source
+        // transition's* resource for column cycles and on the processor
+        // for strict cycles.
+        let src = tpn.transitions()[p.src];
+        let key_res = match p.kind {
+            PlaceKind::RoundRobinCompute => src.resource,
+            PlaceKind::OnePortOut | PlaceKind::OnePortIn => {
+                // Both src and dst are comm transitions of the same port;
+                // identify the port by the processor side that stays
+                // constant across the cycle: sender for Out, receiver for
+                // In.
+                match (p.kind, src.resource) {
+                    (PlaceKind::OnePortOut, Resource::Link { file, src: s, .. }) => {
+                        Resource::Proc {
+                            stage: file,
+                            slot: s,
+                        }
+                    }
+                    (PlaceKind::OnePortIn, Resource::Link { file, dst: d, .. }) => {
+                        Resource::Proc {
+                            stage: file + 1,
+                            slot: d,
+                        }
+                    }
+                    _ => unreachable!("one-port place on a compute transition"),
+                }
+            }
+            PlaceKind::StrictSequence => {
+                // The owning processor: recover from the destination (its
+                // first op of the next row).
+                let dst = tpn.transitions()[p.dst];
+                let stage = if dst.col % 2 == 1 {
+                    (dst.col + 1) / 2
+                } else {
+                    dst.col / 2
+                };
+                Resource::Proc {
+                    stage,
+                    slot: dst.row % tpn.shape().team_size(stage),
+                }
+            }
+            PlaceKind::RowForward => unreachable!(),
+        };
+        groups.entry((key_res, p.kind)).or_default().push(pid);
+    }
+    let n = tpn.shape().n_stages();
+    groups
+        .into_iter()
+        .map(|((resource, kind), mut places)| {
+            if kind == PlaceKind::StrictSequence {
+                // The strict semiflow also traverses the row-forward
+                // places of the processor's receive→compute→send segment:
+                // add them so the cycle closes over the same transitions.
+                if let Resource::Proc { stage, slot } = resource {
+                    let first_col = if stage > 0 { 2 * stage - 1 } else { 0 };
+                    let last_col = if stage + 1 < n { 2 * stage + 1 } else { 2 * stage };
+                    let r = tpn.shape().team_size(stage);
+                    for (pid, p) in tpn.places().iter().enumerate() {
+                        if p.kind == PlaceKind::RowForward {
+                            let src = tpn.transitions()[p.src];
+                            if src.row % r == slot
+                                && src.col >= first_col
+                                && src.col < last_col
+                            {
+                                places.push(pid);
+                            }
+                        }
+                    }
+                }
+            }
+            ResourceCycle {
+                resource,
+                kind,
+                places,
+            }
+        })
+        .collect()
+}
+
+/// Verify the P-semiflow property of every resource cycle: its places
+/// hold exactly one token initially, and every transition of the cycle
+/// consumes exactly one and produces exactly one of them (so the sum is
+/// invariant).  Returns the number of cycles checked.
+pub fn check_semiflows(tpn: &Tpn) -> Result<usize, String> {
+    let cycles = resource_cycles(tpn);
+    for c in &cycles {
+        let tokens: u32 = c.places.iter().map(|&p| tpn.places()[p].tokens).sum();
+        if tokens != 1 {
+            return Err(format!(
+                "cycle {:?}/{:?} holds {tokens} tokens, expected 1",
+                c.resource, c.kind
+            ));
+        }
+        // Count, per transition, inputs and outputs within the cycle.
+        let mut prod: HashMap<usize, u32> = HashMap::new();
+        let mut cons: HashMap<usize, u32> = HashMap::new();
+        for &pid in &c.places {
+            let p = tpn.places()[pid];
+            *prod.entry(p.src).or_insert(0) += 1;
+            *cons.entry(p.dst).or_insert(0) += 1;
+        }
+        if prod.len() != c.places.len() || cons.len() != c.places.len() {
+            return Err(format!(
+                "cycle {:?}/{:?} is not a simple cycle",
+                c.resource, c.kind
+            ));
+        }
+        for (&t, &k) in &prod {
+            if k != 1 || cons.get(&t) != Some(&1) {
+                return Err(format!(
+                    "transition {t} unbalanced in cycle {:?}/{:?}",
+                    c.resource, c.kind
+                ));
+            }
+        }
+    }
+    Ok(cycles.len())
+}
+
+/// Certify safety (1-boundedness) of a Strict TPN by exhaustive marking
+/// exploration (budgeted).  Returns the number of reachable markings.
+///
+/// The Overlap model is *not* safe in general (forward places accumulate)
+/// — calling this with an Overlap TPN reports the offending place.
+pub fn check_safety(tpn: &Tpn, max_states: usize) -> Result<usize, String> {
+    // Breadth-first over markings with untimed semantics: place counts
+    // saturate detection at 2.
+    let n_places = tpn.places().len();
+    let init: Vec<u8> = tpn.places().iter().map(|p| p.tokens as u8).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = vec![init.clone()];
+    seen.insert(init);
+    while let Some(m) = queue.pop() {
+        for t in 0..tpn.transitions().len() {
+            if !tpn.in_places(t).iter().all(|&p| m[p] > 0) {
+                continue;
+            }
+            let mut next = m.clone();
+            for &p in tpn.in_places(t) {
+                next[p] -= 1;
+            }
+            for (pid, place) in tpn.places().iter().enumerate() {
+                if place.src == t {
+                    next[pid] += 1;
+                    if next[pid] > 1 {
+                        return Err(format!(
+                            "place {pid} ({:?}) reaches 2 tokens: net is not safe",
+                            place.kind
+                        ));
+                    }
+                }
+            }
+            if seen.insert(next.clone()) {
+                if seen.len() > max_states {
+                    return Err(format!("state budget {max_states} exceeded"));
+                }
+                queue.push(next);
+            }
+        }
+    }
+    let _ = n_places;
+    Ok(seen.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ExecModel, MappingShape};
+
+    #[test]
+    fn semiflows_hold_on_example_a_shape() {
+        let shape = MappingShape::new(vec![1, 2, 3, 1]);
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let n = check_semiflows(&tpn).unwrap();
+            // Overlap: N teams' compute cycles + (N−1) columns × (senders
+            // + receivers); Strict: one strict cycle per processor.
+            let expect = match model {
+                ExecModel::Overlap => (1 + 2 + 3 + 1) + (1 + 2) + (2 + 3) + (3 + 1),
+                ExecModel::Strict => 7,
+            };
+            assert_eq!(n, expect, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn strict_nets_are_safe() {
+        for teams in [vec![1, 1], vec![2, 1], vec![2, 3], vec![1, 2, 1]] {
+            let shape = MappingShape::new(teams.clone());
+            let tpn = Tpn::build(&shape, ExecModel::Strict);
+            let states = check_safety(&tpn, 1 << 20).unwrap();
+            assert!(states > 1, "{teams:?}: {states} markings");
+        }
+    }
+
+    #[test]
+    fn overlap_nets_are_not_safe() {
+        let shape = MappingShape::new(vec![1, 1]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let err = check_safety(&tpn, 1 << 16).unwrap_err();
+        assert!(err.contains("not safe"), "{err}");
+    }
+
+    #[test]
+    fn cycle_place_counts() {
+        let shape = MappingShape::new(vec![2, 3]);
+        let tpn = Tpn::build(&shape, ExecModel::Overlap);
+        let cycles = resource_cycles(&tpn);
+        // Every cycle of a (stage, slot) covers m / R places.
+        let m = shape.n_paths();
+        for c in &cycles {
+            let expect = match c.resource {
+                Resource::Proc { stage, .. } => m / shape.team_size(stage),
+                Resource::Link { .. } => unreachable!("cycles keyed by processor"),
+            };
+            assert_eq!(c.places.len(), expect, "{c:?}");
+        }
+    }
+}

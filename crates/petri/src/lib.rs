@@ -1,0 +1,44 @@
+//! # repstream-petri
+//!
+//! Timed Petri nets (timed event graphs) for replicated streaming
+//! pipelines, following Section 3 of *“Computing the Throughput of
+//! Probabilistic and Replicated Streaming Applications”* (Benoit, Gallet,
+//! Gaujal, Robert — SPAA'10 / RR-7510).
+//!
+//! Given the *shape* of a one-to-many mapping (the team size of every
+//! stage), the TPN of the whole system has `m = lcm(R_1, …, R_N)` rows —
+//! one per path a data set can take (Proposition 1) — and `2N − 1` columns
+//! alternating computations and communications.  Places encode:
+//!
+//! * row-forward dependences (receive before compute before send);
+//! * round-robin serialization of each processor's computations;
+//! * one-port constraints on each processor's sends and receives
+//!   (**Overlap** model), or
+//! * full receive→compute→send sequence serialization (**Strict** model).
+//!
+//! The crate provides:
+//!
+//! * [`shape`] — mapping shapes, resource identities, and resource-indexed
+//!   tables of times/laws;
+//! * [`tpn`] — the [`tpn::Tpn`] builder for both execution models, with
+//!   structural invariants (event-graph property, liveness, place-count
+//!   formulas) and conversion to a [`repstream_maxplus::TokenGraph`] for
+//!   deterministic critical-cycle analysis;
+//! * [`egsim`] — a stochastic event-graph simulator (the role played by
+//!   ERS `eg_sim` in the paper): it evaluates the (max,+) dater recurrence
+//!   of the TPN under arbitrary I.I.D. firing-time laws, and also supports
+//!   the paper's *associated* model of §6.2 where task sizes are random
+//!   but shared across the resources that handle the same data set.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dot;
+pub mod egsim;
+pub mod invariants;
+pub mod shape;
+pub mod tpn;
+
+pub use egsim::{EgSimOptions, EgSimReport};
+pub use shape::{ExecModel, MappingShape, Resource, ResourceTable};
+pub use tpn::{PlaceKind, Tpn, TransKind};

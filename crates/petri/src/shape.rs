@@ -1,0 +1,302 @@
+//! Mapping shapes and resource-indexed tables.
+//!
+//! The TPN construction only needs to know *how many* processors serve each
+//! stage (the team sizes `R_i`) and, for timing, a value per hardware
+//! resource.  Resources are identified positionally — processor `slot` of
+//! stage `stage`, or the logical link used by file `file` between sender
+//! slot `src` and receiver slot `dst` — so this crate stays independent of
+//! the richer platform model of `repstream-core`.
+
+/// Execution model of the paper (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecModel {
+    /// A processor can receive, compute and send simultaneously
+    /// (full-duplex one-port in each direction).
+    Overlap,
+    /// Receive, compute and send are mutually exclusive and serialized.
+    Strict,
+}
+
+impl ExecModel {
+    /// Label used in reports ("overlap"/"strict").
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecModel::Overlap => "overlap",
+            ExecModel::Strict => "strict",
+        }
+    }
+}
+
+/// The shape of a one-to-many mapping: the team size of every stage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MappingShape {
+    teams: Vec<usize>,
+}
+
+/// Greatest common divisor.
+pub fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (panics on overflow).
+pub fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+impl MappingShape {
+    /// Build from team sizes; every stage needs at least one processor.
+    ///
+    /// # Panics
+    /// Panics if `teams` is empty or contains a zero.
+    pub fn new(teams: Vec<usize>) -> Self {
+        assert!(!teams.is_empty(), "a pipeline needs at least one stage");
+        assert!(teams.iter().all(|&r| r > 0), "empty team");
+        MappingShape { teams }
+    }
+
+    /// Number of stages `N`.
+    pub fn n_stages(&self) -> usize {
+        self.teams.len()
+    }
+
+    /// Team size `R_i` of stage `i` (0-based).
+    pub fn team_size(&self, stage: usize) -> usize {
+        self.teams[stage]
+    }
+
+    /// All team sizes.
+    pub fn teams(&self) -> &[usize] {
+        &self.teams
+    }
+
+    /// Number of distinct paths followed by data sets —
+    /// `m = lcm(R_1, …, R_N)` (Proposition 1 of the paper).
+    pub fn n_paths(&self) -> usize {
+        self.teams.iter().copied().fold(1, lcm)
+    }
+
+    /// Total number of processors involved, `Σ R_i` (mappings are
+    /// one-to-many: teams are disjoint).
+    pub fn n_processors(&self) -> usize {
+        self.teams.iter().sum()
+    }
+
+    /// Number of TPN columns, `2N − 1`.
+    pub fn n_columns(&self) -> usize {
+        2 * self.n_stages() - 1
+    }
+}
+
+/// Identity of a hardware resource in a shaped mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Processor serving `stage` at position `slot` (`0 ≤ slot < R_stage`).
+    Proc {
+        /// Stage index (0-based).
+        stage: usize,
+        /// Position within the team.
+        slot: usize,
+    },
+    /// Logical link carrying file `file` (from stage `file` to stage
+    /// `file + 1`) between sender slot `src` and receiver slot `dst`.
+    Link {
+        /// File index (0-based; file `i` flows from stage `i` to `i+1`).
+        file: usize,
+        /// Sender slot within team `file`.
+        src: usize,
+        /// Receiver slot within team `file + 1`.
+        dst: usize,
+    },
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Resource::Proc { stage, slot } => write!(f, "P[{stage}.{slot}]"),
+            Resource::Link { file, src, dst } => write!(f, "L[{file}:{src}->{dst}]"),
+        }
+    }
+}
+
+/// A value per resource of a shaped mapping (a time, a law, a rate…).
+///
+/// Storage is dense: one entry per processor and one per
+/// (file, sender, receiver) triple, so lookups are O(1) and the table can
+/// be built with [`ResourceTable::from_fns`] from closures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceTable<T> {
+    proc: Vec<Vec<T>>,
+    link: Vec<Vec<Vec<T>>>,
+}
+
+impl<T: Clone> ResourceTable<T> {
+    /// Table with every entry set to `init`.
+    pub fn filled(shape: &MappingShape, init: T) -> Self {
+        let proc = (0..shape.n_stages())
+            .map(|i| vec![init.clone(); shape.team_size(i)])
+            .collect();
+        let link = (0..shape.n_stages().saturating_sub(1))
+            .map(|i| vec![vec![init.clone(); shape.team_size(i + 1)]; shape.team_size(i)])
+            .collect();
+        ResourceTable { proc, link }
+    }
+
+    /// Build from two closures: `proc_fn(stage, slot)` and
+    /// `link_fn(file, src_slot, dst_slot)`.
+    pub fn from_fns(
+        shape: &MappingShape,
+        mut proc_fn: impl FnMut(usize, usize) -> T,
+        mut link_fn: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let proc = (0..shape.n_stages())
+            .map(|i| (0..shape.team_size(i)).map(|s| proc_fn(i, s)).collect())
+            .collect();
+        let link = (0..shape.n_stages().saturating_sub(1))
+            .map(|i| {
+                (0..shape.team_size(i))
+                    .map(|s| {
+                        (0..shape.team_size(i + 1))
+                            .map(|d| link_fn(i, s, d))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ResourceTable { proc, link }
+    }
+}
+
+impl<T> ResourceTable<T> {
+    /// Look up the value of a resource.
+    pub fn get(&self, r: Resource) -> &T {
+        match r {
+            Resource::Proc { stage, slot } => &self.proc[stage][slot],
+            Resource::Link { file, src, dst } => &self.link[file][src][dst],
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, r: Resource) -> &mut T {
+        match r {
+            Resource::Proc { stage, slot } => &mut self.proc[stage][slot],
+            Resource::Link { file, src, dst } => &mut self.link[file][src][dst],
+        }
+    }
+
+    /// Map every entry through `f`, producing a new table.
+    pub fn map<U>(&self, mut f: impl FnMut(Resource, &T) -> U) -> ResourceTable<U> {
+        let proc = self
+            .proc
+            .iter()
+            .enumerate()
+            .map(|(stage, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(slot, v)| f(Resource::Proc { stage, slot }, v))
+                    .collect()
+            })
+            .collect();
+        let link = self
+            .link
+            .iter()
+            .enumerate()
+            .map(|(file, mat)| {
+                mat.iter()
+                    .enumerate()
+                    .map(|(src, row)| {
+                        row.iter()
+                            .enumerate()
+                            .map(|(dst, v)| f(Resource::Link { file, src, dst }, v))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        ResourceTable { proc, link }
+    }
+
+    /// Iterate over `(resource, value)` pairs, processors first.
+    pub fn iter(&self) -> impl Iterator<Item = (Resource, &T)> {
+        let procs = self.proc.iter().enumerate().flat_map(|(stage, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(slot, v)| (Resource::Proc { stage, slot }, v))
+        });
+        let links = self.link.iter().enumerate().flat_map(|(file, mat)| {
+            mat.iter().enumerate().flat_map(move |(src, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(move |(dst, v)| (Resource::Link { file, src, dst }, v))
+            })
+        });
+        procs.chain(links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcm_gcd() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn paths_proposition1() {
+        // Example A of the paper: replication 1, 2, 3, 1 → 6 paths.
+        let shape = MappingShape::new(vec![1, 2, 3, 1]);
+        assert_eq!(shape.n_paths(), 6);
+        assert_eq!(shape.n_processors(), 7);
+        assert_eq!(shape.n_columns(), 7);
+        // Example C: 5, 21, 27, 11 → lcm = 10395.
+        let c = MappingShape::new(vec![5, 21, 27, 11]);
+        assert_eq!(c.n_paths(), 10395);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty team")]
+    fn zero_team_rejected() {
+        MappingShape::new(vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let shape = MappingShape::new(vec![2, 3]);
+        let t = ResourceTable::from_fns(
+            &shape,
+            |i, s| (10 * i + s) as f64,
+            |f, s, d| (100 * f + 10 * s + d) as f64,
+        );
+        assert_eq!(*t.get(Resource::Proc { stage: 1, slot: 2 }), 12.0);
+        assert_eq!(
+            *t.get(Resource::Link { file: 0, src: 1, dst: 2 }),
+            12.0 + 0.0
+        );
+        let count = t.iter().count();
+        assert_eq!(count, 2 + 3 + 2 * 3);
+    }
+
+    #[test]
+    fn table_map_preserves_structure() {
+        let shape = MappingShape::new(vec![1, 2]);
+        let t = ResourceTable::filled(&shape, 1.0f64);
+        let u = t.map(|_, v| v * 2.0);
+        assert_eq!(*u.get(Resource::Proc { stage: 0, slot: 0 }), 2.0);
+        assert_eq!(*u.get(Resource::Link { file: 0, src: 0, dst: 1 }), 2.0);
+    }
+
+    #[test]
+    fn single_stage_has_no_links() {
+        let shape = MappingShape::new(vec![3]);
+        let t = ResourceTable::filled(&shape, 0u32);
+        assert_eq!(t.iter().count(), 3);
+    }
+}

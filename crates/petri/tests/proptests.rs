@@ -1,0 +1,165 @@
+//! Cross-engine property tests: on random shapes and deterministic times,
+//! the event-graph simulator must converge to the throughput predicted by
+//! the critical-cycle analysis of the TPN — for both execution models.
+
+use proptest::prelude::*;
+use repstream_maxplus::cycle_ratio::maximum_cycle_ratio;
+use repstream_maxplus::rates::asymptotic_rates;
+use repstream_petri::egsim::{simulate, EgSimOptions};
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+use repstream_stochastic::law::Law;
+
+/// Deterministic throughput of the TPN (§4 of the paper): all `m` rows
+/// complete once per period `P` = maximum cycle ratio, so `ρ = m / P`.
+/// Because data sets are dealt round-robin, the slowest row dictates the
+/// completion rate of the stream (faster replicas idle), which is exactly
+/// what `K/T(K)` measures in the simulators.
+fn analytic_throughput(tpn: &Tpn, times: &ResourceTable<f64>) -> f64 {
+    let g = tpn.to_token_graph(times);
+    let p = maximum_cycle_ratio(&g).expect("TPN always has cycles").ratio;
+    tpn.rows() as f64 / p
+}
+
+fn arb_shape() -> impl Strategy<Value = MappingShape> {
+    proptest::collection::vec(1usize..4, 1..4).prop_map(MappingShape::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn egsim_matches_critical_cycle_deterministic(
+        shape in arb_shape(),
+        comp in proptest::collection::vec(0.5..5.0f64, 4),
+        comm in 0.5..5.0f64,
+    ) {
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let times = ResourceTable::from_fns(
+                &shape,
+                |s, slot| comp[(s + slot) % comp.len()],
+                |f, s, d| comm + ((f + s + d) % 3) as f64 * 0.5,
+            );
+            let laws = times.map(|_, &t| Law::det(t));
+            let rho = analytic_throughput(&tpn, &times);
+            let datasets = 4000 * tpn.rows().max(1);
+            let sim = simulate(&tpn, &laws, EgSimOptions {
+                datasets,
+                warmup: datasets / 2,
+                seed: 17,
+            });
+            prop_assert!(
+                (sim.steady_throughput - rho).abs() < 0.02 * rho,
+                "{:?} {:?}: sim {} vs analytic {}",
+                shape, model, sim.steady_throughput, rho
+            );
+        }
+    }
+
+    #[test]
+    fn strict_is_never_faster_than_overlap(
+        shape in arb_shape(),
+        comp in 0.5..5.0f64,
+        comm in 0.5..5.0f64,
+    ) {
+        let times = |s: &MappingShape| ResourceTable::from_fns(
+            s, |_, _| comp, |_, _, _| comm,
+        );
+        let t = times(&shape);
+        let ov = analytic_throughput(&Tpn::build(&shape, ExecModel::Overlap), &t);
+        let st = analytic_throughput(&Tpn::build(&shape, ExecModel::Strict), &t);
+        prop_assert!(st <= ov + 1e-9, "strict {st} > overlap {ov}");
+    }
+
+    #[test]
+    fn period_at_least_max_cycle_time(
+        shape in arb_shape(),
+        comp in 0.5..5.0f64,
+        comm in 0.5..5.0f64,
+    ) {
+        // §2.3: Mct is a lower bound for the period, i.e. 1/Mct an upper
+        // bound for the throughput.
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let t = ResourceTable::from_fns(&shape, |_, _| comp, |_, _, _| comm);
+            let rho = analytic_throughput(&tpn, &t);
+            let mct = tpn.max_cycle_time(&t);
+            prop_assert!(rho <= 1.0 / mct + 1e-9,
+                "{shape:?} {model:?}: rho {rho} > 1/Mct {}", 1.0 / mct);
+        }
+    }
+
+    #[test]
+    fn no_replication_throughput_is_exactly_mct(
+        n_stages in 1usize..5,
+        comp in 0.5..5.0f64,
+        comm in 0.5..5.0f64,
+    ) {
+        // Without replication the throughput is dictated by the critical
+        // resource (§2.3) — for both models.
+        let shape = MappingShape::new(vec![1; n_stages]);
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let t = ResourceTable::from_fns(&shape, |_, _| comp, |_, _, _| comm);
+            let rho = analytic_throughput(&tpn, &t);
+            let mct = tpn.max_cycle_time(&t);
+            prop_assert!((rho - 1.0 / mct).abs() < 1e-9 * (1.0 + rho),
+                "{model:?}: rho {rho} vs 1/Mct {}", 1.0 / mct);
+        }
+    }
+
+    #[test]
+    fn global_period_equals_min_last_column_rate(
+        shape in arb_shape(),
+        comp in proptest::collection::vec(0.5..5.0f64, 4),
+        comm in 0.5..5.0f64,
+    ) {
+        // m/P (global critical cycle) must coincide with m × the smallest
+        // propagated per-transition rate over the last column — every SCC
+        // of the TPN feeds the last column through row-forward places.
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            let times = ResourceTable::from_fns(
+                &shape,
+                |s, slot| comp[(s + slot) % comp.len()],
+                |f, s, d| comm + ((f + s + d) % 3) as f64 * 0.5,
+            );
+            let g = tpn.to_token_graph(&times);
+            let p = maximum_cycle_ratio(&g).unwrap().ratio;
+            let rates = asymptotic_rates(&g);
+            let min_rate = tpn
+                .last_column()
+                .into_iter()
+                .map(|t| rates.node_rate(t))
+                .fold(f64::INFINITY, f64::min);
+            let rho_global = tpn.rows() as f64 / p;
+            let rho_min = tpn.rows() as f64 * min_rate;
+            prop_assert!((rho_global - rho_min).abs() < 1e-9 * (1.0 + rho_global),
+                "{shape:?} {model:?}: m/P {rho_global} vs m·min-rate {rho_min}");
+        }
+    }
+
+    #[test]
+    fn tpn_structure_invariants(shape in arb_shape()) {
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let tpn = Tpn::build(&shape, model);
+            // Proposition 1.
+            prop_assert_eq!(tpn.rows(), shape.n_paths());
+            prop_assert_eq!(
+                tpn.transitions().len(),
+                shape.n_paths() * (2 * shape.n_stages() - 1)
+            );
+            // Liveness.
+            prop_assert!(!tpn.has_deadlock());
+            // 0/1 marking.
+            prop_assert!(tpn.places().iter().all(|p| p.tokens <= 1));
+            // Every transition is consumed by at least one place except
+            // nothing — in a closed TPN every transition has inputs.
+            for t in 0..tpn.transitions().len() {
+                prop_assert!(!tpn.in_places(t).is_empty(),
+                    "transition {t} has no input place");
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A minimal discrete-event simulation kernel.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with deterministic
+//! FIFO tie-breaking (events at equal times pop in insertion order, so
+//! simulations are reproducible across platforms).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event: a payload due at a simulated time.
+#[derive(Debug, Clone, Copy)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or lies in the past.
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "NaN event time");
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(0.0, 0);
+        q.schedule(0.5, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # repstream-platformsim
+//!
+//! An application-level discrete-event simulator of replicated streaming
+//! pipelines — the role SimGrid plays in the paper's evaluation (§7).
+//!
+//! Unlike `repstream-petri`'s event-graph simulator, this crate implements
+//! the *mapping semantics* directly, at data-set granularity, and never
+//! constructs a Petri net:
+//!
+//! * each data set `d` is dealt to team slot `d mod R_i` of stage `i`
+//!   (round-robin rule of §2.2);
+//! * a processor computes its data sets in order;
+//! * communications occupy the sender's output port and the receiver's
+//!   input port, each serving its round-robin sequence in order
+//!   (**Overlap**), or the whole processor (**Strict**, receive → compute
+//!   → send serialization);
+//! * operation durations are drawn from per-resource laws (I.I.D., §2.4).
+//!
+//! The engine is a classic event heap with dependency counting
+//! ([`des`]); the pipeline workload is compiled to a static dependency
+//! graph over operations ([`pipeline`]).  Agreement of this simulator with
+//! the TPN analysis and with `egsim` is the repository's version of the
+//! paper's "fidelity of the event graph model" experiment (§7.4, Fig. 12).
+//!
+//! Like SimGrid, the simulator can derate link bandwidth (SimGrid caps
+//! transfers at 92% of nominal bandwidth [Velho & Legrand 2009]; the paper
+//! divides its bandwidths by 0.92 to cancel this).  Set
+//! [`pipeline::SimOptions::bandwidth_factor`] below 1 to emulate the cap.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod des;
+pub mod pipeline;
+
+pub use pipeline::{simulate, PlatformReport, SimOptions};

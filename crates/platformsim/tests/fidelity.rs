@@ -1,0 +1,81 @@
+//! Fidelity of the event-graph model (the paper's §7.4): the TPN-based
+//! simulator and the application-level DES are *independent*
+//! implementations of the same semantics and must agree — exactly in the
+//! deterministic case, statistically under random laws.
+
+use proptest::prelude::*;
+use repstream_petri::egsim::{simulate as egsim, EgSimOptions};
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+use repstream_platformsim::{simulate as platsim, SimOptions};
+use repstream_stochastic::law::Law;
+
+fn shapes() -> impl Strategy<Value = MappingShape> {
+    proptest::collection::vec(1usize..4, 1..4).prop_map(MappingShape::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn deterministic_runs_agree_exactly(
+        shape in shapes(),
+        comp in proptest::collection::vec(0.5..4.0f64, 4),
+        comm in proptest::collection::vec(0.5..4.0f64, 4),
+    ) {
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let laws = ResourceTable::from_fns(
+                &shape,
+                |s, slot| Law::det(comp[(s + slot) % comp.len()]),
+                |f, s, d| Law::det(comm[(f + s + d) % comm.len()]),
+            );
+            let datasets = 600 * shape.n_paths();
+            let warmup = datasets / 3;
+            let tpn = Tpn::build(&shape, model);
+            let a = egsim(&tpn, &laws, EgSimOptions { datasets, warmup, seed: 1 });
+            let b = platsim(&shape, model, &laws, SimOptions {
+                datasets, warmup, seed: 2, ..Default::default()
+            });
+            // Same deterministic recurrence ⇒ same makespan and rates.
+            prop_assert!(
+                (a.makespan - b.makespan).abs() < 1e-6 * a.makespan,
+                "{shape:?} {model:?}: makespans {} vs {}", a.makespan, b.makespan
+            );
+            prop_assert!(
+                (a.steady_throughput - b.steady_throughput).abs()
+                    < 1e-6 * a.steady_throughput,
+                "{shape:?} {model:?}: {} vs {}",
+                a.steady_throughput, b.steady_throughput
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_runs_agree_statistically(
+        shape in shapes(),
+        comp in 0.5..4.0f64,
+        comm in 0.5..4.0f64,
+    ) {
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let laws = ResourceTable::from_fns(
+                &shape,
+                |_, _| Law::exp_mean(comp),
+                |_, _, _| Law::exp_mean(comm),
+            );
+            // Two independent Monte-Carlo estimates: size the runs so the
+            // CLT noise of their difference stays well under the 8% gate.
+            let datasets = 20_000 + 3000 * shape.n_paths();
+            let warmup = datasets / 3;
+            let tpn = Tpn::build(&shape, model);
+            let a = egsim(&tpn, &laws, EgSimOptions { datasets, warmup, seed: 3 });
+            let b = platsim(&shape, model, &laws, SimOptions {
+                datasets, warmup, seed: 4, ..Default::default()
+            });
+            let rel = (a.steady_throughput - b.steady_throughput).abs()
+                / a.steady_throughput;
+            prop_assert!(rel < 0.08,
+                "{shape:?} {model:?}: egsim {} vs platformsim {} (rel {rel})",
+                a.steady_throughput, b.steady_throughput);
+        }
+    }
+}

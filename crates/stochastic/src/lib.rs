@@ -1,0 +1,47 @@
+//! # repstream-stochastic
+//!
+//! Random-variable infrastructure for the throughput analysis of
+//! probabilistic streaming applications (Benoit, Gallet, Gaujal, Robert,
+//! SPAA'10 / INRIA RR-7510).
+//!
+//! The paper models every computation and communication time as an I.I.D.
+//! random variable attached to a hardware resource.  This crate provides:
+//!
+//! * [`Law`] — the catalogue of distribution laws used in the paper's
+//!   evaluation (deterministic, exponential, uniform, gamma, beta,
+//!   truncated normal) plus a few extensions (Weibull, Erlang, Pareto,
+//!   log-normal) useful for N.B.U.E. boundary experiments;
+//! * [`sampler`] — low-level, allocation-free samplers built only on a
+//!   uniform generator (Box–Muller, Marsaglia–Tsang, Jöhnk, …);
+//! * [`special`] — the special functions the samplers and moments need
+//!   (`ln Γ`, `erf`, regularized incomplete gamma);
+//! * [`stats`] — streaming statistics (Welford), run summaries and
+//!   CLT-based confidence intervals for Monte-Carlo throughput estimates;
+//! * [`order`] — empirical stochastic orders (`≤st`, `≤icx`) and an
+//!   empirical N.B.U.E. test, used to validate Theorems 5–7 of the paper;
+//! * [`rng`] — deterministic seeding utilities so every experiment is
+//!   reproducible bit-for-bit.
+//!
+//! ## N.B.U.E. variables
+//!
+//! A non-negative random variable `X` is *New Better than Used in
+//! Expectation* when `E[X − t | X > t] ≤ E[X]` for all `t > 0`.  The paper's
+//! central comparison result (Theorem 7) sandwiches the throughput of any
+//! N.B.U.E. system between the exponential case (lower bound) and the
+//! deterministic case (upper bound).  [`Law::nbue`] reports the known
+//! classification of each law so experiment harnesses can assert the bound
+//! only when it must hold.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod law;
+pub mod order;
+pub mod rng;
+pub mod sampler;
+pub mod special;
+pub mod stats;
+
+pub use law::{Law, Nbue};
+pub use rng::{seeded_rng, split_seed, SimRng};
+pub use stats::{ci_halfwidth, OnlineStats, RunSummary};

@@ -1,0 +1,193 @@
+//! Empirical stochastic orders and an empirical N.B.U.E. test.
+//!
+//! Section 6 of the paper compares systems through the strong order `≤st`,
+//! the increasing-convex order `≤icx` and the lower-orthant order `≤lo`.
+//! These utilities implement *empirical* (sample-based) versions used by the
+//! test-suite to sanity-check the theory on the laws of §2.4:
+//!
+//! * `X ≤st Y`  ⇔  `F_X(t) ≥ F_Y(t)` for all `t`;
+//! * `X ≤icx Y` ⇔  `E[(X − t)⁺] ≤ E[(Y − t)⁺]` for all `t`
+//!   (stop-loss transform comparison);
+//! * `X` N.B.U.E. ⇔ `E[X − t | X > t] ≤ E[X]` for all `t`.
+//!
+//! Empirical checks operate on a tolerance expressed in units of the CLT
+//! noise floor; they are *statistical* assertions, not proofs.
+
+/// Empirical cumulative distribution function over an owned, sorted sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from any sample (copies and sorts it).
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Ecdf { sorted }
+    }
+
+    /// `F̂(t)` — fraction of the sample `≤ t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // partition_point returns the number of elements ≤ t when the
+        // predicate is `x <= t` on a sorted slice.
+        let k = self.sorted.partition_point(|&x| x <= t);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Empirical stop-loss transform `Ê[(X − t)⁺]`.
+    pub fn stop_loss(&self, t: f64) -> f64 {
+        // Elements > t contribute (x − t).
+        let k = self.sorted.partition_point(|&x| x <= t);
+        let s: f64 = self.sorted[k..].iter().map(|&x| x - t).sum();
+        s / self.sorted.len() as f64
+    }
+
+    /// Empirical mean residual life `Ê[X − t | X > t]`, `None` if no mass
+    /// above `t`.
+    pub fn mean_residual_life(&self, t: f64) -> Option<f64> {
+        let k = self.sorted.partition_point(|&x| x <= t);
+        let tail = &self.sorted[k..];
+        if tail.is_empty() {
+            None
+        } else {
+            Some(tail.iter().map(|&x| x - t).sum::<f64>() / tail.len() as f64)
+        }
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Evaluation grid: all distinct points of both samples (capped, for cost).
+fn grid(a: &Ecdf, b: &Ecdf, max_points: usize) -> Vec<f64> {
+    let mut g: Vec<f64> = a.sorted.iter().chain(b.sorted.iter()).copied().collect();
+    g.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    g.dedup();
+    if g.len() > max_points {
+        let step = g.len() as f64 / max_points as f64;
+        (0..max_points)
+            .map(|i| g[(i as f64 * step) as usize])
+            .collect()
+    } else {
+        g
+    }
+}
+
+/// Empirical check of `X ≤st Y`: `F̂_X(t) ≥ F̂_Y(t) − slack` on the merged
+/// grid.  `slack` absorbs sampling noise (e.g. a few times
+/// `1/√min(n_x, n_y)`).
+pub fn st_dominated_by(x: &Ecdf, y: &Ecdf, slack: f64) -> bool {
+    for t in grid(x, y, 512) {
+        if x.eval(t) < y.eval(t) - slack {
+            return false;
+        }
+    }
+    true
+}
+
+/// Empirical check of `X ≤icx Y`: `Ê[(X−t)⁺] ≤ Ê[(Y−t)⁺] + slack`.
+pub fn icx_dominated_by(x: &Ecdf, y: &Ecdf, slack: f64) -> bool {
+    for t in grid(x, y, 512) {
+        if x.stop_loss(t) > y.stop_loss(t) + slack {
+            return false;
+        }
+    }
+    true
+}
+
+/// Empirical N.B.U.E. check: mean residual life never exceeds the mean by
+/// more than `slack` (absolute).  Only tests `t` up to the empirical
+/// `tail_q` quantile — beyond it the conditional estimate is pure noise.
+pub fn nbue_empirical(x: &Ecdf, slack: f64, tail_q: f64) -> bool {
+    let m = x.mean();
+    let n = x.sorted.len();
+    let cutoff = x.sorted[((n - 1) as f64 * tail_q) as usize];
+    for t in grid(x, x, 256) {
+        if t > cutoff {
+            break;
+        }
+        if let Some(mrl) = x.mean_residual_life(t) {
+            if mrl > m + slack {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::law::Law;
+    use crate::rng::seeded_rng;
+
+    fn sample(law: Law, n: usize, seed: u64) -> Ecdf {
+        let mut rng = seeded_rng(seed);
+        let v: Vec<f64> = (0..n).map(|_| law.sample(&mut rng)).collect();
+        Ecdf::new(&v)
+    }
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(2.0), 0.5);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+        assert!((e.stop_loss(2.0) - (1.0 + 2.0) / 4.0).abs() < 1e-12);
+        assert_eq!(e.mean_residual_life(4.0), None);
+        assert!((e.mean_residual_life(2.5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_law_st_dominates() {
+        // X ~ U[0,1] is ≤st X + 1 ~ U[1,2].
+        let x = sample(Law::Uniform { lo: 0.0, hi: 1.0 }, 20_000, 1);
+        let y = sample(Law::Uniform { lo: 1.0, hi: 2.0 }, 20_000, 2);
+        assert!(st_dominated_by(&x, &y, 0.02));
+        assert!(!st_dominated_by(&y, &x, 0.02));
+    }
+
+    #[test]
+    fn deterministic_icx_below_exponential() {
+        // Theorem 7 backbone: Det(m) ≤icx any mean-m law ≤icx Exp(m) for
+        // N.B.U.E. laws; check the two extremes against a gamma law.
+        let m = 2.0;
+        let det = sample(Law::det(m), 4_000, 3);
+        let gam = sample(Law::gamma_mean(3.0, m), 40_000, 4);
+        let exp = sample(Law::exp_mean(m), 40_000, 5);
+        assert!(icx_dominated_by(&det, &gam, 0.02));
+        assert!(icx_dominated_by(&gam, &exp, 0.02));
+        assert!(icx_dominated_by(&det, &exp, 0.02));
+        // And the reverse directions must fail decisively.
+        assert!(!icx_dominated_by(&exp, &det, 0.02));
+    }
+
+    #[test]
+    fn nbue_empirical_classification() {
+        // Uniform and Erlang are N.B.U.E.; Pareto is not.
+        let uni = sample(Law::uniform_spread(1.0, 1.0), 40_000, 6);
+        assert!(nbue_empirical(&uni, 0.05, 0.95));
+        let erl = sample(Law::erlang_mean(4, 1.0), 40_000, 7);
+        assert!(nbue_empirical(&erl, 0.05, 0.95));
+        let par = sample(Law::pareto_mean(1.5, 1.0), 40_000, 8);
+        assert!(!nbue_empirical(&par, 0.05, 0.95));
+    }
+
+    #[test]
+    fn exponential_is_nbue_boundary() {
+        // Mean residual life of Exp is exactly the mean: must pass with a
+        // loose slack and fail the *strict* better-than test.
+        let exp = sample(Law::exp_mean(1.0), 80_000, 9);
+        assert!(nbue_empirical(&exp, 0.1, 0.9));
+    }
+}

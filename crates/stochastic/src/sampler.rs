@@ -1,0 +1,256 @@
+//! Low-level samplers built on a uniform generator.
+//!
+//! Only `rand`'s uniform primitives are used; every other law is produced
+//! by classical transformations so the repository does not depend on
+//! `rand_distr`.  All samplers take `&mut impl Rng` and never allocate.
+
+use rand::Rng;
+
+/// Uniform in the *open* interval `(0, 1)` — safe for logarithms.
+#[inline]
+pub fn open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Exponential with the given `rate` (mean `1/rate`), by inversion.
+#[inline]
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    -open01(rng).ln() / rate
+}
+
+/// Standard normal via the Marsaglia polar method (no trig calls).
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// Normal with mean `mu` and standard deviation `sigma`.
+#[inline]
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// Normal truncated to `[0, ∞)` by rejection.
+///
+/// The paper uses "Gauss" laws for processing times, which must be
+/// non-negative; with the paper's parameters (`σ ≪ μ`) rejection is
+/// essentially free.  A safety valve falls back to `0` clamping if the
+/// acceptance probability is pathologically small (`μ ≤ −8σ`).
+pub fn normal_nonneg<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    if mu <= -8.0 * sigma {
+        return 0.0;
+    }
+    loop {
+        let x = normal(rng, mu, sigma);
+        if x >= 0.0 {
+            return x;
+        }
+    }
+}
+
+/// Gamma with the given `shape` (`k > 0`) and `scale` (`θ > 0`).
+///
+/// Marsaglia–Tsang squeeze method for `k ≥ 1`; the `k < 1` case uses the
+/// standard boost `Γ(k) = Γ(k+1) · U^{1/k}`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    if shape < 1.0 {
+        let u = open01(rng);
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = open01(rng);
+        // Squeeze check first (cheap), then the full log check.
+        if u < 1.0 - 0.033_1 * x * x * x * x {
+            return d * v * scale;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Beta(α, β) on `[0, 1]` via two gamma draws.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && b > 0.0);
+    let x = gamma(rng, alpha, 1.0);
+    let y = gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Uniform on `[a, b]`.
+#[inline]
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    debug_assert!(b >= a);
+    a + (b - a) * rng.gen::<f64>()
+}
+
+/// Weibull with the given `shape` (`k`) and `scale` (`λ`), by inversion.
+#[inline]
+pub fn weibull<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    scale * (-open01(rng).ln()).powf(1.0 / shape)
+}
+
+/// Pareto (type I) with tail index `alpha` and minimum `xm`, by inversion.
+#[inline]
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, xm: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && xm > 0.0);
+    xm / open01(rng).powf(1.0 / alpha)
+}
+
+/// Log-normal: `exp(N(mu, sigma))`.
+#[inline]
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Erlang(k, rate): sum of `k` exponentials — used as an exactness
+/// cross-check of the gamma sampler in tests.
+pub fn erlang<R: Rng + ?Sized>(rng: &mut R, k: u32, rate: f64) -> f64 {
+    debug_assert!(k > 0 && rate > 0.0);
+    let mut acc = 0.0;
+    for _ in 0..k {
+        acc += exponential(rng, rate);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    const N: usize = 200_000;
+
+    fn moments<F: FnMut(&mut crate::SimRng) -> f64>(seed: u64, mut f: F) -> (f64, f64) {
+        let mut rng = seeded_rng(seed);
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for i in 0..N {
+            let x = f(&mut rng);
+            let d = x - mean;
+            mean += d / (i as f64 + 1.0);
+            m2 += d * (x - mean);
+        }
+        (mean, m2 / (N as f64 - 1.0))
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let (m, v) = moments(1, |r| exponential(r, 0.5));
+        assert!((m - 2.0).abs() < 0.03, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let (m, v) = moments(2, |r| normal(r, 3.0, 2.0));
+        assert!((m - 3.0).abs() < 0.03);
+        assert!((v - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gamma_moments_large_shape() {
+        let (m, v) = moments(3, |r| gamma(r, 4.0, 1.5));
+        assert!((m - 6.0).abs() < 0.05, "mean {m}");
+        assert!((v - 9.0).abs() < 0.3, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_small_shape() {
+        let (m, v) = moments(4, |r| gamma(r, 0.5, 2.0));
+        assert!((m - 1.0).abs() < 0.03, "mean {m}");
+        assert!((v - 2.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn gamma_matches_erlang() {
+        // Gamma(3, 1/λ) and Erlang(3, λ) are the same law; compare moments.
+        let (mg, vg) = moments(5, |r| gamma(r, 3.0, 0.5));
+        let (me, ve) = moments(6, |r| erlang(r, 3, 2.0));
+        assert!((mg - me).abs() < 0.03, "{mg} vs {me}");
+        assert!((vg - ve).abs() < 0.05, "{vg} vs {ve}");
+    }
+
+    #[test]
+    fn beta_moments() {
+        // Beta(2,5): mean 2/7, var = αβ/((α+β)²(α+β+1)) = 10/(49·8).
+        let (m, v) = moments(7, |r| beta(r, 2.0, 5.0));
+        assert!((m - 2.0 / 7.0).abs() < 0.01);
+        assert!((v - 10.0 / (49.0 * 8.0)).abs() < 0.005);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let (m, v) = moments(8, |r| uniform(r, 2.0, 6.0));
+        assert!((m - 4.0).abs() < 0.02);
+        assert!((v - 16.0 / 12.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weibull_mean() {
+        // E = λ Γ(1 + 1/k).
+        let (m, _) = moments(9, |r| weibull(r, 2.0, 3.0));
+        let expect = 3.0 * crate::special::gamma(1.5);
+        assert!((m - expect).abs() < 0.03, "{m} vs {expect}");
+    }
+
+    #[test]
+    fn pareto_mean() {
+        // E = α xm / (α − 1) for α > 1.
+        let (m, _) = moments(10, |r| pareto(r, 3.0, 2.0));
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_mean() {
+        // E = exp(μ + σ²/2).
+        let (m, _) = moments(11, |r| log_normal(r, 0.0, 0.5));
+        let expect = (0.125f64).exp();
+        assert!((m - expect).abs() < 0.02, "{m} vs {expect}");
+    }
+
+    #[test]
+    fn nonneg_normal_is_nonneg() {
+        let mut rng = seeded_rng(12);
+        for _ in 0..10_000 {
+            assert!(normal_nonneg(&mut rng, 1.0, 2.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_goodness_of_fit() {
+        // Kolmogorov–Smirnov style check of the gamma sampler against the
+        // regularized incomplete gamma CDF at a handful of quantiles.
+        let shape = 2.5;
+        let mut rng = seeded_rng(13);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| gamma(&mut rng, shape, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = xs[(q * xs.len() as f64) as usize];
+            let p = crate::special::reg_lower_gamma(shape, x);
+            assert!((p - q).abs() < 0.01, "quantile {q}: p={p}");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Streaming statistics and Monte-Carlo run summaries.
+//!
+//! The paper's Figure 11 reports the minimum, maximum, average and standard
+//! deviation of the throughput across 500 simulation runs; [`RunSummary`]
+//! produces exactly those columns.  [`OnlineStats`] is a numerically stable
+//! Welford accumulator used everywhere a mean/variance of a stream is
+//! needed without storing it.
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot of the accumulator as a [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            count: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Summary of a set of Monte-Carlo runs (the columns of the paper's Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Number of runs.
+    pub count: u64,
+    /// Average value across runs.
+    pub mean: f64,
+    /// Sample standard deviation across runs.
+    pub std_dev: f64,
+    /// Smallest run value.
+    pub min: f64,
+    /// Largest run value.
+    pub max: f64,
+}
+
+impl RunSummary {
+    /// Summarize a slice of values.
+    pub fn of(values: &[f64]) -> Self {
+        let mut acc = OnlineStats::new();
+        for &v in values {
+            acc.push(v);
+        }
+        acc.summary()
+    }
+
+    /// Half-width of the normal-approximation confidence interval of the
+    /// mean at the given confidence level.
+    pub fn ci_halfwidth(&self, level: ConfidenceLevel) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        level.z() * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Supported confidence levels (normal approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceLevel {
+    /// 90% two-sided.
+    P90,
+    /// 95% two-sided.
+    P95,
+    /// 99% two-sided.
+    P99,
+    /// 99.9% two-sided — used by tests that must essentially never flake.
+    P999,
+}
+
+impl ConfidenceLevel {
+    /// The two-sided standard-normal quantile.
+    pub fn z(self) -> f64 {
+        match self {
+            ConfidenceLevel::P90 => 1.6449,
+            ConfidenceLevel::P95 => 1.9600,
+            ConfidenceLevel::P99 => 2.5758,
+            ConfidenceLevel::P999 => 3.2905,
+        }
+    }
+}
+
+/// CLT half-width for a mean estimated from `values` at `level`.
+pub fn ci_halfwidth(values: &[f64], level: ConfidenceLevel) -> f64 {
+    RunSummary::of(values).ci_halfwidth(level)
+}
+
+/// Empirical quantile (linear interpolation, `q ∈ [0, 1]`) of a sorted or
+/// unsorted slice.  Allocates a sorted copy; intended for reporting, not for
+/// hot loops.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.variance() - var).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 32.0);
+        assert_eq!(acc.count(), 6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.summary();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.summary(), before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.summary(), before);
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = RunSummary::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(
+            ci_halfwidth(&many, ConfidenceLevel::P95) < ci_halfwidth(&few, ConfidenceLevel::P95)
+        );
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+    }
+}

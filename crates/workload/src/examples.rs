@@ -1,0 +1,178 @@
+//! The paper's running examples.
+//!
+//! **Example A** (Figure 1): a four-stage pipeline mapped on seven
+//! processors with replication factors 1, 2, 3, 1 (six paths).  The
+//! original figure's speed/bandwidth numbers are not recoverable from the
+//! paper text (the figure's labels lost their attachment to nodes/edges in
+//! the archived version), so this module *reconstructs* an instance with
+//! the same structure, engineered to match the paper's headline
+//! qualitative facts: under Overlap the period is dictated by the output
+//! port of `P1` and equals 189; under Strict the period strictly exceeds
+//! the largest resource cycle time.  See `EXPERIMENTS.md`.
+//!
+//! **Example C** (Figure 6): stages replicated 5, 21, 27, 11 — the
+//! showcase for the column decomposition, with `m = lcm = 10395` rows and
+//! a second communication column of 3 components, 55 pattern copies each.
+
+use repstream_core::model::{Application, Mapping, Platform, System};
+use repstream_core::deterministic;
+use repstream_petri::shape::ExecModel;
+use repstream_stochastic::rng::seeded_rng;
+
+use rand::Rng;
+
+/// Example A, reconstructed (see module docs).
+///
+/// Teams: `T0 → {P0}`, `T1 → {P1, P2}`, `T2 → {P3, P4, P5}`,
+/// `T3 → {P6}`.
+pub fn example_a() -> System {
+    // Work in Mflop, sizes in MB, speeds in Mflop/s, bandwidths in MB/s:
+    // only the ratios matter.  P1's outgoing links are made slow so its
+    // output port is the critical resource under Overlap, as in the paper.
+    let app = Application::new(
+        vec![52.0, 95.0, 120.0, 60.0],
+        vec![57.0, 300.0, 73.0],
+    )
+    .unwrap();
+    let speeds = vec![165.0, 73.0, 77.0, 126.0, 147.0, 128.0, 186.0];
+    let mut platform = Platform::complete(speeds, 104.0).unwrap();
+    // Slow output links of P1 (to the three T2 processors).
+    for q in [3, 4, 5] {
+        platform.set_bandwidth(1, q, 22.0);
+    }
+    let mapping = Mapping::new(vec![
+        vec![0],
+        vec![1, 2],
+        vec![3, 4, 5],
+        vec![6],
+    ])
+    .unwrap();
+    let sys = System::new(app, platform, mapping).unwrap();
+
+    // Rescale the time unit so the Overlap period is exactly the paper's
+    // 189 (uniform scaling preserves which resource is critical).
+    // Times scale by `g = 189/P` when speeds and bandwidths divide by `g`.
+    let p = deterministic::analyze(&sys, ExecModel::Overlap).period;
+    let factor = 189.0 / p;
+    let speeds: Vec<f64> = (0..7).map(|q| sys.platform().speed(q) / factor).collect();
+    let mut platform = Platform::complete(speeds, 104.0 / factor).unwrap();
+    for q in [3, 4, 5] {
+        platform.set_bandwidth(1, q, 22.0 / factor);
+    }
+    System::new(
+        sys.app().clone(),
+        platform,
+        sys.mapping().clone(),
+    )
+    .unwrap()
+}
+
+/// Example C: replication 5, 21, 27, 11 on 64 processors.
+///
+/// `speed_spread`/`bw_spread` perturb speeds and bandwidths uniformly in
+/// `[1−s, 1+s]` around the nominal values (0 for a homogeneous platform).
+pub fn example_c(speed_spread: f64, bw_spread: f64, seed: u64) -> System {
+    let teams = [5usize, 21, 27, 11];
+    let m: usize = teams.iter().sum();
+    let mut rng = seeded_rng(seed);
+    let app = Application::new(
+        vec![100.0, 80.0, 120.0, 50.0],
+        vec![64.0, 64.0, 64.0],
+    )
+    .unwrap();
+    let speeds: Vec<f64> = (0..m)
+        .map(|_| 100.0 * (1.0 + speed_spread * (2.0 * rng.gen::<f64>() - 1.0)))
+        .collect();
+    let mut platform = Platform::complete(speeds, 1.0).unwrap();
+    for p in 0..m {
+        for q in 0..m {
+            if p != q {
+                let b = 32.0 * (1.0 + bw_spread * (2.0 * rng.gen::<f64>() - 1.0));
+                platform.set_bandwidth(p, q, b);
+            }
+        }
+    }
+    let mut teams_v = Vec::new();
+    let mut next = 0;
+    for &r in &teams {
+        teams_v.push((next..next + r).collect::<Vec<_>>());
+        next += r;
+    }
+    System::new(app, platform, Mapping::new(teams_v).unwrap()).unwrap()
+}
+
+/// The seven-stage pipeline replicated 1, 3, 4, 5, 6, 7, 1 used by the
+/// paper's Figures 10 and 11 (27 processors).
+pub fn seven_stage_pipeline() -> System {
+    let teams = [1usize, 3, 4, 5, 6, 7, 1];
+    let m: usize = teams.iter().sum();
+    let app = Application::new(
+        vec![10.0, 30.0, 40.0, 50.0, 60.0, 70.0, 10.0],
+        vec![20.0; 6],
+    )
+    .unwrap();
+    let platform = Platform::complete(vec![10.0; m], 20.0).unwrap();
+    let mut teams_v = Vec::new();
+    let mut next = 0;
+    for &r in &teams {
+        teams_v.push((next..next + r).collect::<Vec<_>>());
+        next += r;
+    }
+    System::new(app, platform, Mapping::new(teams_v).unwrap()).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_petri::shape::Resource;
+
+    #[test]
+    fn example_a_matches_paper_headlines() {
+        let sys = example_a();
+        assert_eq!(sys.shape().teams(), &[1, 2, 3, 1]);
+        assert_eq!(sys.shape().n_paths(), 6);
+        let det = deterministic::analyze(&sys, ExecModel::Overlap);
+        // The paper: Overlap period 189, critical resource = output port
+        // of P1 (a link out of stage-1 slot 0 in our indexing).
+        assert!((det.period - 189.0).abs() < 1e-6, "period {}", det.period);
+        assert!(det.has_critical_resource);
+        assert!(
+            det.critical_resources
+                .iter()
+                .any(|r| matches!(r, Resource::Link { file: 1, src: 0, .. })),
+            "critical: {:?}",
+            det.critical_resources
+        );
+    }
+
+    #[test]
+    fn example_a_strict_slower() {
+        let sys = example_a();
+        let ov = deterministic::analyze(&sys, ExecModel::Overlap);
+        let st = deterministic::analyze(&sys, ExecModel::Strict);
+        assert!(st.period > ov.period);
+        // Strict period must still respect the Mct lower bound.
+        assert!(st.period >= st.rows as f64 * st.mct - 1e-9);
+    }
+
+    #[test]
+    fn example_c_dimensions() {
+        let sys = example_c(0.0, 0.0, 1);
+        assert_eq!(sys.shape().n_paths(), 10395);
+        assert_eq!(sys.platform().n_processors(), 64);
+        // Columnwise Theorem 1 handles the 10395-row system instantly.
+        let rho = deterministic::throughput_columnwise(&sys);
+        assert!(rho > 0.0);
+    }
+
+    #[test]
+    fn seven_stage_shape() {
+        let sys = seven_stage_pipeline();
+        assert_eq!(sys.shape().n_paths(), 420);
+        let laws = repstream_core::timing::laws(
+            &sys,
+            repstream_stochastic::law::LawFamily::Deterministic,
+        );
+        let _ = laws; // timing plumbing works on the big example
+    }
+}

@@ -1,0 +1,211 @@
+//! Random instance families — the generator behind the paper's Table 1.
+//!
+//! The paper draws all relevant parameters (processor speeds, link
+//! bandwidths, replication factors) uniformly in stated ranges, and
+//! reports computation/communication *times* in seconds.  The generator
+//! therefore produces per-resource times directly, alongside the mapping
+//! shape.
+
+use rand::Rng;
+use repstream_petri::shape::{MappingShape, ResourceTable};
+use repstream_stochastic::rng::seeded_rng;
+
+/// Parameters of a random instance family (one row block of Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyParams {
+    /// Number of stages.
+    pub stages: usize,
+    /// Total number of processors distributed over teams.
+    pub processors: usize,
+    /// Computation times drawn uniformly from this range (seconds).
+    pub comp_range: (f64, f64),
+    /// Communication times drawn uniformly from this range (seconds).
+    pub comm_range: (f64, f64),
+}
+
+impl FamilyParams {
+    /// The instance families of Table 1, in row order, with their labels.
+    pub fn table1() -> Vec<(&'static str, FamilyParams)> {
+        let mk = |stages, processors, comp: (f64, f64), comm: (f64, f64)| FamilyParams {
+            stages,
+            processors,
+            comp_range: comp,
+            comm_range: comm,
+        };
+        vec![
+            ("(10,20) 5..15/5..15", mk(10, 20, (5.0, 15.0), (5.0, 15.0))),
+            ("(10,30) 5..15/5..15", mk(10, 30, (5.0, 15.0), (5.0, 15.0))),
+            (
+                "(10,20) 10..1000/10..1000",
+                mk(10, 20, (10.0, 1000.0), (10.0, 1000.0)),
+            ),
+            (
+                "(10,30) 10..1000/10..1000",
+                mk(10, 30, (10.0, 1000.0), (10.0, 1000.0)),
+            ),
+            ("(20,30) 5..15/5..15", mk(20, 30, (5.0, 15.0), (5.0, 15.0))),
+            (
+                "(20,30) 10..1000/10..1000",
+                mk(20, 30, (10.0, 1000.0), (10.0, 1000.0)),
+            ),
+            ("(2,7) 1/5..10", mk(2, 7, (1.0, 1.0), (5.0, 10.0))),
+            ("(3,7) 1/5..10", mk(3, 7, (1.0, 1.0), (5.0, 10.0))),
+            ("(2,7) 1/10..50", mk(2, 7, (1.0, 1.0), (10.0, 50.0))),
+            ("(3,7) 1/10..50", mk(3, 7, (1.0, 1.0), (10.0, 50.0))),
+        ]
+    }
+}
+
+/// One random instance: the mapping shape plus per-resource times.
+#[derive(Debug, Clone)]
+pub struct RandomInstance {
+    /// Team sizes.
+    pub shape: MappingShape,
+    /// Deterministic time of every resource (seconds).
+    pub times: ResourceTable<f64>,
+}
+
+/// Split `total` processors over `stages` non-empty teams uniformly.
+pub fn random_teams<R: Rng>(stages: usize, total: usize, rng: &mut R) -> Vec<usize> {
+    assert!(total >= stages, "need one processor per stage");
+    let mut teams = vec![1usize; stages];
+    for _ in 0..total - stages {
+        teams[rng.gen_range(0..stages)] += 1;
+    }
+    teams
+}
+
+/// Draw one instance of a family.
+pub fn instance<R: Rng>(params: &FamilyParams, rng: &mut R) -> RandomInstance {
+    let teams = random_teams(params.stages, params.processors, rng);
+    let shape = MappingShape::new(teams);
+    let (clo, chi) = params.comp_range;
+    let (mlo, mhi) = params.comm_range;
+    let draw = |lo: f64, hi: f64, rng: &mut R| {
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    };
+    // Borrow juggling: pre-draw into closures via local generators.
+    let times = {
+        let mut proc_vals = Vec::new();
+        for i in 0..shape.n_stages() {
+            let mut v = Vec::new();
+            for _ in 0..shape.team_size(i) {
+                v.push(draw(clo, chi, rng));
+            }
+            proc_vals.push(v);
+        }
+        let mut link_vals = Vec::new();
+        for i in 0..shape.n_stages().saturating_sub(1) {
+            let mut mat = Vec::new();
+            for _ in 0..shape.team_size(i) {
+                let mut row = Vec::new();
+                for _ in 0..shape.team_size(i + 1) {
+                    row.push(draw(mlo, mhi, rng));
+                }
+                mat.push(row);
+            }
+            link_vals.push(mat);
+        }
+        ResourceTable::from_fns(
+            &shape,
+            |s, p| proc_vals[s][p],
+            |f, s, d| link_vals[f][s][d],
+        )
+    };
+    RandomInstance { shape, times }
+}
+
+/// Iterator over `count` seeded instances of a family.
+pub fn instances(
+    params: FamilyParams,
+    count: usize,
+    seed: u64,
+) -> impl Iterator<Item = RandomInstance> {
+    instance_stream(params, seed).take(count)
+}
+
+/// Unbounded stream of seeded instances (callers may filter, e.g. by TPN
+/// size, and take as many as they need).
+pub fn instance_stream(
+    params: FamilyParams,
+    seed: u64,
+) -> impl Iterator<Item = RandomInstance> {
+    (0u64..).map(move |i| {
+        let mut rng = seeded_rng(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9));
+        instance(&params, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_petri::shape::Resource;
+
+    #[test]
+    fn teams_partition_processors() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let teams = random_teams(5, 17, &mut rng);
+            assert_eq!(teams.iter().sum::<usize>(), 17);
+            assert!(teams.iter().all(|&t| t >= 1));
+        }
+    }
+
+    #[test]
+    fn times_respect_ranges() {
+        let params = FamilyParams {
+            stages: 3,
+            processors: 7,
+            comp_range: (5.0, 15.0),
+            comm_range: (10.0, 50.0),
+        };
+        let mut rng = seeded_rng(2);
+        for _ in 0..20 {
+            let inst = instance(&params, &mut rng);
+            for (r, &t) in inst.times.iter() {
+                match r {
+                    Resource::Proc { .. } => {
+                        assert!((5.0..15.0).contains(&t), "{r}: {t}")
+                    }
+                    Resource::Link { .. } => {
+                        assert!((10.0..50.0).contains(&t), "{r}: {t}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let params = FamilyParams {
+            stages: 2,
+            processors: 7,
+            comp_range: (1.0, 1.0),
+            comm_range: (5.0, 10.0),
+        };
+        let mut rng = seeded_rng(3);
+        let inst = instance(&params, &mut rng);
+        for (r, &t) in inst.times.iter() {
+            if matches!(r, Resource::Proc { .. }) {
+                assert_eq!(t, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let params = FamilyParams::table1()[0].1;
+        let a: Vec<_> = instances(params, 3, 7).map(|i| i.shape).collect();
+        let b: Vec<_> = instances(params, 3, 7).map(|i| i.shape).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table1_has_all_families() {
+        assert_eq!(FamilyParams::table1().len(), 10);
+    }
+}

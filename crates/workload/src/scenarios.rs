@@ -1,0 +1,135 @@
+//! Parametric systems behind Figures 12–17.
+//!
+//! The communication-focused figures all use "a single communication
+//! between two negligible computations" with replication factors `u` and
+//! `v`; the fidelity figure (12) chains that pattern repeatedly.
+
+use rand::Rng;
+use repstream_core::model::{Application, Mapping, Platform, System};
+use repstream_stochastic::rng::seeded_rng;
+
+/// A single `u → v` communication between negligible computations
+/// (Figures 13 and 15–17).  `comm_time` is the homogeneous transfer time
+/// of every link.
+pub fn single_comm(u: usize, v: usize, comm_time: f64) -> System {
+    single_comm_with(u, v, |_, _| comm_time)
+}
+
+/// As [`single_comm`] with per-link transfer times (Figure 14's
+/// heterogeneous network).
+pub fn single_comm_with(
+    u: usize,
+    v: usize,
+    mut time: impl FnMut(usize, usize) -> f64,
+) -> System {
+    // File of unit size; bandwidth encodes the requested time.
+    let app = Application::new(vec![1e-9, 1e-9], vec![1.0]).unwrap();
+    let m = u + v;
+    let mut platform = Platform::complete(vec![1e9; m], 1.0).unwrap();
+    for s in 0..u {
+        for d in 0..v {
+            platform.set_bandwidth(s, u + d, 1.0 / time(s, d));
+        }
+    }
+    let mapping = Mapping::new(vec![
+        (0..u).collect::<Vec<_>>(),
+        (u..m).collect::<Vec<_>>(),
+    ])
+    .unwrap();
+    System::new(app, platform, mapping).unwrap()
+}
+
+/// Heterogeneous single communication: each link's mean time drawn
+/// uniformly in `[100, 1000]` (Figure 14).
+pub fn single_comm_heterogeneous(u: usize, v: usize, seed: u64) -> System {
+    let mut rng = seeded_rng(seed);
+    let mut times = vec![vec![0.0; v]; u];
+    for row in &mut times {
+        for t in row.iter_mut() {
+            *t = rng.gen_range(100.0..1000.0);
+        }
+    }
+    single_comm_with(u, v, |s, d| times[s][d])
+}
+
+/// Figure 12's repeated pattern: `reps` copies of a 2-stage block joined
+/// by a costly 5 → 7 communication.  Stage works are negligible; all the
+/// action is in the `reps` communication columns.
+///
+/// The resulting chain has `2·reps` stages alternating teams of 5 and 7.
+pub fn repeated_pattern(reps: usize, comm_time: f64) -> System {
+    assert!(reps >= 1);
+    let n = 2 * reps;
+    let work = vec![1e-9; n];
+    // Costly communication inside a block (5 → 7), negligible between
+    // blocks (7 → 5).
+    let mut sizes = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        sizes.push(if i % 2 == 0 { 1.0 } else { 1e-9 });
+    }
+    let app = Application::new(work, sizes).unwrap();
+
+    let per_block = 5 + 7;
+    let m = per_block * reps;
+    let platform = Platform::complete(vec![1e9; m], 1.0 / comm_time).unwrap();
+    let mut teams = Vec::with_capacity(n);
+    let mut next = 0;
+    for _ in 0..reps {
+        teams.push((next..next + 5).collect::<Vec<_>>());
+        next += 5;
+        teams.push((next..next + 7).collect::<Vec<_>>());
+        next += 7;
+    }
+    System::new(app, platform, Mapping::new(teams).unwrap()).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_core::{deterministic, exponential};
+    use repstream_petri::shape::ExecModel;
+
+    #[test]
+    fn single_comm_deterministic_rate() {
+        // u=2, v=3, time 1: deterministic ρ = min(u,v)/time = 2.
+        let sys = single_comm(2, 3, 1.0);
+        let det = deterministic::analyze(&sys, ExecModel::Overlap);
+        assert!((det.throughput - 2.0).abs() < 1e-6, "{}", det.throughput);
+    }
+
+    #[test]
+    fn single_comm_exponential_theorem4() {
+        let sys = single_comm(2, 3, 1.0);
+        let rep = exponential::throughput_overlap(&sys).unwrap();
+        assert!((rep.throughput - 1.5).abs() < 1e-6, "{}", rep.throughput);
+    }
+
+    #[test]
+    fn heterogeneous_times_in_range() {
+        let sys = single_comm_heterogeneous(3, 4, 9);
+        let times = repstream_core::timing::deterministic_times(&sys);
+        for (r, &t) in times.iter() {
+            if matches!(r, repstream_petri::shape::Resource::Link { .. }) {
+                assert!((100.0..1000.0).contains(&t), "{r}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_pattern_throughput_independent_of_reps() {
+        // Figure 12's point: no backward influence, so the rate does not
+        // change with the number of repeated blocks.
+        let r1 = deterministic::analyze(&repeated_pattern(1, 1.0), ExecModel::Overlap);
+        let r3 = deterministic::analyze(&repeated_pattern(3, 1.0), ExecModel::Overlap);
+        assert!(
+            (r1.throughput - r3.throughput).abs() < 1e-6 * r1.throughput,
+            "{} vs {}",
+            r1.throughput,
+            r3.throughput
+        );
+        // Exponential too (Theorem 3 decomposition).
+        let e1 = exponential::throughput_overlap(&repeated_pattern(1, 1.0)).unwrap();
+        let e3 = exponential::throughput_overlap(&repeated_pattern(3, 1.0)).unwrap();
+        assert!((e1.throughput - e3.throughput).abs() < 1e-9);
+    }
+}

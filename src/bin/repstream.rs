@@ -1,0 +1,219 @@
+//! `repstream` — command-line throughput analysis.
+//!
+//! ```sh
+//! repstream analyze system.rsys        # full report
+//! repstream dot system.rsys overlap    # Graphviz of the TPN
+//! repstream example-a                  # built-in Example A
+//! ```
+//!
+//! The `.rsys` format is a small line-oriented description (see
+//! [`repstream::workload` docs] and `parse_system`):
+//!
+//! ```text
+//! # comments and blank lines ignored
+//! stages    4
+//! work      52 95 120 60
+//! files     57 300 73
+//! speeds    165 73 77 126 147 128 186
+//! bandwidth 104                 # default for every link
+//! link      1 3 22              # override: proc 1 -> proc 3
+//! link      1 4 22
+//! team      0                   # stage 0 team: processor ids
+//! team      1 2
+//! team      3 4 5
+//! team      6
+//! ```
+
+use repstream::core::model::{Application, Mapping, Platform, System};
+use repstream::core::report::{system_report, ReportOptions};
+use repstream::petri::dot::to_dot;
+use repstream::petri::shape::ExecModel;
+use repstream::petri::tpn::Tpn;
+use repstream::workload::examples::example_a;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("analyze") => match args.get(1) {
+            Some(path) => match load(path) {
+                Ok(sys) => {
+                    print!("{}", system_report(&sys, ReportOptions::default()));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            },
+            None => usage(),
+        },
+        Some("dot") => {
+            let (path, model) = match (args.get(1), args.get(2)) {
+                (Some(p), m) => (p, m.map(String::as_str).unwrap_or("overlap")),
+                _ => return usage(),
+            };
+            let model = match model {
+                "overlap" => ExecModel::Overlap,
+                "strict" => ExecModel::Strict,
+                other => {
+                    eprintln!("error: unknown model {other} (overlap|strict)");
+                    return 2;
+                }
+            };
+            match load(path) {
+                Ok(sys) => {
+                    let tpn = Tpn::build(&sys.shape(), model);
+                    print!("{}", to_dot(&tpn));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            }
+        }
+        Some("example-a") => {
+            print!("{}", system_report(&example_a(), ReportOptions::default()));
+            0
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: repstream <analyze FILE | dot FILE [overlap|strict] | example-a>");
+    2
+}
+
+fn load(path: &str) -> Result<System, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_system(&text)
+}
+
+/// Parse the `.rsys` line format (see the module docs).
+pub fn parse_system(text: &str) -> Result<System, String> {
+    let mut work: Option<Vec<f64>> = None;
+    let mut files: Vec<f64> = Vec::new();
+    let mut speeds: Option<Vec<f64>> = None;
+    let mut default_bw: Option<f64> = None;
+    let mut links: Vec<(usize, usize, f64)> = Vec::new();
+    let mut teams: Vec<Vec<usize>> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().unwrap();
+        let rest: Vec<&str> = it.collect();
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let floats = |rest: &[&str]| -> Result<Vec<f64>, String> {
+            rest.iter()
+                .map(|t| t.parse::<f64>().map_err(|_| err(&format!("bad number {t}"))))
+                .collect()
+        };
+        match key {
+            "stages" => { /* informational; validated against work below */ }
+            "work" => work = Some(floats(&rest)?),
+            "files" => files = floats(&rest)?,
+            "speeds" => speeds = Some(floats(&rest)?),
+            "bandwidth" => {
+                default_bw = Some(
+                    rest.first()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bandwidth needs one number"))?,
+                )
+            }
+            "link" => {
+                if rest.len() != 3 {
+                    return Err(err("link needs: src dst bandwidth"));
+                }
+                let p: usize = rest[0].parse().map_err(|_| err("bad src"))?;
+                let q: usize = rest[1].parse().map_err(|_| err("bad dst"))?;
+                let b: f64 = rest[2].parse().map_err(|_| err("bad bandwidth"))?;
+                links.push((p, q, b));
+            }
+            "team" => {
+                let ids: Result<Vec<usize>, _> = rest.iter().map(|t| t.parse()).collect();
+                teams.push(ids.map_err(|_| err("bad processor id"))?);
+            }
+            other => return Err(err(&format!("unknown key {other}"))),
+        }
+    }
+
+    let work = work.ok_or("missing `work` line")?;
+    let speeds = speeds.ok_or("missing `speeds` line")?;
+    let bw = default_bw.ok_or("missing `bandwidth` line")?;
+    let app = Application::new(work, files).map_err(|e| e.to_string())?;
+    let mut platform = Platform::complete(speeds, bw).map_err(|e| e.to_string())?;
+    for (p, q, b) in links {
+        if p >= platform.n_processors() || q >= platform.n_processors() {
+            return Err(format!("link {p}->{q}: processor out of range"));
+        }
+        platform.set_bandwidth(p, q, b);
+    }
+    let mapping = Mapping::new(teams).map_err(|e| e.to_string())?;
+    System::new(app, platform, mapping).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_system;
+
+    const EXAMPLE: &str = "
+# Example A-like instance
+stages    4
+work      52 95 120 60
+files     57 300 73
+speeds    165 73 77 126 147 128 186
+bandwidth 104
+link      1 3 22
+link      1 4 22
+link      1 5 22
+team      0
+team      1 2
+team      3 4 5
+team      6
+";
+
+    #[test]
+    fn parses_the_documented_format() {
+        let sys = parse_system(EXAMPLE).unwrap();
+        assert_eq!(sys.shape().teams(), &[1, 2, 3, 1]);
+        assert_eq!(sys.platform().bandwidth(1, 3), 22.0);
+        assert_eq!(sys.platform().bandwidth(0, 1), 104.0);
+        assert_eq!(sys.app().file_size(1), 300.0);
+    }
+
+    #[test]
+    fn reports_missing_sections() {
+        assert!(parse_system("work 1 2\nfiles 3").unwrap_err().contains("speeds"));
+        assert!(parse_system("speeds 1\nbandwidth 1\nteam 0")
+            .unwrap_err()
+            .contains("work"));
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let err = parse_system("work 1 x").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_system("work 1\nnope 3").unwrap_err();
+        assert!(err.contains("unknown key nope"), "{err}");
+    }
+
+    #[test]
+    fn validates_model_semantics() {
+        // Reused processor.
+        let err = parse_system(
+            "work 1 1\nfiles 1\nspeeds 1 1\nbandwidth 1\nteam 0\nteam 0",
+        )
+        .unwrap_err();
+        assert!(err.contains("more than one stage"), "{err}");
+    }
+}

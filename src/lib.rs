@@ -1,0 +1,17 @@
+//! # repstream — throughput of probabilistic and replicated streaming applications
+//!
+//! Facade crate re-exporting the whole `repstream` workspace, a Rust
+//! reproduction of *“Computing the Throughput of Probabilistic and
+//! Replicated Streaming Applications”* (Benoit, Gallet, Gaujal, Robert —
+//! SPAA 2010 / INRIA RR-7510).
+//!
+//! See the [`core`] crate for the main entry points, and the repository
+//! `README.md` / `DESIGN.md` for the architecture.
+
+pub use repstream_core as core;
+pub use repstream_markov as markov;
+pub use repstream_maxplus as maxplus;
+pub use repstream_petri as petri;
+pub use repstream_platformsim as platformsim;
+pub use repstream_stochastic as stochastic;
+pub use repstream_workload as workload;

@@ -1,0 +1,130 @@
+//! End-to-end integration across all crates on the paper's Example A:
+//! model → TPN → analyses → simulators must tell one consistent story.
+
+use repstream::core::simulate::{throughput_once, MonteCarloOptions, SimEngine};
+use repstream::core::{bounds, deterministic, exponential, timing};
+use repstream::petri::shape::ExecModel;
+use repstream::stochastic::law::LawFamily;
+use repstream::workload::examples::{example_a, seven_stage_pipeline};
+
+#[test]
+fn example_a_full_story() {
+    let sys = example_a();
+
+    // Deterministic analysis, both models.
+    let ov = deterministic::analyze(&sys, ExecModel::Overlap);
+    let st = deterministic::analyze(&sys, ExecModel::Strict);
+    assert!((ov.period - 189.0).abs() < 1e-6);
+    assert!(st.throughput < ov.throughput);
+
+    // Columnwise Theorem 1 agrees with the global method.
+    let colwise = deterministic::throughput_columnwise(&sys);
+    assert!((colwise - ov.throughput).abs() < 1e-9 * ov.throughput);
+
+    // All three simulators agree with the analysis (deterministic laws).
+    let det_laws = timing::laws(&sys, LawFamily::Deterministic);
+    for model in [ExecModel::Overlap, ExecModel::Strict] {
+        let analytic = deterministic::analyze(&sys, model).throughput;
+        for engine in [SimEngine::EventGraph, SimEngine::Platform, SimEngine::Chain] {
+            let v = throughput_once(
+                &sys,
+                model,
+                &det_laws,
+                MonteCarloOptions {
+                    datasets: 30_000,
+                    warmup: 15_000,
+                    seed: 1,
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                (v - analytic).abs() < 0.01 * analytic,
+                "{model:?}/{}: {v} vs {analytic}",
+                engine.label()
+            );
+        }
+    }
+
+    // Exponential decomposition matches the event-graph simulator.
+    let exp = exponential::throughput_overlap(&sys).unwrap();
+    let exp_laws = timing::laws(&sys, LawFamily::Exponential);
+    let sim = throughput_once(
+        &sys,
+        ExecModel::Overlap,
+        &exp_laws,
+        MonteCarloOptions {
+            datasets: 300_000,
+            warmup: 30_000,
+            seed: 2,
+            engine: SimEngine::EventGraph,
+            ..Default::default()
+        },
+    );
+    assert!(
+        (sim - exp.throughput).abs() < 0.02 * exp.throughput,
+        "exp analysis {} vs sim {sim}",
+        exp.throughput
+    );
+}
+
+#[test]
+fn example_a_nbue_sandwich() {
+    let sys = example_a();
+    for model in [ExecModel::Overlap, ExecModel::Strict] {
+        let b = bounds::nbue_bounds(&sys, model).unwrap();
+        assert!(b.lower <= b.upper);
+        for fam in [
+            LawFamily::Gamma(3.0),
+            LawFamily::BetaSym(2.0),
+            LawFamily::Weibull(2.0),
+        ] {
+            let laws = timing::laws(&sys, fam);
+            let v = throughput_once(
+                &sys,
+                model,
+                &laws,
+                MonteCarloOptions {
+                    datasets: 60_000,
+                    warmup: 10_000,
+                    seed: 3,
+                    engine: SimEngine::Chain,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                b.contains(v, 0.03),
+                "{model:?} {}: {v} not in [{}, {}]",
+                fam.label(),
+                b.lower,
+                b.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn non_nbue_law_can_escape_below() {
+    // A DFR law (Pareto) on the seven-stage system should fall *below*
+    // the exponential bound — the escape direction Theorem 7 permits.
+    let sys = seven_stage_pipeline();
+    let b = bounds::nbue_bounds(&sys, ExecModel::Overlap).unwrap();
+    let laws = timing::laws(&sys, LawFamily::Pareto(1.5));
+    let v = throughput_once(
+        &sys,
+        ExecModel::Overlap,
+        &laws,
+        MonteCarloOptions {
+            datasets: 60_000,
+            warmup: 10_000,
+            seed: 4,
+            engine: SimEngine::Chain,
+            ..Default::default()
+        },
+    );
+    assert!(
+        v < b.lower,
+        "Pareto(1.5) run {v} did not drop below the exponential bound {}",
+        b.lower
+    );
+}

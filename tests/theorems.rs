@@ -1,0 +1,104 @@
+//! Cross-crate property checks of the paper's theorems on random systems.
+
+use proptest::prelude::*;
+use repstream::core::model::{Application, Mapping, Platform, System};
+use repstream::core::{deterministic, exponential};
+use repstream::petri::shape::ExecModel;
+
+fn arb_system() -> impl Strategy<Value = System> {
+    // 2–3 stages, teams of 1–3 processors, heterogeneous speeds/links.
+    (
+        proptest::collection::vec(1usize..4, 2..4),
+        proptest::collection::vec(0.5..4.0f64, 12),
+        proptest::collection::vec(0.5..4.0f64, 16),
+    )
+        .prop_map(|(teams, speeds, bws)| {
+            let n = teams.len();
+            let total: usize = teams.iter().sum();
+            let app = Application::new(
+                (0..n).map(|i| 2.0 + i as f64).collect(),
+                vec![3.0; n - 1],
+            )
+            .unwrap();
+            let sp: Vec<f64> = (0..total).map(|p| speeds[p % speeds.len()]).collect();
+            let mut platform = Platform::complete(sp, 1.0).unwrap();
+            for p in 0..total {
+                for q in 0..total {
+                    if p != q {
+                        platform.set_bandwidth(p, q, bws[(3 * p + q) % bws.len()]);
+                    }
+                }
+            }
+            let mut teams_v = Vec::new();
+            let mut next = 0;
+            for &r in &teams {
+                teams_v.push((next..next + r).collect::<Vec<_>>());
+                next += r;
+            }
+            System::new(app, platform, Mapping::new(teams_v).unwrap()).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn exponential_never_exceeds_deterministic(sys in arb_system()) {
+        // Theorem 7's two extremes for the Overlap model.
+        let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let exp = exponential::throughput_overlap(&sys).unwrap().throughput;
+        prop_assert!(exp <= det * (1.0 + 1e-9), "exp {exp} > det {det}");
+    }
+
+    #[test]
+    fn strict_never_exceeds_overlap(sys in arb_system()) {
+        let ov = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let st = deterministic::analyze(&sys, ExecModel::Strict).throughput;
+        prop_assert!(st <= ov * (1.0 + 1e-9), "strict {st} > overlap {ov}");
+    }
+
+    #[test]
+    fn columnwise_equals_global(sys in arb_system()) {
+        // Theorem 1's algorithm is exact.
+        let global = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let colwise = deterministic::throughput_columnwise(&sys);
+        prop_assert!(
+            (global - colwise).abs() < 1e-9 * global,
+            "global {global} vs columnwise {colwise}"
+        );
+    }
+
+    #[test]
+    fn throughput_bounded_by_mct(sys in arb_system()) {
+        // §2.3: 1/Mct is an upper bound in both models.
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let rep = deterministic::analyze(&sys, model);
+            prop_assert!(rep.throughput <= rep.bound_throughput * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn time_scaling_scales_throughput(sys in arb_system(), c in 0.5..3.0f64) {
+        // Scaling every speed and bandwidth by c multiplies ρ by c —
+        // a consistency check across model → timing → analysis.
+        let base = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let total = sys.platform().n_processors();
+        let speeds: Vec<f64> = (0..total).map(|p| sys.platform().speed(p) * c).collect();
+        let mut platform = Platform::complete(speeds, 1.0).unwrap();
+        for p in 0..total {
+            for q in 0..total {
+                if p != q {
+                    platform.set_bandwidth(p, q, sys.platform().bandwidth(p, q) * c);
+                }
+            }
+        }
+        let scaled = System::new(
+            sys.app().clone(),
+            platform,
+            sys.mapping().clone(),
+        ).unwrap();
+        let fast = deterministic::analyze(&scaled, ExecModel::Overlap).throughput;
+        prop_assert!((fast - c * base).abs() < 1e-9 * fast.max(1.0),
+            "{fast} vs {}", c * base);
+    }
+}
