@@ -27,21 +27,23 @@ fn bench_engines(c: &mut Criterion) {
     ];
     for (label, shape) in &shapes {
         let times = times_for(shape);
-        group.bench_with_input(BenchmarkId::new("global_howard", label), shape, |b, shape| {
-            // Include TPN + graph construction: that is the real cost of
-            // the global method.
-            b.iter(|| {
-                let tpn = Tpn::build(shape, ExecModel::Overlap);
-                let g = tpn.to_token_graph(&times);
-                maximum_cycle_ratio(&g).unwrap().ratio
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("global_howard", label),
+            shape,
+            |b, shape| {
+                // Include TPN + graph construction: that is the real cost of
+                // the global method.
+                b.iter(|| {
+                    let tpn = Tpn::build(shape, ExecModel::Overlap);
+                    let g = tpn.to_token_graph(&times);
+                    maximum_cycle_ratio(&g).unwrap().ratio
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("columnwise_thm1", label),
             shape,
-            |b, shape| {
-                b.iter(|| deterministic::throughput_columnwise_shape(shape, &times))
-            },
+            |b, shape| b.iter(|| deterministic::throughput_columnwise_shape(shape, &times)),
         );
     }
     // Columnwise also handles shapes whose TPN would be enormous.

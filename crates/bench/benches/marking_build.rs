@@ -1,0 +1,59 @@
+//! Marking-graph BFS construction cost (the arena/interning hot path),
+//! on safe pattern nets and capacity-bounded tandem nets of several sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::net::{comm_pattern, EventNet};
+
+/// A tandem of `n` exponential servers with self-loop clocks — every
+/// forward place accumulates, so a capacity bound is required and the
+/// state space is `(cap+1)^(n-1)`-ish: a good stress of the interner.
+fn tandem(n: usize) -> EventNet {
+    let rates = vec![1.0; n];
+    let mut places = Vec::new();
+    for t in 0..n {
+        places.push((t, t, 1)); // self-loop clock
+        if t + 1 < n {
+            places.push((t, t + 1, 0)); // forward buffer
+        }
+    }
+    EventNet::new(rates, places)
+}
+
+fn bench_marking_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marking_build");
+    group.sample_size(10);
+
+    // Safe pattern nets (Theorem 3): markings stay 0/1.
+    for (u, v) in [(3, 4), (4, 5), (5, 6)] {
+        let net = comm_pattern(u, v, |a, b| 0.4 + ((3 * a + b) % 5) as f64 * 0.25);
+        let states = MarkingGraph::build(&net, MarkingOptions::default())
+            .unwrap()
+            .n_states();
+        let label = format!("{u}x{v} ({states} states)");
+        group.bench_with_input(BenchmarkId::new("safe_pattern", &label), &net, |b, net| {
+            b.iter(|| MarkingGraph::build(net, MarkingOptions::default()).unwrap())
+        });
+    }
+
+    // Capacity-bounded tandems: multi-token markings, big state spaces.
+    for (n, cap) in [(4, 6), (5, 5), (6, 4)] {
+        let net = tandem(n);
+        let opts = MarkingOptions {
+            max_states: 1 << 22,
+            capacity: Some(cap),
+        };
+        let states = MarkingGraph::build(&net, opts).unwrap().n_states();
+        let label = format!("n={n} cap={cap} ({states} states)");
+        group.bench_with_input(
+            BenchmarkId::new("capacity_tandem", &label),
+            &net,
+            |b, net| b.iter(|| MarkingGraph::build(net, opts).unwrap()),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_marking_build);
+criterion_main!(benches);

@@ -9,7 +9,11 @@ fn bench_pattern(c: &mut Criterion) {
     group.sample_size(10);
     for (u, v) in [(2, 3), (3, 4), (3, 5), (4, 5), (4, 7)] {
         let rate: Vec<Vec<f64>> = (0..u)
-            .map(|a| (0..v).map(|b| 0.5 + ((a + 2 * b) % 4) as f64 * 0.3).collect())
+            .map(|a| {
+                (0..v)
+                    .map(|b| 0.5 + ((a + 2 * b) % 4) as f64 * 0.3)
+                    .collect()
+            })
             .collect();
         let label = format!("{u}x{v} S={}", state_count(u, v));
         group.bench_with_input(

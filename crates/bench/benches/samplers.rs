@@ -12,7 +12,13 @@ fn bench_samplers(c: &mut Criterion) {
         ("gamma2", Law::gamma_mean(2.0, 1.0)),
         ("gamma0.5", Law::gamma_mean(0.5, 1.0)),
         ("beta2", Law::beta_sym(2.0, 1.0)),
-        ("gauss", Law::NormalNonneg { mu: 1.0, sigma: 0.2 }),
+        (
+            "gauss",
+            Law::NormalNonneg {
+                mu: 1.0,
+                sigma: 0.2,
+            },
+        ),
         ("weibull", Law::weibull_mean(2.0, 1.0)),
         ("pareto", Law::pareto_mean(2.5, 1.0)),
         ("lognormal", Law::log_normal_mean(1.0, 0.5)),

@@ -1,5 +1,8 @@
-//! Stationary solvers (GTH vs uniformized power iteration) on pattern
-//! marking chains of growing size.
+//! Stationary solvers (GTH, uniformized power iteration, Gauss–Seidel,
+//! and the auto-selection policy) on pattern marking chains of growing
+//! size.  The `gth`/`power` series predate the CSR engine and are the
+//! seed-comparable rows; `gauss_seidel`/`auto` document why the selection
+//! policy prefers relaxation above the measured ~30-state crossover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repstream_markov::marking::{MarkingGraph, MarkingOptions};
@@ -17,6 +20,12 @@ fn bench_stationary(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("power", &label), &mg, |b, mg| {
             b.iter(|| mg.ctmc.stationary_power(1e-12, 200_000))
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel", &label), &mg, |b, mg| {
+            b.iter(|| mg.ctmc.stationary_gauss_seidel(1e-14, 10_000))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", &label), &mg, |b, mg| {
+            b.iter(|| mg.ctmc.stationary())
         });
     }
     group.finish();

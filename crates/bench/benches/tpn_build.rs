@@ -17,11 +17,9 @@ fn bench_build(c: &mut Criterion) {
     ];
     for (label, shape) in &shapes {
         for model in [ExecModel::Overlap, ExecModel::Strict] {
-            group.bench_with_input(
-                BenchmarkId::new(model.label(), label),
-                shape,
-                |b, shape| b.iter(|| Tpn::build(std::hint::black_box(shape), model)),
-            );
+            group.bench_with_input(BenchmarkId::new(model.label(), label), shape, |b, shape| {
+                b.iter(|| Tpn::build(std::hint::black_box(shape), model))
+            });
         }
     }
     group.finish();

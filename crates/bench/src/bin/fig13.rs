@@ -22,12 +22,7 @@ fn main() {
     };
     let datasets = if args.smoke { 10_000 } else { 60_000 };
 
-    let mut table = Table::new(&[
-        "u.v",
-        "Cst (sim)",
-        "Exp (sim)",
-        "Exp (Theorem 4)",
-    ]);
+    let mut table = Table::new(&["u.v", "Cst (sim)", "Exp (sim)", "Exp (Theorem 4)"]);
     for &u in &range {
         for &v in &range {
             let sys = single_comm(u, v, 1.0);

@@ -58,10 +58,16 @@ fn main() {
             let cst_plat = sim(LawFamily::Deterministic, SimEngine::Platform, args.seed);
             table.row(vec![
                 format!("{u}.{v}"),
-                Table::num(sim(LawFamily::Deterministic, SimEngine::EventGraph, args.seed) / cst_plat),
+                Table::num(
+                    sim(LawFamily::Deterministic, SimEngine::EventGraph, args.seed) / cst_plat,
+                ),
                 Table::num(1.0),
-                Table::num(sim(LawFamily::Exponential, SimEngine::EventGraph, args.seed ^ 7) / cst_plat),
-                Table::num(sim(LawFamily::Exponential, SimEngine::Platform, args.seed ^ 9) / cst_plat),
+                Table::num(
+                    sim(LawFamily::Exponential, SimEngine::EventGraph, args.seed ^ 7) / cst_plat,
+                ),
+                Table::num(
+                    sim(LawFamily::Exponential, SimEngine::Platform, args.seed ^ 9) / cst_plat,
+                ),
                 Table::num(thm3 / cst_plat),
                 Table::num(det / cst_plat),
             ]);

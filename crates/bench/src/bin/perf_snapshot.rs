@@ -1,0 +1,107 @@
+//! Machine-readable CTMC engine snapshot: times the marking BFS and every
+//! stationary solver on pattern chains of growing size and writes the
+//! results as JSON (`BENCH_ctmc.json` by default, `--out` to override).
+//!
+//! The JSON is the before/after record demanded by the CSR-engine rework:
+//! run it on two checkouts and diff the numbers.  It is also how the
+//! GTH ↔ Gauss–Seidel crossover of `Ctmc::stationary` was tuned — the
+//! pattern sizes span 12 to 1260 states, bracketing both selection
+//! thresholds (`GTH_SMALL_N` and the old hard-coded 1500).
+//!
+//! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
+
+use repstream_bench::Args;
+use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::net::comm_pattern;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One `"key": value` line of a JSON object body.
+fn field(out: &mut String, indent: &str, key: &str, value: impl std::fmt::Display, last: bool) {
+    let comma = if last { "" } else { "," };
+    writeln!(out, "{indent}\"{key}\": {value}{comma}").unwrap();
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_ctmc.json".into());
+    let reps = if args.smoke { 1 } else { 5 };
+    let patterns: &[(usize, usize)] = if args.smoke {
+        &[(2, 3), (3, 4)]
+    } else {
+        &[(2, 3), (3, 4), (3, 5), (4, 5), (4, 7), (5, 6)]
+    };
+
+    let mut json = String::from("{\n  \"benches\": [\n");
+    for (idx, &(u, v)) in patterns.iter().enumerate() {
+        let net = comm_pattern(u, v, |a, b| 0.4 + ((3 * a + b) % 5) as f64 * 0.25);
+        let opts = MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+        };
+        let t_build = timed(reps, || MarkingGraph::build(&net, opts).unwrap());
+        let mg = MarkingGraph::build(&net, opts).unwrap();
+        let c = &mg.ctmc;
+        let t_gth = timed(reps, || c.stationary_gth());
+        let t_power = timed(reps, || c.stationary_power(1e-12, 200_000));
+        let t_gs = timed(reps, || c.stationary_gauss_seidel(1e-14, 10_000));
+        let t_auto = timed(reps, || c.stationary());
+        let pi = c.stationary();
+        let residual = c.stationarity_residual(&pi);
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        field(&mut json, ind, "pattern", format!("\"{u}x{v}\""), false);
+        field(&mut json, ind, "states", c.n_states(), false);
+        field(&mut json, ind, "nnz", c.nnz(), false);
+        field(&mut json, ind, "build_s", format!("{t_build:.3e}"), false);
+        field(&mut json, ind, "gth_s", format!("{t_gth:.3e}"), false);
+        field(&mut json, ind, "power_s", format!("{t_power:.3e}"), false);
+        field(
+            &mut json,
+            ind,
+            "gauss_seidel_s",
+            format!("{t_gs:.3e}"),
+            false,
+        );
+        field(&mut json, ind, "auto_s", format!("{t_auto:.3e}"), false);
+        field(
+            &mut json,
+            ind,
+            "auto_residual",
+            format!("{residual:.3e}"),
+            true,
+        );
+        let comma = if idx + 1 == patterns.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "{u}x{v}: states {} build {:.1?}us gth {:.1?}us power {:.1?}us gs {:.1?}us auto {:.1?}us",
+            c.n_states(),
+            t_build * 1e6,
+            t_gth * 1e6,
+            t_power * 1e6,
+            t_gs * 1e6,
+            t_auto * 1e6,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+}

@@ -37,13 +37,7 @@ fn main() {
         }
     };
 
-    let mut table = Table::new(&[
-        "family",
-        "model",
-        "no_critical",
-        "total",
-        "max_rel_gap_%",
-    ]);
+    let mut table = Table::new(&["family", "model", "no_critical", "total", "max_rel_gap_%"]);
     let mut grand_total = 0usize;
     for (label, params) in FamilyParams::table1() {
         for model in [ExecModel::Overlap, ExecModel::Strict] {
@@ -67,8 +61,7 @@ fn main() {
                             skipped += 1;
                             continue;
                         }
-                        let rep =
-                            deterministic::analyze_shape(&inst.shape, model, &inst.times);
+                        let rep = deterministic::analyze_shape(&inst.shape, model, &inst.times);
                         (rep.throughput, rep.bound_throughput)
                     }
                 };
@@ -82,7 +75,10 @@ fn main() {
                 }
             }
             if skipped > 0 {
-                eprintln!("note: {label}/{}: skipped {skipped} instances with lcm > {MAX_ROWS_STRICT}", model.label());
+                eprintln!(
+                    "note: {label}/{}: skipped {skipped} instances with lcm > {MAX_ROWS_STRICT}",
+                    model.label()
+                );
             }
             grand_total += n;
             table.row(vec![

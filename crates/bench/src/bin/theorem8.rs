@@ -89,8 +89,7 @@ fn main() {
                 warmup: datasets / 10,
                 seed: split_seed(args.seed, rep as u64),
             };
-            rho_assoc +=
-                egsim::simulate_associated(&tpn, &assoc, opts).steady_throughput;
+            rho_assoc += egsim::simulate_associated(&tpn, &assoc, opts).steady_throughput;
             rho_iid += egsim::simulate(&tpn, &iid, opts).steady_throughput;
         }
         rho_assoc /= replications as f64;

@@ -64,7 +64,11 @@ fn main() {
                     },
                 )
             });
-            table.row(vec![format!("eg_sim {label}"), k.to_string(), Table::num(t)]);
+            table.row(vec![
+                format!("eg_sim {label}"),
+                k.to_string(),
+                Table::num(t),
+            ]);
             let (_, t) = timed(|| {
                 platformsim::simulate(
                     &shape,

@@ -68,7 +68,7 @@ impl Args {
                             .unwrap_or_else(|| usage("--out needs a path")),
                     );
                 }
-                "--help" | "-h" => usage("",),
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
             i += 1;
@@ -159,9 +159,8 @@ impl Table {
             writeln!(lock, "{}", fmt_row(r)).unwrap();
         }
         if let Some(path) = out {
-            let mut f = std::io::BufWriter::new(
-                std::fs::File::create(path).expect("create output file"),
-            );
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(path).expect("create output file"));
             writeln!(f, "{}", self.headers.join(",")).unwrap();
             for r in &self.rows {
                 writeln!(f, "{}", r.join(",")).unwrap();

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box` — over a simple adaptive timing loop:
+//! per sample the iteration count is chosen so a batch runs ≥ ~20 ms, then
+//! `sample_size` samples are collected and min / median / mean per-iteration
+//! times are printed.  No statistics beyond that, no HTML reports, no
+//! baseline storage; `BENCH_*` JSON snapshots are produced by the dedicated
+//! `perf_snapshot` binary instead.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! body exactly once, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time of one measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+/// Hard per-benchmark time budget.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a function by name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64, test_mode: bool) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        test_mode,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, f: &mut F) {
+    if test_mode {
+        time_batch(f, 1, true);
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let budget = Instant::now();
+    // Calibrate: grow the iteration count until a batch takes long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_batch(f, iters, false);
+        if t >= BATCH_TARGET || budget.elapsed() > BENCH_BUDGET / 2 {
+            break;
+        }
+        let grow = if t.is_zero() {
+            16.0
+        } else {
+            (BATCH_TARGET.as_secs_f64() / t.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = time_batch(f, iters, false);
+        per_iter.push(t.as_secs_f64() / iters as f64);
+        if budget.elapsed() > BENCH_BUDGET {
+            break;
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{label}: min {} / median {} / mean {}  ({} iters × {} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        iters,
+        per_iter.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("gth", "3x4").label, "gth/3x4");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn bencher_times_work() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        b.iter(|| black_box(3u64).pow(7));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 0);
+    }
+}

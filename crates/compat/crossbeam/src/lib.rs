@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — since Rust 1.63 the standard
+//! library's `std::thread::scope` offers the same structured-concurrency
+//! guarantee, so the shim is a thin adapter that keeps crossbeam's calling
+//! convention (`scope(|s| …)` returning a `Result`, `s.spawn(|_| …)`).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (`crossbeam::thread` subset).
+pub mod thread {
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            std::thread::ScopedJoinHandle::join(self.inner)
+        }
+    }
+
+    /// A scope in which threads borrowing local data may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread.  The closure receives the scope (to match
+        /// crossbeam's signature); nested spawning is not needed here.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Self) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller.
+    ///
+    /// Always returns `Ok`: with `std::thread::scope`, a panic in a child
+    /// propagates when the scope exits rather than being captured here, so
+    /// the `Result` exists purely for crossbeam API compatibility.
+    ///
+    /// # Errors
+    /// Never fails (see above).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! thin slice of `rand` it actually uses: the [`Rng`] / [`SeedableRng`]
+//! traits, a xoshiro256++ [`rngs::SmallRng`], uniform range sampling for the
+//! integer and float ranges the generators need, and
+//! [`seq::SliceRandom::shuffle`].  Semantics follow the real crate closely
+//! enough for every caller here (statistical quality, determinism under a
+//! fixed seed); bit-exact compatibility with upstream streams is *not* a
+//! goal.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness: the `rand::Rng` surface this workspace uses.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of a primitive type (`rand`'s `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform value in a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible uniformly from raw bits (`rand`'s `Standard`).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly (`rand`'s `SampleRange`).
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one value from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased integer draw in `[0, n)` by Lemire-style rejection.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0);
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every u64 value is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * rng.gen::<f64>()
+    }
+}
+
+/// Deterministic construction from seeds (`rand`'s `SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator — xoshiro256++ (the same family
+    /// the real `SmallRng` uses on 64-bit targets).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (`rand::seq` subset).
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Commonly imported names (`rand::prelude` subset).
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..7);
+            assert!((3..7).contains(&v));
+            let w = r.gen_range(2usize..=4);
+            assert!((2..=4).contains(&w));
+            let f = r.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+}

@@ -58,9 +58,7 @@ pub fn simulate(
     let mut rng = seeded_rng(opts.seed);
 
     // Per-(stage, slot) clocks; communications also key on the receiver.
-    let mut comp_free: Vec<Vec<f64>> = (0..n)
-        .map(|i| vec![0.0; shape.team_size(i)])
-        .collect();
+    let mut comp_free: Vec<Vec<f64>> = (0..n).map(|i| vec![0.0; shape.team_size(i)]).collect();
     let mut out_free = comp_free.clone();
     let mut in_free = comp_free.clone();
     // Strict: one clock per processor.
@@ -80,15 +78,17 @@ pub fn simulate(
                 let file = stage - 1;
                 let src = d % shape.team_size(file);
                 let y = laws
-                    .get(Resource::Link { file, src, dst: slot })
+                    .get(Resource::Link {
+                        file,
+                        src,
+                        dst: slot,
+                    })
                     .sample(&mut rng);
                 let start = match model {
-                    ExecModel::Overlap => ready
-                        .max(out_free[file][src])
-                        .max(in_free[stage][slot]),
-                    ExecModel::Strict => ready
-                        .max(unit_free[file][src])
-                        .max(unit_free[stage][slot]),
+                    ExecModel::Overlap => ready.max(out_free[file][src]).max(in_free[stage][slot]),
+                    ExecModel::Strict => {
+                        ready.max(unit_free[file][src]).max(unit_free[stage][slot])
+                    }
                 };
                 let end = start + y;
                 match model {

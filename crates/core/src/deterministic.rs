@@ -112,10 +112,7 @@ pub fn throughput_columnwise(system: &System) -> f64 {
 }
 
 /// As [`throughput_columnwise`], working on a shape and time table.
-pub fn throughput_columnwise_shape(
-    shape: &MappingShape,
-    times: &ResourceTable<f64>,
-) -> f64 {
+pub fn throughput_columnwise_shape(shape: &MappingShape, times: &ResourceTable<f64>) -> f64 {
     let n = shape.n_stages();
     let mut best = f64::INFINITY;
 
@@ -162,9 +159,7 @@ fn pattern_period(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64)
         let dst = (k + v) % n;
         g.add_arc(k, dst, w[dst], u32::from(k + v >= n));
     }
-    maximum_cycle_ratio(&g)
-        .expect("pattern has cycles")
-        .ratio
+    maximum_cycle_ratio(&g).expect("pattern has cycles").ratio
 }
 
 #[cfg(test)]
@@ -194,11 +189,7 @@ mod tests {
 
     #[test]
     fn columnwise_matches_global_homogeneous() {
-        let sys = simple_system(
-            vec![vec![0, 1], vec![2, 3, 4]],
-            vec![1.0; 5],
-            4.0,
-        );
+        let sys = simple_system(vec![vec![0, 1], vec![2, 3, 4]], vec![1.0; 5], 4.0);
         let global = analyze(&sys, ExecModel::Overlap).throughput;
         let colwise = throughput_columnwise(&sys);
         assert!(
@@ -211,11 +202,7 @@ mod tests {
     fn columnwise_matches_global_heterogeneous() {
         // Heterogeneous speeds and bandwidths.
         let app = Application::new(vec![4.0, 9.0, 2.0], vec![6.0, 8.0]).unwrap();
-        let mut platform = Platform::complete(
-            vec![2.0, 1.0, 3.0, 1.5, 2.5, 1.0],
-            2.0,
-        )
-        .unwrap();
+        let mut platform = Platform::complete(vec![2.0, 1.0, 3.0, 1.5, 2.5, 1.0], 2.0).unwrap();
         platform.set_bandwidth(0, 1, 5.0);
         platform.set_bandwidth(0, 2, 1.0);
         platform.set_bandwidth(1, 3, 3.0);

@@ -121,10 +121,7 @@ pub fn throughput_overlap(system: &System) -> Result<ExpReport, ExpError> {
 }
 
 /// As [`throughput_overlap`] with explicit budgets.
-pub fn throughput_overlap_opts(
-    system: &System,
-    opts: ExpOptions,
-) -> Result<ExpReport, ExpError> {
+pub fn throughput_overlap_opts(system: &System, opts: ExpOptions) -> Result<ExpReport, ExpError> {
     let rates = exponential_rates(system);
     throughput_overlap_with_rates(&system.shape(), &rates, opts)
 }
@@ -184,13 +181,13 @@ pub fn throughput_overlap_with_rates(
                 let matrix: Vec<Vec<f64>> = (0..up)
                     .map(|a| (0..vp).map(|b| rate_at(a, b)).collect())
                     .collect();
-                pattern::pattern_throughput(&matrix, opts.max_pattern_states).map_err(
-                    |source| ExpError::PatternTooLarge {
+                pattern::pattern_throughput(&matrix, opts.max_pattern_states).map_err(|source| {
+                    ExpError::PatternTooLarge {
                         u: up,
                         v: vp,
                         source,
-                    },
-                )?
+                    }
+                })?
             };
             candidates.push(Candidate {
                 place: ColumnRef::Comm { file, component },
@@ -293,7 +290,10 @@ mod tests {
         assert!((rep.throughput - 1.0 / 8.0).abs() < 1e-12, "{rep:?}");
         assert_eq!(
             rep.bottleneck.place,
-            ColumnRef::Comm { file: 0, component: 0 }
+            ColumnRef::Comm {
+                file: 0,
+                component: 0
+            }
         );
     }
 
@@ -301,11 +301,7 @@ mod tests {
     fn components_split_by_gcd() {
         // 2 → 4: g = 2 components of 1×2 patterns; inner = 2λ/2 = λ each,
         // candidate = g·λ = 2λ.
-        let sys = system(
-            vec![vec![0, 1], vec![2, 3, 4, 5]],
-            vec![100.0; 6],
-            1.0,
-        );
+        let sys = system(vec![vec![0, 1], vec![2, 3, 4, 5]], vec![100.0; 6], 1.0);
         let rep = throughput_overlap(&sys).unwrap();
         let comm: Vec<&Candidate> = rep
             .candidates

@@ -89,7 +89,10 @@ pub fn greedy(
     let n = app.n_stages();
     let m = platform.n_processors();
     if m < n {
-        return Err(OptError::NotEnoughProcessors { procs: m, stages: n });
+        return Err(OptError::NotEnoughProcessors {
+            procs: m,
+            stages: n,
+        });
     }
     // Processors fastest-first; stages heaviest-first.
     let mut procs: Vec<usize> = (0..m).collect();
@@ -146,7 +149,10 @@ pub fn random_mapping<R: Rng>(
     let n = app.n_stages();
     let m = platform.n_processors();
     if m < n {
-        return Err(OptError::NotEnoughProcessors { procs: m, stages: n });
+        return Err(OptError::NotEnoughProcessors {
+            procs: m,
+            stages: n,
+        });
     }
     let mut procs: Vec<usize> = (0..m).collect();
     procs.shuffle(rng);
@@ -176,7 +182,7 @@ pub fn random_search(
     for _ in 0..iters.max(1) {
         let mapping = random_mapping(app, platform, &mut rng)?;
         let throughput = score(app, platform, &mapping, model)?;
-        if best.as_ref().map_or(true, |b| throughput > b.throughput) {
+        if best.as_ref().is_none_or(|b| throughput > b.throughput) {
             best = Some(ScoredMapping {
                 mapping,
                 throughput,
@@ -281,9 +287,12 @@ mod tests {
         let (app, platform) = instance();
         let start = Mapping::new(vec![vec![0], vec![1], vec![2]]).unwrap();
         let base = score(&app, &platform, &start, ExecModel::Overlap).unwrap();
-        let improved =
-            local_search(&app, &platform, &start, ExecModel::Overlap, 10).unwrap();
-        assert!(improved.throughput >= base, "{} < {base}", improved.throughput);
+        let improved = local_search(&app, &platform, &start, ExecModel::Overlap, 10).unwrap();
+        assert!(
+            improved.throughput >= base,
+            "{} < {base}",
+            improved.throughput
+        );
     }
 
     #[test]
@@ -292,7 +301,10 @@ mod tests {
         let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
         assert!(matches!(
             greedy(&app, &platform, ExecModel::Overlap).unwrap_err(),
-            OptError::NotEnoughProcessors { procs: 2, stages: 4 }
+            OptError::NotEnoughProcessors {
+                procs: 2,
+                stages: 4
+            }
         ));
     }
 

@@ -260,11 +260,7 @@ pub struct System {
 
 impl System {
     /// Validate cross-references and build.
-    pub fn new(
-        app: Application,
-        platform: Platform,
-        mapping: Mapping,
-    ) -> Result<Self, ModelError> {
+    pub fn new(app: Application, platform: Platform, mapping: Mapping) -> Result<Self, ModelError> {
         if app.n_stages() != mapping.n_stages() {
             return Err(ModelError::StageCountMismatch {
                 app: app.n_stages(),

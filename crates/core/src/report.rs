@@ -54,8 +54,12 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
     writeln!(s, "  throughput (Theorem 1) = {rho_cw:.6}").unwrap();
     if shape.n_paths() <= opts.max_rows_strict {
         let det = deterministic::analyze(system, ExecModel::Overlap);
-        writeln!(s, "  period P = {:.6}   1/Mct = {:.6}", det.period, det.bound_throughput)
-            .unwrap();
+        writeln!(
+            s,
+            "  period P = {:.6}   1/Mct = {:.6}",
+            det.period, det.bound_throughput
+        )
+        .unwrap();
         writeln!(
             s,
             "  critical resource dictates rate: {}",
@@ -97,8 +101,13 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
             writeln!(s, "  bottleneck: {}", describe(rep.bottleneck.place)).unwrap();
             if opts.list_candidates {
                 for c in &rep.candidates {
-                    writeln!(s, "    {:<28} candidate rate {:.6}", describe(c.place), c.rate)
-                        .unwrap();
+                    writeln!(
+                        s,
+                        "    {:<28} candidate rate {:.6}",
+                        describe(c.place),
+                        c.rate
+                    )
+                    .unwrap();
                 }
             }
         }

@@ -40,11 +40,7 @@ pub fn laws(system: &System, family: LawFamily) -> ResourceTable<Law> {
 }
 
 /// Law table with separate families for computations and communications.
-pub fn laws_split(
-    system: &System,
-    comp: LawFamily,
-    comm: LawFamily,
-) -> ResourceTable<Law> {
+pub fn laws_split(system: &System, comp: LawFamily, comm: LawFamily) -> ResourceTable<Law> {
     deterministic_times(system).map(|r, &t| match r {
         Resource::Proc { .. } => comp.law_with_mean(t),
         Resource::Link { .. } => comm.law_with_mean(t),
@@ -82,8 +78,22 @@ mod tests {
         assert_eq!(*t.get(Resource::Proc { stage: 1, slot: 1 }), 3.0);
         // File 0 (12 bytes) from proc 2: to proc 0 (bw 3) = 4; to proc 1
         // (bw 1) = 12.
-        assert_eq!(*t.get(Resource::Link { file: 0, src: 0, dst: 0 }), 4.0);
-        assert_eq!(*t.get(Resource::Link { file: 0, src: 0, dst: 1 }), 12.0);
+        assert_eq!(
+            *t.get(Resource::Link {
+                file: 0,
+                src: 0,
+                dst: 0
+            }),
+            4.0
+        );
+        assert_eq!(
+            *t.get(Resource::Link {
+                file: 0,
+                src: 0,
+                dst: 1
+            }),
+            12.0
+        );
     }
 
     #[test]
@@ -121,9 +131,15 @@ mod tests {
     fn split_laws_differ_by_kind() {
         let s = system();
         let l = laws_split(&s, LawFamily::Deterministic, LawFamily::Exponential);
-        assert!(l.get(Resource::Proc { stage: 0, slot: 0 }).is_deterministic());
         assert!(l
-            .get(Resource::Link { file: 0, src: 0, dst: 0 })
+            .get(Resource::Proc { stage: 0, slot: 0 })
+            .is_deterministic());
+        assert!(l
+            .get(Resource::Link {
+                file: 0,
+                src: 0,
+                dst: 0
+            })
             .is_exponential());
     }
 }

@@ -52,8 +52,8 @@ fn theorem8_ordering_holds() {
         seed: 99,
     };
     // High variability (cv = √2) to make the gaps visible.
-    let rho_assoc = egsim::simulate_associated(&tpn, &associated_laws(&sys, 0.5), opts)
-        .steady_throughput;
+    let rho_assoc =
+        egsim::simulate_associated(&tpn, &associated_laws(&sys, 0.5), opts).steady_throughput;
     let iid = timing::laws(&sys, LawFamily::Gamma(0.5));
     let rho_iid = egsim::simulate(&tpn, &iid, opts).steady_throughput;
 
@@ -81,7 +81,9 @@ fn associated_with_constant_sizes_is_deterministic() {
     let n = sys.app().n_stages();
     let laws = AssociatedLaws {
         work: (0..n).map(|i| Law::det(sys.app().work(i))).collect(),
-        file: (0..n - 1).map(|i| Law::det(sys.app().file_size(i))).collect(),
+        file: (0..n - 1)
+            .map(|i| Law::det(sys.app().file_size(i)))
+            .collect(),
         rates: associated_laws(&sys, 1.0).rates,
     };
     let r = egsim::simulate_associated(

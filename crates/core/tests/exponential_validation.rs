@@ -70,7 +70,13 @@ fn theorem3_heterogeneous_pattern_matches_simulation() {
 #[test]
 fn theorem3_components_with_gcd() {
     // 4 → 6: g = 2 components of 2×3 patterns with different rates.
-    let bw = |s: usize, d: usize| if s % 2 == 0 && d % 2 == 0 { 0.6 } else { 1.2 };
+    let bw = |s: usize, d: usize| {
+        if s.is_multiple_of(2) && d.is_multiple_of(2) {
+            0.6
+        } else {
+            1.2
+        }
+    };
     let sys = comm_bound_system(4, 6, bw);
     let exact = throughput_overlap(&sys).unwrap().throughput;
     let sim = sim_exp(&sys, ExecModel::Overlap, 160_000);

@@ -1,22 +1,175 @@
 //! Continuous-time Markov chains and stationary solvers.
 //!
-//! The chains produced by marking graphs are irreducible (every state is
-//! positive recurrent, as the paper notes below Theorem 2), so a unique
-//! stationary distribution exists.  Two solvers:
+//! # Storage: flat CSR
+//!
+//! A [`Ctmc`] holds its generator in **compressed sparse row** form — three
+//! flat arrays instead of one heap allocation per state:
+//!
+//! ```text
+//!   row_ptr : [u32; n+1]   row s occupies entries row_ptr[s]..row_ptr[s+1]
+//!   col     : [u32; nnz]   transition targets
+//!   rate    : [f64; nnz]   transition rates (no self-loops; the diagonal
+//!                          of the generator is implied)
+//! ```
+//!
+//! Construction also caches everything every solver would otherwise
+//! recompute per call:
+//!
+//! * `exit[s]` — total exit rate of each state (one pass, reused by
+//!   uniformization, Gauss–Seidel and the residual check);
+//! * `lambda` — the uniformization constant `Λ = 1.1 · max_s exit[s]`;
+//! * an **incoming** CSR (the transpose: for each state, the sources and
+//!   rates of its in-transitions) with the uniformized probabilities
+//!   `rate / Λ` precomputed, so the power sweep is pure multiply-add with
+//!   no division on the hot path.
+//!
+//! The incoming layout turns the power sweep from a *scatter*
+//! (`next[target] += …`, which would need atomics or replication to
+//! parallelize) into a *gather* (`next[j] = Σ …`), so rows of `next` can be
+//! computed independently: the sweep is chunked across threads with each
+//! thread owning a disjoint slice of the output.  The reduction order
+//! within each entry is fixed by the CSR layout, so results are **bitwise
+//! deterministic for any thread count** (the build environment has no
+//! `rayon`, so the chunked loop runs on `std::thread::scope`; with one
+//! available core it degrades to the plain sequential loop).
+//!
+//! # Solvers
 //!
 //! * [`Ctmc::stationary_gth`] — Grassmann–Taksar–Heyman elimination on the
-//!   uniformized chain.  Subtraction-free, hence numerically stable; `O(n³)`
-//!   time, `O(n²)` space — the default up to ~1 500 states;
-//! * [`Ctmc::stationary_power`] — uniformized power iteration; sparse,
-//!   `O(iters · nnz)`, used for the larger Strict marking graphs.
+//!   uniformized chain.  Subtraction-free, hence numerically stable;
+//!   `O(n³)` time, `O(n²)` space.  The elimination is right-looking
+//!   (rank-1 updates trailing the eliminated state) with the divisor
+//!   applied once per pivot row (`s_inv`) instead of once per column
+//!   entry;
+//! * [`Ctmc::stationary_power`] — uniformized power iteration over the
+//!   incoming CSR: cache-linear, parallelizable, `O(iters · nnz)`, with
+//!   periodic renormalization and a safeguarded reduced-rank (vector
+//!   Aitken Δ²) extrapolation burst every [`RRE_PERIOD`] sweeps;
+//! * [`Ctmc::stationary_gauss_seidel`] — Gauss–Seidel relaxation of the
+//!   balance equations `π_j · exit_j = Σ_{i→j} π_i r_ij` using the latest
+//!   values in place.  On the sparse, shallow marking chains of this
+//!   repository it converges in tens of sweeps, so its `O(sweeps · nnz)`
+//!   beats GTH's `O(n³)` by orders of magnitude at a few hundred states.
 //!
-//! [`Ctmc::stationary`] picks automatically; the test-suite pins both
-//! solvers against each other and against closed forms.
+//! # Selection policy ([`Ctmc::stationary`])
+//!
+//! Measured on the pattern chains of the `stationary` bench (see
+//! `ROADMAP.md` for the numbers):
+//!
+//! * `n ≤ 32` — GTH: the dense elimination is at its fastest and exact to
+//!   rounding; the measured GTH↔Gauss–Seidel crossover sits near 30
+//!   states for marking-graph densities (see `BENCH_ctmc.json`);
+//! * dense chains (`nnz > n²/4`) up to 1 500 states — GTH: elimination
+//!   cost is amortized by the dense rows, and relaxation loses its
+//!   `nnz ≪ n²` advantage;
+//! * everything else — Gauss–Seidel, verified against the stationarity
+//!   residual; if it has not converged to [`GS_RESIDUAL_TOL`] the solver
+//!   falls back to the (slower, unconditionally convergent) power
+//!   iteration.  This replaces the seed's hard-coded `n ≤ 1500` GTH/power
+//!   split.
 
-/// A CTMC in sparse row form: `trans[s]` lists `(target, rate)`.
+/// A CTMC in flat compressed-sparse-row form.
 #[derive(Debug, Clone)]
 pub struct Ctmc {
-    trans: Vec<Vec<(usize, f64)>>,
+    n: usize,
+    /// Outgoing CSR: row `s` is `col/rate[row_ptr[s]..row_ptr[s+1]]`.
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    rate: Vec<f64>,
+    /// Cached per-state exit rates (sum of outgoing rates).
+    exit: Vec<f64>,
+    /// Uniformization constant `Λ` (max exit rate, padded 10%).
+    lambda: f64,
+    /// Incoming CSR (transpose): entries of column `j` gathered per row.
+    in_ptr: Vec<u32>,
+    in_src: Vec<u32>,
+    in_rate: Vec<f64>,
+    /// `in_rate / Λ`, precomputed for the uniformized sweeps.
+    in_prob: Vec<f64>,
+}
+
+/// States per thread below which the parallel sweep is not worth spawning.
+const PAR_MIN_ROWS: usize = 4096;
+
+/// Sweeps between renormalizations of the power iterate (FP drift guard).
+const NORM_PERIOD: usize = 32;
+
+/// Sweeps between convergence checks of the power iteration (the L1
+/// change is a separate sequential pass, done only on checking
+/// iterations so the hot path stays one sweep per iteration).
+const CHECK_PERIOD: usize = 8;
+
+/// Iterates per reduced-rank-extrapolation burst (window size).
+pub const RRE_WINDOW: usize = 6;
+
+/// Sweeps between extrapolation bursts of the power iteration.
+pub const RRE_PERIOD: usize = 24;
+
+/// GTH is used below this state count regardless of density.  Measured
+/// with `perf_snapshot` on pattern chains: GTH wins at 12 states
+/// (0.5 µs vs 0.8 µs Gauss–Seidel) and loses from 60 states up
+/// (7.2 µs vs 3.1 µs), so the crossover sits near 30.
+const GTH_SMALL_N: usize = 32;
+
+/// GTH is used up to this state count when the chain is dense.
+const GTH_DENSE_N: usize = 1500;
+
+/// Residual (max-norm, rate-relative) Gauss–Seidel must reach before its
+/// result is trusted by [`Ctmc::stationary`].
+const GS_RESIDUAL_TOL: f64 = 1e-10;
+
+/// Incremental builder used by the marking BFS: rows are appended in
+/// state order straight into the flat arrays, no nested `Vec`s.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+    rate: Vec<f64>,
+}
+
+impl Default for CsrBuilder {
+    fn default() -> Self {
+        CsrBuilder::with_capacity(0, 0)
+    }
+}
+
+impl CsrBuilder {
+    /// Builder with capacity hints (states, transitions).
+    pub fn with_capacity(states: usize, entries: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(states + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            row_ptr,
+            col: Vec::with_capacity(entries),
+            rate: Vec::with_capacity(entries),
+        }
+    }
+
+    /// Append one transition to the row currently being built.
+    #[inline]
+    pub fn push(&mut self, target: usize, rate: f64) {
+        debug_assert!(rate > 0.0 && rate.is_finite(), "rates must be positive");
+        self.col.push(target as u32);
+        self.rate.push(rate);
+    }
+
+    /// Close the current row.
+    #[inline]
+    pub fn end_row(&mut self) {
+        self.row_ptr
+            .push(u32::try_from(self.col.len()).expect("nnz overflows u32"));
+    }
+
+    /// Number of complete rows so far.
+    pub fn n_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finish into a [`Ctmc`], validating targets against the final state
+    /// count.
+    pub fn finish(self) -> Ctmc {
+        Ctmc::from_csr(self.row_ptr, self.col, self.rate)
+    }
 }
 
 impl Ctmc {
@@ -24,85 +177,186 @@ impl Ctmc {
     /// self-transitions; diagonal entries of the generator are implied).
     pub fn new(trans: Vec<Vec<(usize, f64)>>) -> Self {
         let n = trans.len();
+        let nnz: usize = trans.iter().map(Vec::len).sum();
+        let mut b = CsrBuilder::with_capacity(n, nnz);
         for row in &trans {
             for &(j, r) in row {
-                assert!(j < n, "dangling transition target");
-                assert!(r > 0.0 && r.is_finite(), "rates must be positive");
+                b.push(j, r);
+            }
+            b.end_row();
+        }
+        b.finish()
+    }
+
+    /// Build from raw CSR arrays (`row_ptr.len() == n + 1`).
+    ///
+    /// # Panics
+    /// Panics on malformed `row_ptr`, dangling targets, or non-positive
+    /// rates.
+    pub fn from_csr(row_ptr: Vec<u32>, col: Vec<u32>, rate: Vec<f64>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr needs a leading 0");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        let n = row_ptr.len() - 1;
+        let nnz = col.len();
+        assert_eq!(rate.len(), nnz);
+        assert_eq!(row_ptr[n] as usize, nnz, "row_ptr must end at nnz");
+        assert!(n < u32::MAX as usize, "state count overflows u32");
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be non-decreasing");
+        }
+        for (&j, &r) in col.iter().zip(rate.iter()) {
+            assert!((j as usize) < n, "dangling transition target");
+            assert!(r > 0.0 && r.is_finite(), "rates must be positive");
+        }
+
+        // Cached exit rates and uniformization constant: one pass.
+        let mut exit = vec![0.0f64; n];
+        for s in 0..n {
+            let (lo, hi) = (row_ptr[s] as usize, row_ptr[s + 1] as usize);
+            exit[s] = rate[lo..hi].iter().sum();
+        }
+        let lambda = (exit.iter().fold(0.0f64, |m, &e| m.max(e)) * 1.1).max(1e-300);
+
+        // Incoming CSR by counting sort over targets (stable: sources
+        // appear in ascending order within each row of the transpose).
+        let mut in_ptr = vec![0u32; n + 1];
+        for &j in &col {
+            in_ptr[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            in_ptr[j + 1] += in_ptr[j];
+        }
+        let mut next = in_ptr.clone();
+        let mut in_src = vec![0u32; nnz];
+        let mut in_rate = vec![0.0f64; nnz];
+        for s in 0..n {
+            let (lo, hi) = (row_ptr[s] as usize, row_ptr[s + 1] as usize);
+            for e in lo..hi {
+                let j = col[e] as usize;
+                let slot = next[j] as usize;
+                next[j] += 1;
+                in_src[slot] = s as u32;
+                in_rate[slot] = rate[e];
             }
         }
-        Ctmc { trans }
+        let inv_lambda = 1.0 / lambda;
+        let in_prob: Vec<f64> = in_rate.iter().map(|&r| r * inv_lambda).collect();
+
+        Ctmc {
+            n,
+            row_ptr,
+            col,
+            rate,
+            exit,
+            lambda,
+            in_ptr,
+            in_src,
+            in_rate,
+            in_prob,
+        }
     }
 
     /// Number of states.
     pub fn n_states(&self) -> usize {
-        self.trans.len()
+        self.n
     }
 
     /// Number of non-zero rate entries.
     pub fn nnz(&self) -> usize {
-        self.trans.iter().map(Vec::len).sum()
+        self.col.len()
     }
 
-    /// Outgoing transitions of state `s`.
-    pub fn row(&self, s: usize) -> &[(usize, f64)] {
-        &self.trans[s]
+    /// Targets of the outgoing transitions of state `s`.
+    #[inline]
+    pub fn row_targets(&self, s: usize) -> &[u32] {
+        &self.col[self.row_ptr[s] as usize..self.row_ptr[s + 1] as usize]
     }
 
-    /// Total exit rate of state `s`.
+    /// Rates of the outgoing transitions of state `s` (same order as
+    /// [`Ctmc::row_targets`]).
+    #[inline]
+    pub fn row_rates(&self, s: usize) -> &[f64] {
+        &self.rate[self.row_ptr[s] as usize..self.row_ptr[s + 1] as usize]
+    }
+
+    /// Outgoing transitions of state `s` as `(target, rate)` pairs.
+    #[inline]
+    pub fn row(&self, s: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_targets(s)
+            .iter()
+            .zip(self.row_rates(s))
+            .map(|(&j, &r)| (j as usize, r))
+    }
+
+    /// Total exit rate of state `s` (cached at construction).
+    #[inline]
     pub fn exit_rate(&self, s: usize) -> f64 {
-        self.trans[s].iter().map(|&(_, r)| r).sum()
+        self.exit[s]
     }
 
-    /// Uniformization constant (max exit rate, padded 10%).
-    fn uniformization(&self) -> f64 {
-        let max = (0..self.n_states())
-            .map(|s| self.exit_rate(s))
-            .fold(0.0, f64::max);
-        (max * 1.1).max(1e-300)
+    /// Uniformization constant `Λ = 1.1 · max_s exit_rate(s)`, computed
+    /// once at construction from the cached exit rates (the seed
+    /// recomputed every exit rate — a full extra pass over the nnz — on
+    /// each call).
+    #[inline]
+    pub fn uniformization(&self) -> f64 {
+        self.lambda
     }
 
     /// Stationary distribution by GTH elimination (subtraction-free).
     ///
     /// Works on the uniformized DTMC `P = I + Q/Λ`, which has the same
-    /// stationary vector.  `O(n³)`; intended for ≤ ~1500 states.
+    /// stationary vector.  `O(n³)` time, `O(n²)` space.  Right-looking:
+    /// eliminating state `k` rank-1-updates the leading `k × k` block;
+    /// the departure mass `S_k` is divided into the pivot row once
+    /// (`s_inv`) rather than into each of the `k` column entries, and the
+    /// back-substitution applies the same factor symbolically.
     pub fn stationary_gth(&self) -> Vec<f64> {
-        let n = self.n_states();
+        let n = self.n;
         assert!(n > 0);
         if n == 1 {
             return vec![1.0];
         }
-        let lam = self.uniformization();
-        // Dense uniformized chain.
+        let inv_lambda = 1.0 / self.lambda;
+        // Dense uniformized chain, built in one pass over the CSR.
         let mut p = vec![0.0f64; n * n];
-        for (s, row) in self.trans.iter().enumerate() {
-            let mut self_p = 1.0;
-            for &(j, r) in row {
-                p[s * n + j] += r / lam;
-                self_p -= r / lam;
+        for s in 0..n {
+            let row = &mut p[s * n..(s + 1) * n];
+            for (j, r) in self.row_targets(s).iter().zip(self.row_rates(s)) {
+                row[*j as usize] += r * inv_lambda;
             }
-            p[s * n + s] += self_p;
+            row[s] += 1.0 - self.exit[s] * inv_lambda;
         }
         // GTH elimination: for k = n−1 … 1, redistribute state k's
         // probability flow over the remaining states using only additions
-        // and divisions (Grassmann–Taksar–Heyman).  The entries p[i][k]
-        // (i < k) are divided by the departure mass S_k of state k, so the
-        // back-substitution can use them directly.
+        // and divisions (Grassmann–Taksar–Heyman).  The pivot row is
+        // scaled by 1/S_k once; the raw column entries p[i][k] stay in
+        // place and the factor is re-applied during back-substitution.
+        let mut s_inv = vec![0.0f64; n];
         for k in (1..n).rev() {
-            let s: f64 = (0..k).map(|j| p[k * n + j]).sum();
+            let (top, pivot) = p.split_at_mut(k * n);
+            let pivot = &mut pivot[..k];
+            let s: f64 = pivot.iter().sum();
             debug_assert!(s > 0.0, "reducible chain during GTH at state {k}");
-            for i in 0..k {
-                p[i * n + k] /= s;
+            let inv = 1.0 / s;
+            s_inv[k] = inv;
+            for v in pivot.iter_mut() {
+                *v *= inv;
             }
+            // Rank-1 update of the leading k × k block: row i gains
+            // p[i][k] · pivot.  Skip rows with no mass on column k (sparse
+            // chains stay sparse through the early eliminations).
             for i in 0..k {
-                let pik = p[i * n + k];
+                let pik = top[i * n + k];
                 if pik > 0.0 {
-                    for j in 0..k {
-                        p[i * n + j] += pik * p[k * n + j];
+                    let row = &mut top[i * n..i * n + k];
+                    for (v, &pk) in row.iter_mut().zip(pivot.iter()) {
+                        *v += pik * pk;
                     }
                 }
             }
         }
-        // Back-substitution.
+        // Back-substitution: pi[k] = S_k⁻¹ · Σ_{i<k} pi[i] p[i][k].
         let mut pi = vec![0.0f64; n];
         pi[0] = 1.0;
         for k in 1..n {
@@ -110,76 +364,367 @@ impl Ctmc {
             for i in 0..k {
                 acc += pi[i] * p[i * n + k];
             }
-            pi[k] = acc;
+            pi[k] = acc * s_inv[k];
         }
         let total: f64 = pi.iter().sum();
+        let inv_total = 1.0 / total;
         for v in &mut pi {
-            *v /= total;
+            *v *= inv_total;
         }
         pi
+    }
+
+    /// One uniformized power sweep over the incoming CSR:
+    /// `next[j] = Σ_{i→j} pi[i]·(r/Λ) + pi[j]·stay[j]` — a gather, so
+    /// disjoint chunks of `next` are independent.  Every entry of `next`
+    /// is reduced in CSR order regardless of chunking, so the output is
+    /// bitwise deterministic for any thread count (convergence is judged
+    /// by a separate sequential pass in the caller for the same reason:
+    /// a chunk-grouped partial sum would make the stopping scalar depend
+    /// on the core count).
+    fn power_sweep(&self, pi: &[f64], next: &mut [f64], stay: &[f64]) {
+        let threads = sweep_threads(self.n);
+        if threads <= 1 {
+            self.power_sweep_range(pi, next, stay, 0);
+            return;
+        }
+        let chunk = self.n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, out) in next.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    self.power_sweep_range(pi, out, stay, start);
+                });
+            }
+        });
+    }
+
+    /// Sequential kernel of [`Ctmc::power_sweep`] for rows
+    /// `start..start + out.len()` (deterministic: the per-entry reduction
+    /// order is the CSR order, independent of chunking).
+    #[inline]
+    fn power_sweep_range(&self, pi: &[f64], out: &mut [f64], stay: &[f64], start: usize) {
+        // SAFETY of the `get_unchecked` below: `from_csr` validated that
+        // `in_ptr` is non-decreasing with `in_ptr[n] == nnz`, every
+        // `in_src` entry is `< n`, and `pi`/`stay` have length `n`
+        // (asserted by the callers); `start + out.len() ≤ n` holds for
+        // every chunk `power_sweep` creates.
+        for (dj, v) in out.iter_mut().enumerate() {
+            let j = start + dj;
+            unsafe {
+                let lo = *self.in_ptr.get_unchecked(j) as usize;
+                let hi = *self.in_ptr.get_unchecked(j + 1) as usize;
+                let mut acc = *pi.get_unchecked(j) * *stay.get_unchecked(j);
+                for e in lo..hi {
+                    let i = *self.in_src.get_unchecked(e) as usize;
+                    acc += *pi.get_unchecked(i) * *self.in_prob.get_unchecked(e);
+                }
+                *v = acc;
+            }
+        }
     }
 
     /// Stationary distribution by uniformized power iteration.
     ///
     /// Converges geometrically for the (aperiodic, irreducible) uniformized
     /// chains of marking graphs; iteration stops when the L1 change drops
-    /// below `tol` or after `max_iters` sweeps.
+    /// below `tol` or after `max_iters` sweeps.  The iterate is
+    /// renormalized every [`NORM_PERIOD`] sweeps, and every [`RRE_PERIOD`]
+    /// sweeps a reduced-rank (vector Aitken Δ²) extrapolation of a
+    /// [`RRE_WINDOW`]-iterate burst is attempted, kept only when it does
+    /// not degrade the stationarity residual.
     pub fn stationary_power(&self, tol: f64, max_iters: usize) -> Vec<f64> {
-        let n = self.n_states();
-        assert!(n > 0);
-        let lam = self.uniformization();
-        let mut pi = vec![1.0 / n as f64; n];
+        assert!(self.n > 0);
+        let pi0 = vec![1.0 / self.n as f64; self.n];
+        self.stationary_power_from(pi0, tol, max_iters)
+    }
+
+    /// [`Ctmc::stationary_power`] warm-started from `pi` (used by the
+    /// [`Ctmc::stationary`] fallback so a near-converged Gauss–Seidel
+    /// iterate is polished instead of thrown away).
+    fn stationary_power_from(&self, mut pi: Vec<f64>, tol: f64, max_iters: usize) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(pi.len(), n);
+        // Hoisted out of the sweep: stay[j] = 1 − exit[j]/Λ and the
+        // incoming probabilities r/Λ (`in_prob`) are precomputed, so the
+        // inner loop is one fused multiply-add per nnz with no division.
+        let inv_lambda = 1.0 / self.lambda;
+        let stay: Vec<f64> = self.exit.iter().map(|&e| 1.0 - e * inv_lambda).collect();
         let mut next = vec![0.0f64; n];
-        for _ in 0..max_iters {
-            next.iter_mut().for_each(|v| *v = 0.0);
-            for (s, row) in self.trans.iter().enumerate() {
-                let mut stay = pi[s];
-                for &(j, r) in row {
-                    let w = pi[s] * r / lam;
-                    next[j] += w;
-                    stay -= w;
-                }
-                next[s] += stay;
-            }
-            let diff: f64 = pi
-                .iter()
-                .zip(next.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+        // RRE burst state: every RRE_PERIOD sweeps, the next RRE_WINDOW
+        // iterates are recorded and extrapolated through their minimal
+        // polynomial (the vector generalization of Aitken Δ²: Δ² handles
+        // one real error mode, RRE kills up to RRE_WINDOW − 2 modes at
+        // once, which is what the complex-spectrum marking chains need).
+        let mut burst: Vec<Vec<f64>> = Vec::with_capacity(RRE_WINDOW);
+        for it in 0..max_iters {
+            self.power_sweep(&pi, &mut next, &stay);
+            // The L1 change is only needed on the sweeps that may stop;
+            // computing it 1-in-CHECK_PERIOD keeps the hot path to the
+            // sweep alone, and doing it sequentially keeps the stopping
+            // decision independent of the thread count.
+            let check = it % CHECK_PERIOD == CHECK_PERIOD - 1;
+            let diff = if check {
+                pi.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum()
+            } else {
+                f64::INFINITY
+            };
             std::mem::swap(&mut pi, &mut next);
-            if diff < tol {
+            if check && diff < tol {
                 break;
             }
+            if it % NORM_PERIOD == NORM_PERIOD - 1 {
+                normalize(&mut pi);
+            }
+            if !burst.is_empty() || it % RRE_PERIOD == RRE_PERIOD - 1 {
+                burst.push(pi.clone());
+                if burst.len() == RRE_WINDOW {
+                    if let Some(ext) = rre_extrapolate(&burst) {
+                        self.accept_if_better(ext, &mut pi);
+                    }
+                    burst.clear();
+                }
+            }
         }
-        let total: f64 = pi.iter().sum();
-        for v in &mut pi {
-            *v /= total;
+        normalize(&mut pi);
+        pi
+    }
+
+    /// Replace `pi` by `candidate` when the candidate is a proper
+    /// distribution with a smaller stationarity residual.
+    fn accept_if_better(&self, mut candidate: Vec<f64>, pi: &mut Vec<f64>) {
+        for v in candidate.iter_mut() {
+            if !v.is_finite() || *v < 0.0 {
+                return;
+            }
+        }
+        let total: f64 = candidate.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return;
+        }
+        let inv = 1.0 / total;
+        for v in &mut candidate {
+            *v *= inv;
+        }
+        let mut cur = pi.clone();
+        normalize(&mut cur);
+        if self.stationarity_residual(&candidate) < self.stationarity_residual(&cur) {
+            *pi = candidate;
+        }
+    }
+
+    /// Stationary distribution by Gauss–Seidel relaxation of the balance
+    /// equations, sweeping states in index order and using updated values
+    /// immediately:
+    ///
+    /// ```text
+    ///   π_j ← ( Σ_{i → j} π_i · r_ij ) / exit_j
+    /// ```
+    ///
+    /// Stops when the max relative change of a sweep drops below `tol` or
+    /// after `max_sweeps`.  `O(sweeps · nnz)` time, `O(n)` extra space.
+    /// Convergence is not guaranteed for every irreducible chain (unlike
+    /// the uniformized power method), so callers that cannot tolerate a
+    /// miss should check [`Ctmc::stationarity_residual`] and fall back —
+    /// [`Ctmc::stationary`] does exactly that.
+    pub fn stationary_gauss_seidel(&self, tol: f64, max_sweeps: usize) -> Vec<f64> {
+        let n = self.n;
+        assert!(n > 0);
+        if n == 1 {
+            return vec![1.0];
+        }
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..max_sweeps {
+            let mut max_rel = 0.0f64;
+            for j in 0..n {
+                let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
+                let mut acc = 0.0;
+                for (&i, &r) in self.in_src[lo..hi].iter().zip(&self.in_rate[lo..hi]) {
+                    acc += pi[i as usize] * r;
+                }
+                let new = acc / self.exit[j];
+                let old = pi[j];
+                pi[j] = new;
+                let scale = old.abs().max(new.abs());
+                if scale > 0.0 {
+                    max_rel = max_rel.max((new - old).abs() / scale);
+                }
+            }
+            normalize(&mut pi);
+            if max_rel < tol {
+                break;
+            }
         }
         pi
     }
 
-    /// Stationary distribution: GTH for small chains, power iteration for
-    /// large ones.
+    /// Stationary distribution with automatic solver selection (see the
+    /// module docs for the measured policy): GTH for small or dense
+    /// chains, Gauss–Seidel (with a power-iteration fallback verified by
+    /// the stationarity residual) for large sparse ones.
     pub fn stationary(&self) -> Vec<f64> {
-        if self.n_states() <= 1500 {
-            self.stationary_gth()
-        } else {
-            self.stationary_power(1e-13, 200_000)
+        let n = self.n;
+        if n <= GTH_SMALL_N {
+            return self.stationary_gth();
         }
+        let dense = self.nnz() as f64 > (n as f64) * (n as f64) * 0.25;
+        if dense && n <= GTH_DENSE_N {
+            return self.stationary_gth();
+        }
+        let pi = self.stationary_gauss_seidel(1e-14, 10_000);
+        // Acceptance requires finiteness explicitly: a zero-exit state
+        // makes relaxation divide by zero, and `f64::max` in the residual
+        // ignores the resulting NaNs rather than propagating them.
+        let finite = pi.iter().all(|v| v.is_finite());
+        // Residual is rate-relative: compare against the largest flow.
+        let scale = self.max_rate().max(1e-300);
+        if finite && self.stationarity_residual(&pi) <= GS_RESIDUAL_TOL * scale {
+            return pi;
+        }
+        // Fallback: polish the (partially converged) Gauss–Seidel iterate
+        // with the unconditionally convergent power method rather than
+        // restarting from the uniform vector — unless relaxation produced
+        // non-finite entries, which would poison every later sweep.
+        let pi0 = if finite { pi } else { vec![1.0 / n as f64; n] };
+        self.stationary_power_from(pi0, 1e-13, 200_000)
     }
 
-    /// Verify `π Q = 0` (stationarity residual, max-norm) — used by tests.
+    /// Largest single transition rate (residual scale).
+    fn max_rate(&self) -> f64 {
+        self.rate.iter().fold(0.0f64, |m, &r| m.max(r))
+    }
+
+    /// Verify `π Q = 0` (stationarity residual, max-norm) — used by tests
+    /// and by the Gauss–Seidel acceptance check.
     pub fn stationarity_residual(&self, pi: &[f64]) -> f64 {
-        let n = self.n_states();
-        let mut residual = vec![0.0f64; n];
-        for (s, row) in self.trans.iter().enumerate() {
-            for &(j, r) in row {
-                residual[j] += pi[s] * r;
-                residual[s] -= pi[s] * r;
+        let n = self.n;
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
+            let mut acc = -pi[j] * self.exit[j];
+            for (&i, &r) in self.in_src[lo..hi].iter().zip(&self.in_rate[lo..hi]) {
+                acc += pi[i as usize] * r;
+            }
+            worst = worst.max(acc.abs());
+        }
+        worst
+    }
+}
+
+/// Reduced-rank extrapolation of a window of consecutive fixed-point
+/// iterates `xs = [x_0 … x_{w−1}]` — the vector generalization of Aitken
+/// Δ².  With differences `u_i = x_{i+1} − x_i`, it returns
+/// `x* = Σ γ_i x_i` where `γ` minimizes `‖Σ γ_i u_i‖₂` subject to
+/// `Σ γ_i = 1` (solved through the normal equations `(UᵀU) c = 1`,
+/// `γ = c / Σc` — a `(w−1)×(w−1)` system).  For an iterate whose error is
+/// a combination of up to `w − 2` geometric modes — real *or complex* —
+/// this annihilates them all at once, which is why it accelerates the
+/// nonreversible marking chains where scalar Aitken's one-real-mode model
+/// fails.  Returns `None` when the little system is numerically singular
+/// (iterates already coincide, or modes are not separated yet).
+fn rre_extrapolate(xs: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let w = xs.len();
+    if w < 3 {
+        return None;
+    }
+    let k = w - 1; // number of difference vectors
+    let n = xs[0].len();
+    // Gram matrix of the differences.
+    let mut m = vec![0.0f64; k * k];
+    for a in 0..k {
+        for b in a..k {
+            let mut dot = 0.0;
+            for (((xa1, xa), xb1), xb) in xs[a + 1].iter().zip(&xs[a]).zip(&xs[b + 1]).zip(&xs[b]) {
+                dot += (xa1 - xa) * (xb1 - xb);
+            }
+            m[a * k + b] = dot;
+            m[b * k + a] = dot;
+        }
+    }
+    // Solve M c = 1 by Gaussian elimination with partial pivoting.
+    let mut c = vec![1.0f64; k];
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&a, &b| m[a * k + col].abs().total_cmp(&m[b * k + col].abs()))
+            .unwrap();
+        if m[pivot * k + col].abs() < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..k {
+                m.swap(col * k + j, pivot * k + j);
+            }
+            c.swap(col, pivot);
+        }
+        let inv = 1.0 / m[col * k + col];
+        for r in col + 1..k {
+            let f = m[r * k + col] * inv;
+            if f != 0.0 {
+                for j in col..k {
+                    m[r * k + j] -= f * m[col * k + j];
+                }
+                c[r] -= f * c[col];
             }
         }
-        residual.iter().fold(0.0f64, |m, v| m.max(v.abs()))
     }
+    for col in (0..k).rev() {
+        let mut acc = c[col];
+        for j in col + 1..k {
+            acc -= m[col * k + j] * c[j];
+        }
+        let d = m[col * k + col];
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        c[col] = acc / d;
+    }
+    let total: f64 = c.iter().sum();
+    if !(total.is_finite() && total.abs() > 1e-300) {
+        return None;
+    }
+    // x* = Σ γ_i x_i over the first k iterates.
+    let mut ext = vec![0.0f64; n];
+    for (gamma, x) in c.iter().zip(xs.iter()) {
+        let g = gamma / total;
+        for (o, &v) in ext.iter_mut().zip(x.iter()) {
+            *o += g * v;
+        }
+    }
+    if ext.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    // Small negative components are extrapolation overshoot; clamp and let
+    // the caller's residual safeguard decide.
+    for v in ext.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    Some(ext)
+}
+
+/// Normalize to unit sum (in place).
+fn normalize(pi: &mut [f64]) {
+    let total: f64 = pi.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        let inv = 1.0 / total;
+        for v in pi.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Threads the pull-sweep should use for an `n`-state chain.  The core
+/// count is probed once per process (`available_parallelism` is a syscall;
+/// calling it per sweep dominated small chains).
+fn sweep_threads(n: usize) -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    cores.min(n / PAR_MIN_ROWS).max(1)
 }
 
 #[cfg(test)]
@@ -199,6 +744,8 @@ mod tests {
         assert!((pi[1] - 0.4).abs() < 1e-12);
         let pw = c.stationary_power(1e-14, 100_000);
         assert!((pw[0] - 0.6).abs() < 1e-9);
+        let gs = c.stationary_gauss_seidel(1e-14, 10_000);
+        assert!((gs[0] - 0.6).abs() < 1e-10, "{gs:?}");
     }
 
     #[test]
@@ -214,15 +761,46 @@ mod tests {
         let pi = c.stationary();
         let rho: f64 = lam / mu;
         let z: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
-        for i in 0..=k {
+        for (i, &p) in pi.iter().enumerate() {
             assert!(
-                (pi[i] - rho.powi(i as i32) / z).abs() < 1e-10,
-                "state {i}: {} vs {}",
-                pi[i],
+                (p - rho.powi(i as i32) / z).abs() < 1e-10,
+                "state {i}: {p} vs {}",
                 rho.powi(i as i32) / z
             );
         }
         assert!(c.stationarity_residual(&pi) < 1e-10);
+    }
+
+    #[test]
+    fn csr_layout_roundtrip() {
+        let c = Ctmc::new(vec![
+            vec![(1, 2.0), (2, 1.0)],
+            vec![(2, 3.0)],
+            vec![(0, 0.5)],
+        ]);
+        assert_eq!(c.n_states(), 3);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.row_targets(0), &[1, 2]);
+        assert_eq!(c.row_rates(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1).collect::<Vec<_>>(), vec![(2, 3.0)]);
+        assert!((c.exit_rate(0) - 3.0).abs() < 1e-15);
+        assert!((c.exit_rate(2) - 0.5).abs() < 1e-15);
+        assert!((c.uniformization() - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_matches_new() {
+        let rows = vec![vec![(1, 2.0)], vec![(0, 3.0), (1, 1.0)]];
+        let a = Ctmc::new(rows);
+        let mut b = CsrBuilder::with_capacity(2, 3);
+        b.push(1, 2.0);
+        b.end_row();
+        b.push(0, 3.0);
+        b.push(1, 1.0);
+        b.end_row();
+        let b = b.finish();
+        assert_eq!(a.row_targets(1), b.row_targets(1));
+        assert_eq!(a.row_rates(1), b.row_rates(1));
     }
 
     #[test]
@@ -235,15 +813,27 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((x >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
-        for i in 0..n {
-            rows[i].push(((i + 1) % n, rnd())); // ring keeps it irreducible
-            rows[i].push(((i * 7 + 3) % n, rnd()));
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.push(((i + 1) % n, rnd())); // ring keeps it irreducible
+            row.push(((i * 7 + 3) % n, rnd()));
         }
         let c = Ctmc::new(rows);
         let a = c.stationary_gth();
         let b = c.stationary_power(1e-14, 500_000);
+        let g = c.stationary_gauss_seidel(1e-14, 50_000);
         for i in 0..n {
-            assert!((a[i] - b[i]).abs() < 1e-8, "state {i}: {} vs {}", a[i], b[i]);
+            assert!(
+                (a[i] - b[i]).abs() < 1e-8,
+                "state {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
+            assert!(
+                (a[i] - g[i]).abs() < 1e-8,
+                "state {i}: {} vs {}",
+                a[i],
+                g[i]
+            );
         }
         assert!(c.stationarity_residual(&a) < 1e-12);
     }
@@ -259,8 +849,51 @@ mod tests {
     }
 
     #[test]
+    fn large_sparse_ring_uses_gauss_seidel_path() {
+        // Big enough to route past GTH; the ring's stationary law is
+        // uniform, which pins the Gauss–Seidel/fallback result exactly.
+        let n = 500;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| vec![((i + 1) % n, 2.0), ((i + 7) % n, 1.0)])
+            .collect();
+        let c = Ctmc::new(rows);
+        let pi = c.stationary();
+        for &p in &pi {
+            assert!((p - 1.0 / n as f64).abs() < 1e-10);
+        }
+        assert!(c.stationarity_residual(&pi) < 1e-10);
+    }
+
+    #[test]
     fn single_state() {
         let c = Ctmc::new(vec![Vec::new()]);
         assert_eq!(c.stationary(), vec![1.0]);
+        assert_eq!(c.stationary_gauss_seidel(1e-12, 10), vec![1.0]);
+    }
+
+    #[test]
+    fn absorbing_state_falls_back_to_power() {
+        // A chain with a zero-exit (absorbing) state big enough to route
+        // past GTH: Gauss–Seidel divides by exit = 0 and produces NaN, so
+        // `stationary()` must discard that iterate and restart the power
+        // fallback from the uniform vector, converging to the point mass.
+        let n = 40;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    vec![(i + 1, 1.0)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let c = Ctmc::new(rows);
+        let pi = c.stationary();
+        assert!(pi.iter().all(|v| v.is_finite()), "{pi:?}");
+        assert!(
+            (pi[n - 1] - 1.0).abs() < 1e-9,
+            "mass {} at absorber",
+            pi[n - 1]
+        );
     }
 }

@@ -40,10 +40,7 @@ pub fn homogeneous_throughput(u: usize, v: usize, lambda: f64) -> f64 {
 ///
 /// Cost grows with `S(u,v)`; errors out (`MarkingError::TooManyStates`)
 /// beyond `max_states`.
-pub fn pattern_throughput(
-    rate: &[Vec<f64>],
-    max_states: usize,
-) -> Result<f64, MarkingError> {
+pub fn pattern_throughput(rate: &[Vec<f64>], max_states: usize) -> Result<f64, MarkingError> {
     let u = rate.len();
     let v = rate[0].len();
     assert!(rate.iter().all(|r| r.len() == v), "ragged rate matrix");
@@ -156,7 +153,10 @@ mod tests {
         let rho = pattern_throughput(&rate, 1 << 20).unwrap();
         let hi = homogeneous_throughput(3, 2, 3.0);
         let lo = homogeneous_throughput(3, 2, 1.0);
-        assert!(rho <= hi + 1e-12 && rho >= lo - 1e-12, "{lo} ≤ {rho} ≤ {hi}");
+        assert!(
+            rho <= hi + 1e-12 && rho >= lo - 1e-12,
+            "{lo} ≤ {rho} ≤ {hi}"
+        );
     }
 
     #[test]

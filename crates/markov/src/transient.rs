@@ -26,14 +26,15 @@ pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Vec
     let n = ctmc.n_states();
     assert_eq!(pi0.len(), n);
     assert!(t >= 0.0);
-    let lam = uniformization_rate(ctmc);
+    let lam = ctmc.uniformization();
     let mut vk = pi0.to_vec(); // π(0) P^k
+    let mut scratch = vec![0.0; n];
     let mut out = vec![0.0; n];
     poisson_sum(lam * t, tol, |weight| {
         for (o, v) in out.iter_mut().zip(vk.iter()) {
             *o += weight * v;
         }
-        step(ctmc, lam, &mut vk);
+        step(ctmc, lam, &mut vk, &mut scratch);
     });
     // Numerical cleanup: renormalize.
     let s: f64 = out.iter().sum();
@@ -59,10 +60,11 @@ pub fn expected_accumulated_reward(
     let n = ctmc.n_states();
     assert_eq!(pi0.len(), n);
     assert_eq!(reward.len(), n);
-    let lam = uniformization_rate(ctmc);
+    let lam = ctmc.uniformization();
     // ∫₀ᵗ π(u)·r du = (1/Λ) Σ_k [Poisson tail > k](Λt) · π(0)Pᵏ·r —
     // using the identity ∫₀ᵗ Poisson(Λu;k) Λ du = P(Poisson(Λt) > k).
     let mut vk = pi0.to_vec();
+    let mut scratch = vec![0.0; n];
     let mut acc = 0.0;
     // tail(k) = P(N > k) computed alongside the pmf.
     let lt = lam * t;
@@ -77,7 +79,7 @@ pub fn expected_accumulated_reward(
         if k >= kmax {
             break;
         }
-        step(ctmc, lam, &mut vk);
+        step(ctmc, lam, &mut vk, &mut scratch);
         k += 1;
         pmf *= lt / k as f64;
         cdf += pmf;
@@ -85,30 +87,25 @@ pub fn expected_accumulated_reward(
     acc / lam
 }
 
-fn uniformization_rate(ctmc: &Ctmc) -> f64 {
-    let max = (0..ctmc.n_states())
-        .map(|s| ctmc.exit_rate(s))
-        .fold(0.0f64, f64::max);
-    (max * 1.05).max(1e-300)
-}
-
-/// One uniformized step: `v ← v P` with `P = I + Q/Λ`.
-fn step(ctmc: &Ctmc, lam: f64, v: &mut Vec<f64>) {
-    let n = ctmc.n_states();
-    let mut next = vec![0.0f64; n];
+/// One uniformized step: `v ← v P` with `P = I + Q/Λ`, into the reused
+/// `scratch` buffer (the Poisson series takes `O(Λt)` steps; allocating a
+/// fresh vector per step was measurable on long horizons).
+fn step(ctmc: &Ctmc, lam: f64, v: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+    let inv_lam = 1.0 / lam;
+    scratch.iter_mut().for_each(|x| *x = 0.0);
     for (s, val) in v.iter().enumerate() {
         if *val == 0.0 {
             continue;
         }
         let mut stay = *val;
-        for &(j, r) in ctmc.row(s) {
-            let w = val * r / lam;
-            next[j] += w;
+        for (&j, &r) in ctmc.row_targets(s).iter().zip(ctmc.row_rates(s)) {
+            let w = val * r * inv_lam;
+            scratch[j as usize] += w;
             stay -= w;
         }
-        next[s] += stay;
+        scratch[s] += stay;
     }
-    *v = next;
+    std::mem::swap(v, scratch);
 }
 
 /// Number of Poisson terms needed for mass `1 − tol` (mean + safety).

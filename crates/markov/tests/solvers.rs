@@ -1,0 +1,145 @@
+//! Cross-solver property tests: GTH, uniformized power iteration and
+//! Gauss–Seidel must agree on random irreducible chains, including sizes
+//! that bracket the auto-selection thresholds of `Ctmc::stationary`
+//! (GTH below ~32 states, Gauss–Seidel with a power fallback above).
+
+use proptest::prelude::*;
+use repstream_markov::ctmc::Ctmc;
+
+/// A random irreducible CTMC: a ring `i → i+1` guarantees strong
+/// connectivity, plus `extra` random chords per state with rates drawn
+/// from the seeded generator in `[0.05, 1.05]`.
+fn random_irreducible(n: usize, extra: usize, seed: u64) -> Ctmc {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, row) in rows.iter_mut().enumerate() {
+        let rate = |v: u64| (v >> 11) as f64 / (1u64 << 53) as f64 + 0.05;
+        row.push(((i + 1) % n, rate(next())));
+        for _ in 0..extra {
+            let j = (next() as usize) % n;
+            if j != i {
+                row.push((j, rate(next())));
+            }
+        }
+    }
+    Ctmc::new(rows)
+}
+
+fn assert_agree(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() < tol,
+            "{what}: state {i}: {x} vs {y} (diff {})",
+            (x - y).abs()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All three solvers agree to 1e-8 and reach residual < 1e-10 on
+    /// chains spanning the GTH↔Gauss–Seidel threshold (32 states).
+    #[test]
+    fn solvers_agree_across_threshold(
+        n in 4usize..260,
+        extra in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let c = random_irreducible(n, extra, seed);
+        let gth = c.stationary_gth();
+        let power = c.stationary_power(1e-14, 500_000);
+        let gs = c.stationary_gauss_seidel(1e-15, 50_000);
+        let auto = c.stationary();
+        for (i, pi) in [("gth", &gth), ("power", &power), ("gs", &gs), ("auto", &auto)] {
+            let r = c.stationarity_residual(pi);
+            prop_assert!(r < 1e-10, "{} residual {:e} at n={}", i, r, n);
+        }
+        for i in 0..n {
+            prop_assert!((gth[i] - power[i]).abs() < 1e-8,
+                "gth vs power at {}: {} vs {}", i, gth[i], power[i]);
+            prop_assert!((gth[i] - gs[i]).abs() < 1e-8,
+                "gth vs gs at {}: {} vs {}", i, gth[i], gs[i]);
+            prop_assert!((gth[i] - auto[i]).abs() < 1e-8,
+                "gth vs auto at {}: {} vs {}", i, gth[i], auto[i]);
+        }
+    }
+}
+
+/// The large-chain regime (~2 000 states, past every GTH threshold):
+/// Gauss–Seidel, power and the auto-selected solver agree to 1e-8 with
+/// residuals below 1e-10.  GTH is `O(n³)` and checked separately at one
+/// size as the exactness anchor.
+#[test]
+fn large_sparse_chains_agree() {
+    for (n, extra, seed) in [(1000, 2, 7u64), (2000, 2, 11), (2000, 3, 13)] {
+        let c = random_irreducible(n, extra, seed);
+        let gs = c.stationary_gauss_seidel(1e-15, 50_000);
+        let power = c.stationary_power(1e-14, 500_000);
+        let auto = c.stationary();
+        assert!(c.stationarity_residual(&gs) < 1e-10, "gs residual at n={n}");
+        assert!(
+            c.stationarity_residual(&power) < 1e-10,
+            "power residual at n={n}"
+        );
+        assert!(
+            c.stationarity_residual(&auto) < 1e-10,
+            "auto residual at n={n}"
+        );
+        assert_agree(&gs, &power, 1e-8, &format!("gs vs power n={n}"));
+        assert_agree(&gs, &auto, 1e-8, &format!("gs vs auto n={n}"));
+    }
+}
+
+/// GTH exactness anchor at a size where `O(n³)` is still affordable:
+/// the iterative solvers must reproduce it.
+#[test]
+fn gth_anchor_mid_size() {
+    let c = random_irreducible(500, 2, 17);
+    let gth = c.stationary_gth();
+    let gs = c.stationary_gauss_seidel(1e-15, 50_000);
+    let power = c.stationary_power(1e-14, 500_000);
+    assert!(c.stationarity_residual(&gth) < 1e-12);
+    assert_agree(&gth, &gs, 1e-8, "gth vs gs n=500");
+    assert_agree(&gth, &power, 1e-8, "gth vs power n=500");
+}
+
+/// Dense chains stay on the GTH path of `stationary()` and must match
+/// Gauss–Seidel run explicitly.
+#[test]
+fn dense_chain_auto_matches_gs() {
+    // 60 states, ~45 targets each: nnz > n²/4 → the dense GTH branch.
+    let n = 60;
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut x = 99u64;
+    for (i, row) in rows.iter_mut().enumerate() {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x >> 62 != 0 {
+                row.push((j, ((x >> 33) as f64 / (1u64 << 31) as f64) + 0.1));
+            }
+        }
+        if row.is_empty() {
+            row.push(((i + 1) % n, 0.5));
+        }
+    }
+    let c = Ctmc::new(rows);
+    assert!(
+        c.nnz() > n * n / 4,
+        "test net must be dense (nnz {})",
+        c.nnz()
+    );
+    let auto = c.stationary();
+    let gs = c.stationary_gauss_seidel(1e-15, 50_000);
+    assert_agree(&auto, &gs, 1e-8, "auto vs gs dense");
+    assert!(c.stationarity_residual(&auto) < 1e-10);
+}

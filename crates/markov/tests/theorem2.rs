@@ -45,7 +45,13 @@ fn sim_throughput(shape: &MappingShape, model: ExecModel, comp: f64, comm: f64) 
 
 #[test]
 fn strict_tpns_are_safe() {
-    for teams in [vec![1, 1], vec![2, 1], vec![1, 2, 1], vec![2, 3], vec![3, 2, 2]] {
+    for teams in [
+        vec![1, 1],
+        vec![2, 1],
+        vec![1, 2, 1],
+        vec![2, 3],
+        vec![3, 2, 2],
+    ] {
         let shape = MappingShape::new(teams.clone());
         let tpn = Tpn::build(&shape, ExecModel::Strict);
         let net = EventNet::from_tpn(&tpn, &rates(&shape, 1.0, 1.0));

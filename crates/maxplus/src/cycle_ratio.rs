@@ -46,7 +46,7 @@ pub fn maximum_cycle_ratio_with(g: &TokenGraph, cond: &Condensation) -> Option<C
     for (cid, r) in scc_cycle_ratios(g, cond).into_iter().enumerate() {
         let _ = cid;
         if let Some(r) = r {
-            if best.as_ref().map_or(true, |b| r.ratio > b.ratio) {
+            if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
                 best = Some(r);
             }
         }
@@ -95,11 +95,7 @@ fn scc_ratio(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRat
 }
 
 /// A cycle made only of token-free arcs inside the SCC, if any.
-fn tokenless_cycle_in_scc(
-    g: &TokenGraph,
-    cond: &Condensation,
-    cid: SccId,
-) -> Option<Vec<ArcId>> {
+fn tokenless_cycle_in_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<Vec<ArcId>> {
     // DFS over 0-token arcs restricted to the component.
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
@@ -201,7 +197,10 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
             }
         }
     }
-    debug_assert!(out.iter().all(|o| !o.is_empty()), "SCC node without out-arc");
+    debug_assert!(
+        out.iter().all(|o| !o.is_empty()),
+        "SCC node without out-arc"
+    );
 
     let eps = 1e-12 * wmax;
     let mut policy: Vec<usize> = vec![0; k]; // index into out[u]
@@ -411,7 +410,11 @@ pub fn lawler_subgraph(g: &TokenGraph, nodes: &[NodeId]) -> Option<f64> {
     // Tokenless positive-weight cycles make the ratio infinite; but a
     // tokenless cycle of any weight means deadlock for an event graph, so
     // report ∞ as soon as a cycle survives at an absurdly large λ.
-    let w_lo = arcs.iter().map(|a| a.2).fold(f64::INFINITY, f64::min).min(0.0);
+    let w_lo = arcs
+        .iter()
+        .map(|a| a.2)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
     let w_hi: f64 = arcs.iter().map(|a| a.2.max(0.0)).sum::<f64>() + 1.0;
 
     let positive_cycle = |lam: f64| -> bool {
@@ -545,14 +548,7 @@ pub fn brute_force(g: &TokenGraph) -> Option<CycleRatio> {
     for start in 0..n {
         let mut path_arcs: Vec<ArcId> = Vec::new();
         let mut on_path = vec![false; n];
-        dfs(
-            g,
-            start,
-            start,
-            &mut on_path,
-            &mut path_arcs,
-            &mut best,
-        );
+        dfs(g, start, start, &mut on_path, &mut path_arcs, &mut best);
     }
     return best;
 
@@ -570,12 +566,9 @@ pub fn brute_force(g: &TokenGraph) -> Option<CycleRatio> {
             if a.dst == start {
                 path_arcs.push(aid);
                 let w: f64 = path_arcs.iter().map(|&x| g.arc(x).weight).sum();
-                let t: u64 = path_arcs
-                    .iter()
-                    .map(|&x| u64::from(g.arc(x).tokens))
-                    .sum();
+                let t: u64 = path_arcs.iter().map(|&x| u64::from(g.arc(x).tokens)).sum();
                 let ratio = if t == 0 { f64::INFINITY } else { w / t as f64 };
-                if best.as_ref().map_or(true, |b| ratio > b.ratio) {
+                if best.as_ref().is_none_or(|b| ratio > b.ratio) {
                     *best = Some(CycleRatio {
                         ratio,
                         critical_cycle: path_arcs.clone(),
@@ -670,7 +663,15 @@ mod tests {
 
     #[test]
     fn disconnected_components_take_global_max() {
-        let g = g(4, &[(0, 1, 1.0, 1), (1, 0, 1.0, 1), (2, 3, 9.0, 1), (3, 2, 1.0, 1)]);
+        let g = g(
+            4,
+            &[
+                (0, 1, 1.0, 1),
+                (1, 0, 1.0, 1),
+                (2, 3, 9.0, 1),
+                (3, 2, 1.0, 1),
+            ],
+        );
         let r = maximum_cycle_ratio(&g).unwrap();
         assert!((r.ratio - 5.0).abs() < 1e-9);
     }

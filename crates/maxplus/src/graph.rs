@@ -157,8 +157,7 @@ impl TokenGraph {
         let mut t = 0u64;
         for win in cycle.windows(2) {
             assert_eq!(
-                self.arcs[win[0]].dst,
-                self.arcs[win[1]].src,
+                self.arcs[win[0]].dst, self.arcs[win[1]].src,
                 "arcs do not chain"
             );
         }
@@ -212,7 +211,9 @@ mod tests {
         g.add_arc(1, 2, 1.0, 0);
         g.add_arc(2, 0, 1.0, 1);
         let order = g.tokenless_topo_order().unwrap();
-        let pos: Vec<usize> = (0..3).map(|u| order.iter().position(|&x| x == u).unwrap()).collect();
+        let pos: Vec<usize> = (0..3)
+            .map(|u| order.iter().position(|&x| x == u).unwrap())
+            .collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2]);
     }
 

@@ -79,12 +79,12 @@ impl MaxPlusMatrix {
     pub fn apply(&self, x: &[MaxPlus]) -> Vec<MaxPlus> {
         assert_eq!(x.len(), self.n);
         let mut out = vec![MaxPlus::ZERO; self.n];
-        for i in 0..self.n {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut acc = MaxPlus::ZERO;
-            for j in 0..self.n {
-                acc = acc + self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                acc = acc + self.get(i, j) * xj;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }

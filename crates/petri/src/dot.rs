@@ -15,7 +15,11 @@ pub fn to_dot(tpn: &Tpn) -> String {
     let mut s = String::new();
     writeln!(s, "digraph tpn {{").unwrap();
     writeln!(s, "  rankdir=LR;").unwrap();
-    writeln!(s, "  node [shape=box, fontsize=10, fontname=\"monospace\"];").unwrap();
+    writeln!(
+        s,
+        "  node [shape=box, fontsize=10, fontname=\"monospace\"];"
+    )
+    .unwrap();
     writeln!(
         s,
         "  label=\"TPN ({} model): {} rows x {} cols\"; labelloc=top;",
@@ -33,12 +37,8 @@ pub fn to_dot(tpn: &Tpn) -> String {
             let id = tpn.trans_id(row, col);
             let t = &tpn.transitions()[id];
             let (label, shape) = match t.kind {
-                TransKind::Compute { stage, .. } => {
-                    (format!("T{stage}\\n{}", t.resource), "box")
-                }
-                TransKind::Comm { file, .. } => {
-                    (format!("F{file}\\n{}", t.resource), "oval")
-                }
+                TransKind::Compute { stage, .. } => (format!("T{stage}\\n{}", t.resource), "box"),
+                TransKind::Comm { file, .. } => (format!("F{file}\\n{}", t.resource), "oval"),
             };
             writeln!(s, "    t{id} [label=\"{label}\", shape={shape}];").unwrap();
         }

@@ -250,11 +250,7 @@ pub struct AssociatedLaws {
 /// Simulate the associated case of §6.2: computation times of the same
 /// data set on different processors are positively correlated through the
 /// shared size draws.
-pub fn simulate_associated(
-    tpn: &Tpn,
-    laws: &AssociatedLaws,
-    opts: EgSimOptions,
-) -> EgSimReport {
+pub fn simulate_associated(tpn: &Tpn, laws: &AssociatedLaws, opts: EgSimOptions) -> EgSimReport {
     let n = tpn.shape().n_stages();
     assert_eq!(laws.work.len(), n, "one work law per stage");
     assert_eq!(laws.file.len(), n - 1, "one size law per file");
@@ -278,13 +274,13 @@ pub fn simulate_associated(
     let rounds = target.div_ceil(m);
     for _round in 0..rounds {
         for (i, lw) in laws.work.iter().enumerate() {
-            for j in 0..m {
-                work[i][j] = positive_sample(lw, &mut rng);
+            for w in work[i].iter_mut() {
+                *w = positive_sample(lw, &mut rng);
             }
         }
         for (i, lf) in laws.file.iter().enumerate() {
-            for j in 0..m {
-                size[i][j] = positive_sample(lf, &mut rng);
+            for s in size[i].iter_mut() {
+                *s = positive_sample(lf, &mut rng);
             }
         }
         let transitions = tpn.transitions();
@@ -454,11 +450,7 @@ mod tests {
         // the 25% gap.
         let shape = MappingShape::new(vec![2, 3]);
         let tpn = Tpn::build(&shape, ExecModel::Overlap);
-        let det = ResourceTable::from_fns(
-            &shape,
-            |_, _| Law::det(1e-6),
-            |_, _, _| Law::det(1.0),
-        );
+        let det = ResourceTable::from_fns(&shape, |_, _| Law::det(1e-6), |_, _, _| Law::det(1.0));
         let exp = det.map(|r, l| match r {
             crate::shape::Resource::Link { .. } => Law::exp_mean(l.mean()),
             _ => *l,

@@ -61,12 +61,10 @@ pub fn resource_cycles(tpn: &Tpn) -> Vec<ResourceCycle> {
                             slot: s,
                         }
                     }
-                    (PlaceKind::OnePortIn, Resource::Link { file, dst: d, .. }) => {
-                        Resource::Proc {
-                            stage: file + 1,
-                            slot: d,
-                        }
-                    }
+                    (PlaceKind::OnePortIn, Resource::Link { file, dst: d, .. }) => Resource::Proc {
+                        stage: file + 1,
+                        slot: d,
+                    },
                     _ => unreachable!("one-port place on a compute transition"),
                 }
             }
@@ -75,7 +73,7 @@ pub fn resource_cycles(tpn: &Tpn) -> Vec<ResourceCycle> {
                 // first op of the next row).
                 let dst = tpn.transitions()[p.dst];
                 let stage = if dst.col % 2 == 1 {
-                    (dst.col + 1) / 2
+                    dst.col.div_ceil(2)
                 } else {
                     dst.col / 2
                 };
@@ -98,15 +96,16 @@ pub fn resource_cycles(tpn: &Tpn) -> Vec<ResourceCycle> {
                 // add them so the cycle closes over the same transitions.
                 if let Resource::Proc { stage, slot } = resource {
                     let first_col = if stage > 0 { 2 * stage - 1 } else { 0 };
-                    let last_col = if stage + 1 < n { 2 * stage + 1 } else { 2 * stage };
+                    let last_col = if stage + 1 < n {
+                        2 * stage + 1
+                    } else {
+                        2 * stage
+                    };
                     let r = tpn.shape().team_size(stage);
                     for (pid, p) in tpn.places().iter().enumerate() {
                         if p.kind == PlaceKind::RowForward {
                             let src = tpn.transitions()[p.src];
-                            if src.row % r == slot
-                                && src.col >= first_col
-                                && src.col < last_col
-                            {
+                            if src.row % r == slot && src.col >= first_col && src.col < last_col {
                                 places.push(pid);
                             }
                         }

@@ -277,7 +277,11 @@ mod tests {
         );
         assert_eq!(*t.get(Resource::Proc { stage: 1, slot: 2 }), 12.0);
         assert_eq!(
-            *t.get(Resource::Link { file: 0, src: 1, dst: 2 }),
+            *t.get(Resource::Link {
+                file: 0,
+                src: 1,
+                dst: 2
+            }),
             12.0 + 0.0
         );
         let count = t.iter().count();
@@ -290,7 +294,14 @@ mod tests {
         let t = ResourceTable::filled(&shape, 1.0f64);
         let u = t.map(|_, v| v * 2.0);
         assert_eq!(*u.get(Resource::Proc { stage: 0, slot: 0 }), 2.0);
-        assert_eq!(*u.get(Resource::Link { file: 0, src: 0, dst: 1 }), 2.0);
+        assert_eq!(
+            *u.get(Resource::Link {
+                file: 0,
+                src: 0,
+                dst: 1
+            }),
+            2.0
+        );
     }
 
     #[test]

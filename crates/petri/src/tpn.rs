@@ -178,8 +178,7 @@ impl Tpn {
                     for slot in 0..shape.team_size(stage) {
                         let rows = rows_of(stage, slot);
                         // rule 2: computations of this processor.
-                        let comp: Vec<TransId> =
-                            rows.iter().map(|&j| id(j, 2 * stage)).collect();
+                        let comp: Vec<TransId> = rows.iter().map(|&j| id(j, 2 * stage)).collect();
                         close_cycle(&comp, PlaceKind::RoundRobinCompute, &mut places);
                         // rule 3: its sends (unless it runs the last stage).
                         if stage + 1 < n {
@@ -204,7 +203,11 @@ impl Tpn {
                         // receive (col 2i−1) … send (col 2i+1), clipped at
                         // the pipeline ends.
                         let first_col = if stage > 0 { 2 * stage - 1 } else { 2 * stage };
-                        let last_col = if stage + 1 < n { 2 * stage + 1 } else { 2 * stage };
+                        let last_col = if stage + 1 < n {
+                            2 * stage + 1
+                        } else {
+                            2 * stage
+                        };
                         let k = rows.len();
                         for l in 0..k {
                             places.push(Place {
@@ -561,7 +564,7 @@ mod tests {
             // first op of a stage-i processor is its receive (col 2i−1)
             // except for stage 0 (its compute, col 0).
             let stage = if dst.col % 2 == 1 {
-                (dst.col + 1) / 2
+                dst.col.div_ceil(2)
             } else {
                 dst.col / 2
             };
@@ -569,7 +572,11 @@ mod tests {
             // Same processor: same slot for source and destination rows.
             assert_eq!(src.row % r, dst.row % r, "place couples two processors");
             // Source is that processor's last op of its row.
-            let expect_src_col = if stage + 1 < n { 2 * stage + 1 } else { 2 * stage };
+            let expect_src_col = if stage + 1 < n {
+                2 * stage + 1
+            } else {
+                2 * stage
+            };
             assert_eq!(src.col, expect_src_col);
             // Round-robin: consecutive rows of the slot, or wrap with token.
             if p.tokens == 0 {
@@ -617,4 +624,3 @@ mod tests {
         assert!((tpn.max_cycle_time(&times) - 2.0).abs() < 1e-12);
     }
 }
-

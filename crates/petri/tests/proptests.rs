@@ -17,7 +17,9 @@ use repstream_stochastic::law::Law;
 /// what `K/T(K)` measures in the simulators.
 fn analytic_throughput(tpn: &Tpn, times: &ResourceTable<f64>) -> f64 {
     let g = tpn.to_token_graph(times);
-    let p = maximum_cycle_ratio(&g).expect("TPN always has cycles").ratio;
+    let p = maximum_cycle_ratio(&g)
+        .expect("TPN always has cycles")
+        .ratio;
     tpn.rows() as f64 / p
 }
 

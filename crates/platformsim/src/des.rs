@@ -72,7 +72,11 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is NaN or lies in the past.
     pub fn schedule(&mut self, time: f64, payload: E) {
         assert!(!time.is_nan(), "NaN event time");
-        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < {}",
+            self.now
+        );
         self.heap.push(Entry {
             time,
             seq: self.seq,

@@ -95,7 +95,7 @@ pub fn simulate(
         let cols = 2 * n - 1;
         let op = |d: usize, col: usize| -> usize { d * cols + col };
         let r = |i: usize| shape.team_size(i);
-        if col % 2 == 0 {
+        if col.is_multiple_of(2) {
             let stage = col / 2;
             if stage > 0 {
                 f(op(d, col - 1)); // data arrived
@@ -176,7 +176,7 @@ pub fn simulate(
     let mut busy: ResourceTable<f64> = ResourceTable::filled(shape, 0.0f64);
 
     let resource_of = |d: usize, col: usize| -> Resource {
-        if col % 2 == 0 {
+        if col.is_multiple_of(2) {
             let stage = col / 2;
             Resource::Proc {
                 stage,
@@ -212,10 +212,8 @@ pub fn simulate(
     };
 
     // Seed the initially-ready operations.
-    for o in 0..n_ops {
-        if remaining[o] == 0 {
-            schedule(o, 0.0, &mut rng, &mut busy, &mut queue);
-        }
+    for o in (0..n_ops).filter(|&o| remaining[o] == 0) {
+        schedule(o, 0.0, &mut rng, &mut busy, &mut queue);
     }
 
     // Completion time of every data set (completions can be out of order
@@ -248,20 +246,14 @@ pub fn simulate(
     assert_eq!(fired, n_ops, "DES deadlock: {fired}/{n_ops} operations ran");
     assert_eq!(completed, k);
 
-    let t_warm = completion[..warm_at]
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let t_warm = completion[..warm_at].iter().copied().fold(0.0f64, f64::max);
     let tmax = completion.iter().copied().fold(0.0f64, f64::max);
     let steady = if completed > warm_at && tmax > t_warm {
         (completed - warm_at) as f64 / (tmax - t_warm)
     } else {
         completed as f64 / tmax
     };
-    let utilization = busy
-        .iter()
-        .map(|(r, &b)| (r, b / tmax))
-        .collect::<Vec<_>>();
+    let utilization = busy.iter().map(|(r, &b)| (r, b / tmax)).collect::<Vec<_>>();
     let post_warm = &completion[warm_at.min(k - 1)..];
     let avg_latency = post_warm
         .iter()
@@ -442,11 +434,7 @@ mod latency_tests {
         // and stage times dominated by the bottleneck, latency must be at
         // least the sum of its own operation times (5) and stay finite.
         let shape = MappingShape::new(vec![1, 1, 1]);
-        let laws = ResourceTable::from_fns(
-            &shape,
-            |_, _| Law::det(1.0),
-            |_, _, _| Law::det(1.0),
-        );
+        let laws = ResourceTable::from_fns(&shape, |_, _| Law::det(1.0), |_, _, _| Law::det(1.0));
         let r = simulate(
             &shape,
             ExecModel::Overlap,

@@ -403,7 +403,10 @@ impl Law {
     pub fn with_mean(&self, mean: f64) -> Law {
         assert!(mean > 0.0);
         let m = self.mean();
-        assert!(m.is_finite() && m > 0.0, "cannot retarget law with mean {m}");
+        assert!(
+            m.is_finite() && m > 0.0,
+            "cannot retarget law with mean {m}"
+        );
         self.scaled(mean / m)
     }
 
@@ -515,7 +518,10 @@ mod tests {
             Law::uniform_spread(4.0, 0.5),
             Law::gamma_mean(3.0, 5.0),
             Law::beta_sym(2.0, 1.5),
-            Law::NormalNonneg { mu: 10.0, sigma: 2.0 },
+            Law::NormalNonneg {
+                mu: 10.0,
+                sigma: 2.0,
+            },
             Law::weibull_mean(2.0, 3.0),
             Law::erlang_mean(4, 2.0),
             Law::pareto_mean(3.0, 2.0),
@@ -566,7 +572,10 @@ mod tests {
     #[test]
     fn truncated_normal_mean_correction() {
         // With μ = σ the truncation is strong; check against sampling.
-        let law = Law::NormalNonneg { mu: 1.0, sigma: 1.0 };
+        let law = Law::NormalNonneg {
+            mu: 1.0,
+            sigma: 1.0,
+        };
         let m = empirical_mean(law, 400_000, 7);
         assert!(
             (m - law.mean()).abs() < 0.01,

@@ -15,14 +15,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -50,8 +50,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -145,10 +144,7 @@ pub fn binomial_exact(n: u64, k: u64) -> u128 {
     let k = k.min(n - k);
     let mut acc: u128 = 1;
     for i in 0..k {
-        acc = acc
-            .checked_mul((n - i) as u128)
-            .expect("binomial overflow")
-            / (i + 1) as u128;
+        acc = acc.checked_mul((n - i) as u128).expect("binomial overflow") / (i + 1) as u128;
     }
     acc
 }
@@ -201,7 +197,7 @@ mod tests {
     fn reg_lower_gamma_exponential_case() {
         // P(1, x) = 1 − e^{−x}.
         for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            let e = (reg_lower_gamma(1.0, x) - (1.0 - (-x as f64).exp())).abs();
+            let e = (reg_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs();
             assert!(e < 1e-10, "P(1,{x}) error {e}");
         }
     }

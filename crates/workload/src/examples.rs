@@ -14,8 +14,8 @@
 //! showcase for the column decomposition, with `m = lcm = 10395` rows and
 //! a second communication column of 3 components, 55 pattern copies each.
 
-use repstream_core::model::{Application, Mapping, Platform, System};
 use repstream_core::deterministic;
+use repstream_core::model::{Application, Mapping, Platform, System};
 use repstream_petri::shape::ExecModel;
 use repstream_stochastic::rng::seeded_rng;
 
@@ -29,24 +29,14 @@ pub fn example_a() -> System {
     // Work in Mflop, sizes in MB, speeds in Mflop/s, bandwidths in MB/s:
     // only the ratios matter.  P1's outgoing links are made slow so its
     // output port is the critical resource under Overlap, as in the paper.
-    let app = Application::new(
-        vec![52.0, 95.0, 120.0, 60.0],
-        vec![57.0, 300.0, 73.0],
-    )
-    .unwrap();
+    let app = Application::new(vec![52.0, 95.0, 120.0, 60.0], vec![57.0, 300.0, 73.0]).unwrap();
     let speeds = vec![165.0, 73.0, 77.0, 126.0, 147.0, 128.0, 186.0];
     let mut platform = Platform::complete(speeds, 104.0).unwrap();
     // Slow output links of P1 (to the three T2 processors).
     for q in [3, 4, 5] {
         platform.set_bandwidth(1, q, 22.0);
     }
-    let mapping = Mapping::new(vec![
-        vec![0],
-        vec![1, 2],
-        vec![3, 4, 5],
-        vec![6],
-    ])
-    .unwrap();
+    let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap();
     let sys = System::new(app, platform, mapping).unwrap();
 
     // Rescale the time unit so the Overlap period is exactly the paper's
@@ -59,12 +49,7 @@ pub fn example_a() -> System {
     for q in [3, 4, 5] {
         platform.set_bandwidth(1, q, 22.0 / factor);
     }
-    System::new(
-        sys.app().clone(),
-        platform,
-        sys.mapping().clone(),
-    )
-    .unwrap()
+    System::new(sys.app().clone(), platform, sys.mapping().clone()).unwrap()
 }
 
 /// Example C: replication 5, 21, 27, 11 on 64 processors.
@@ -75,11 +60,7 @@ pub fn example_c(speed_spread: f64, bw_spread: f64, seed: u64) -> System {
     let teams = [5usize, 21, 27, 11];
     let m: usize = teams.iter().sum();
     let mut rng = seeded_rng(seed);
-    let app = Application::new(
-        vec![100.0, 80.0, 120.0, 50.0],
-        vec![64.0, 64.0, 64.0],
-    )
-    .unwrap();
+    let app = Application::new(vec![100.0, 80.0, 120.0, 50.0], vec![64.0, 64.0, 64.0]).unwrap();
     let speeds: Vec<f64> = (0..m)
         .map(|_| 100.0 * (1.0 + speed_spread * (2.0 * rng.gen::<f64>() - 1.0)))
         .collect();
@@ -137,9 +118,14 @@ mod tests {
         assert!((det.period - 189.0).abs() < 1e-6, "period {}", det.period);
         assert!(det.has_critical_resource);
         assert!(
-            det.critical_resources
-                .iter()
-                .any(|r| matches!(r, Resource::Link { file: 1, src: 0, .. })),
+            det.critical_resources.iter().any(|r| matches!(
+                r,
+                Resource::Link {
+                    file: 1,
+                    src: 0,
+                    ..
+                }
+            )),
             "critical: {:?}",
             det.critical_resources
         );
@@ -169,10 +155,8 @@ mod tests {
     fn seven_stage_shape() {
         let sys = seven_stage_pipeline();
         assert_eq!(sys.shape().n_paths(), 420);
-        let laws = repstream_core::timing::laws(
-            &sys,
-            repstream_stochastic::law::LawFamily::Deterministic,
-        );
+        let laws =
+            repstream_core::timing::laws(&sys, repstream_stochastic::law::LawFamily::Deterministic);
         let _ = laws; // timing plumbing works on the big example
     }
 }

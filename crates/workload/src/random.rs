@@ -110,11 +110,7 @@ pub fn instance<R: Rng>(params: &FamilyParams, rng: &mut R) -> RandomInstance {
             }
             link_vals.push(mat);
         }
-        ResourceTable::from_fns(
-            &shape,
-            |s, p| proc_vals[s][p],
-            |f, s, d| link_vals[f][s][d],
-        )
+        ResourceTable::from_fns(&shape, |s, p| proc_vals[s][p], |f, s, d| link_vals[f][s][d])
     };
     RandomInstance { shape, times }
 }
@@ -130,10 +126,7 @@ pub fn instances(
 
 /// Unbounded stream of seeded instances (callers may filter, e.g. by TPN
 /// size, and take as many as they need).
-pub fn instance_stream(
-    params: FamilyParams,
-    seed: u64,
-) -> impl Iterator<Item = RandomInstance> {
+pub fn instance_stream(params: FamilyParams, seed: u64) -> impl Iterator<Item = RandomInstance> {
     (0u64..).map(move |i| {
         let mut rng = seeded_rng(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9));
         instance(&params, &mut rng)

@@ -17,11 +17,7 @@ pub fn single_comm(u: usize, v: usize, comm_time: f64) -> System {
 
 /// As [`single_comm`] with per-link transfer times (Figure 14's
 /// heterogeneous network).
-pub fn single_comm_with(
-    u: usize,
-    v: usize,
-    mut time: impl FnMut(usize, usize) -> f64,
-) -> System {
+pub fn single_comm_with(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64) -> System {
     // File of unit size; bandwidth encodes the requested time.
     let app = Application::new(vec![1e-9, 1e-9], vec![1.0]).unwrap();
     let m = u + v;
@@ -31,11 +27,8 @@ pub fn single_comm_with(
             platform.set_bandwidth(s, u + d, 1.0 / time(s, d));
         }
     }
-    let mapping = Mapping::new(vec![
-        (0..u).collect::<Vec<_>>(),
-        (u..m).collect::<Vec<_>>(),
-    ])
-    .unwrap();
+    let mapping =
+        Mapping::new(vec![(0..u).collect::<Vec<_>>(), (u..m).collect::<Vec<_>>()]).unwrap();
     System::new(app, platform, mapping).unwrap()
 }
 

@@ -19,14 +19,8 @@ fn main() {
     // Two heavy *adjacent* stages: the best mappings replicate both, so
     // the transfer between them becomes a u×v pattern where deterministic
     // and exponential throughputs genuinely differ (Theorem 4).
-    let app = Application::new(
-        vec![8.0, 30.0, 45.0, 12.0],
-        vec![4.0, 6.0, 3.0],
-    )
-    .expect("app");
-    let speeds = vec![
-        3.0, 3.0, 2.5, 2.5, 2.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0,
-    ];
+    let app = Application::new(vec![8.0, 30.0, 45.0, 12.0], vec![4.0, 6.0, 3.0]).expect("app");
+    let speeds = vec![3.0, 3.0, 2.5, 2.5, 2.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0];
     let platform = Platform::complete(speeds, 0.45).expect("platform");
     let model = ExecModel::Overlap;
 

@@ -18,7 +18,10 @@ use repstream::workload::examples::example_a;
 
 fn main() {
     let system = example_a();
-    println!("Example A: 4 stages on 7 processors, teams {:?}", system.shape().teams());
+    println!(
+        "Example A: 4 stages on 7 processors, teams {:?}",
+        system.shape().teams()
+    );
     println!("paths (TPN rows): {}\n", system.shape().n_paths());
 
     // --- deterministic analysis (Section 4) ----------------------------
@@ -36,15 +39,28 @@ fn main() {
 
     // --- exponential laws (Section 5) ----------------------------------
     let exp = exponential::throughput_overlap(&system).expect("decomposition");
-    println!("\n[overlap] exponential (Theorem 3/4): {:.6}", exp.throughput);
-    println!("  bottleneck: {:?} at rate {:.6}", exp.bottleneck.place, exp.bottleneck.rate);
+    println!(
+        "\n[overlap] exponential (Theorem 3/4): {:.6}",
+        exp.throughput
+    );
+    println!(
+        "  bottleneck: {:?} at rate {:.6}",
+        exp.bottleneck.place, exp.bottleneck.rate
+    );
 
     // --- the N.B.U.E. sandwich (Theorem 7) ------------------------------
     let b = bounds::nbue_bounds(&system, ExecModel::Overlap).expect("bounds");
-    println!("\nTheorem 7 sandwich (overlap): [{:.6}, {:.6}]", b.lower, b.upper);
+    println!(
+        "\nTheorem 7 sandwich (overlap): [{:.6}, {:.6}]",
+        b.lower, b.upper
+    );
 
     // --- simulation cross-check ----------------------------------------
-    for fam in [LawFamily::Deterministic, LawFamily::Exponential, LawFamily::Gamma(4.0)] {
+    for fam in [
+        LawFamily::Deterministic,
+        LawFamily::Exponential,
+        LawFamily::Gamma(4.0),
+    ] {
         let laws = timing::laws(&system, fam);
         let sim = throughput_once(
             &system,

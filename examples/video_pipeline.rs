@@ -20,11 +20,8 @@ use repstream::stochastic::law::LawFamily;
 
 fn main() {
     // Works in Mcycles/frame; files in MB/frame (1080p intermediate).
-    let app = Application::new(
-        vec![2.0, 45.0, 18.0, 120.0, 3.0],
-        vec![1.2, 6.2, 6.2, 0.8],
-    )
-    .expect("app");
+    let app =
+        Application::new(vec![2.0, 45.0, 18.0, 120.0, 3.0], vec![1.2, 6.2, 6.2, 0.8]).expect("app");
     // Ten machines: two fast 4 GHz, six 3 GHz, two 2.5 GHz I/O nodes.
     // Speeds in Mcycles/ms so every time is in milliseconds.
     let mut speeds = vec![4.0, 4.0];
@@ -44,7 +41,10 @@ fn main() {
     .expect("mapping");
     let system = System::new(app, platform, mapping).expect("system");
 
-    println!("video transcoding pipeline, teams {:?}", system.shape().teams());
+    println!(
+        "video transcoding pipeline, teams {:?}",
+        system.shape().teams()
+    );
     let det = deterministic::analyze(&system, ExecModel::Overlap);
     // Throughput is frames per millisecond; ×1000 for fps.
     println!(
@@ -91,7 +91,11 @@ fn main() {
             fps,
             s.std_dev * 1000.0,
             s.min * 1000.0,
-            if fps >= 30.0 { "meets 30fps" } else { "MISSES 30fps" }
+            if fps >= 30.0 {
+                "meets 30fps"
+            } else {
+                "MISSES 30fps"
+            }
         );
     }
 

@@ -115,7 +115,10 @@ pub fn parse_system(text: &str) -> Result<System, String> {
         let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
         let floats = |rest: &[&str]| -> Result<Vec<f64>, String> {
             rest.iter()
-                .map(|t| t.parse::<f64>().map_err(|_| err(&format!("bad number {t}"))))
+                .map(|t| {
+                    t.parse::<f64>()
+                        .map_err(|_| err(&format!("bad number {t}")))
+                })
                 .collect()
         };
         match key {
@@ -193,7 +196,9 @@ team      6
 
     #[test]
     fn reports_missing_sections() {
-        assert!(parse_system("work 1 2\nfiles 3").unwrap_err().contains("speeds"));
+        assert!(parse_system("work 1 2\nfiles 3")
+            .unwrap_err()
+            .contains("speeds"));
         assert!(parse_system("speeds 1\nbandwidth 1\nteam 0")
             .unwrap_err()
             .contains("work"));
@@ -210,10 +215,8 @@ team      6
     #[test]
     fn validates_model_semantics() {
         // Reused processor.
-        let err = parse_system(
-            "work 1 1\nfiles 1\nspeeds 1 1\nbandwidth 1\nteam 0\nteam 0",
-        )
-        .unwrap_err();
+        let err =
+            parse_system("work 1 1\nfiles 1\nspeeds 1 1\nbandwidth 1\nteam 0\nteam 0").unwrap_err();
         assert!(err.contains("more than one stage"), "{err}");
     }
 }

@@ -15,11 +15,8 @@ fn arb_system() -> impl Strategy<Value = System> {
         .prop_map(|(teams, speeds, bws)| {
             let n = teams.len();
             let total: usize = teams.iter().sum();
-            let app = Application::new(
-                (0..n).map(|i| 2.0 + i as f64).collect(),
-                vec![3.0; n - 1],
-            )
-            .unwrap();
+            let app = Application::new((0..n).map(|i| 2.0 + i as f64).collect(), vec![3.0; n - 1])
+                .unwrap();
             let sp: Vec<f64> = (0..total).map(|p| speeds[p % speeds.len()]).collect();
             let mut platform = Platform::complete(sp, 1.0).unwrap();
             for p in 0..total {
