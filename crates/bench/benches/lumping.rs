@@ -1,0 +1,63 @@
+//! Lumped (symmetry-reduced) vs full stationary solves on the Theorem 2
+//! chains of homogeneous Strict TPNs.  `lumped` times the whole
+//! orbit-seed → refine → quotient → solve → lift pipeline; `lumped_solve`
+//! times only the quotient solve (the cost once a partition is known);
+//! `full` is the auto-selected full-chain solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_markov::lump::coarsest_refinement;
+use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::net::EventNet;
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+
+fn bench_lumping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lumping");
+    group.sample_size(10);
+    for teams in [vec![2usize, 3], vec![3, 4], vec![2, 3, 4]] {
+        let shape = MappingShape::new(teams.clone());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous rates keep the rotation");
+        let mg = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                max_states: 1 << 22,
+                capacity: None,
+            },
+        )
+        .unwrap();
+        let seed = mg.orbit_partition(&sym).unwrap();
+        let refined = coarsest_refinement(&mg.ctmc, &seed);
+        let (quotient, _) = mg.ctmc.quotient(&refined);
+        let label = format!(
+            "{}[{} -> {} states]",
+            teams
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            mg.n_states(),
+            quotient.n_states()
+        );
+        group.bench_with_input(BenchmarkId::new("lumped", &label), &mg, |b, mg| {
+            b.iter(|| {
+                let seed = mg.orbit_partition(&sym).unwrap();
+                mg.ctmc.stationary_lumped(&seed).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lumped_solve", &label),
+            &quotient,
+            |b, q| b.iter(|| q.stationary()),
+        );
+        group.bench_with_input(BenchmarkId::new("full", &label), &mg, |b, mg| {
+            b.iter(|| mg.ctmc.stationary())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lumping);
+criterion_main!(benches);

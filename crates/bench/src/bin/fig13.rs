@@ -25,7 +25,7 @@ fn main() {
     let mut table = Table::new(&["u.v", "Cst (sim)", "Exp (sim)", "Exp (Theorem 4)"]);
     for &u in &range {
         for &v in &range {
-            let sys = single_comm(u, v, 1.0);
+            let sys = single_comm(u, v, 1.0).expect("valid comm time");
             let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
             let thm = exponential::throughput_overlap(&sys).unwrap().throughput;
             let sim = |fam: LawFamily, seed: u64| {

@@ -32,7 +32,7 @@ fn main() {
         "closed_form_ratio",
     ]);
     for &u in &senders {
-        let sys = single_comm(u, v, 1.0);
+        let sys = single_comm(u, v, 1.0).expect("valid comm time");
         let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
         let thm = exponential::throughput_overlap(&sys).unwrap().throughput;
         let g = gcd(u, v);

@@ -54,7 +54,7 @@ fn main() {
     let mut table = Table::new(&hdr);
 
     for &u in &senders {
-        let sys = single_comm(u, v, COMM_MEAN);
+        let sys = single_comm(u, v, COMM_MEAN).expect("valid comm time");
         let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
         let mut row = vec![u.to_string()];
         for (i, fam) in families.iter().enumerate() {

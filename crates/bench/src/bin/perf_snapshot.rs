@@ -8,11 +8,19 @@
 //! pattern sizes span 12 to 1260 states, bracketing both selection
 //! thresholds (`GTH_SMALL_N` and the old hard-coded 1500).
 //!
+//! A second `"lumping"` section records the symmetry-reduced (lumped)
+//! Theorem 2 chains of homogeneous Strict TPNs: full-vs-lumped state
+//! counts, the orbit/refine/quotient/solve pipeline time against the
+//! full-chain solve, and the max per-state disagreement of the lifted
+//! stationary vector.
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
 use repstream_markov::marking::{MarkingGraph, MarkingOptions};
-use repstream_markov::net::comm_pattern;
+use repstream_markov::net::{comm_pattern, EventNet};
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -95,6 +103,90 @@ fn main() {
             t_power * 1e6,
             t_gs * 1e6,
             t_auto * 1e6,
+        );
+    }
+    json.push_str("  ],\n  \"lumping\": [\n");
+
+    // Symmetry-reduced Theorem 2 chains of homogeneous Strict TPNs.
+    let shapes: &[&[usize]] = if args.smoke {
+        &[&[2, 3]]
+    } else {
+        &[&[2, 3], &[3, 4], &[2, 3, 4], &[4, 5]]
+    };
+    for (idx, &teams) in shapes.iter().enumerate() {
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let mg = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                max_states: 1 << 22,
+                capacity: None,
+            },
+        )
+        .expect("Strict TPN is safe");
+        let seed = mg.orbit_partition(&sym).expect("orbit seed applies");
+        let t_lump = timed(reps, || mg.ctmc.stationary_lumped(&seed).unwrap());
+        let t_orbit = timed(reps, || mg.orbit_partition(&sym).unwrap());
+        let t_full = timed(reps, || mg.ctmc.stationary());
+        let sol = mg.ctmc.stationary_lumped(&seed).unwrap();
+        let full = mg.ctmc.stationary();
+        let maxdiff = sol
+            .pi
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let label: Vec<String> = teams.iter().map(|r| r.to_string()).collect();
+        field(
+            &mut json,
+            ind,
+            "teams",
+            format!("\"{}\"", label.join("x")),
+            false,
+        );
+        field(&mut json, ind, "m", shape.n_paths(), false);
+        field(&mut json, ind, "full_states", sol.full_states, false);
+        field(&mut json, ind, "lumped_states", sol.lumped_states, false);
+        field(&mut json, ind, "orbit_s", format!("{t_orbit:.3e}"), false);
+        field(
+            &mut json,
+            ind,
+            "lump_refine_quotient_solve_s",
+            format!("{t_lump:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "full_solve_s",
+            format!("{t_full:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "max_state_diff",
+            format!("{maxdiff:.3e}"),
+            true,
+        );
+        let comma = if idx + 1 == shapes.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "lump {}: m={} states {} -> {} orbit {:.1}us lump {:.1}us full {:.1}us maxdiff {:.1e}",
+            label.join("x"),
+            shape.n_paths(),
+            sol.full_states,
+            sol.lumped_states,
+            t_orbit * 1e6,
+            t_lump * 1e6,
+            t_full * 1e6,
+            maxdiff,
         );
     }
     json.push_str("  ]\n}\n");

@@ -203,10 +203,10 @@ mod tests {
         // Heterogeneous speeds and bandwidths.
         let app = Application::new(vec![4.0, 9.0, 2.0], vec![6.0, 8.0]).unwrap();
         let mut platform = Platform::complete(vec![2.0, 1.0, 3.0, 1.5, 2.5, 1.0], 2.0).unwrap();
-        platform.set_bandwidth(0, 1, 5.0);
-        platform.set_bandwidth(0, 2, 1.0);
-        platform.set_bandwidth(1, 3, 3.0);
-        platform.set_bandwidth(2, 4, 0.5);
+        platform.set_bandwidth(0, 1, 5.0).unwrap();
+        platform.set_bandwidth(0, 2, 1.0).unwrap();
+        platform.set_bandwidth(1, 3, 3.0).unwrap();
+        platform.set_bandwidth(2, 4, 0.5).unwrap();
         let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5]]).unwrap();
         let sys = System::new(app, platform, mapping).unwrap();
         let global = analyze(&sys, ExecModel::Overlap).throughput;

@@ -104,6 +104,13 @@ pub struct ExpOptions {
     pub max_pattern_states: usize,
     /// State budget for the global marking chain (Theorem 2 path).
     pub max_states: usize,
+    /// Lump-first mode for the Theorem 2 chain (default on): when the
+    /// TPN's row-rotation symmetry survives the rate table, solve the
+    /// symmetry-reduced quotient chain instead of the full one, falling
+    /// back to the full chain when the hint is refused or the refinement
+    /// degenerates.  The result is exact either way; this switch exists
+    /// for A/B validation and benchmarking.
+    pub lumping: bool,
 }
 
 impl Default for ExpOptions {
@@ -111,6 +118,7 @@ impl Default for ExpOptions {
         ExpOptions {
             max_pattern_states: 2_000_000,
             max_states: 4_000_000,
+            lumping: true,
         }
     }
 }
@@ -198,7 +206,7 @@ pub fn throughput_overlap_with_rates(
 
     let bottleneck = *candidates
         .iter()
-        .min_by(|a, b| a.rate.partial_cmp(&b.rate).unwrap())
+        .min_by(|a, b| a.rate.total_cmp(&b.rate))
         .expect("at least one compute column");
     Ok(ExpReport {
         throughput: bottleneck.rate,
@@ -207,13 +215,46 @@ pub fn throughput_overlap_with_rates(
     })
 }
 
+/// Result of the Theorem 2 analysis, recording whether the lump-first
+/// path was taken and how much it reduced the chain.
+#[derive(Debug, Clone)]
+pub struct StrictReport {
+    /// System throughput (data sets per time unit).
+    pub throughput: f64,
+    /// States of the full marking chain.
+    pub full_states: usize,
+    /// States of the symmetry-reduced chain actually solved, when the
+    /// lumped path applied (`None` ⇒ full-chain solve).
+    pub lumped_states: Option<usize>,
+}
+
 /// Theorem 2: exact throughput of the **Strict** model through the global
 /// marking-graph CTMC (the Strict TPN is safe).
+///
+/// With [`ExpOptions::lumping`] on (the default) and a homogeneous
+/// mapping, the stationary solve runs on the row-rotation quotient chain
+/// — see [`throughput_strict_report`] for the reduction bookkeeping.
 pub fn throughput_strict(system: &System, opts: ExpOptions) -> Result<f64, ExpError> {
+    throughput_strict_report(system, opts).map(|r| r.throughput)
+}
+
+/// As [`throughput_strict`], also reporting full-vs-lumped state counts.
+///
+/// Lump-first mode: when each stage's team and its links are homogeneous
+/// (the exponential setting of Theorem 2), the TPN row-rotation
+/// automorphism survives into the rate table, its orbits on the reachable
+/// markings seed an exact ordinary lumping, and the stationary vector is
+/// solved on the quotient and lifted back.  Any failure along that path —
+/// heterogeneous rates, a rotated marking escaping the reachable set, or
+/// a degenerate (discrete) refinement — falls back to the full chain.
+pub fn throughput_strict_report(
+    system: &System,
+    opts: ExpOptions,
+) -> Result<StrictReport, ExpError> {
     let shape = system.shape();
     let tpn = Tpn::build(&shape, ExecModel::Strict);
     let rates = exponential_rates(system);
-    let net = EventNet::from_tpn(&tpn, &rates);
+    let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
     let mg = MarkingGraph::build(
         &net,
         MarkingOptions {
@@ -222,7 +263,28 @@ pub fn throughput_strict(system: &System, opts: ExpOptions) -> Result<f64, ExpEr
         },
     )
     .map_err(ExpError::MarkingGraph)?;
-    Ok(mg.throughput_of(&net, &tpn.last_column()))
+    let last = tpn.last_column();
+    let throughput_from = |pi: &[f64]| -> f64 {
+        let fired = mg.firing_rates(&net, pi);
+        last.iter().map(|&t| fired[t]).sum()
+    };
+    if opts.lumping {
+        if let Some(seed) = sym.as_ref().and_then(|s| mg.orbit_partition(s)) {
+            if let Some(sol) = mg.ctmc.stationary_lumped(&seed) {
+                return Ok(StrictReport {
+                    throughput: throughput_from(&sol.pi),
+                    full_states: sol.full_states,
+                    lumped_states: Some(sol.lumped_states),
+                });
+            }
+        }
+    }
+    let pi = mg.ctmc.stationary();
+    Ok(StrictReport {
+        throughput: throughput_from(&pi),
+        full_states: mg.n_states(),
+        lumped_states: None,
+    })
 }
 
 /// Validation variant: global CTMC of the **Overlap** TPN with a finite
@@ -321,7 +383,7 @@ mod tests {
         // result must fall between the homogeneous extremes.
         let app = Application::uniform(2, 0.06, 12.0).unwrap();
         let mut platform = Platform::complete(vec![100.0; 5], 1.0).unwrap();
-        platform.set_bandwidth(0, 2, 0.5); // slower link 0→2
+        platform.set_bandwidth(0, 2, 0.5).unwrap(); // slower link 0→2
         let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
         let sys = System::new(app, platform, mapping).unwrap();
         let rep = throughput_overlap(&sys).unwrap();
@@ -342,6 +404,57 @@ mod tests {
         let rho = throughput_strict(&sys, ExpOptions::default()).unwrap();
         // Must be below the deterministic Strict throughput 1/9.
         assert!(rho > 0.0 && rho < 1.0 / 9.0, "rho {rho}");
+    }
+
+    #[test]
+    fn strict_lumped_matches_full_chain_on_homogeneous_lcm12() {
+        // Teams 3 and 4 ⇒ m = lcm = 12; homogeneous platform keeps the
+        // row-rotation symmetry, so the lumped path must engage, shrink
+        // the chain measurably, and agree with the full-chain solve.
+        let sys = system(vec![vec![0, 1, 2], vec![3, 4, 5, 6]], vec![2.0; 7], 1.0);
+        let lumped = throughput_strict_report(&sys, ExpOptions::default()).unwrap();
+        let full = throughput_strict_report(
+            &sys,
+            ExpOptions {
+                lumping: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reduced = lumped.lumped_states.expect("homogeneous system lumps");
+        assert!(full.lumped_states.is_none());
+        assert_eq!(lumped.full_states, full.full_states);
+        assert!(
+            reduced * 2 <= lumped.full_states,
+            "expected ≥ 2× reduction: {reduced} of {}",
+            lumped.full_states
+        );
+        assert!(
+            (lumped.throughput - full.throughput).abs() < 1e-8 * full.throughput,
+            "lumped {} vs full {}",
+            lumped.throughput,
+            full.throughput
+        );
+    }
+
+    #[test]
+    fn strict_lumped_refuses_heterogeneous_platform() {
+        // One slower processor breaks team homogeneity: the symmetry hint
+        // must be refused and the full chain used — same result, no lump.
+        let sys = system(vec![vec![0, 1], vec![2]], vec![2.0, 1.0, 2.0], 1.0);
+        let rep = throughput_strict_report(&sys, ExpOptions::default()).unwrap();
+        assert!(rep.lumped_states.is_none(), "{rep:?}");
+        assert!(rep.throughput > 0.0);
+    }
+
+    #[test]
+    fn strict_lumped_degenerates_on_unreplicated_pipeline() {
+        // All R_i = 1 ⇒ m = 1 ⇒ identity rotation ⇒ discrete seed: the
+        // lump-first path falls back to the full chain.
+        let sys = system(vec![vec![0], vec![1], vec![2]], vec![1.0; 3], 2.0);
+        let rep = throughput_strict_report(&sys, ExpOptions::default()).unwrap();
+        assert!(rep.lumped_states.is_none(), "{rep:?}");
+        assert!(rep.throughput > 0.0);
     }
 
     #[test]

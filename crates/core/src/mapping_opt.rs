@@ -96,9 +96,11 @@ pub fn greedy(
     }
     // Processors fastest-first; stages heaviest-first.
     let mut procs: Vec<usize> = (0..m).collect();
-    procs.sort_by(|&a, &b| platform.speed(b).partial_cmp(&platform.speed(a)).unwrap());
+    // `total_cmp`: speeds and works are validated positive-finite at
+    // model construction, but a NaN-proof sort can never abort.
+    procs.sort_by(|&a, &b| platform.speed(b).total_cmp(&platform.speed(a)));
     let mut stages: Vec<usize> = (0..n).collect();
-    stages.sort_by(|&a, &b| app.work(b).partial_cmp(&app.work(a)).unwrap());
+    stages.sort_by(|&a, &b| app.work(b).total_cmp(&app.work(a)));
 
     let mut teams: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (idx, &stage) in stages.iter().enumerate() {

@@ -189,9 +189,17 @@ impl Platform {
     }
 
     /// Set one directed bandwidth (builder-style tweak).
-    pub fn set_bandwidth(&mut self, p: ProcId, q: ProcId, b: f64) {
-        assert!(b > 0.0 && b.is_finite());
+    ///
+    /// Rejects zero, negative, infinite and NaN values with a typed
+    /// error instead of silently storing a bandwidth that would turn
+    /// downstream transfer times into `∞`/NaN and poison every
+    /// throughput computed from them.
+    pub fn set_bandwidth(&mut self, p: ProcId, q: ProcId, b: f64) -> Result<(), ModelError> {
+        if !(b > 0.0 && b.is_finite()) {
+            return Err(ModelError::NonPositive { what: "bandwidth" });
+        }
         self.bandwidth[p][q] = b;
+        Ok(())
     }
 }
 
@@ -343,9 +351,20 @@ mod tests {
             ModelError::NonPositive { .. }
         ));
         let mut p = Platform::homogeneous(2, 1.0, 2.0).unwrap();
-        p.set_bandwidth(0, 1, 7.0);
+        p.set_bandwidth(0, 1, 7.0).unwrap();
         assert_eq!(p.bandwidth(0, 1), 7.0);
         assert_eq!(p.bandwidth(1, 0), 2.0);
+        // Non-finite and non-positive updates are rejected, state intact.
+        for bad in [0.0, -1.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert!(
+                matches!(
+                    p.set_bandwidth(0, 1, bad),
+                    Err(ModelError::NonPositive { what: "bandwidth" })
+                ),
+                "bandwidth {bad} must be rejected"
+            );
+        }
+        assert_eq!(p.bandwidth(0, 1), 7.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn comm_bound_system(u: usize, v: usize, bw_fn: impl Fn(usize, usize) -> f64) ->
     let mut platform = Platform::complete(vec![1e9; m], 1.0).unwrap();
     for s in 0..u {
         for d in 0..v {
-            platform.set_bandwidth(s, u + d, bw_fn(s, d));
+            platform.set_bandwidth(s, u + d, bw_fn(s, d)).unwrap();
         }
     }
     let mapping = Mapping::new(vec![
@@ -96,7 +96,7 @@ fn pattern_quotient_with_copies_is_faithful() {
     let mut platform = Platform::complete(vec![1e9; 9], 1e9).unwrap();
     for s in 0..2 {
         for d in 0..3 {
-            platform.set_bandwidth(s, 2 + d, 1.0);
+            platform.set_bandwidth(s, 2 + d, 1.0).unwrap();
         }
     }
     let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4], vec![5, 6, 7, 8]]).unwrap();

@@ -63,7 +63,7 @@
 //!   cost is amortized by the dense rows, and relaxation loses its
 //!   `nnz ≪ n²` advantage;
 //! * everything else — Gauss–Seidel, verified against the stationarity
-//!   residual; if it has not converged to [`GS_RESIDUAL_TOL`] the solver
+//!   residual; if it has not converged to `GS_RESIDUAL_TOL` the solver
 //!   falls back to the (slower, unconditionally convergent) power
 //!   iteration.  This replaces the seed's hard-coded `n ≤ 1500` GTH/power
 //!   split.
@@ -288,6 +288,20 @@ impl Ctmc {
             .map(|(&j, &r)| (j as usize, r))
     }
 
+    /// Incoming transitions of state `j` as `(source, rate)` pairs
+    /// (the transpose view cached at construction; sources ascend).
+    /// Used by the Gauss–Seidel sweep internally and by the lumping
+    /// refinement of [`crate::lump`], which needs the predecessors of a
+    /// splitter block.
+    #[inline]
+    pub fn in_edges(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
+        self.in_src[lo..hi]
+            .iter()
+            .zip(&self.in_rate[lo..hi])
+            .map(|(&i, &r)| (i as usize, r))
+    }
+
     /// Total exit rate of state `s` (cached at construction).
     #[inline]
     pub fn exit_rate(&self, s: usize) -> f64 {
@@ -429,7 +443,7 @@ impl Ctmc {
     /// Converges geometrically for the (aperiodic, irreducible) uniformized
     /// chains of marking graphs; iteration stops when the L1 change drops
     /// below `tol` or after `max_iters` sweeps.  The iterate is
-    /// renormalized every [`NORM_PERIOD`] sweeps, and every [`RRE_PERIOD`]
+    /// renormalized every `NORM_PERIOD` sweeps, and every [`RRE_PERIOD`]
     /// sweeps a reduced-rank (vector Aitken Δ²) extrapolation of a
     /// [`RRE_WINDOW`]-iterate burst is attempted, kept only when it does
     /// not degrade the stationarity residual.

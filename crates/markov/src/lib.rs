@@ -23,6 +23,12 @@
 //!   count `S(u,v) = C(u+v−1, u−1) · v`, its stationary throughput under
 //!   arbitrary per-link rates, and the homogeneous closed form
 //!   `u·v·λ/(u+v−1)` of Theorem 4;
+//! * [`lump`] — exact ordinary lumping (symmetry reduction): splitter-based
+//!   partition refinement, [`Ctmc::quotient`](ctmc::Ctmc::quotient) with a
+//!   lift back to full-state marginals, and the lump-first solve
+//!   [`Ctmc::stationary_lumped`](ctmc::Ctmc::stationary_lumped) seeded from
+//!   the TPN row-rotation orbits via
+//!   [`marking::MarkingGraph::orbit_partition`];
 //! * [`transient`] — finite-horizon analysis by uniformization: `π(t)` and
 //!   the expected completions over `[0, t]` (the analytic counterpart of
 //!   the paper's throughput-vs-data-sets curves);
@@ -35,6 +41,7 @@
 
 pub mod ctmc;
 pub mod fxhash;
+pub mod lump;
 pub mod marking;
 pub mod net;
 pub mod pattern;

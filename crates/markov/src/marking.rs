@@ -36,7 +36,8 @@
 
 use crate::ctmc::{CsrBuilder, Ctmc};
 use crate::fxhash::FxHashMap;
-use crate::net::EventNet;
+use crate::lump::Partition;
+use crate::net::{EventNet, NetSymmetry};
 use std::hash::Hasher;
 
 /// Options for marking-graph construction.
@@ -469,6 +470,96 @@ impl MarkingGraph {
     /// Transitions fireable in state `s` (ascending).
     pub fn enabled(&self, s: usize) -> &[u32] {
         &self.enabled_idx[self.enabled_ptr[s] as usize..self.enabled_ptr[s + 1] as usize]
+    }
+
+    /// Orbit seed partition of the reachable markings under a net
+    /// symmetry: state `s` maps to the state holding the place-permuted
+    /// marking, and the cycles of that state permutation become blocks.
+    ///
+    /// The caller should have validated `sym` with
+    /// [`EventNet::symmetry_valid`]; this method adds the *reachability*
+    /// check the net-level validation cannot do: a net automorphism that
+    /// does not fix the initial marking still induces a CTMC automorphism
+    /// **iff** the permuted markings are all reachable (the reachability
+    /// graph of these live event nets is strongly connected, so one
+    /// escaped image means the hint does not apply).  Returns `None` in
+    /// that case — callers fall back to the full chain.
+    ///
+    /// The resulting partition satisfies the automorphism-orbit contract
+    /// of [`crate::lump`], so
+    /// [`Ctmc::stationary_lumped`](crate::ctmc::Ctmc::stationary_lumped)
+    /// may lift per-state marginals from it.
+    pub fn orbit_partition(&self, sym: &NetSymmetry) -> Option<Partition> {
+        let n = self.n_states();
+        let width = self.states.width();
+        if sym.place_perm.len() != width {
+            return None;
+        }
+        // The induced state map σ is propagated *structurally* instead of
+        // hashing every permuted marking: once σ(s₀) is known, firing
+        // transition `t` from `s` corresponds to firing `trans_perm[t]`
+        // from σ(s) (that is what being a net automorphism means), and the
+        // marking BFS reaches every state from s₀ — so one marking lookup
+        // seeds a pure-integer BFS over the aligned `enabled`/CSR rows.
+        // Every propagation step doubles as a validity check: a missing
+        // permuted transition, a σ conflict, or a non-injective image
+        // proves the hint does not apply and returns `None`.
+        let image0: Option<Vec<u8>> = {
+            let m0 = self.states.get(0);
+            let mut img = vec![0u8; width];
+            let mut ok = true;
+            for (p, &tokens) in m0.iter().enumerate() {
+                let dst = sym.place_perm[p];
+                if dst >= width {
+                    ok = false;
+                    break;
+                }
+                img[dst] = tokens;
+            }
+            ok.then_some(img)
+        };
+        let image0 = image0?;
+        let s0_img = (0..n).find(|&s| self.states.get(s) == image0)? as u32;
+
+        let mut sigma = vec![u32::MAX; n];
+        let mut taken = vec![false; n];
+        sigma[0] = s0_img;
+        taken[s0_img as usize] = true;
+        let mut stack: Vec<u32> = vec![0];
+        let mut visited = 1usize;
+        while let Some(s) = stack.pop() {
+            let s = s as usize;
+            let si = sigma[s] as usize;
+            let en_s = self.enabled(s);
+            let en_si = self.enabled(si);
+            if en_s.len() != en_si.len() {
+                return None;
+            }
+            let row_s = self.ctmc.row_targets(s);
+            let row_si = self.ctmc.row_targets(si);
+            for (k, &t) in en_s.iter().enumerate() {
+                let tp = *sym.trans_perm.get(t as usize)? as u32;
+                // Enabled sets are ascending by construction.
+                let pos = en_si.binary_search(&tp).ok()?;
+                let target = row_s[k] as usize;
+                let target_img = row_si[pos];
+                if sigma[target] == u32::MAX {
+                    if taken[target_img as usize] {
+                        return None; // not injective: bogus hint
+                    }
+                    sigma[target] = target_img;
+                    taken[target_img as usize] = true;
+                    visited += 1;
+                    stack.push(target as u32);
+                } else if sigma[target] != target_img {
+                    return None; // inconsistent propagation: bogus hint
+                }
+            }
+        }
+        if visited != n {
+            return None;
+        }
+        Some(Partition::from_permutation_orbits(&sigma))
     }
 
     /// Stationary firing rate of every transition:

@@ -10,6 +10,22 @@
 use repstream_petri::shape::ResourceTable;
 use repstream_petri::tpn::Tpn;
 
+/// A **rate-preserving automorphism** of an [`EventNet`]: permutations of
+/// the transitions and places that map the net onto itself (each place's
+/// endpoints follow the transition permutation) with *exactly* equal
+/// firing rates along every transition orbit.  Initial markings need not
+/// be invariant: the marking-graph consumer
+/// ([`crate::marking::MarkingGraph::orbit_partition`]) checks that the
+/// permuted markings stay inside the reachable set, which is what makes
+/// the induced state permutation a CTMC automorphism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSymmetry {
+    /// Image of every transition.
+    pub trans_perm: Vec<usize>,
+    /// Image of every place.
+    pub place_perm: Vec<usize>,
+}
+
 /// A timed event net with exponential firing rates.
 #[derive(Debug, Clone)]
 pub struct EventNet {
@@ -89,6 +105,58 @@ impl EventNet {
             .map(|p| (p.src, p.dst, p.tokens))
             .collect();
         EventNet::new(trans_rates, places)
+    }
+
+    /// As [`EventNet::from_tpn`], also deriving the row-rotation
+    /// [`NetSymmetry`] when it preserves the rates — i.e. in the
+    /// homogeneous exponential setting of Theorem 2, where each stage's
+    /// team and its links share one rate.  On a heterogeneous table the
+    /// hint is refused (`None`) and callers analyse the full chain.
+    pub fn from_tpn_with_symmetry(
+        tpn: &Tpn,
+        rates: &ResourceTable<f64>,
+    ) -> (Self, Option<NetSymmetry>) {
+        let net = EventNet::from_tpn(tpn, rates);
+        let sym = tpn.row_rotation().map(|a| NetSymmetry {
+            trans_perm: a.trans_perm,
+            place_perm: a.place_perm,
+        });
+        let sym = sym.filter(|s| net.symmetry_valid(s));
+        (net, sym)
+    }
+
+    /// Check that `sym` really is a rate-preserving automorphism of this
+    /// net: both maps are permutations of the right length, every place's
+    /// endpoints follow the transition permutation, and rates along each
+    /// transition orbit are **bitwise equal** (the homogeneous tables of
+    /// Theorem 2 produce identical `f64`s; anything looser would risk
+    /// lumping states that are not exactly exchangeable).
+    pub fn symmetry_valid(&self, sym: &NetSymmetry) -> bool {
+        let nt = self.n_transitions();
+        let np = self.n_places();
+        if sym.trans_perm.len() != nt || sym.place_perm.len() != np {
+            return false;
+        }
+        let mut seen_t = vec![false; nt];
+        for (t, &img) in sym.trans_perm.iter().enumerate() {
+            if img >= nt || seen_t[img] || self.rates[t] != self.rates[img] {
+                return false;
+            }
+            seen_t[img] = true;
+        }
+        let mut seen_p = vec![false; np];
+        for (p, &img) in sym.place_perm.iter().enumerate() {
+            if img >= np || seen_p[img] {
+                return false;
+            }
+            seen_p[img] = true;
+            let (s, d, _) = self.places[p];
+            let (si, di, _) = self.places[img];
+            if si != sym.trans_perm[s] || di != sym.trans_perm[d] {
+                return false;
+            }
+        }
+        true
     }
 }
 

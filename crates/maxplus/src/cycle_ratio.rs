@@ -80,11 +80,21 @@ fn scc_ratio(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRat
             critical_cycle: cycle,
         });
     }
+    // A `+∞`-weight arc inside an SCC always lies on a cycle, and any
+    // cycle through it has infinite ratio — certify one directly instead
+    // of letting infinite potentials poison the policy iteration.
+    if let Some(cycle) = infinite_weight_cycle_in_scc(g, cond, cid) {
+        return Some(CycleRatio {
+            ratio: f64::INFINITY,
+            critical_cycle: cycle,
+        });
+    }
     match howard_scc(g, cond, cid) {
         Some(r) => Some(r),
         None => {
-            // Extremely defensive fallback; `howard_scc` only gives up on
-            // its iteration cap.
+            // Fallback for the two give-up paths of `howard_scc`: its
+            // iteration cap, and a node left without usable out-arcs
+            // after NaN/−∞ weights are dropped.
             let nodes: Vec<NodeId> = cond.members[cid].clone();
             lawler_subgraph(g, &nodes).map(|ratio| CycleRatio {
                 ratio,
@@ -92,6 +102,63 @@ fn scc_ratio(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRat
             })
         }
     }
+}
+
+/// A cycle through a `+∞`-weight intra-SCC arc, if any: the arc `s → d`
+/// plus a BFS path `d → … → s` over *usable* (non-NaN, non-`−∞`)
+/// intra-SCC arcs.  An ∞ arc whose return paths all run through unusable
+/// arcs yields no well-defined cycle and is skipped — it then gets
+/// dropped by the downstream engines like the unusable arcs themselves.
+fn infinite_weight_cycle_in_scc(
+    g: &TokenGraph,
+    cond: &Condensation,
+    cid: SccId,
+) -> Option<Vec<ArcId>> {
+    let usable = |aid: ArcId| {
+        let a = g.arc(aid);
+        cond.comp_of[a.dst] == cid && !a.weight.is_nan() && a.weight != f64::NEG_INFINITY
+    };
+    let inf_arcs: Vec<ArcId> = cond.members[cid]
+        .iter()
+        .flat_map(|&u| g.out_arcs(u).iter().copied())
+        .filter(|&aid| usable(aid) && g.arc(aid).weight == f64::INFINITY)
+        .collect();
+    for inf_arc in inf_arcs {
+        let (src, dst) = {
+            let a = g.arc(inf_arc);
+            (a.src, a.dst)
+        };
+        if dst == src {
+            return Some(vec![inf_arc]);
+        }
+        // BFS from `dst` back to `src` over usable intra-SCC arcs.
+        let mut parent: std::collections::HashMap<NodeId, ArcId> = Default::default();
+        let mut queue = std::collections::VecDeque::from([dst]);
+        while let Some(u) = queue.pop_front() {
+            for &aid in g.out_arcs(u) {
+                let a = g.arc(aid);
+                if !usable(aid) || a.dst == dst || parent.contains_key(&a.dst) {
+                    continue;
+                }
+                parent.insert(a.dst, aid);
+                if a.dst == src {
+                    let mut path = vec![inf_arc];
+                    let mut cur = src;
+                    while cur != dst {
+                        let pa = parent[&cur];
+                        path.push(pa);
+                        cur = g.arc(pa).src;
+                    }
+                    // `path` holds [inf_arc, last, …, first]; reverse the
+                    // tail into walk order inf_arc, first, …, last.
+                    path[1..].reverse();
+                    return Some(path);
+                }
+                queue.push_back(a.dst);
+            }
+        }
+    }
+    None
 }
 
 /// A cycle made only of token-free arcs inside the SCC, if any.
@@ -186,7 +253,12 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
     for (i, &u) in nodes.iter().enumerate() {
         for &aid in g.out_arcs(u) {
             let a = g.arc(aid);
-            if cond.comp_of[a.dst] == cid {
+            // Non-finite weights never reach the policy values: NaN (e.g.
+            // a `0 · ∞` product from a token-free cycle's λ upstream) and
+            // `−∞` carry no usable ratio information and are dropped;
+            // `+∞` arcs were certified as infinite-ratio cycles by the
+            // caller before policy iteration starts.
+            if cond.comp_of[a.dst] == cid && a.weight.is_finite() {
                 out[i].push(LArc {
                     dst: local_of[&a.dst],
                     w: a.weight,
@@ -197,10 +269,13 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
             }
         }
     }
-    debug_assert!(
-        out.iter().all(|o| !o.is_empty()),
-        "SCC node without out-arc"
-    );
+    // Dropping non-finite arcs may leave a node with no intra-SCC
+    // successor, in which case policy iteration cannot run; the caller
+    // then falls back to Lawler's search, which applies the same
+    // weight-domain rules.
+    if out.iter().any(|o| o.is_empty()) {
+        return None;
+    }
 
     let eps = 1e-12 * wmax;
     let mut policy: Vec<usize> = vec![0; k]; // index into out[u]
@@ -337,11 +412,13 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
     }
 
     // Extract the critical cycle: from a node of maximal λ, follow the
-    // policy until a node repeats.
+    // policy until a node repeats.  `total_cmp` keeps the selection
+    // well-defined even if a λ were non-finite (±∞ cycles are legitimate;
+    // NaN cannot occur since NaN-weight arcs were dropped above).
     let (start, _) = lambda
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     let mut seen = vec![usize::MAX; k];
     let mut u = start;
@@ -389,10 +466,17 @@ pub fn lawler_subgraph(g: &TokenGraph, nodes: &[NodeId]) -> Option<f64> {
     for (i, &u) in nodes.iter().enumerate() {
         local_of[u] = i;
     }
+    // Same weight-domain rules as the Howard path: NaN and `−∞` arcs are
+    // unusable and dropped (this also keeps the search bounds
+    // `w_lo`/`w_hi` well-defined); `+∞` arcs are handled structurally
+    // below, since the bisection cannot represent them.
+    let in_sub =
+        |a: &&crate::graph::Arc| local_of[a.src] != usize::MAX && local_of[a.dst] != usize::MAX;
     let arcs: Vec<(usize, usize, f64, f64)> = g
         .arcs()
         .iter()
-        .filter(|a| local_of[a.src] != usize::MAX && local_of[a.dst] != usize::MAX)
+        .filter(in_sub)
+        .filter(|a| a.weight.is_finite())
         .map(|a| {
             (
                 local_of[a.src],
@@ -402,10 +486,39 @@ pub fn lawler_subgraph(g: &TokenGraph, nodes: &[NodeId]) -> Option<f64> {
             )
         })
         .collect();
+    let n = nodes.len();
+
+    // A `+∞` arc on any cycle of the subgraph makes the maximum ratio
+    // infinite: check `dst → src` reachability over every usable arc
+    // (finite and `+∞`, which may chain through each other).  The
+    // adjacency is built once and shared across all `+∞` probes.
+    let inf_probes: Vec<(usize, usize)> = g
+        .arcs()
+        .iter()
+        .filter(in_sub)
+        .filter(|a| a.weight == f64::INFINITY)
+        .map(|a| (local_of[a.dst], local_of[a.src]))
+        .collect();
+    if !inf_probes.is_empty() {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for a in g
+            .arcs()
+            .iter()
+            .filter(in_sub)
+            .filter(|a| !a.weight.is_nan() && a.weight != f64::NEG_INFINITY)
+        {
+            adj[local_of[a.src]].push(local_of[a.dst]);
+        }
+        if inf_probes
+            .iter()
+            .any(|&(from, to)| reachable(&adj, from, to))
+        {
+            return Some(f64::INFINITY);
+        }
+    }
     if arcs.is_empty() {
         return None;
     }
-    let n = nodes.len();
 
     // Tokenless positive-weight cycles make the ratio infinite; but a
     // tokenless cycle of any weight means deadlock for an event graph, so
@@ -472,21 +585,52 @@ pub fn lawler_subgraph(g: &TokenGraph, nodes: &[NodeId]) -> Option<f64> {
     Some(0.5 * (lo + hi))
 }
 
+/// BFS reachability `from → to` over a prebuilt adjacency list.
+fn reachable(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; adj.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    seen[from] = true;
+    while let Some(u) = queue.pop_front() {
+        for &d in &adj[u] {
+            if d == to {
+                return true;
+            }
+            if !seen[d] {
+                seen[d] = true;
+                queue.push_back(d);
+            }
+        }
+    }
+    false
+}
+
 // ---------------------------------------------------------------------------
 // Karp (unit tokens)
 // ---------------------------------------------------------------------------
 
 /// Karp's maximum cycle *mean* algorithm.  Exact (up to float addition) but
-/// only applicable when **every arc carries exactly one token**, in which
-/// case the cycle ratio coincides with the cycle mean.
+/// only applicable when **every arc carries exactly one token** (the cycle
+/// ratio then coincides with the cycle mean) and **every weight is
+/// finite** — the `(d_n − d_k)/(n − k)` recurrence turns `∞ − ∞` into NaN
+/// and would silently *drop* an infinite-ratio cycle, so the special-case
+/// oracle insists on its domain instead of mis-reporting.
 ///
 /// Returns `None` for acyclic graphs.
 ///
 /// # Panics
-/// Panics if some arc does not carry exactly one token.
+/// Panics if some arc does not carry exactly one token or has a
+/// non-finite weight.
 pub fn karp(g: &TokenGraph) -> Option<f64> {
     for a in g.arcs() {
         assert_eq!(a.tokens, 1, "karp requires unit tokens on every arc");
+        assert!(
+            a.weight.is_finite(),
+            "karp requires finite weights, got {}",
+            a.weight
+        );
     }
     let n = g.n_nodes();
     if n == 0 || g.n_arcs() == 0 {
@@ -568,7 +712,9 @@ pub fn brute_force(g: &TokenGraph) -> Option<CycleRatio> {
                 let w: f64 = path_arcs.iter().map(|&x| g.arc(x).weight).sum();
                 let t: u64 = path_arcs.iter().map(|&x| u64::from(g.arc(x).tokens)).sum();
                 let ratio = if t == 0 { f64::INFINITY } else { w / t as f64 };
-                if best.as_ref().is_none_or(|b| ratio > b.ratio) {
+                // NaN-ratio cycles (NaN-weight arcs) are ignored, matching
+                // the production engines.
+                if !ratio.is_nan() && best.as_ref().is_none_or(|b| ratio > b.ratio) {
                     *best = Some(CycleRatio {
                         ratio,
                         critical_cycle: path_arcs.clone(),
@@ -702,6 +848,96 @@ mod tests {
         assert!((h - b).abs() < 1e-9, "howard {h} vs brute {b}");
         assert!((k - b).abs() < 1e-9, "karp {k} vs brute {b}");
         assert!((l - b).abs() < 1e-6, "lawler {l} vs brute {b}");
+    }
+
+    #[test]
+    fn nan_weight_arc_does_not_abort() {
+        // Regression: the NaN self-loop is inserted first, so it is the
+        // initial policy arc of node 1 and its λ = NaN spreads to every
+        // policy value.  Before the hardening the critical-cycle
+        // extraction aborted on `partial_cmp(..).unwrap()`; now NaN arcs
+        // are dropped and the clean 0→1→0 cycle (ratio 1) is selected.
+        let g = g(2, &[(1, 1, f64::NAN, 1), (0, 1, 1.0, 1), (1, 0, 1.0, 1)]);
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 1.0).abs() < 1e-9, "ratio {}", r.ratio);
+        assert!((g.cycle_ratio_of(&r.critical_cycle) - 1.0).abs() < 1e-12);
+        assert!((lawler(&g).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_nan_cycles_report_no_ratio() {
+        // Every cycle goes through a NaN arc: after dropping them the
+        // component is effectively acyclic — no ratio, no abort.
+        let g = g(2, &[(0, 1, f64::NAN, 1), (1, 0, 1.0, 1)]);
+        assert!(maximum_cycle_ratio(&g).is_none());
+        assert!(lawler(&g).is_none());
+    }
+
+    #[test]
+    fn infinite_weight_cycle_dominates() {
+        // An infinite firing time (a rate-0 resource upstream) makes its
+        // cycle ratio ∞; the engine must report it, not abort on the
+        // non-finite potentials it induces — and the certificate must be
+        // a genuine cycle through the ∞ arc.
+        let g = g(
+            2,
+            &[(0, 1, f64::INFINITY, 1), (1, 0, 1.0, 1), (0, 0, 3.0, 1)],
+        );
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!(r.ratio.is_infinite(), "ratio {}", r.ratio);
+        assert!(g.cycle_ratio_of(&r.critical_cycle).is_infinite());
+        assert_eq!(lawler(&g).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn infinite_cycle_survives_nan_isolated_node() {
+        // Regression (review finding): the NaN arc must not hide the
+        // ∞-ratio cycle 0→1→0 (here the ∞ pre-certification answers
+        // before policy iteration even starts).
+        let g = g(
+            3,
+            &[
+                (0, 1, f64::INFINITY, 1),
+                (1, 0, 1.0, 1),
+                (1, 2, 1.0, 1),
+                (2, 0, f64::NAN, 1),
+            ],
+        );
+        let r = maximum_cycle_ratio(&g).expect("the 0→1→0 cycle exists");
+        assert!(r.ratio.is_infinite(), "ratio {}", r.ratio);
+        assert!(brute_force(&g).unwrap().ratio.is_infinite());
+    }
+
+    #[test]
+    fn finite_cycle_survives_nan_isolated_node() {
+        // Same topology with a *finite* surviving cycle: dropping the NaN
+        // arc leaves node 2 without a usable intra-SCC successor, Howard
+        // gives up (empty out-list), and the Lawler fallback must still
+        // find the finite 0→1→0 cycle instead of "no cycle".
+        let g = g(
+            3,
+            &[
+                (0, 1, 1.0, 1),
+                (1, 0, 1.0, 1),
+                (1, 2, 1.0, 1),
+                (2, 0, f64::NAN, 1),
+            ],
+        );
+        let r = maximum_cycle_ratio(&g).expect("the 0→1→0 cycle exists");
+        assert!((r.ratio - 1.0).abs() < 1e-6, "ratio {}", r.ratio);
+        assert!((brute_force(&g).unwrap().ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neg_infinite_arcs_are_ignored() {
+        // A −∞ arc is as unusable as NaN: the clean self-loop wins.
+        let g = g(
+            2,
+            &[(0, 1, f64::NEG_INFINITY, 1), (1, 0, 1.0, 1), (0, 0, 2.0, 1)],
+        );
+        let r = maximum_cycle_ratio(&g).unwrap();
+        assert!((r.ratio - 2.0).abs() < 1e-9, "ratio {}", r.ratio);
+        assert!((lawler(&g).unwrap() - 2.0).abs() < 1e-6);
     }
 
     #[test]

@@ -66,11 +66,25 @@ impl TokenGraph {
 
     /// Append an arc, returning its id.
     ///
+    /// Non-finite weights are admitted, with per-engine semantics:
+    ///
+    /// * the production path ([`crate::cycle_ratio::maximum_cycle_ratio`],
+    ///   `howard`/`lawler`/`brute_force`) treats `+∞` as a transition
+    ///   that can never fire (a rate-0 resource) — every cycle through it
+    ///   has infinite ratio — while `NaN` (e.g. a `0 · ∞` product formed
+    ///   downstream of a token-free cycle's infinite λ) and `−∞` arcs are
+    ///   **ignored**: they cannot belong to a well-defined critical
+    ///   cycle;
+    /// * the special-case/oracle engines insist on their domain instead
+    ///   of mis-reporting: [`crate::cycle_ratio::karp`] panics on any
+    ///   non-finite weight, [`crate::recurrence::Recurrence::new`]
+    ///   returns `None`, and [`crate::matrix::dater_matrix`] panics on
+    ///   NaN and `+∞` (`−∞` is the max-plus zero and is absorbed).
+    ///
     /// # Panics
-    /// Panics if an endpoint is out of range or the weight is not finite.
+    /// Panics if an endpoint is out of range.
     pub fn add_arc(&mut self, src: NodeId, dst: NodeId, weight: f64, tokens: u32) -> ArcId {
         assert!(src < self.n_nodes() && dst < self.n_nodes(), "bad endpoint");
-        assert!(weight.is_finite(), "non-finite arc weight {weight}");
         let id = self.arcs.len();
         self.arcs.push(Arc {
             src,
@@ -103,9 +117,10 @@ impl TokenGraph {
         &self.inc[u]
     }
 
-    /// Replace the weight of an arc (used when re-timing a fixed topology).
+    /// Replace the weight of an arc (used when re-timing a fixed
+    /// topology).  Non-finite weights follow the [`TokenGraph::add_arc`]
+    /// semantics.
     pub fn set_weight(&mut self, id: ArcId, weight: f64) {
-        assert!(weight.is_finite());
         self.arcs[id].weight = weight;
     }
 

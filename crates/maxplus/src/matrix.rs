@@ -152,13 +152,19 @@ impl MaxPlusMatrix {
 /// `x(n) = A₀ ⊗ x(n) ⊕ A₁ ⊗ x(n−1)`, solved as `x(n) = A₀* A₁ x(n−1)`.
 ///
 /// # Panics
-/// Panics if some arc carries more than one token, or if token-free arcs
-/// form a cycle.
+/// Panics if some arc carries more than one token, if token-free arcs
+/// form a cycle, or if an arc weight is NaN or `+∞` (max-plus joins would
+/// drop a NaN silently, and `+∞` powers degenerate to `∞ − ∞` NaN; a
+/// `−∞` weight is the max-plus zero and is naturally absorbed).
 pub fn dater_matrix(g: &TokenGraph) -> MaxPlusMatrix {
     let n = g.n_nodes();
     let mut a0 = MaxPlusMatrix::zeros(n);
     let mut a1 = MaxPlusMatrix::zeros(n);
     for arc in g.arcs() {
+        assert!(
+            !arc.weight.is_nan() && arc.weight != f64::INFINITY,
+            "NaN or +inf arc weight in dater_matrix"
+        );
         match arc.tokens {
             0 => a0.join(arc.dst, arc.src, MaxPlus::new(arc.weight)),
             1 => a1.join(arc.dst, arc.src, MaxPlus::new(arc.weight)),
@@ -175,6 +181,15 @@ pub fn dater_matrix(g: &TokenGraph) -> MaxPlusMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "arc weight in dater_matrix")]
+    fn dater_matrix_refuses_nan() {
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, f64::NAN, 1);
+        g.add_arc(1, 0, 2.0, 1);
+        dater_matrix(&g);
+    }
 
     #[test]
     fn identity_is_neutral() {

@@ -28,8 +28,15 @@ pub struct Recurrence<'a> {
 }
 
 impl<'a> Recurrence<'a> {
-    /// Prepare a recurrence; fails (None) if token-free arcs form a cycle.
+    /// Prepare a recurrence; fails (`None`) if token-free arcs form a
+    /// cycle, or if any arc weight is non-finite — a NaN term would be
+    /// silently discarded by the max-plus update (`f64::max` ignores
+    /// NaN), and an `±∞` weight drives the growth-rate difference to
+    /// `∞ − ∞ = NaN`; both would report plausible-looking garbage.
     pub fn new(g: &'a TokenGraph) -> Option<Self> {
+        if g.arcs().iter().any(|a| !a.weight.is_finite()) {
+            return None;
+        }
         let topo = g.tokenless_topo_order()?;
         let depth = 1 + g.arcs().iter().map(|a| a.tokens).max().unwrap_or(0) as usize;
         Some(Recurrence {
@@ -99,6 +106,16 @@ impl<'a> Recurrence<'a> {
 mod tests {
     use super::*;
     use crate::cycle_ratio::maximum_cycle_ratio;
+
+    #[test]
+    fn nan_weight_refused() {
+        // f64::max would silently drop the NaN term and report a wrong
+        // growth rate; the constructor refuses instead.
+        let mut g = TokenGraph::new(2);
+        g.add_arc(0, 1, f64::NAN, 1);
+        g.add_arc(1, 0, 2.0, 1);
+        assert!(Recurrence::new(&g).is_none());
+    }
 
     #[test]
     fn single_cycle_growth() {

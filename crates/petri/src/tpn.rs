@@ -81,6 +81,26 @@ pub struct Place {
     pub kind: PlaceKind,
 }
 
+/// A structural automorphism of a [`Tpn`]: a pair of permutations (of the
+/// transitions and of the places) that preserves every place's endpoints
+/// and kind.  Initial markings are **not** required to be invariant — the
+/// consumers (the marking-graph symmetry reduction of `repstream-markov`)
+/// only need the permuted initial marking to be *reachable*, which they
+/// verify themselves.
+///
+/// The automorphism is purely structural: whether it also preserves the
+/// *timing* depends on the per-resource law table, so rate invariance is
+/// checked by the consumer against its actual rates (it holds exactly in
+/// the homogeneous exponential setting of Theorem 2, where each stage's
+/// team and its links share one rate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpnAutomorphism {
+    /// Image of every transition.
+    pub trans_perm: Vec<TransId>,
+    /// Image of every place.
+    pub place_perm: Vec<PlaceId>,
+}
+
 /// A fully built timed Petri net for a shaped mapping and execution model.
 #[derive(Debug, Clone)]
 pub struct Tpn {
@@ -321,6 +341,48 @@ impl Tpn {
             }
         }
         (order.len() == nt).then_some(order)
+    }
+
+    /// The **row-rotation automorphism** `(row, col) ↦ (row + 1 mod m, col)`
+    /// of the TPN's structure (Proposition 1's row symmetry): rotating the
+    /// data-set paths maps every construction rule onto itself, shifting
+    /// each resource cycle to the next team slot.  Returns `None` only if
+    /// the structure is not closed under the rotation — never the case for
+    /// this module's constructions; the option guards consumers against
+    /// future construction variants.
+    ///
+    /// The rotation generates a cyclic group of order `m`; its orbits on
+    /// the reachable markings seed the exact lumping of the Theorem 2
+    /// chain (see `repstream-markov`'s `lump` module).  It is a *rate*
+    /// automorphism only when each stage's team and its links are
+    /// homogeneous — consumers must check that against their rate table.
+    pub fn row_rotation(&self) -> Option<TpnAutomorphism> {
+        let m = self.rows;
+        let cols = self.cols();
+        let trans_perm: Vec<TransId> = self
+            .transitions
+            .iter()
+            .map(|t| ((t.row + 1) % m) * cols + t.col)
+            .collect();
+        // Places keyed by (src, dst, kind): the construction never builds
+        // two places with identical endpoints *and* kind, so the key is
+        // unique and the rotated image can be looked up directly.
+        let mut by_key: std::collections::HashMap<(TransId, TransId, PlaceKind), PlaceId> =
+            std::collections::HashMap::with_capacity(self.places.len());
+        for (pid, p) in self.places.iter().enumerate() {
+            if by_key.insert((p.src, p.dst, p.kind), pid).is_some() {
+                return None; // ambiguous parallel places: refuse
+            }
+        }
+        let mut place_perm = Vec::with_capacity(self.places.len());
+        for p in &self.places {
+            let key = (trans_perm[p.src], trans_perm[p.dst], p.kind);
+            place_perm.push(*by_key.get(&key)?);
+        }
+        Some(TpnAutomorphism {
+            trans_perm,
+            place_perm,
+        })
     }
 
     /// Deterministic firing time of each transition, from per-resource
@@ -597,6 +659,52 @@ mod tests {
         assert_eq!(g.n_arcs(), tpn.places().len());
         assert_eq!(g.n_nodes(), tpn.transitions().len());
         assert!(!g.has_tokenless_cycle());
+    }
+
+    #[test]
+    fn row_rotation_is_structural_automorphism() {
+        for teams in [
+            vec![1],
+            vec![1, 1],
+            vec![2, 3],
+            vec![1, 2, 3, 1],
+            vec![3, 4],
+        ] {
+            let shape = MappingShape::new(teams.clone());
+            for model in [ExecModel::Overlap, ExecModel::Strict] {
+                let tpn = Tpn::build(&shape, model);
+                let auto = tpn.row_rotation().expect("rotation always exists");
+                let m = tpn.rows();
+                // trans_perm is the row rotation and a permutation.
+                let mut seen = vec![false; tpn.transitions().len()];
+                for (t, &img) in auto.trans_perm.iter().enumerate() {
+                    assert!(!seen[img], "not injective ({teams:?} {model:?})");
+                    seen[img] = true;
+                    let a = tpn.transitions()[t];
+                    let b = tpn.transitions()[img];
+                    assert_eq!(b.row, (a.row + 1) % m);
+                    assert_eq!(b.col, a.col);
+                }
+                // place_perm preserves endpoints and kind; it is a
+                // permutation (injectivity ⇒ bijection on a finite set).
+                let mut seen = vec![false; tpn.places().len()];
+                for (pid, &img) in auto.place_perm.iter().enumerate() {
+                    assert!(!seen[img], "place map not injective");
+                    seen[img] = true;
+                    let p = tpn.places()[pid];
+                    let q = tpn.places()[img];
+                    assert_eq!(q.src, auto.trans_perm[p.src]);
+                    assert_eq!(q.dst, auto.trans_perm[p.dst]);
+                    assert_eq!(q.kind, p.kind);
+                }
+                // m rotations compose to the identity on transitions.
+                let mut t_perm: Vec<usize> = (0..tpn.transitions().len()).collect();
+                for _ in 0..m {
+                    t_perm = t_perm.iter().map(|&t| auto.trans_perm[t]).collect();
+                }
+                assert!(t_perm.iter().enumerate().all(|(i, &t)| i == t));
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,19 @@ pub struct Ecdf {
 
 impl Ecdf {
     /// Build from any sample (copies and sorts it).
+    ///
+    /// # Panics
+    /// Panics on an empty sample or one containing NaN — a NaN sample
+    /// point would silently corrupt every quantile, so it is rejected up
+    /// front rather than left to a comparator abort mid-sort.
     pub fn new(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN in sample passed to Ecdf"
+        );
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -70,7 +79,7 @@ impl Ecdf {
 /// Evaluation grid: all distinct points of both samples (capped, for cost).
 fn grid(a: &Ecdf, b: &Ecdf, max_points: usize) -> Vec<f64> {
     let mut g: Vec<f64> = a.sorted.iter().chain(b.sorted.iter()).copied().collect();
-    g.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    g.sort_by(f64::total_cmp);
     g.dedup();
     if g.len() > max_points {
         let step = g.len() as f64 / max_points as f64;

@@ -48,7 +48,13 @@ impl OnlineStats {
         self.mean
     }
 
-    /// Unbiased sample variance (0 for fewer than two observations).
+    /// Unbiased sample variance.
+    ///
+    /// **Degenerate inputs (documented contract):** with fewer than two
+    /// observations the estimator is undefined; this returns `0.0` (not
+    /// NaN from a `0/0`, not a panic), so downstream standard errors and
+    /// confidence half-widths collapse to zero instead of poisoning a
+    /// report.  Pinned by the unit tests.
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -140,6 +146,11 @@ impl RunSummary {
 
     /// Half-width of the normal-approximation confidence interval of the
     /// mean at the given confidence level.
+    ///
+    /// **Degenerate inputs:** an empty summary (`count == 0`) returns
+    /// `0.0` rather than the NaN a `0/√0` would produce; a single run
+    /// also yields `0.0` (its `std_dev` is 0 by the
+    /// [`OnlineStats::variance`] contract).  Pinned by the unit tests.
     pub fn ci_halfwidth(&self, level: ConfidenceLevel) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -181,11 +192,20 @@ pub fn ci_halfwidth(values: &[f64], level: ConfidenceLevel) -> f64 {
 /// Empirical quantile (linear interpolation, `q ∈ [0, 1]`) of a sorted or
 /// unsorted slice.  Allocates a sorted copy; intended for reporting, not for
 /// hot loops.
+///
+/// # Panics
+/// Panics with a clear message on an empty slice, a `q` outside `[0, 1]`
+/// (including NaN), or NaN sample values — each would otherwise produce a
+/// silent garbage quantile or an index panic deep in the interpolation.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q));
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level {q} outside [0, 1]"
+    );
+    assert!(values.iter().all(|x| !x.is_nan()), "NaN in quantile input");
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -280,5 +300,56 @@ mod tests {
         assert_eq!(quantile(&xs, 1.0), 5.0);
         assert_eq!(quantile(&xs, 0.5), 3.0);
         assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    // -- pinned degenerate-input behaviour ---------------------------------
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_empty_panics_clearly() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_nan_level_panics_clearly() {
+        quantile(&[1.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in quantile input")]
+    fn quantile_nan_value_panics_clearly() {
+        quantile(&[1.0, f64::NAN], 0.5);
+    }
+
+    #[test]
+    fn variance_below_two_observations_is_zero() {
+        let empty = OnlineStats::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.std_err(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+        // Empty extremes are the documented identity elements of min/max.
+        assert_eq!(empty.min(), f64::INFINITY);
+        assert_eq!(empty.max(), f64::NEG_INFINITY);
+
+        let mut one = OnlineStats::new();
+        one.push(7.5);
+        assert_eq!(one.variance(), 0.0, "n = 1 must not yield 0/0 = NaN");
+        assert_eq!(one.std_dev(), 0.0);
+        assert_eq!(one.mean(), 7.5);
+    }
+
+    #[test]
+    fn ci_halfwidth_degenerate_inputs_are_zero() {
+        // Empty slice: count 0 short-circuits before the 0/√0 NaN.
+        assert_eq!(ci_halfwidth(&[], ConfidenceLevel::P95), 0.0);
+        // Single run: std_dev is 0 by the variance contract.
+        assert_eq!(ci_halfwidth(&[3.0], ConfidenceLevel::P99), 0.0);
+        let s = RunSummary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.ci_halfwidth(ConfidenceLevel::P999), 0.0);
+        assert!(!s.mean.is_nan(), "empty summary must not surface NaN mean");
     }
 }

@@ -34,7 +34,7 @@ pub fn example_a() -> System {
     let mut platform = Platform::complete(speeds, 104.0).unwrap();
     // Slow output links of P1 (to the three T2 processors).
     for q in [3, 4, 5] {
-        platform.set_bandwidth(1, q, 22.0);
+        platform.set_bandwidth(1, q, 22.0).unwrap();
     }
     let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap();
     let sys = System::new(app, platform, mapping).unwrap();
@@ -47,7 +47,7 @@ pub fn example_a() -> System {
     let speeds: Vec<f64> = (0..7).map(|q| sys.platform().speed(q) / factor).collect();
     let mut platform = Platform::complete(speeds, 104.0 / factor).unwrap();
     for q in [3, 4, 5] {
-        platform.set_bandwidth(1, q, 22.0 / factor);
+        platform.set_bandwidth(1, q, 22.0 / factor).unwrap();
     }
     System::new(sys.app().clone(), platform, sys.mapping().clone()).unwrap()
 }
@@ -69,7 +69,7 @@ pub fn example_c(speed_spread: f64, bw_spread: f64, seed: u64) -> System {
         for q in 0..m {
             if p != q {
                 let b = 32.0 * (1.0 + bw_spread * (2.0 * rng.gen::<f64>() - 1.0));
-                platform.set_bandwidth(p, q, b);
+                platform.set_bandwidth(p, q, b).unwrap();
             }
         }
     }

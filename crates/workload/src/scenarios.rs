@@ -8,28 +8,76 @@ use rand::Rng;
 use repstream_core::model::{Application, Mapping, Platform, System};
 use repstream_stochastic::rng::seeded_rng;
 
+/// Errors of the scenario constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A per-link transfer time must be positive and finite: a zero or
+    /// negative time would silently become an infinite/negative bandwidth
+    /// (`1 / time`) and propagate NaN into every throughput computed from
+    /// the system.
+    BadLinkTime {
+        /// Sender slot.
+        src: usize,
+        /// Receiver slot.
+        dst: usize,
+        /// The offending time.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::BadLinkTime { src, dst, time } => write!(
+                f,
+                "link {src} -> {dst}: transfer time {time} must be positive and finite"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// A single `u → v` communication between negligible computations
 /// (Figures 13 and 15–17).  `comm_time` is the homogeneous transfer time
-/// of every link.
-pub fn single_comm(u: usize, v: usize, comm_time: f64) -> System {
+/// of every link; it must be positive and finite.
+pub fn single_comm(u: usize, v: usize, comm_time: f64) -> Result<System, ScenarioError> {
     single_comm_with(u, v, |_, _| comm_time)
 }
 
 /// As [`single_comm`] with per-link transfer times (Figure 14's
 /// heterogeneous network).
-pub fn single_comm_with(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64) -> System {
+///
+/// Every `time(s, d)` is validated before being inverted into a
+/// bandwidth: zero, negative, infinite or NaN times are reported as
+/// [`ScenarioError::BadLinkTime`] instead of leaking a non-finite
+/// bandwidth into the platform.
+pub fn single_comm_with(
+    u: usize,
+    v: usize,
+    mut time: impl FnMut(usize, usize) -> f64,
+) -> Result<System, ScenarioError> {
     // File of unit size; bandwidth encodes the requested time.
     let app = Application::new(vec![1e-9, 1e-9], vec![1.0]).unwrap();
     let m = u + v;
     let mut platform = Platform::complete(vec![1e9; m], 1.0).unwrap();
     for s in 0..u {
         for d in 0..v {
-            platform.set_bandwidth(s, u + d, 1.0 / time(s, d));
+            let t = time(s, d);
+            // The platform validates the bandwidth again, which also
+            // catches subnormal times whose reciprocal overflows to ∞.
+            if !(t > 0.0 && t.is_finite()) || platform.set_bandwidth(s, u + d, 1.0 / t).is_err() {
+                return Err(ScenarioError::BadLinkTime {
+                    src: s,
+                    dst: d,
+                    time: t,
+                });
+            }
         }
     }
     let mapping =
         Mapping::new(vec![(0..u).collect::<Vec<_>>(), (u..m).collect::<Vec<_>>()]).unwrap();
-    System::new(app, platform, mapping).unwrap()
+    Ok(System::new(app, platform, mapping).unwrap())
 }
 
 /// Heterogeneous single communication: each link's mean time drawn
@@ -42,7 +90,7 @@ pub fn single_comm_heterogeneous(u: usize, v: usize, seed: u64) -> System {
             *t = rng.gen_range(100.0..1000.0);
         }
     }
-    single_comm_with(u, v, |s, d| times[s][d])
+    single_comm_with(u, v, |s, d| times[s][d]).expect("drawn times are positive and finite")
 }
 
 /// Figure 12's repeated pattern: `reps` copies of a 2-stage block joined
@@ -85,16 +133,42 @@ mod tests {
     #[test]
     fn single_comm_deterministic_rate() {
         // u=2, v=3, time 1: deterministic ρ = min(u,v)/time = 2.
-        let sys = single_comm(2, 3, 1.0);
+        let sys = single_comm(2, 3, 1.0).unwrap();
         let det = deterministic::analyze(&sys, ExecModel::Overlap);
         assert!((det.throughput - 2.0).abs() < 1e-6, "{}", det.throughput);
     }
 
     #[test]
     fn single_comm_exponential_theorem4() {
-        let sys = single_comm(2, 3, 1.0);
+        let sys = single_comm(2, 3, 1.0).unwrap();
         let rep = exponential::throughput_overlap(&sys).unwrap();
         assert!((rep.throughput - 1.5).abs() < 1e-6, "{}", rep.throughput);
+    }
+
+    #[test]
+    fn bad_link_times_rejected() {
+        for bad in [0.0, -2.0, f64::INFINITY, f64::NAN] {
+            let err = single_comm(2, 3, bad).unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::BadLinkTime { src: 0, dst: 0, .. }),
+                "time {bad}: {err}"
+            );
+        }
+        // A single offending link is pinpointed.
+        let err =
+            single_comm_with(2, 2, |s, d| if (s, d) == (1, 0) { -1.0 } else { 5.0 }).unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::BadLinkTime {
+                src: 1,
+                dst: 0,
+                time: -1.0
+            }
+        );
+        // A subnormal time whose reciprocal overflows to ∞ is caught by
+        // the platform-level validation.
+        let err = single_comm(1, 1, 5e-324).unwrap_err();
+        assert!(matches!(err, ScenarioError::BadLinkTime { .. }), "{err}");
     }
 
     #[test]

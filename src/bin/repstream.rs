@@ -159,7 +159,9 @@ pub fn parse_system(text: &str) -> Result<System, String> {
         if p >= platform.n_processors() || q >= platform.n_processors() {
             return Err(format!("link {p}->{q}: processor out of range"));
         }
-        platform.set_bandwidth(p, q, b);
+        platform
+            .set_bandwidth(p, q, b)
+            .map_err(|e| format!("link {p}->{q}: {e}"))?;
     }
     let mapping = Mapping::new(teams).map_err(|e| e.to_string())?;
     System::new(app, platform, mapping).map_err(|e| e.to_string())

@@ -22,7 +22,9 @@ fn arb_system() -> impl Strategy<Value = System> {
             for p in 0..total {
                 for q in 0..total {
                     if p != q {
-                        platform.set_bandwidth(p, q, bws[(3 * p + q) % bws.len()]);
+                        platform
+                            .set_bandwidth(p, q, bws[(3 * p + q) % bws.len()])
+                            .unwrap();
                     }
                 }
             }
@@ -85,7 +87,9 @@ proptest! {
         for p in 0..total {
             for q in 0..total {
                 if p != q {
-                    platform.set_bandwidth(p, q, sys.platform().bandwidth(p, q) * c);
+                    platform
+                        .set_bandwidth(p, q, sys.platform().bandwidth(p, q) * c)
+                        .unwrap();
                 }
             }
         }
