@@ -1,0 +1,77 @@
+//! Batch mapping-search scoring: the PR 2 clone-per-candidate baseline
+//! against the engine's zero-clone memoized scorer (sequential and
+//! chunk-parallel), plus the `O(affected)` delta move rescoring, all on
+//! the 12-processor `mapping_search` scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_core::deterministic;
+use repstream_core::model::System;
+use repstream_engine::batch::{score_batch, score_batch_with_threads};
+use repstream_engine::DeltaScorer;
+use repstream_petri::shape::ExecModel;
+use repstream_workload::random::random_mappings;
+use repstream_workload::scenarios;
+
+fn bench_search(c: &mut Criterion) {
+    let (app, platform) = scenarios::mapping_search();
+    let candidates = random_mappings(app.n_stages(), platform.n_processors(), 256, 2010);
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    let label = format!("{}cand", candidates.len());
+
+    // PR 2 shape: clone the whole triple and re-validate per candidate.
+    group.bench_with_input(
+        BenchmarkId::new("clone_baseline", &label),
+        &candidates,
+        |b, cands| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for m in cands {
+                    let sys = System::new(app.clone(), platform.clone(), m.clone()).expect("valid");
+                    acc += deterministic::throughput_columnwise(&sys);
+                }
+                acc
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("engine_sequential", &label),
+        &candidates,
+        |b, cands| {
+            b.iter(|| {
+                score_batch_with_threads(&app, &platform, ExecModel::Overlap, cands, 1)
+                    .expect("valid")
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("engine_parallel", &label),
+        &candidates,
+        |b, cands| {
+            b.iter(|| score_batch(&app, &platform, ExecModel::Overlap, cands).expect("valid"))
+        },
+    );
+
+    // One hill-climb move probe: delta rescoring vs full columnwise.
+    let start = &candidates[0];
+    group.bench_with_input(BenchmarkId::new("delta_move", &label), start, |b, start| {
+        let mut scorer = DeltaScorer::new(&app, &platform, start).expect("valid start");
+        let from = (0..start.n_stages())
+            .find(|&s| scorer.teams()[s].len() >= 2)
+            .expect("random candidates have a replicated stage");
+        let to = (from + 1) % start.n_stages();
+        b.iter(|| {
+            let p = scorer.remove(from, 0);
+            scorer.insert(to, scorer.teams()[to].len(), p);
+            let s = scorer.score();
+            let q = scorer.remove(to, scorer.teams()[to].len() - 1);
+            scorer.insert(from, 0, q);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

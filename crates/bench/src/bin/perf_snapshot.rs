@@ -14,13 +14,24 @@
 //! full-chain solve, and the max per-state disagreement of the lifted
 //! stationary vector.
 //!
+//! A third `"mapping_search"` section records batch candidate scoring on
+//! the 12-processor `mapping_search` scenario: the PR 2 clone-per-
+//! candidate baseline vs the engine's zero-clone memoized scorer
+//! (sequential, i.e. "cached", and chunk-parallel) in candidates/sec,
+//! plus a bitwise-equality check of the three result vectors.
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
+use repstream_core::deterministic;
+use repstream_core::model::System;
+use repstream_engine::batch::{score_batch, score_batch_with_threads};
 use repstream_markov::marking::{MarkingGraph, MarkingOptions};
 use repstream_markov::net::{comm_pattern, EventNet};
 use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::Tpn;
+use repstream_workload::random::random_mappings;
+use repstream_workload::scenarios;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -189,7 +200,112 @@ fn main() {
             maxdiff,
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"mapping_search\": {\n");
+
+    // Batch candidate scoring on the 12-processor mapping-search scenario.
+    let (app, platform) = scenarios::mapping_search();
+    let n_candidates = if args.smoke { 200 } else { 1000 };
+    let candidates = random_mappings(
+        app.n_stages(),
+        platform.n_processors(),
+        n_candidates,
+        args.seed,
+    );
+    let baseline = || -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|m| {
+                let sys =
+                    System::new(app.clone(), platform.clone(), m.clone()).expect("valid candidate");
+                deterministic::throughput_columnwise(&sys)
+            })
+            .collect()
+    };
+    let t_baseline = timed(reps, baseline);
+    let t_engine = timed(reps, || {
+        score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 1)
+            .expect("valid candidates")
+    });
+    let t_parallel = timed(reps, || {
+        score_batch(&app, &platform, ExecModel::Overlap, &candidates).expect("valid candidates")
+    });
+    let cold = baseline();
+    let cached =
+        score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 1).unwrap();
+    let parallel = score_batch(&app, &platform, ExecModel::Overlap, &candidates).unwrap();
+    let bitwise_equal = cold
+        .iter()
+        .zip(&cached)
+        .zip(&parallel)
+        .all(|((a, b), c)| a.to_bits() == b.to_bits() && b.to_bits() == c.to_bits());
+
+    {
+        let ind = "    ";
+        let per_s = |t: f64| format!("{:.4e}", n_candidates as f64 / t);
+        field(&mut json, ind, "candidates", n_candidates, false);
+        field(
+            &mut json,
+            ind,
+            "clone_baseline_s",
+            format!("{t_baseline:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "engine_sequential_s",
+            format!("{t_engine:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "engine_parallel_s",
+            format!("{t_parallel:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "baseline_cand_per_s",
+            per_s(t_baseline),
+            false,
+        );
+        field(&mut json, ind, "cached_cand_per_s", per_s(t_engine), false);
+        field(
+            &mut json,
+            ind,
+            "parallel_cand_per_s",
+            per_s(t_parallel),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "speedup_cached",
+            format!("{:.2}", t_baseline / t_engine),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "speedup_parallel",
+            format!("{:.2}", t_baseline / t_parallel),
+            false,
+        );
+        field(&mut json, ind, "bitwise_equal", bitwise_equal, true);
+    }
+    println!(
+        "mapping_search: {n_candidates} candidates baseline {:.1}ms engine {:.1}ms parallel {:.1}ms speedup {:.2}x/{:.2}x bitwise_equal {bitwise_equal}",
+        t_baseline * 1e3,
+        t_engine * 1e3,
+        t_parallel * 1e3,
+        t_baseline / t_engine,
+        t_baseline / t_parallel,
+    );
+    assert!(bitwise_equal, "engine scoring diverged from the baseline");
+
+    json.push_str("  }\n}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");

@@ -16,7 +16,7 @@
 
 use crate::deterministic;
 use crate::exponential::{self, ExpError, ExpOptions};
-use crate::model::System;
+use crate::model::SystemRef;
 use crate::simulate::{self, MonteCarloOptions, SimEngine};
 use crate::timing;
 use repstream_petri::shape::ExecModel;
@@ -57,7 +57,11 @@ impl NbueBounds {
 /// The deterministic bound always succeeds; the exponential bound uses the
 /// exact chain when feasible and falls back to a long simulation
 /// otherwise (reported in [`NbueBounds::method`]).
-pub fn nbue_bounds(system: &System, model: ExecModel) -> Result<NbueBounds, ExpError> {
+pub fn nbue_bounds<'a>(
+    system: impl Into<SystemRef<'a>>,
+    model: ExecModel,
+) -> Result<NbueBounds, ExpError> {
+    let system = system.into();
     let upper = deterministic::analyze(system, model).throughput;
     let (lower, method) = exponential_lower(system, model)?;
     Ok(NbueBounds {
@@ -68,7 +72,7 @@ pub fn nbue_bounds(system: &System, model: ExecModel) -> Result<NbueBounds, ExpE
 }
 
 fn exponential_lower(
-    system: &System,
+    system: SystemRef<'_>,
     model: ExecModel,
 ) -> Result<(f64, LowerBoundMethod), ExpError> {
     match model {
@@ -84,10 +88,12 @@ fn exponential_lower(
             ) {
                 Ok(v) => Ok((v, LowerBoundMethod::MarkingChain)),
                 Err(_) => {
-                    // Chain too large: estimate by simulation.
+                    // Chain too large: estimate by simulation (the one
+                    // remaining owned-`System` consumer; this fallback is
+                    // rare enough that the clone is irrelevant).
                     let laws = timing::laws(system, LawFamily::Exponential);
                     let v = simulate::monte_carlo(
-                        system,
+                        &system.to_owned(),
                         model,
                         &laws,
                         MonteCarloOptions {
@@ -109,7 +115,7 @@ fn exponential_lower(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
     use crate::simulate::{monte_carlo_family, MonteCarloOptions};
 
     fn system(teams: Vec<Vec<usize>>) -> System {

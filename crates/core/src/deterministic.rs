@@ -14,7 +14,7 @@
 //!   the `m`-row TPN, hence usable when `m = lcm(R_i)` is astronomically
 //!   large.
 
-use crate::model::System;
+use crate::model::SystemRef;
 use crate::timing::deterministic_times;
 use repstream_maxplus::cycle_ratio::maximum_cycle_ratio;
 use repstream_maxplus::TokenGraph;
@@ -48,7 +48,8 @@ pub struct DeterministicReport {
 const CRITICAL_TOL: f64 = 1e-9;
 
 /// Global analysis: build the TPN, compute the maximum cycle ratio.
-pub fn analyze(system: &System, model: ExecModel) -> DeterministicReport {
+pub fn analyze<'a>(system: impl Into<SystemRef<'a>>, model: ExecModel) -> DeterministicReport {
+    let system = system.into();
     let times = deterministic_times(system);
     analyze_shape(&system.shape(), model, &times)
 }
@@ -106,13 +107,39 @@ pub fn analyze_shape(
 ///   maximum cycle ratio.
 ///
 /// The throughput is the minimum candidate (feed-forward min-composition).
-pub fn throughput_columnwise(system: &System) -> f64 {
+pub fn throughput_columnwise<'a>(system: impl Into<SystemRef<'a>>) -> f64 {
+    let system = system.into();
     let times = deterministic_times(system);
     throughput_columnwise_shape(&system.shape(), &times)
 }
 
 /// As [`throughput_columnwise`], working on a shape and time table.
 pub fn throughput_columnwise_shape(shape: &MappingShape, times: &ResourceTable<f64>) -> f64 {
+    throughput_columnwise_with_periods(shape, times, &mut |file, comp, g, up, vp| {
+        pattern_period(up, vp, |a, b| {
+            *times.get(Resource::Link {
+                file,
+                src: comp + g * a,
+                dst: comp + g * b,
+            })
+        })
+    })
+}
+
+/// Columnwise throughput with a caller-supplied pattern-period oracle.
+///
+/// `period(file, component, g, u′, v′)` must return exactly what
+/// [`pattern_period`] would compute for that component's link times — this
+/// hook exists so batch evaluators (the `repstream-engine` crate) can
+/// memoize the (comparatively expensive) critical-cycle solves while
+/// staying **bitwise identical** to [`throughput_columnwise`]: every fold
+/// and candidate value other than the period lookup happens here, in one
+/// shared implementation.
+pub fn throughput_columnwise_with_periods(
+    shape: &MappingShape,
+    times: &ResourceTable<f64>,
+    period: &mut impl FnMut(usize, usize, usize, usize, usize) -> f64,
+) -> f64 {
     let n = shape.n_stages();
     let mut best = f64::INFINITY;
 
@@ -132,13 +159,7 @@ pub fn throughput_columnwise_shape(shape: &MappingShape, times: &ResourceTable<f
         let g = gcd(u, v);
         let (up, vp) = (u / g, v / g);
         for comp in 0..g {
-            let p_pattern = pattern_period(up, vp, |a, b| {
-                *times.get(Resource::Link {
-                    file,
-                    src: comp + g * a,
-                    dst: comp + g * b,
-                })
-            });
+            let p_pattern = period(file, comp, g, up, vp);
             best = best.min(g as f64 * (up * vp) as f64 / p_pattern);
         }
     }
@@ -149,10 +170,23 @@ pub fn throughput_columnwise_shape(shape: &MappingShape, times: &ResourceTable<f
 /// (`gcd(u,v) = 1`): pattern row `k` transfers from sender `k mod u` to
 /// receiver `k mod v`; one-port places link `k → k+u` and `k → k+v` with
 /// wrap-around tokens.
-fn pattern_period(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64) -> f64 {
+///
+/// Public so batch evaluators can memoize pattern periods by their weight
+/// vectors while reproducing this function's results bit for bit (see
+/// [`pattern_period_weights`] for the weight-vector form).
+pub fn pattern_period(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64) -> f64 {
     let n = u * v;
-    let mut g = TokenGraph::new(n);
     let w: Vec<f64> = (0..n).map(|k| time(k % u, k % v)).collect();
+    pattern_period_weights(u, v, &w)
+}
+
+/// As [`pattern_period`], taking the per-row transfer times directly
+/// (`w[k]` is the time of pattern row `k`, i.e. of the link
+/// `k mod u → k mod v`; `w.len() == u·v`).
+pub fn pattern_period_weights(u: usize, v: usize, w: &[f64]) -> f64 {
+    let n = u * v;
+    assert_eq!(w.len(), n, "need one time per pattern row");
+    let mut g = TokenGraph::new(n);
     for k in 0..n {
         let dst = (k + u) % n;
         g.add_arc(k, dst, w[dst], u32::from(k + u >= n));
@@ -165,7 +199,7 @@ fn pattern_period(u: usize, v: usize, mut time: impl FnMut(usize, usize) -> f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
 
     fn simple_system(teams: Vec<Vec<usize>>, speeds: Vec<f64>, bw: f64) -> System {
         let n = teams.len();

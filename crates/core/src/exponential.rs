@@ -17,7 +17,7 @@
 //! rate-homogeneous (Theorem 4); the global chain is exponential
 //! (Theorem 2).
 
-use crate::model::System;
+use crate::model::SystemRef;
 use crate::timing::exponential_rates;
 use repstream_markov::marking::{MarkingError, MarkingGraph, MarkingOptions};
 use repstream_markov::net::EventNet;
@@ -124,14 +124,49 @@ impl Default for ExpOptions {
 }
 
 /// Theorem 3/4: throughput of the Overlap model by column decomposition.
-pub fn throughput_overlap(system: &System) -> Result<ExpReport, ExpError> {
+pub fn throughput_overlap<'a>(system: impl Into<SystemRef<'a>>) -> Result<ExpReport, ExpError> {
     throughput_overlap_opts(system, ExpOptions::default())
 }
 
 /// As [`throughput_overlap`] with explicit budgets.
-pub fn throughput_overlap_opts(system: &System, opts: ExpOptions) -> Result<ExpReport, ExpError> {
+pub fn throughput_overlap_opts<'a>(
+    system: impl Into<SystemRef<'a>>,
+    opts: ExpOptions,
+) -> Result<ExpReport, ExpError> {
+    let system = system.into();
     let rates = exponential_rates(system);
     throughput_overlap_with_rates(&system.shape(), &rates, opts)
+}
+
+/// Oracle for the heterogeneous pattern-chain solves of the Theorem 3
+/// decomposition.  The default ([`ColdPatternSolver`]) builds and solves
+/// every chain from scratch; batch evaluators substitute a caching solver
+/// (structure-keyed marking-graph reuse in `repstream-markov`) that must
+/// return **bitwise-identical** values for identical rate matrices.
+pub trait PatternSolver {
+    /// Inner throughput of the `u′ × v′` pattern with per-link rates
+    /// `rate[a][b]` (coprime dimensions), or the marking error of a chain
+    /// that exceeds `max_states`.
+    fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError>;
+}
+
+/// The default pattern oracle: one fresh marking-graph build and solve per
+/// call ([`pattern::pattern_throughput`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColdPatternSolver;
+
+impl PatternSolver for ColdPatternSolver {
+    fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        pattern::pattern_throughput(rate, max_states)
+    }
 }
 
 /// Decomposition working directly on a shape and per-resource rates (used
@@ -140,6 +175,17 @@ pub fn throughput_overlap_with_rates(
     shape: &MappingShape,
     rates: &ResourceTable<f64>,
     opts: ExpOptions,
+) -> Result<ExpReport, ExpError> {
+    throughput_overlap_with_solver(shape, rates, opts, &mut ColdPatternSolver)
+}
+
+/// As [`throughput_overlap_with_rates`] with a caller-supplied
+/// [`PatternSolver`] (see the trait docs for the bitwise contract).
+pub fn throughput_overlap_with_solver(
+    shape: &MappingShape,
+    rates: &ResourceTable<f64>,
+    opts: ExpOptions,
+    solver: &mut impl PatternSolver,
 ) -> Result<ExpReport, ExpError> {
     let n = shape.n_stages();
     let mut candidates = Vec::new();
@@ -189,13 +235,13 @@ pub fn throughput_overlap_with_rates(
                 let matrix: Vec<Vec<f64>> = (0..up)
                     .map(|a| (0..vp).map(|b| rate_at(a, b)).collect())
                     .collect();
-                pattern::pattern_throughput(&matrix, opts.max_pattern_states).map_err(|source| {
-                    ExpError::PatternTooLarge {
+                solver
+                    .pattern_throughput(&matrix, opts.max_pattern_states)
+                    .map_err(|source| ExpError::PatternTooLarge {
                         u: up,
                         v: vp,
                         source,
-                    }
-                })?
+                    })?
             };
             candidates.push(Candidate {
                 place: ColumnRef::Comm { file, component },
@@ -234,7 +280,10 @@ pub struct StrictReport {
 /// With [`ExpOptions::lumping`] on (the default) and a homogeneous
 /// mapping, the stationary solve runs on the row-rotation quotient chain
 /// — see [`throughput_strict_report`] for the reduction bookkeeping.
-pub fn throughput_strict(system: &System, opts: ExpOptions) -> Result<f64, ExpError> {
+pub fn throughput_strict<'a>(
+    system: impl Into<SystemRef<'a>>,
+    opts: ExpOptions,
+) -> Result<f64, ExpError> {
     throughput_strict_report(system, opts).map(|r| r.throughput)
 }
 
@@ -247,10 +296,11 @@ pub fn throughput_strict(system: &System, opts: ExpOptions) -> Result<f64, ExpEr
 /// solved on the quotient and lifted back.  Any failure along that path —
 /// heterogeneous rates, a rotated marking escaping the reachable set, or
 /// a degenerate (discrete) refinement — falls back to the full chain.
-pub fn throughput_strict_report(
-    system: &System,
+pub fn throughput_strict_report<'a>(
+    system: impl Into<SystemRef<'a>>,
     opts: ExpOptions,
 ) -> Result<StrictReport, ExpError> {
+    let system = system.into();
     let shape = system.shape();
     let tpn = Tpn::build(&shape, ExecModel::Strict);
     let rates = exponential_rates(system);
@@ -290,11 +340,12 @@ pub fn throughput_strict_report(
 /// Validation variant: global CTMC of the **Overlap** TPN with a finite
 /// per-place capacity.  Under-estimates the infinite-buffer throughput and
 /// increases towards it with the capacity.
-pub fn throughput_overlap_bounded(
-    system: &System,
+pub fn throughput_overlap_bounded<'a>(
+    system: impl Into<SystemRef<'a>>,
     capacity: u32,
     opts: ExpOptions,
 ) -> Result<f64, ExpError> {
+    let system = system.into();
     let shape = system.shape();
     let tpn = Tpn::build(&shape, ExecModel::Overlap);
     let rates = exponential_rates(system);
@@ -313,7 +364,7 @@ pub fn throughput_overlap_bounded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
 
     fn system(teams: Vec<Vec<usize>>, speeds: Vec<f64>, bw: f64) -> System {
         let n = teams.len();

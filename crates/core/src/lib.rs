@@ -18,8 +18,13 @@
 //!
 //! ## Entry points
 //!
+//! Every analysis accepts `impl Into<SystemRef<'_>>`: borrow the triple
+//! with [`model::SystemRef::new`] (zero-clone — the right shape for
+//! search loops scoring thousands of candidate mappings; see the
+//! `repstream-engine` crate) or pass `&System` for the owned style.
+//!
 //! ```
-//! use repstream_core::model::{Application, Platform, Mapping, System};
+//! use repstream_core::model::{Application, Platform, Mapping, SystemRef};
 //! use repstream_core::{deterministic, exponential, bounds};
 //! use repstream_petri::shape::ExecModel;
 //!
@@ -27,24 +32,27 @@
 //! let app = Application::new(vec![4.0, 6.0], vec![8.0]).unwrap();
 //! let platform = Platform::complete(vec![1.0, 1.0, 1.0], 4.0).unwrap();
 //! let mapping = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
-//! let system = System::new(app, platform, mapping).unwrap();
+//!
+//! // Borrowed, validated view: no clone of the application or platform.
+//! let system = SystemRef::new(&app, &platform, &mapping).unwrap();
 //!
 //! // Deterministic (static) analysis — Section 4 of the paper.
-//! let det = deterministic::analyze(&system, ExecModel::Overlap);
+//! let det = deterministic::analyze(system, ExecModel::Overlap);
 //! assert!(det.throughput > 0.0);
 //!
 //! // Exponential laws — Theorems 3/4 (Overlap decomposition).
-//! let exp = exponential::throughput_overlap(&system).unwrap();
+//! let exp = exponential::throughput_overlap(system).unwrap();
 //! assert!(exp.throughput <= det.throughput + 1e-9);
 //!
 //! // N.B.U.E. sandwich — Theorem 7.
-//! let b = bounds::nbue_bounds(&system, ExecModel::Overlap).unwrap();
+//! let b = bounds::nbue_bounds(system, ExecModel::Overlap).unwrap();
 //! assert!(b.lower <= b.upper);
 //! ```
 //!
 //! ## Modules
 //!
-//! * [`model`] — applications, platforms, validated mappings;
+//! * [`model`] — applications, platforms, validated mappings (owned
+//!   [`System`] and borrowed [`model::SystemRef`] views);
 //! * [`timing`] — per-resource deterministic times and law tables;
 //! * [`deterministic`] — critical-cycle analysis (§4, Theorem 1),
 //!   global and column-wise;
@@ -71,4 +79,4 @@ pub mod report;
 pub mod simulate;
 pub mod timing;
 
-pub use model::{Application, Mapping, Platform, System};
+pub use model::{Application, Mapping, Platform, System, SystemRef};

@@ -17,7 +17,7 @@
 //! best candidates with the exponential analyses when variability matters.
 
 use crate::deterministic;
-use crate::model::{Application, Mapping, ModelError, Platform, System};
+use crate::model::{Application, Mapping, ModelError, Platform, SystemRef};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use repstream_petri::shape::ExecModel;
@@ -57,17 +57,23 @@ impl From<ModelError> for OptError {
 }
 
 /// Throughput of a candidate mapping (deterministic score).
+///
+/// Zero-clone: the candidate is only *borrowed* into a
+/// [`SystemRef`] (cross-reference validation, no allocation) — this runs
+/// in the inner loop of every heuristic below, where the former
+/// clone-`Application`/`Platform`/`Mapping`-per-candidate made the
+/// evaluator, not the search, the bottleneck.
 fn score(
     app: &Application,
     platform: &Platform,
     mapping: &Mapping,
     model: ExecModel,
 ) -> Result<f64, OptError> {
-    let system = System::new(app.clone(), platform.clone(), mapping.clone())?;
+    let system = SystemRef::new(app, platform, mapping)?;
     Ok(match model {
         // Columnwise evaluation is exact for Overlap and much faster.
-        ExecModel::Overlap => deterministic::throughput_columnwise(&system),
-        ExecModel::Strict => deterministic::analyze(&system, model).throughput,
+        ExecModel::Overlap => deterministic::throughput_columnwise(system),
+        ExecModel::Strict => deterministic::analyze(system, model).throughput,
     })
 }
 
@@ -110,15 +116,24 @@ pub fn greedy(
     let mut best = score(app, platform, &Mapping::new(teams.clone())?, model)?;
 
     // Give each remaining processor to the stage that benefits the most.
+    // The placement keeps the *largest-gain* stage with a deterministic
+    // tie-break on the lowest stage index; ties (including all-zero gains,
+    // e.g. identical replicable stages where no single placement moves the
+    // bottleneck) place the processor instead of silently dropping it —
+    // the old `s > best + best_gain + 1e-12` test bailed out as soon as
+    // every gain tied within epsilon and stranded the remaining
+    // processors.  Only a placement that strictly *hurts* everywhere drops
+    // the processor (and ends the loop: later processors would score the
+    // same placements).
     while let Some(p) = free.first().copied() {
-        let mut best_gain = 0.0;
+        let mut best_score = f64::NEG_INFINITY;
         let mut best_stage = None;
         for stage in 0..n {
             teams[stage].push(p);
             if let Ok(mapping) = Mapping::new(teams.clone()) {
                 if let Ok(s) = score(app, platform, &mapping, model) {
-                    if s > best + best_gain + 1e-12 {
-                        best_gain = s - best;
+                    if s > best_score + 1e-12 {
+                        best_score = s;
                         best_stage = Some(stage);
                     }
                 }
@@ -126,12 +141,13 @@ pub fn greedy(
             teams[stage].pop();
         }
         match best_stage {
-            Some(stage) => {
+            // Non-worsening placement (up to epsilon): take it.
+            Some(stage) if best_score >= best - 1e-12 => {
                 teams[stage].push(p);
                 free.remove(0);
-                best += best_gain;
+                best = best.max(best_score);
             }
-            None => break, // no processor placement helps any more
+            _ => break, // every placement hurts: drop the processor
         }
     }
     let mapping = Mapping::new(teams)?;
@@ -295,6 +311,26 @@ mod tests {
             "{} < {base}",
             improved.throughput
         );
+    }
+
+    #[test]
+    fn greedy_places_tied_gains_instead_of_dropping() {
+        // Two identical stages: placing one extra processor on either
+        // stage alone leaves the other stage the bottleneck (gain 0 for
+        // every placement).  The old gain test dropped the spares at the
+        // first all-tie round, stranding half the platform at ρ = 0.25;
+        // the tie-break must place them (lowest stage index first) and
+        // reach the balanced 2/2 mapping at ρ = 0.5.
+        let app = Application::new(vec![4.0, 4.0], vec![1.0]).unwrap();
+        let platform = Platform::homogeneous(4, 1.0, 100.0).unwrap();
+        let g = greedy(&app, &platform, ExecModel::Overlap).unwrap();
+        assert_eq!(
+            g.mapping.teams().iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2],
+            "all four processors must be used: {:?}",
+            g.mapping.teams()
+        );
+        assert!((g.throughput - 0.5).abs() < 1e-9, "{}", g.throughput);
     }
 
     #[test]

@@ -258,6 +258,30 @@ impl Mapping {
     }
 }
 
+/// Cross-validation shared by [`System::new`] and [`SystemRef::new`]:
+/// the mapping must have one team per stage and reference only existing
+/// processors.
+fn validate_triple(
+    app: &Application,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<(), ModelError> {
+    if app.n_stages() != mapping.n_stages() {
+        return Err(ModelError::StageCountMismatch {
+            app: app.n_stages(),
+            mapping: mapping.n_stages(),
+        });
+    }
+    for team in mapping.teams() {
+        for &p in team {
+            if p >= platform.n_processors() {
+                return Err(ModelError::UnknownProcessor { proc: p });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A validated (application, platform, mapping) triple.
 #[derive(Debug, Clone, PartialEq)]
 pub struct System {
@@ -269,19 +293,7 @@ pub struct System {
 impl System {
     /// Validate cross-references and build.
     pub fn new(app: Application, platform: Platform, mapping: Mapping) -> Result<Self, ModelError> {
-        if app.n_stages() != mapping.n_stages() {
-            return Err(ModelError::StageCountMismatch {
-                app: app.n_stages(),
-                mapping: mapping.n_stages(),
-            });
-        }
-        for team in mapping.teams() {
-            for &p in team {
-                if p >= platform.n_processors() {
-                    return Err(ModelError::UnknownProcessor { proc: p });
-                }
-            }
-        }
+        validate_triple(&app, &platform, &mapping)?;
         Ok(System {
             app,
             platform,
@@ -312,6 +324,87 @@ impl System {
     /// Processor id serving stage `stage` at team position `slot`.
     pub fn proc_at(&self, stage: usize, slot: usize) -> ProcId {
         self.mapping.team(stage)[slot]
+    }
+
+    /// Borrowed view of the triple (validity is inherited, no re-check).
+    pub fn as_ref(&self) -> SystemRef<'_> {
+        SystemRef {
+            app: &self.app,
+            platform: &self.platform,
+            mapping: &self.mapping,
+        }
+    }
+}
+
+/// A **borrowed** validated (application, platform, mapping) triple — the
+/// zero-clone counterpart of [`System`].
+///
+/// Every analysis entry point of this crate accepts
+/// `impl Into<SystemRef<'_>>`, so both `&System` and a `SystemRef` work.
+/// Search loops that score thousands of candidate mappings build a
+/// `SystemRef` per candidate ([`SystemRef::new`] only validates the
+/// cross-references — no `Application`/`Platform` clone, no allocation)
+/// instead of assembling an owned [`System`].
+#[derive(Debug, Clone, Copy)]
+pub struct SystemRef<'a> {
+    app: &'a Application,
+    platform: &'a Platform,
+    mapping: &'a Mapping,
+}
+
+impl<'a> SystemRef<'a> {
+    /// Validate cross-references and build a borrowed view.
+    pub fn new(
+        app: &'a Application,
+        platform: &'a Platform,
+        mapping: &'a Mapping,
+    ) -> Result<Self, ModelError> {
+        validate_triple(app, platform, mapping)?;
+        Ok(SystemRef {
+            app,
+            platform,
+            mapping,
+        })
+    }
+
+    /// The application.
+    pub fn app(&self) -> &'a Application {
+        self.app
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The mapping.
+    pub fn mapping(&self) -> &'a Mapping {
+        self.mapping
+    }
+
+    /// The mapping shape (team sizes).
+    pub fn shape(&self) -> MappingShape {
+        self.mapping.shape()
+    }
+
+    /// Processor id serving stage `stage` at team position `slot`.
+    pub fn proc_at(&self, stage: usize, slot: usize) -> ProcId {
+        self.mapping.team(stage)[slot]
+    }
+
+    /// Clone the borrowed parts into an owned [`System`].
+    pub fn to_owned(&self) -> System {
+        System {
+            app: self.app.clone(),
+            platform: self.platform.clone(),
+            mapping: self.mapping.clone(),
+        }
+    }
+}
+
+impl<'a> From<&'a System> for SystemRef<'a> {
+    fn from(s: &'a System) -> SystemRef<'a> {
+        s.as_ref()
     }
 }
 
@@ -405,5 +498,24 @@ mod tests {
         .unwrap();
         assert_eq!(sys.proc_at(1, 1), 1);
         assert_eq!(sys.shape().n_paths(), 2);
+    }
+
+    #[test]
+    fn system_ref_validates_like_system() {
+        let app = app2();
+        let plat = Platform::homogeneous(3, 1.0, 1.0).unwrap();
+        let bad = Mapping::new(vec![vec![0], vec![7]]).unwrap();
+        assert_eq!(
+            SystemRef::new(&app, &plat, &bad).unwrap_err(),
+            System::new(app.clone(), plat.clone(), bad).unwrap_err()
+        );
+        let mapping = Mapping::new(vec![vec![2], vec![0, 1]]).unwrap();
+        let r = SystemRef::new(&app, &plat, &mapping).unwrap();
+        assert_eq!(r.proc_at(1, 1), 1);
+        assert_eq!(r.shape().teams(), &[1, 2]);
+        // Round trips: borrowed → owned → borrowed.
+        let owned = r.to_owned();
+        let back: SystemRef<'_> = (&owned).into();
+        assert_eq!(back.mapping(), &mapping);
     }
 }

@@ -1,4 +1,5 @@
-//! Per-resource timing tables derived from a [`System`].
+//! Per-resource timing tables derived from a system view
+//! ([`SystemRef`] or [`crate::model::System`]).
 //!
 //! The deterministic time of a resource is the mapping's nominal value
 //! (§2.4): `w_i / s_p` for a processor, `δ_i / b_{p,q}` for a link.
@@ -6,12 +7,13 @@
 //! law family — exactly the paper's setup, where every law is calibrated
 //! to the deterministic mean.
 
-use crate::model::System;
+use crate::model::SystemRef;
 use repstream_petri::shape::{Resource, ResourceTable};
 use repstream_stochastic::law::{Law, LawFamily};
 
 /// Deterministic per-resource times (`w_i/s_p`, `δ_i/b_{p,q}`).
-pub fn deterministic_times(system: &System) -> ResourceTable<f64> {
+pub fn deterministic_times<'a>(system: impl Into<SystemRef<'a>>) -> ResourceTable<f64> {
+    let system = system.into();
     let shape = system.shape();
     ResourceTable::from_fns(
         &shape,
@@ -29,18 +31,22 @@ pub fn deterministic_times(system: &System) -> ResourceTable<f64> {
 
 /// Exponential rates per resource (`1 / deterministic time`), as consumed
 /// by the Markovian analyses.
-pub fn exponential_rates(system: &System) -> ResourceTable<f64> {
+pub fn exponential_rates<'a>(system: impl Into<SystemRef<'a>>) -> ResourceTable<f64> {
     deterministic_times(system).map(|_, &t| 1.0 / t)
 }
 
 /// Law table with every resource following `family` at its deterministic
 /// mean.
-pub fn laws(system: &System, family: LawFamily) -> ResourceTable<Law> {
+pub fn laws<'a>(system: impl Into<SystemRef<'a>>, family: LawFamily) -> ResourceTable<Law> {
     deterministic_times(system).map(|_, &t| family.law_with_mean(t))
 }
 
 /// Law table with separate families for computations and communications.
-pub fn laws_split(system: &System, comp: LawFamily, comm: LawFamily) -> ResourceTable<Law> {
+pub fn laws_split<'a>(
+    system: impl Into<SystemRef<'a>>,
+    comp: LawFamily,
+    comm: LawFamily,
+) -> ResourceTable<Law> {
     deterministic_times(system).map(|r, &t| match r {
         Resource::Proc { .. } => comp.law_with_mean(t),
         Resource::Link { .. } => comm.law_with_mean(t),
@@ -50,7 +56,7 @@ pub fn laws_split(system: &System, comp: LawFamily, comm: LawFamily) -> Resource
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
 
     fn system() -> System {
         let app = Application::new(vec![6.0, 9.0], vec![12.0]).unwrap();

@@ -1,0 +1,136 @@
+//! Deterministic chunk-parallel batch scoring.
+//!
+//! Candidate scores are mutually independent, so a batch is split into
+//! contiguous chunks, one `std::thread::scope` thread per chunk, each
+//! thread owning a private [`DetScorer`] (memo and scratch included) and
+//! a disjoint slice of the output.  No result ever crosses a thread
+//! boundary mid-computation, so the output is **bitwise identical for
+//! any thread count** — the same pattern as the CTMC power sweep (see
+//! `repstream-markov`), and pinned by the engine's property tests.
+
+use crate::score::DetScorer;
+use repstream_core::model::{Application, Mapping, ModelError, Platform};
+use repstream_petri::shape::ExecModel;
+
+/// Candidates per thread below which spawning is not worth it.
+const PAR_MIN_CANDIDATES: usize = 64;
+
+/// Deterministic throughput of every candidate, in input order.
+///
+/// Thread count is `available_parallelism` capped so each thread scores
+/// at least `PAR_MIN_CANDIDATES` (64); the result does not depend on it.
+/// The first invalid candidate (in input order) aborts the batch with its
+/// validation error.
+pub fn score_batch(
+    app: &Application,
+    platform: &Platform,
+    model: ExecModel,
+    candidates: &[Mapping],
+) -> Result<Vec<f64>, ModelError> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores.min(candidates.len() / PAR_MIN_CANDIDATES).max(1);
+    score_batch_with_threads(app, platform, model, candidates, threads)
+}
+
+/// As [`score_batch`] with an explicit thread count (≥ 1).  Exposed so
+/// the equivalence tests can compare thread counts; the scores are
+/// bitwise identical for every choice.
+pub fn score_batch_with_threads(
+    app: &Application,
+    platform: &Platform,
+    model: ExecModel,
+    candidates: &[Mapping],
+    threads: usize,
+) -> Result<Vec<f64>, ModelError> {
+    let threads = threads.max(1);
+    let mut out = vec![0.0f64; candidates.len()];
+    if threads == 1 || candidates.len() <= 1 {
+        let mut scorer = DetScorer::new(app, platform, model);
+        for (m, slot) in candidates.iter().zip(out.iter_mut()) {
+            *slot = scorer.score(m)?;
+        }
+        return Ok(out);
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    // One Result per chunk, joined in chunk order so the reported error
+    // is the first failing candidate's regardless of thread scheduling.
+    let results: Vec<Result<(), ModelError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .zip(candidates.chunks(chunk))
+            .map(|(slots, chunk_candidates)| {
+                scope.spawn(move || {
+                    let mut scorer = DetScorer::new(app, platform, model);
+                    for (m, slot) in chunk_candidates.iter().zip(slots.iter_mut()) {
+                        *slot = scorer.score(m)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch scorer thread panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_workload::random::random_mappings;
+
+    fn instance() -> (Application, Platform) {
+        repstream_workload::scenarios::mapping_search()
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let (app, platform) = instance();
+        let candidates = random_mappings(4, platform.n_processors(), 96, 11);
+        let seq =
+            score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par =
+                score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, threads)
+                    .unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (i, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "candidate {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_candidate_aborts_with_first_error() {
+        let (app, platform) = instance();
+        let mut candidates = random_mappings(4, platform.n_processors(), 8, 3);
+        candidates.insert(
+            2,
+            Mapping::new(vec![vec![0], vec![1], vec![2], vec![99]]).unwrap(),
+        );
+        let err = score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 4)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProcessor { proc: 99 }));
+    }
+
+    #[test]
+    fn auto_threading_small_batch_is_sequential_path() {
+        let (app, platform) = instance();
+        let candidates = random_mappings(4, platform.n_processors(), 5, 7);
+        let auto = score_batch(&app, &platform, ExecModel::Overlap, &candidates).unwrap();
+        let seq =
+            score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 1).unwrap();
+        assert_eq!(auto, seq);
+    }
+}

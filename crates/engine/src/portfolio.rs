@@ -1,0 +1,347 @@
+//! The portfolio search driver.
+//!
+//! No single heuristic dominates mapping construction: greedy seeding is
+//! strong when one stage dominates, random restarts cover rugged
+//! landscapes, and hill climbing polishes both.  The portfolio runs all
+//! of them on the shared engine machinery and (optionally) re-ranks the
+//! deterministic finalists under exponential variability — Theorem 7:
+//! variability punishes replicated columns, so the deterministic winner
+//! is not always the robust one.
+//!
+//! Pipeline (all deterministic given the seed):
+//!
+//! 1. **greedy** ([`mapping_opt::greedy`]) — one candidate;
+//! 2. **random batch** — `random_candidates` seeded mappings scored
+//!    chunk-parallel by [`crate::batch::score_batch`];
+//! 3. **hill climb** — from the best `hill_climb_starts` distinct
+//!    candidates, first-improvement single-processor moves scored
+//!    `O(affected)` by [`DeltaScorer`];
+//! 4. **re-rank** — the top `finalists` by deterministic score are
+//!    re-scored by [`ExpScorer`] (chain-cache backed) and the best
+//!    exponential candidate wins.
+
+use crate::batch;
+use crate::delta::DeltaScorer;
+use crate::score::{ExpScoreError, ExpScorer};
+use repstream_core::mapping_opt::{self, OptError};
+use repstream_core::model::{Application, Mapping, ModelError, Platform};
+use repstream_markov::cache::CacheStats;
+use repstream_petri::shape::ExecModel;
+use repstream_workload::random::random_mappings;
+
+/// Errors of the portfolio driver.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Candidate validation failed.
+    Model(ModelError),
+    /// A constructive heuristic failed (e.g. too few processors).
+    Opt(OptError),
+    /// The exponential re-rank failed (chain too large).
+    Exp(ExpScoreError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "model: {e}"),
+            EngineError::Opt(e) => write!(f, "heuristic: {e}"),
+            EngineError::Exp(e) => write!(f, "re-rank: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<OptError> for EngineError {
+    fn from(e: OptError) -> Self {
+        EngineError::Opt(e)
+    }
+}
+
+/// Options of [`portfolio_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioOptions {
+    /// Execution model to score under.
+    pub model: ExecModel,
+    /// Seeded random candidates scored in the batch phase.
+    pub random_candidates: usize,
+    /// Master seed (the whole search is deterministic in it).
+    pub seed: u64,
+    /// Distinct best candidates used as hill-climb starting points.
+    pub hill_climb_starts: usize,
+    /// Hill-climb round cap per start.
+    pub hill_climb_rounds: usize,
+    /// Deterministic finalists re-ranked exponentially.
+    pub finalists: usize,
+    /// Re-rank finalists under exponential times (Theorem 7).
+    pub exp_rerank: bool,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> Self {
+        PortfolioOptions {
+            model: ExecModel::Overlap,
+            random_candidates: 512,
+            seed: 2010,
+            hill_climb_starts: 3,
+            hill_climb_rounds: 32,
+            finalists: 4,
+            exp_rerank: true,
+        }
+    }
+}
+
+/// One scored candidate of the portfolio.
+#[derive(Debug, Clone)]
+pub struct PortfolioCandidate {
+    /// Which phase produced it (`"greedy"`, `"random"`, `"hill-climb"`).
+    pub origin: &'static str,
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Deterministic throughput under the chosen model.
+    pub det: f64,
+    /// Exponential throughput (finalists only, when re-ranking is on).
+    pub exp: Option<f64>,
+}
+
+/// Result of [`portfolio_search`].
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// The winner: best exponential score when re-ranked, best
+    /// deterministic score otherwise.
+    pub best: PortfolioCandidate,
+    /// All finalists, sorted best-first by the ranking score.
+    pub finalists: Vec<PortfolioCandidate>,
+    /// Full deterministic candidate evaluations of the batch phase
+    /// (greedy internals are not counted; the hill climbers' work shows
+    /// up as [`PortfolioReport::delta_recomputes`]).
+    pub det_evaluations: usize,
+    /// `O(affected)` column re-evaluations spent by the hill climbers.
+    pub delta_recomputes: usize,
+    /// Exponential evaluations spent on the finalists.
+    pub exp_evaluations: usize,
+    /// Chain-cache hit/miss counters of the exponential re-rank.
+    pub exp_cache: CacheStats,
+}
+
+/// Hill-climb `start` by first-improvement single-processor moves
+/// (including drops), re-scoring `O(affected)` columns per probe.
+/// Mirrors `mapping_opt::local_search`'s move neighbourhood.
+fn hill_climb(
+    scorer: &mut DeltaScorer<'_>,
+    max_rounds: usize,
+) -> Result<(Mapping, f64), ModelError> {
+    let n = scorer.teams().len();
+    let mut best = scorer.score();
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        'moves: for from in 0..n {
+            for pos in 0..scorer.teams()[from].len() {
+                if scorer.teams()[from].len() == 1 {
+                    continue; // teams must stay non-empty
+                }
+                let p = scorer.remove(from, pos);
+                // Every destination, plus dropping the processor.
+                for to in (0..n).chain(std::iter::once(usize::MAX)) {
+                    if to == from {
+                        continue;
+                    }
+                    let s = if to == usize::MAX {
+                        scorer.score()
+                    } else {
+                        scorer.insert(to, scorer.teams()[to].len(), p);
+                        scorer.score()
+                    };
+                    if s > best + 1e-12 {
+                        best = s;
+                        improved = true;
+                        continue 'moves;
+                    }
+                    if to != usize::MAX {
+                        scorer.remove(to, scorer.teams()[to].len() - 1);
+                    }
+                }
+                scorer.insert(from, pos, p); // undo
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok((scorer.mapping()?, best))
+}
+
+/// Run the portfolio (see the module docs).
+pub fn portfolio_search(
+    app: &Application,
+    platform: &Platform,
+    opts: PortfolioOptions,
+) -> Result<PortfolioReport, EngineError> {
+    let mut det_evaluations = 0usize;
+    let mut delta_recomputes = 0usize;
+
+    // Phase 1: greedy seeding.
+    let greedy = mapping_opt::greedy(app, platform, opts.model)?;
+    let mut pool: Vec<PortfolioCandidate> = vec![PortfolioCandidate {
+        origin: "greedy",
+        mapping: greedy.mapping,
+        det: greedy.throughput,
+        exp: None,
+    }];
+
+    // Phase 2: parallel random batch.
+    let candidates = random_mappings(
+        app.n_stages(),
+        platform.n_processors(),
+        opts.random_candidates,
+        opts.seed,
+    );
+    let scores = batch::score_batch(app, platform, opts.model, &candidates)?;
+    det_evaluations += scores.len();
+    // Best-first candidate order (deterministic: total_cmp, then index).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    if let Some(&i) = order.first() {
+        pool.push(PortfolioCandidate {
+            origin: "random",
+            mapping: candidates[i].clone(),
+            det: scores[i],
+            exp: None,
+        });
+    }
+
+    // Phase 3: hill climbs from the best distinct candidates (greedy
+    // included).  Delta scoring only covers the columnwise Overlap
+    // evaluation; Strict searches skip this phase.
+    if opts.model == ExecModel::Overlap && opts.hill_climb_starts > 0 {
+        let mut starts: Vec<Mapping> = vec![pool[0].mapping.clone()];
+        for &i in order.iter() {
+            if starts.len() >= opts.hill_climb_starts {
+                break;
+            }
+            if starts.iter().all(|m| m.teams() != candidates[i].teams()) {
+                starts.push(candidates[i].clone());
+            }
+        }
+        for start in starts {
+            let mut scorer = DeltaScorer::new(app, platform, &start)?;
+            let (mapping, det) = hill_climb(&mut scorer, opts.hill_climb_rounds)?;
+            delta_recomputes += scorer.recomputes();
+            pool.push(PortfolioCandidate {
+                origin: "hill-climb",
+                mapping,
+                det,
+                exp: None,
+            });
+        }
+    }
+
+    // Phase 4: finalists + optional exponential re-rank.
+    pool.sort_by(|a, b| b.det.total_cmp(&a.det));
+    let mut seen = std::collections::HashSet::new();
+    pool.retain(|c| seen.insert(c.mapping.teams().to_vec()));
+    pool.truncate(opts.finalists.max(1));
+    let mut exp_scorer = ExpScorer::new(app, platform, opts.model);
+    if opts.exp_rerank {
+        for c in pool.iter_mut() {
+            c.exp = Some(exp_scorer.score(&c.mapping).map_err(EngineError::Exp)?);
+        }
+        pool.sort_by(|a, b| {
+            let (ea, eb) = (a.exp.unwrap_or(a.det), b.exp.unwrap_or(b.det));
+            eb.total_cmp(&ea).then(b.det.total_cmp(&a.det))
+        });
+    }
+
+    Ok(PortfolioReport {
+        best: pool[0].clone(),
+        finalists: pool,
+        det_evaluations,
+        delta_recomputes,
+        exp_evaluations: exp_scorer.evaluations(),
+        exp_cache: exp_scorer.cache_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_core::deterministic;
+    use repstream_core::model::System;
+
+    fn instance() -> (Application, Platform) {
+        repstream_workload::scenarios::mapping_search()
+    }
+
+    #[test]
+    fn portfolio_beats_its_own_ingredients() {
+        let (app, platform) = instance();
+        let opts = PortfolioOptions {
+            random_candidates: 128,
+            seed: 17,
+            ..Default::default()
+        };
+        let report = portfolio_search(&app, &platform, opts).unwrap();
+        let g = mapping_opt::greedy(&app, &platform, ExecModel::Overlap).unwrap();
+        let best_det = report
+            .finalists
+            .iter()
+            .map(|c| c.det)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best_det >= g.throughput - 1e-12,
+            "portfolio {best_det} < greedy {}",
+            g.throughput
+        );
+        assert!(report.det_evaluations >= 128);
+        assert!(report.best.exp.is_some());
+        // Reported det scores are genuine.
+        for c in &report.finalists {
+            let sys = System::new(app.clone(), platform.clone(), c.mapping.clone()).unwrap();
+            let fresh = deterministic::throughput_columnwise(&sys);
+            assert_eq!(fresh.to_bits(), c.det.to_bits(), "{}", c.origin);
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_in_its_seed() {
+        let (app, platform) = instance();
+        let opts = PortfolioOptions {
+            random_candidates: 64,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = portfolio_search(&app, &platform, opts).unwrap();
+        let b = portfolio_search(&app, &platform, opts).unwrap();
+        assert_eq!(a.best.mapping.teams(), b.best.mapping.teams());
+        assert_eq!(a.best.det.to_bits(), b.best.det.to_bits());
+        assert_eq!(a.best.exp.unwrap().to_bits(), b.best.exp.unwrap().to_bits());
+    }
+
+    #[test]
+    fn strict_model_portfolio_runs() {
+        let app = Application::uniform(2, 6.0, 12.0).unwrap();
+        let platform = Platform::complete(vec![1.0; 5], 2.0).unwrap();
+        let report = portfolio_search(
+            &app,
+            &platform,
+            PortfolioOptions {
+                model: ExecModel::Strict,
+                random_candidates: 16,
+                finalists: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.best.det > 0.0);
+        assert!(report.best.exp.unwrap() > 0.0);
+        assert!(report.best.exp.unwrap() <= report.best.det + 1e-9);
+        // Same-shape candidates must have shared chain structures.
+        assert!(report.exp_cache.hits() + report.exp_cache.misses() > 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Single-candidate scorers with cross-candidate reuse.
+//!
+//! [`DetScorer`] evaluates the deterministic (columnwise, Theorem 1)
+//! throughput of a candidate mapping; [`ExpScorer`] the exponential one
+//! (Theorem 3/4 decomposition for Overlap, the Theorem 2 chain for
+//! Strict).  Both borrow the application and platform once and reuse
+//! work across candidates:
+//!
+//! * the deterministic pattern-period solves (critical cycles of `u′×v′`
+//!   patterns) are memoized by `(u′, v′, exact weight bits)` — on
+//!   homogeneous-bandwidth platforms almost every candidate hits;
+//! * the exponential pattern/Strict chains reuse marking-graph
+//!   *structures* through [`ChainCache`], refilling the CSR rates per
+//!   candidate.
+//!
+//! Reuse never changes a value: both scorers return **bitwise** the same
+//! numbers as the cold `repstream-core` entry points
+//! ([`deterministic::throughput_columnwise`],
+//! [`exponential::throughput_overlap`] /
+//! [`exponential::throughput_strict`]); the engine's property tests pin
+//! this.
+
+use repstream_core::exponential::{self, ExpError, ExpOptions, ExpReport, PatternSolver};
+use repstream_core::model::{Application, Mapping, ModelError, Platform, SystemRef};
+use repstream_core::{deterministic, timing};
+use repstream_markov::cache::{ChainCache, StrictOptions};
+use repstream_markov::fxhash::FxHashMap;
+use repstream_markov::marking::MarkingError;
+use repstream_petri::shape::{ExecModel, Resource};
+
+/// Memo of deterministic pattern periods keyed by the **exact bits** of
+/// the pattern's weight vector (plus its dimensions), so a hit is
+/// guaranteed to return what [`deterministic::pattern_period_weights`]
+/// would compute for the same inputs.
+///
+/// Keys are `[u, v, w₀.to_bits(), …]` slices; lookups probe with a
+/// reused scratch buffer (`Box<[u64]>: Borrow<[u64]>`), so the hit path
+/// — the hot path of every delta move and batch candidate — allocates
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PatternMemo {
+    map: FxHashMap<Box<[u64]>, f64>,
+    key_scratch: Vec<u64>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PatternMemo {
+    /// Pattern period of weight vector `w` over a `u × v` pattern
+    /// (memoized; `w.len() == u·v`).
+    pub fn period(&mut self, u: usize, v: usize, w: &[f64]) -> f64 {
+        self.key_scratch.clear();
+        self.key_scratch.push(u as u64);
+        self.key_scratch.push(v as u64);
+        self.key_scratch.extend(w.iter().map(|x| x.to_bits()));
+        if let Some(&p) = self.map.get(self.key_scratch.as_slice()) {
+            self.hits += 1;
+            return p;
+        }
+        self.misses += 1;
+        let p = deterministic::pattern_period_weights(u, v, w);
+        self.map.insert(self.key_scratch.as_slice().into(), p);
+        p
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Deterministic throughput scorer with pattern-period memoization.
+#[derive(Debug)]
+pub struct DetScorer<'a> {
+    app: &'a Application,
+    platform: &'a Platform,
+    model: ExecModel,
+    memo: PatternMemo,
+    /// Reused weight buffer for memo keys.
+    scratch: Vec<f64>,
+    evaluations: usize,
+}
+
+impl<'a> DetScorer<'a> {
+    /// Scorer over one application/platform pair.
+    pub fn new(app: &'a Application, platform: &'a Platform, model: ExecModel) -> DetScorer<'a> {
+        DetScorer {
+            app,
+            platform,
+            model,
+            memo: PatternMemo::default(),
+            scratch: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The execution model being scored.
+    pub fn model(&self) -> ExecModel {
+        self.model
+    }
+
+    /// Candidates scored so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Pattern-period memo `(hits, misses)`.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        self.memo.stats()
+    }
+
+    /// Deterministic throughput of a candidate mapping — bitwise equal to
+    /// [`deterministic::throughput_columnwise`] (Overlap) or
+    /// [`deterministic::analyze`] (Strict) on the same triple.
+    pub fn score(&mut self, mapping: &Mapping) -> Result<f64, ModelError> {
+        let system = SystemRef::new(self.app, self.platform, mapping)?;
+        self.evaluations += 1;
+        match self.model {
+            ExecModel::Overlap => {
+                let shape = system.shape();
+                let times = timing::deterministic_times(system);
+                let memo = &mut self.memo;
+                let scratch = &mut self.scratch;
+                Ok(deterministic::throughput_columnwise_with_periods(
+                    &shape,
+                    &times,
+                    &mut |file, comp, g, up, vp| {
+                        // Same weight layout as `pattern_period`: row k is
+                        // the link (k mod u′) → (k mod v′) of the
+                        // component.
+                        scratch.clear();
+                        scratch.extend((0..up * vp).map(|k| {
+                            *times.get(Resource::Link {
+                                file,
+                                src: comp + g * (k % up),
+                                dst: comp + g * (k % vp),
+                            })
+                        }));
+                        memo.period(up, vp, scratch)
+                    },
+                ))
+            }
+            ExecModel::Strict => Ok(deterministic::analyze(system, self.model).throughput),
+        }
+    }
+}
+
+/// [`PatternSolver`] adapter: Theorem 3 pattern chains served from a
+/// [`ChainCache`].
+struct CachedPatterns<'c>(&'c mut ChainCache);
+
+impl PatternSolver for CachedPatterns<'_> {
+    fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        self.0.pattern_throughput(rate, max_states)
+    }
+}
+
+/// Exponential throughput scorer with structure-keyed chain reuse.
+#[derive(Debug)]
+pub struct ExpScorer<'a> {
+    app: &'a Application,
+    platform: &'a Platform,
+    model: ExecModel,
+    opts: ExpOptions,
+    cache: ChainCache,
+    evaluations: usize,
+}
+
+impl<'a> ExpScorer<'a> {
+    /// Scorer over one application/platform pair with default budgets.
+    pub fn new(app: &'a Application, platform: &'a Platform, model: ExecModel) -> ExpScorer<'a> {
+        ExpScorer::with_options(app, platform, model, ExpOptions::default())
+    }
+
+    /// As [`ExpScorer::new`] with explicit [`ExpOptions`].
+    pub fn with_options(
+        app: &'a Application,
+        platform: &'a Platform,
+        model: ExecModel,
+        opts: ExpOptions,
+    ) -> ExpScorer<'a> {
+        ExpScorer {
+            app,
+            platform,
+            model,
+            opts,
+            cache: ChainCache::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Candidates scored so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Chain-cache hit/miss counters.
+    pub fn cache_stats(&self) -> repstream_markov::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Exponential throughput of a candidate mapping — bitwise equal to
+    /// [`exponential::throughput_overlap`] (Overlap) or
+    /// [`exponential::throughput_strict`] (Strict) on the same triple.
+    pub fn score(&mut self, mapping: &Mapping) -> Result<f64, ExpScoreError> {
+        let system =
+            SystemRef::new(self.app, self.platform, mapping).map_err(ExpScoreError::Model)?;
+        self.evaluations += 1;
+        let shape = system.shape();
+        let rates = timing::exponential_rates(system);
+        match self.model {
+            ExecModel::Overlap => exponential::throughput_overlap_with_solver(
+                &shape,
+                &rates,
+                self.opts,
+                &mut CachedPatterns(&mut self.cache),
+            )
+            .map(|r: ExpReport| r.throughput)
+            .map_err(ExpScoreError::Exp),
+            ExecModel::Strict => self
+                .cache
+                .strict_throughput(
+                    &shape,
+                    &rates,
+                    StrictOptions {
+                        max_states: self.opts.max_states,
+                        lumping: self.opts.lumping,
+                    },
+                )
+                .map(|s| s.throughput)
+                .map_err(|e| ExpScoreError::Exp(ExpError::MarkingGraph(e))),
+        }
+    }
+}
+
+/// Errors of [`ExpScorer::score`].
+#[derive(Debug)]
+pub enum ExpScoreError {
+    /// The candidate failed triple validation.
+    Model(ModelError),
+    /// The exponential analysis failed (chain too large).
+    Exp(ExpError),
+}
+
+impl std::fmt::Display for ExpScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpScoreError::Model(e) => write!(f, "model: {e}"),
+            ExpScoreError::Exp(e) => write!(f, "exponential analysis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpScoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repstream_core::model::System;
+
+    fn instance() -> (Application, Platform) {
+        repstream_workload::scenarios::mapping_search()
+    }
+
+    fn mappings() -> Vec<Mapping> {
+        vec![
+            Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap(),
+            Mapping::new(vec![vec![3, 7], vec![1, 5], vec![0, 4, 6], vec![2]]).unwrap(),
+            Mapping::new(vec![vec![9], vec![1, 8, 2], vec![0, 4, 3], vec![7]]).unwrap(),
+            Mapping::new(vec![vec![0], vec![1], vec![2], vec![3]]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn det_scorer_matches_cold_columnwise_bitwise() {
+        let (app, platform) = instance();
+        let mut scorer = DetScorer::new(&app, &platform, ExecModel::Overlap);
+        for m in mappings() {
+            let cold = deterministic::throughput_columnwise(
+                &System::new(app.clone(), platform.clone(), m.clone()).unwrap(),
+            );
+            let s = scorer.score(&m).unwrap();
+            assert_eq!(cold.to_bits(), s.to_bits(), "{:?}", m.teams());
+            // Scoring the same candidate again hits the memo and must not
+            // change the value.
+            let again = scorer.score(&m).unwrap();
+            assert_eq!(s.to_bits(), again.to_bits());
+        }
+        let (hits, _) = scorer.memo_stats();
+        assert!(hits > 0, "uniform-bandwidth platform must hit the memo");
+    }
+
+    #[test]
+    fn det_scorer_strict_matches_analyze() {
+        let (app, platform) = instance();
+        let mut scorer = DetScorer::new(&app, &platform, ExecModel::Strict);
+        let m = &mappings()[0];
+        let cold = deterministic::analyze(
+            &System::new(app.clone(), platform.clone(), m.clone()).unwrap(),
+            ExecModel::Strict,
+        )
+        .throughput;
+        assert_eq!(cold.to_bits(), scorer.score(m).unwrap().to_bits());
+    }
+
+    #[test]
+    fn exp_scorer_matches_cold_overlap_bitwise() {
+        let (app, platform) = instance();
+        let mut scorer = ExpScorer::new(&app, &platform, ExecModel::Overlap);
+        for m in mappings() {
+            let sys = System::new(app.clone(), platform.clone(), m.clone()).unwrap();
+            let cold = exponential::throughput_overlap(&sys).unwrap().throughput;
+            let s = scorer.score(&m).unwrap();
+            assert_eq!(cold.to_bits(), s.to_bits(), "{:?}", m.teams());
+        }
+    }
+
+    #[test]
+    fn exp_scorer_matches_cold_strict_bitwise() {
+        let app = Application::uniform(2, 6.0, 12.0).unwrap();
+        let platform = Platform::complete(vec![1.0; 5], 2.0).unwrap();
+        let mut scorer = ExpScorer::new(&app, &platform, ExecModel::Strict);
+        for teams in [
+            vec![vec![0], vec![1]],
+            vec![vec![0, 1], vec![2, 3]],
+            vec![vec![0, 1], vec![2]],
+        ] {
+            let m = Mapping::new(teams).unwrap();
+            let sys = System::new(app.clone(), platform.clone(), m.clone()).unwrap();
+            let cold = exponential::throughput_strict(&sys, ExpOptions::default()).unwrap();
+            let s = scorer.score(&m).unwrap();
+            assert_eq!(cold.to_bits(), s.to_bits(), "{:?}", m.teams());
+        }
+        // Same-shape candidates share one chain structure.
+        let m = Mapping::new(vec![vec![4, 1], vec![3]]).unwrap();
+        scorer.score(&m).unwrap();
+        assert!(scorer.cache_stats().strict_hits >= 1);
+    }
+
+    #[test]
+    fn invalid_candidate_is_reported_not_scored() {
+        let (app, platform) = instance();
+        let mut scorer = DetScorer::new(&app, &platform, ExecModel::Overlap);
+        let bad = Mapping::new(vec![vec![0], vec![1], vec![2], vec![42]]).unwrap();
+        assert!(matches!(
+            scorer.score(&bad),
+            Err(ModelError::UnknownProcessor { proc: 42 })
+        ));
+        assert_eq!(scorer.evaluations(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Structure-keyed reuse of marking-graph chains.
+//!
+//! Candidate mappings explored by a search differ in *rates* far more
+//! often than in *structure*: every mapping whose shape (replication
+//! vector) matches a previously scored one induces the **same** reachable
+//! marking graph — only the CSR rate payload changes.  The expensive parts
+//! of a Theorem 2/3 evaluation are exactly the structural ones: the
+//! marking BFS + interner, the orbit propagation of the row-rotation
+//! symmetry, and (for patterns) the reachability enumeration.
+//!
+//! [`ChainCache`] keys those structures canonically — [`TpnSignature`]
+//! for the global Strict chain, the coprime `(u′, v′)` dimensions for
+//! Theorem 3 pattern chains — and **refills** the cached CSR on a hit
+//! ([`MarkingGraph::ctmc_with_trans_rates`], `O(nnz)`), skipping the BFS
+//! entirely.  Cached results are **bitwise identical** to cold solves:
+//! the refilled chain has byte-for-byte the arrays a fresh build would
+//! produce, and every solver is deterministic in its inputs.  The
+//! equivalence property tests of `repstream-engine` pin this contract.
+//!
+//! Budget semantics: `max_states` bounds the *structure build* on a miss.
+//! A hit reuses the cached structure without re-checking it against the
+//! (possibly smaller) budget of the current call — budgets are per
+//! deployment, not per candidate.
+
+use crate::fxhash::FxHashMap;
+use crate::lump::Partition;
+use crate::marking::{MarkingError, MarkingGraph, MarkingOptions};
+use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
+use repstream_petri::shape::{gcd, ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::{Tpn, TpnSignature};
+
+/// Hit/miss counters of a [`ChainCache`] (reported by search drivers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Pattern-chain solves served from a cached structure.
+    pub pattern_hits: usize,
+    /// Pattern-chain structures built cold.
+    pub pattern_misses: usize,
+    /// Strict-chain solves served from a cached structure.
+    pub strict_hits: usize,
+    /// Strict-chain structures built cold.
+    pub strict_misses: usize,
+}
+
+impl CacheStats {
+    /// Total solves that skipped a marking BFS.
+    pub fn hits(&self) -> usize {
+        self.pattern_hits + self.strict_hits
+    }
+
+    /// Total cold structure builds.
+    pub fn misses(&self) -> usize {
+        self.pattern_misses + self.strict_misses
+    }
+}
+
+/// Cached structure of one `u × v` pattern chain.
+#[derive(Debug, Clone)]
+struct PatternEntry {
+    mg: MarkingGraph,
+}
+
+/// Cached structure of one Strict-TPN chain.
+#[derive(Debug, Clone)]
+struct StrictEntry {
+    tpn: Tpn,
+    mg: MarkingGraph,
+    /// Structural row-rotation symmetry (rate invariance is re-checked
+    /// against every candidate's rate table).
+    sym: Option<NetSymmetry>,
+    /// Orbit seed induced by `sym` on the reachable markings (purely
+    /// structural; valid as a lumping seed only when the candidate's
+    /// rates are orbit-invariant).
+    seed: Option<Partition>,
+}
+
+/// Options of a cached Strict-chain solve (the markov-level mirror of the
+/// consumer's `ExpOptions`).
+#[derive(Debug, Clone, Copy)]
+pub struct StrictOptions {
+    /// State budget for a cold marking-graph build.
+    pub max_states: usize,
+    /// Solve the symmetry-reduced quotient when the candidate's rates
+    /// keep the row-rotation symmetry (exact either way).
+    pub lumping: bool,
+}
+
+/// Result of a cached Strict-chain solve.
+#[derive(Debug, Clone)]
+pub struct StrictSolve {
+    /// System throughput (summed stationary firing rate of the last
+    /// column).
+    pub throughput: f64,
+    /// States of the full marking chain.
+    pub full_states: usize,
+    /// States of the quotient actually solved (`None` ⇒ full solve).
+    pub lumped_states: Option<usize>,
+    /// `true` when the structure came from the cache (no BFS ran).
+    pub cache_hit: bool,
+}
+
+/// A cache of marking-graph structures keyed by chain shape.
+///
+/// See the module docs for the reuse contract.  One cache serves one
+/// search (or one worker thread of a parallel search); it is deliberately
+/// not synchronized.
+#[derive(Debug, Clone, Default)]
+pub struct ChainCache {
+    patterns: FxHashMap<(usize, usize), PatternEntry>,
+    strict: FxHashMap<TpnSignature, StrictEntry>,
+    stats: CacheStats,
+}
+
+impl ChainCache {
+    /// An empty cache.
+    pub fn new() -> ChainCache {
+        ChainCache::default()
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Exact inner throughput of a pattern with per-link exponential
+    /// rates `rate[a][b]` — the cached equivalent of
+    /// [`crate::pattern::pattern_throughput`], bitwise identical to it.
+    ///
+    /// # Panics
+    /// Panics on a ragged rate matrix or non-coprime dimensions.
+    pub fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        let u = rate.len();
+        let v = rate[0].len();
+        assert!(rate.iter().all(|r| r.len() == v), "ragged rate matrix");
+        assert!(gcd(u, v) == 1, "pattern dimensions must be coprime");
+        let n = u * v;
+        if let Some(entry) = self.patterns.get(&(u, v)) {
+            self.stats.pattern_hits += 1;
+            // Transition k is pattern row k: sender k mod u → receiver
+            // k mod v (the comm_pattern convention).
+            let trans_rates: Vec<f64> = (0..n).map(|k| rate[k % u][k % v]).collect();
+            let ctmc = entry.mg.ctmc_with_trans_rates(&trans_rates);
+            let all: Vec<usize> = (0..n).collect();
+            return Ok(entry.mg.throughput_with(&ctmc, &trans_rates, &all));
+        }
+        self.stats.pattern_misses += 1;
+        let net = comm_pattern(u, v, |a, b| rate[a][b]);
+        let mg = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                max_states,
+                capacity: None,
+            },
+        )?;
+        let all: Vec<usize> = (0..net.n_transitions()).collect();
+        let rho = mg.throughput_of(&net, &all);
+        self.patterns.insert((u, v), PatternEntry { mg });
+        Ok(rho)
+    }
+
+    /// Exact Strict-model throughput through the global marking chain —
+    /// the cached equivalent of the Theorem 2 evaluation, bitwise
+    /// identical to a cold solve with the same rate table.
+    ///
+    /// On a miss the TPN, its marking graph, the structural row-rotation
+    /// symmetry and its orbit seed are built once and stored under the
+    /// shape's [`TpnSignature`].  On a hit only the per-candidate work
+    /// runs: an `O(nnz)` CSR refill, an (optional) orbit-invariance check
+    /// of the rates, the partition refinement, and the stationary solve.
+    pub fn strict_throughput(
+        &mut self,
+        shape: &MappingShape,
+        rates: &ResourceTable<f64>,
+        opts: StrictOptions,
+    ) -> Result<StrictSolve, MarkingError> {
+        let key = TpnSignature::of(shape, ExecModel::Strict);
+        let cache_hit = self.strict.contains_key(&key);
+        if cache_hit {
+            self.stats.strict_hits += 1;
+        } else {
+            self.stats.strict_misses += 1;
+            let tpn = Tpn::build(shape, ExecModel::Strict);
+            let net = EventNet::from_tpn(&tpn, rates);
+            let mg = MarkingGraph::build(
+                &net,
+                MarkingOptions {
+                    max_states: opts.max_states,
+                    capacity: None,
+                },
+            )?;
+            let sym = tpn
+                .row_rotation()
+                .map(|a| NetSymmetry {
+                    trans_perm: a.trans_perm,
+                    place_perm: a.place_perm,
+                })
+                .filter(|s| net.symmetry_structural(s));
+            let seed = sym.as_ref().and_then(|s| mg.orbit_partition(s));
+            self.strict
+                .insert(key.clone(), StrictEntry { tpn, mg, sym, seed });
+        }
+        let entry = &self.strict[&key];
+
+        let trans_rates: Vec<f64> = entry
+            .tpn
+            .transitions()
+            .iter()
+            .map(|t| *rates.get(t.resource))
+            .collect();
+        let ctmc = entry.mg.ctmc_with_trans_rates(&trans_rates);
+        let last = entry.tpn.last_column();
+        let throughput_from = |pi: &[f64]| -> f64 {
+            let fired = entry.mg.firing_rates_with(&trans_rates, pi);
+            last.iter().map(|&t| fired[t]).sum()
+        };
+        if opts.lumping {
+            if let (Some(sym), Some(seed)) = (&entry.sym, &entry.seed) {
+                if rates_orbit_invariant(&trans_rates, &sym.trans_perm) {
+                    if let Some(sol) = ctmc.stationary_lumped(seed) {
+                        return Ok(StrictSolve {
+                            throughput: throughput_from(&sol.pi),
+                            full_states: sol.full_states,
+                            lumped_states: Some(sol.lumped_states),
+                            cache_hit,
+                        });
+                    }
+                }
+            }
+        }
+        let pi = ctmc.stationary();
+        Ok(StrictSolve {
+            throughput: throughput_from(&pi),
+            full_states: entry.mg.n_states(),
+            lumped_states: None,
+            cache_hit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern;
+
+    fn het_matrix(u: usize, v: usize, bump: f64) -> Vec<Vec<f64>> {
+        (0..u)
+            .map(|a| {
+                (0..v)
+                    .map(|b| 0.4 + ((3 * a + b) % 5) as f64 * bump)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pattern_hit_is_bitwise_cold() {
+        let mut cache = ChainCache::new();
+        for bump in [0.25, 0.125, 0.5] {
+            let m = het_matrix(3, 4, bump);
+            let cold = pattern::pattern_throughput(&m, 1 << 20).unwrap();
+            let cached = cache.pattern_throughput(&m, 1 << 20).unwrap();
+            assert_eq!(cold.to_bits(), cached.to_bits(), "bump {bump}");
+        }
+        assert_eq!(cache.stats().pattern_misses, 1);
+        assert_eq!(cache.stats().pattern_hits, 2);
+    }
+
+    #[test]
+    fn pattern_distinct_shapes_get_distinct_entries() {
+        let mut cache = ChainCache::new();
+        cache
+            .pattern_throughput(&het_matrix(2, 3, 0.2), 1 << 20)
+            .unwrap();
+        cache
+            .pattern_throughput(&het_matrix(3, 2, 0.2), 1 << 20)
+            .unwrap();
+        cache
+            .pattern_throughput(&het_matrix(2, 3, 0.3), 1 << 20)
+            .unwrap();
+        assert_eq!(cache.stats().pattern_misses, 2);
+        assert_eq!(cache.stats().pattern_hits, 1);
+    }
+
+    #[test]
+    fn strict_hit_is_bitwise_cold_homogeneous() {
+        // Homogeneous rates → the lumped path engages on both cold and
+        // cached solves and must agree bit for bit.
+        let shape = MappingShape::new(vec![2, 3]);
+        let opts = StrictOptions {
+            max_states: 1 << 20,
+            lumping: true,
+        };
+        let mut warm = ChainCache::new();
+        for lam in [0.5, 0.25, 2.0] {
+            let rates = ResourceTable::from_fns(&shape, |_, _| lam, |_, _, _| 2.0 * lam);
+            let mut cold = ChainCache::new();
+            let a = cold.strict_throughput(&shape, &rates, opts).unwrap();
+            let b = warm.strict_throughput(&shape, &rates, opts).unwrap();
+            assert!(!a.cache_hit);
+            assert_eq!(a.throughput.to_bits(), b.throughput.to_bits(), "λ {lam}");
+            assert_eq!(a.lumped_states, b.lumped_states);
+            assert!(a.lumped_states.is_some(), "homogeneous rates must lump");
+        }
+        assert_eq!(warm.stats().strict_misses, 1);
+        assert_eq!(warm.stats().strict_hits, 2);
+    }
+
+    #[test]
+    fn strict_heterogeneous_rates_fall_back_to_full_chain() {
+        let shape = MappingShape::new(vec![2, 2]);
+        let opts = StrictOptions {
+            max_states: 1 << 20,
+            lumping: true,
+        };
+        let mut cache = ChainCache::new();
+        // Warm with homogeneous rates (seed engages)…
+        let hom = ResourceTable::from_fns(&shape, |_, _| 1.0, |_, _, _| 1.0);
+        let a = cache.strict_throughput(&shape, &hom, opts).unwrap();
+        assert!(a.lumped_states.is_some());
+        // …then a heterogeneous candidate on the same structure: cache
+        // hit, but the orbit-invariance check refuses the lump.
+        let het = ResourceTable::from_fns(&shape, |_, s| 1.0 + s as f64, |_, _, _| 1.0);
+        let b = cache.strict_throughput(&shape, &het, opts).unwrap();
+        assert!(b.cache_hit);
+        assert!(b.lumped_states.is_none(), "{b:?}");
+        assert!(b.throughput > 0.0);
+    }
+}

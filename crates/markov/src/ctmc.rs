@@ -261,6 +261,26 @@ impl Ctmc {
         self.n
     }
 
+    /// The same sparsity structure with every edge's rate replaced:
+    /// `rate[e]` is the new rate of the `e`-th CSR entry (row-major edge
+    /// order, as produced by [`CsrBuilder`]).
+    ///
+    /// This is the **refill** operation of structure-keyed chain reuse:
+    /// when two chains share their reachability structure and differ only
+    /// in rates (candidate mappings over one shape), cloning the integer
+    /// arrays and re-deriving the cached products (exit rates, `Λ`,
+    /// transposed CSR, uniformized probabilities) costs `O(nnz)` — the
+    /// marking BFS and interner are skipped entirely.  The result is
+    /// **bitwise identical** to building the chain from scratch with the
+    /// same rates ([`Ctmc::from_csr`] is deterministic in its inputs).
+    ///
+    /// # Panics
+    /// Panics if `rate.len() != self.nnz()` or any rate is non-positive.
+    pub fn with_rates(&self, rate: Vec<f64>) -> Ctmc {
+        assert_eq!(rate.len(), self.nnz(), "one rate per CSR edge");
+        Ctmc::from_csr(self.row_ptr.clone(), self.col.clone(), rate)
+    }
+
     /// Number of non-zero rate entries.
     pub fn nnz(&self) -> usize {
         self.col.len()

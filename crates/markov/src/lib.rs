@@ -29,6 +29,11 @@
 //!   [`Ctmc::stationary_lumped`](ctmc::Ctmc::stationary_lumped) seeded from
 //!   the TPN row-rotation orbits via
 //!   [`marking::MarkingGraph::orbit_partition`];
+//! * [`cache`] — structure-keyed chain reuse for batch evaluation:
+//!   marking graphs (and their symmetry orbit seeds) cached per
+//!   [`TpnSignature`](repstream_petri::tpn::TpnSignature) / pattern shape,
+//!   with `O(nnz)` CSR rate refills on hits
+//!   ([`MarkingGraph::ctmc_with_trans_rates`](marking::MarkingGraph::ctmc_with_trans_rates));
 //! * [`transient`] — finite-horizon analysis by uniformization: `π(t)` and
 //!   the expected completions over `[0, t]` (the analytic counterpart of
 //!   the paper's throughput-vs-data-sets curves);
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod ctmc;
 pub mod fxhash;
 pub mod lump;
@@ -47,6 +53,7 @@ pub mod net;
 pub mod pattern;
 pub mod transient;
 
+pub use cache::ChainCache;
 pub use ctmc::Ctmc;
 pub use marking::{MarkingGraph, MarkingOptions};
 pub use net::EventNet;

@@ -562,14 +562,53 @@ impl MarkingGraph {
         Some(Partition::from_permutation_orbits(&sigma))
     }
 
+    /// Transition fired by each CSR edge of the chain, in edge order (the
+    /// enabled-set arrays double as this map: the BFS appends one enabled
+    /// transition per chain edge, so `edge_transitions().len() ==
+    /// ctmc.nnz()` and edge `e` was produced by firing transition
+    /// `edge_transitions()[e]`).
+    ///
+    /// This is what makes the reachability structure reusable across rate
+    /// tables: the chain of a *different* rate assignment over the same
+    /// net structure is `ctmc.with_rates(edge rates looked up here)` — see
+    /// [`MarkingGraph::ctmc_with_trans_rates`].
+    pub fn edge_transitions(&self) -> &[u32] {
+        &self.enabled_idx
+    }
+
+    /// The chain re-rated from per-transition rates: edge `e` gets
+    /// `trans_rates[edge_transitions()[e]]`.  Bitwise identical to
+    /// rebuilding the marking graph of a net with those rates (the BFS
+    /// order depends only on structure), at `O(nnz)` instead of a full
+    /// BFS + interning pass.
+    ///
+    /// # Panics
+    /// Panics if `trans_rates` is shorter than the net's transition count
+    /// or contains a non-positive rate.
+    pub fn ctmc_with_trans_rates(&self, trans_rates: &[f64]) -> Ctmc {
+        let rate: Vec<f64> = self
+            .enabled_idx
+            .iter()
+            .map(|&t| trans_rates[t as usize])
+            .collect();
+        self.ctmc.with_rates(rate)
+    }
+
     /// Stationary firing rate of every transition:
     /// `rate(t) = Σ_s π(s) λ_t [t enabled in s]`.
     pub fn firing_rates(&self, net: &EventNet, pi: &[f64]) -> Vec<f64> {
+        self.firing_rates_with(&net.rates, pi)
+    }
+
+    /// As [`MarkingGraph::firing_rates`], from a bare per-transition rate
+    /// slice (the re-rated chains of [`MarkingGraph::ctmc_with_trans_rates`]
+    /// have no `EventNet` to hand).
+    pub fn firing_rates_with(&self, trans_rates: &[f64], pi: &[f64]) -> Vec<f64> {
         assert_eq!(pi.len(), self.n_states());
-        let mut rates = vec![0.0f64; net.n_transitions()];
+        let mut rates = vec![0.0f64; trans_rates.len()];
         for (s, &p) in pi.iter().enumerate() {
             for &t in self.enabled(s) {
-                rates[t as usize] += p * net.rates[t as usize];
+                rates[t as usize] += p * trans_rates[t as usize];
             }
         }
         rates
@@ -578,8 +617,15 @@ impl MarkingGraph {
     /// Convenience: stationary distribution, then summed firing rate of a
     /// set of transitions (e.g. the TPN's last column → throughput).
     pub fn throughput_of(&self, net: &EventNet, transitions: &[usize]) -> f64 {
-        let pi = self.ctmc.stationary();
-        let rates = self.firing_rates(net, &pi);
+        self.throughput_with(&self.ctmc, &net.rates, transitions)
+    }
+
+    /// As [`MarkingGraph::throughput_of`] for a re-rated chain sharing
+    /// this graph's structure (same op order as the owned-chain path, so
+    /// refilled and cold solves agree bit for bit).
+    pub fn throughput_with(&self, ctmc: &Ctmc, trans_rates: &[f64], transitions: &[usize]) -> f64 {
+        let pi = ctmc.stationary();
+        let rates = self.firing_rates_with(trans_rates, &pi);
         transitions.iter().map(|&t| rates[t]).sum()
     }
 }

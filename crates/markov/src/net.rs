@@ -126,20 +126,29 @@ impl EventNet {
     }
 
     /// Check that `sym` really is a rate-preserving automorphism of this
-    /// net: both maps are permutations of the right length, every place's
-    /// endpoints follow the transition permutation, and rates along each
-    /// transition orbit are **bitwise equal** (the homogeneous tables of
+    /// net: the structural conditions of
+    /// [`EventNet::symmetry_structural`] plus rates that are **bitwise
+    /// equal** along each transition orbit (the homogeneous tables of
     /// Theorem 2 produce identical `f64`s; anything looser would risk
     /// lumping states that are not exactly exchangeable).
     pub fn symmetry_valid(&self, sym: &NetSymmetry) -> bool {
+        self.symmetry_structural(sym) && rates_orbit_invariant(&self.rates, &sym.trans_perm)
+    }
+
+    /// The rate-free half of [`EventNet::symmetry_valid`]: both maps are
+    /// permutations of the right length and every place's endpoints follow
+    /// the transition permutation.  Structure caches validate this once
+    /// per shape and re-check only the (cheap) rate invariance per
+    /// candidate rate table — see [`rates_orbit_invariant`].
+    pub fn symmetry_structural(&self, sym: &NetSymmetry) -> bool {
         let nt = self.n_transitions();
         let np = self.n_places();
         if sym.trans_perm.len() != nt || sym.place_perm.len() != np {
             return false;
         }
         let mut seen_t = vec![false; nt];
-        for (t, &img) in sym.trans_perm.iter().enumerate() {
-            if img >= nt || seen_t[img] || self.rates[t] != self.rates[img] {
+        for &img in sym.trans_perm.iter() {
+            if img >= nt || seen_t[img] {
                 return false;
             }
             seen_t[img] = true;
@@ -158,6 +167,19 @@ impl EventNet {
         }
         true
     }
+}
+
+/// `true` when `rates` is **bitwise** invariant under the transition
+/// permutation `perm` (`rates[t] == rates[perm[t]]` for every `t`) — the
+/// rate half of [`EventNet::symmetry_valid`], exposed so chain caches can
+/// re-validate a structurally cached symmetry against each candidate's
+/// rate table without rebuilding the net.
+///
+/// # Panics
+/// Panics if `perm` indexes outside `rates` (callers validate the
+/// structural half first).
+pub fn rates_orbit_invariant(rates: &[f64], perm: &[usize]) -> bool {
+    rates.len() == perm.len() && (0..rates.len()).all(|t| rates[t] == rates[perm[t]])
 }
 
 /// The `u × v` communication pattern of Theorem 3 (`gcd(u, v) = 1`):

@@ -101,6 +101,50 @@ pub struct TpnAutomorphism {
     pub place_perm: Vec<PlaceId>,
 }
 
+/// Canonical **structure key** of a TPN: the replication vector (team
+/// sizes) plus the execution model.
+///
+/// Two TPNs with equal signatures are structurally identical — same
+/// transitions in the same order, same places with the same endpoints,
+/// kinds and initial tokens (the construction in [`Tpn::build`] is a pure
+/// function of the shape and model).  Everything *rate- or time-dependent*
+/// lives outside the TPN in `ResourceTable`s, so the signature is exactly
+/// the right key for caches of derived structures (marking graphs, orbit
+/// partitions, token-graph skeletons): candidates that differ only in
+/// processor speeds or link bandwidths share one entry and refill the
+/// numeric payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TpnSignature {
+    teams: Vec<usize>,
+    model: ExecModel,
+}
+
+impl TpnSignature {
+    /// Signature of the TPN that [`Tpn::build`] would produce for
+    /// `(shape, model)` — computable without building anything.
+    pub fn of(shape: &MappingShape, model: ExecModel) -> TpnSignature {
+        TpnSignature {
+            teams: shape.teams().to_vec(),
+            model,
+        }
+    }
+
+    /// The replication vector.
+    pub fn teams(&self) -> &[usize] {
+        &self.teams
+    }
+
+    /// The execution model.
+    pub fn model(&self) -> ExecModel {
+        self.model
+    }
+
+    /// The shape this signature was taken from.
+    pub fn shape(&self) -> MappingShape {
+        MappingShape::new(self.teams.clone())
+    }
+}
+
 /// A fully built timed Petri net for a shaped mapping and execution model.
 #[derive(Debug, Clone)]
 pub struct Tpn {
@@ -262,6 +306,12 @@ impl Tpn {
     /// The mapping shape this TPN was built from.
     pub fn shape(&self) -> &MappingShape {
         &self.shape
+    }
+
+    /// Canonical structure key (replication vector + execution model) —
+    /// see [`TpnSignature`].
+    pub fn signature(&self) -> TpnSignature {
+        TpnSignature::of(&self.shape, self.model)
     }
 
     /// The execution model.
@@ -506,6 +556,28 @@ pub fn max_cycle_time_shape(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn signature_keys_structure() {
+        let a = MappingShape::new(vec![1, 2, 3]);
+        let b = MappingShape::new(vec![1, 2, 3]);
+        let c = MappingShape::new(vec![1, 3, 2]);
+        assert_eq!(
+            TpnSignature::of(&a, ExecModel::Strict),
+            Tpn::build(&b, ExecModel::Strict).signature()
+        );
+        assert_ne!(
+            TpnSignature::of(&a, ExecModel::Strict),
+            TpnSignature::of(&a, ExecModel::Overlap)
+        );
+        assert_ne!(
+            TpnSignature::of(&a, ExecModel::Strict),
+            TpnSignature::of(&c, ExecModel::Strict)
+        );
+        let sig = TpnSignature::of(&a, ExecModel::Overlap);
+        assert_eq!(sig.shape().teams(), a.teams());
+        assert_eq!(sig.model(), ExecModel::Overlap);
+    }
 
     fn shape_a() -> MappingShape {
         // Example A of the paper: 4 stages replicated 1, 2, 3, 1.

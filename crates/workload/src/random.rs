@@ -6,7 +6,9 @@
 //! therefore produces per-resource times directly, alongside the mapping
 //! shape.
 
+use rand::seq::SliceRandom;
 use rand::Rng;
+use repstream_core::model::Mapping;
 use repstream_petri::shape::{MappingShape, ResourceTable};
 use repstream_stochastic::rng::seeded_rng;
 
@@ -115,6 +117,44 @@ pub fn instance<R: Rng>(params: &FamilyParams, rng: &mut R) -> RandomInstance {
     RandomInstance { shape, times }
 }
 
+/// One uniformly random **valid** one-to-many mapping of `stages` stages
+/// over processors `0..processors`: disjoint non-empty teams using a
+/// uniform count of processors in `[stages, processors]`.
+///
+/// # Panics
+/// Panics when `processors < stages` (no valid mapping exists).
+pub fn random_mapping_with<R: Rng>(stages: usize, processors: usize, rng: &mut R) -> Mapping {
+    assert!(
+        processors >= stages,
+        "{processors} processors cannot serve {stages} stages"
+    );
+    let mut procs: Vec<usize> = (0..processors).collect();
+    procs.shuffle(rng);
+    let used = rng.gen_range(stages..=processors);
+    let mut teams: Vec<Vec<usize>> = vec![Vec::new(); stages];
+    for (i, &p) in procs[..used].iter().enumerate() {
+        if i < stages {
+            teams[i].push(p); // each stage gets one first
+        } else {
+            teams[rng.gen_range(0..stages)].push(p);
+        }
+    }
+    Mapping::new(teams).expect("teams are non-empty and disjoint by construction")
+}
+
+/// `count` seeded random mappings (see [`random_mapping_with`]), the
+/// candidate sets of the search benches and property tests.  Candidate
+/// `i` depends only on `(seed, i)`, so sets are reproducible and
+/// extendable.
+pub fn random_mappings(stages: usize, processors: usize, count: usize, seed: u64) -> Vec<Mapping> {
+    (0..count as u64)
+        .map(|i| {
+            let mut rng = seeded_rng(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9));
+            random_mapping_with(stages, processors, &mut rng)
+        })
+        .collect()
+}
+
 /// Iterator over `count` seeded instances of a family.
 pub fn instances(
     params: FamilyParams,
@@ -187,6 +227,39 @@ mod tests {
                 assert_eq!(t, 1.0);
             }
         }
+    }
+
+    #[test]
+    fn random_mappings_are_valid_and_reproducible() {
+        let a = random_mappings(4, 12, 40, 9);
+        let b = random_mappings(4, 12, 40, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.teams(), y.teams());
+        }
+        for m in &a {
+            assert_eq!(m.n_stages(), 4);
+            let used: usize = m.teams().iter().map(Vec::len).sum();
+            assert!((4..=12).contains(&used));
+            let mut seen = std::collections::HashSet::new();
+            for team in m.teams() {
+                assert!(!team.is_empty());
+                for &p in team {
+                    assert!(p < 12);
+                    assert!(seen.insert(p), "processor reused");
+                }
+            }
+        }
+        // Prefixes agree: candidate i depends only on (seed, i).
+        let c = random_mappings(4, 12, 10, 9);
+        for (x, y) in c.iter().zip(a.iter()) {
+            assert_eq!(x.teams(), y.teams());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serve")]
+    fn random_mappings_need_enough_processors() {
+        random_mappings(5, 3, 1, 0);
     }
 
     #[test]

@@ -93,6 +93,23 @@ pub fn single_comm_heterogeneous(u: usize, v: usize, seed: u64) -> System {
     single_comm_with(u, v, |s, d| times[s][d]).expect("drawn times are positive and finite")
 }
 
+/// The 12-processor **mapping-search** scenario: a 4-stage chain with two
+/// heavy *adjacent* stages on a heterogeneous platform.
+///
+/// The best mappings replicate both heavy stages, so the transfer between
+/// them becomes a `u × v` pattern where deterministic and exponential
+/// throughputs genuinely differ (Theorem 4) — the instance the §8
+/// mapping-construction heuristics, the portfolio search driver, and the
+/// batch-scoring benches all run on.  Returned as `(application,
+/// platform)`: the mapping is what the search is *for*.
+pub fn mapping_search() -> (Application, Platform) {
+    let app = Application::new(vec![8.0, 30.0, 45.0, 12.0], vec![4.0, 6.0, 3.0])
+        .expect("static scenario is valid");
+    let speeds = vec![3.0, 3.0, 2.5, 2.5, 2.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0];
+    let platform = Platform::complete(speeds, 0.45).expect("static scenario is valid");
+    (app, platform)
+}
+
 /// Figure 12's repeated pattern: `reps` copies of a 2-stage block joined
 /// by a costly 5 → 7 communication.  Stage works are negligible; all the
 /// action is in the `reps` communication columns.
@@ -180,6 +197,17 @@ mod tests {
                 assert!((100.0..1000.0).contains(&t), "{r}: {t}");
             }
         }
+    }
+
+    #[test]
+    fn mapping_search_scenario_is_searchable() {
+        let (app, platform) = mapping_search();
+        assert_eq!(app.n_stages(), 4);
+        assert_eq!(platform.n_processors(), 12);
+        // A valid mapping exists and scores positively.
+        let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap();
+        let sys = System::new(app, platform, mapping).unwrap();
+        assert!(deterministic::throughput_columnwise(&sys) > 0.0);
     }
 
     #[test]

@@ -5,23 +5,24 @@
 //! cargo run --release --example mapping_search
 //! ```
 //!
-//! Given an application and a 12-processor heterogeneous platform, compare
-//! three ways of building a one-to-many mapping — greedy, random search,
-//! and hill-climbing from one-to-one — each scored by the deterministic
-//! evaluator, then re-rank the winners under exponential variability.
+//! On the 12-processor heterogeneous `mapping_search` scenario, compare
+//! the three classic heuristics — greedy, random search, hill-climbing
+//! from one-to-one — then run the engine's **portfolio driver** (greedy +
+//! parallel random batch + delta-scored hill climbing + exponential
+//! re-rank), which composes all of them over the batch evaluation engine.
 
 use repstream::core::mapping_opt::{greedy, local_search, random_search};
-use repstream::core::model::{Application, Mapping, Platform, System};
+use repstream::core::model::{Mapping, SystemRef};
 use repstream::core::{deterministic, exponential};
+use repstream::engine::{portfolio_search, PortfolioOptions};
 use repstream::petri::shape::ExecModel;
+use repstream::workload::scenarios;
 
 fn main() {
     // Two heavy *adjacent* stages: the best mappings replicate both, so
     // the transfer between them becomes a u×v pattern where deterministic
     // and exponential throughputs genuinely differ (Theorem 4).
-    let app = Application::new(vec![8.0, 30.0, 45.0, 12.0], vec![4.0, 6.0, 3.0]).expect("app");
-    let speeds = vec![3.0, 3.0, 2.5, 2.5, 2.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0];
-    let platform = Platform::complete(speeds, 0.45).expect("platform");
+    let (app, platform) = scenarios::mapping_search();
     let model = ExecModel::Overlap;
 
     let g = greedy(&app, &platform, model).expect("greedy");
@@ -42,9 +43,9 @@ fn main() {
     // reorder them (Theorem 7: variability punishes replicated columns).
     println!("\nunder exponential times:");
     for (name, sm) in [("greedy", &g), ("random(200)", &r), ("local-search", &l)] {
-        let sys = System::new(app.clone(), platform.clone(), sm.mapping.clone()).unwrap();
-        let exp = exponential::throughput_overlap(&sys).expect("exp");
-        let det = deterministic::analyze(&sys, ExecModel::Overlap).throughput;
+        let sys = SystemRef::new(&app, &platform, &sm.mapping).expect("valid candidate");
+        let exp = exponential::throughput_overlap(sys).expect("exp");
+        let det = deterministic::analyze(sys, ExecModel::Overlap).throughput;
         println!(
             "{name:<15} exp {:.5} (det {:.5}, robustness {:.1}%)",
             exp.throughput,
@@ -52,4 +53,37 @@ fn main() {
             100.0 * exp.throughput / det
         );
     }
+
+    // The portfolio driver runs all of the above on the batch engine:
+    // zero-clone scoring, memoized pattern periods, chunk-parallel random
+    // batches, O(affected) hill-climb rescoring, chain-cached re-rank.
+    let report = portfolio_search(
+        &app,
+        &platform,
+        PortfolioOptions {
+            random_candidates: 512,
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .expect("portfolio");
+    println!("\nportfolio finalists (det-ranked, exp re-ranked):");
+    for c in &report.finalists {
+        println!(
+            "{:<11} det {:.5}  exp {:.5}  {:?}",
+            c.origin,
+            c.det,
+            c.exp.expect("re-rank on"),
+            c.mapping.teams()
+        );
+    }
+    println!(
+        "evaluations: {} det (batch) + {} delta column recomputes + {} exp \
+         (chain cache: {} hits / {} misses)",
+        report.det_evaluations,
+        report.delta_recomputes,
+        report.exp_evaluations,
+        report.exp_cache.hits(),
+        report.exp_cache.misses(),
+    );
 }

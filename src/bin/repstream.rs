@@ -4,7 +4,15 @@
 //! repstream analyze system.rsys        # full report
 //! repstream dot system.rsys overlap    # Graphviz of the TPN
 //! repstream example-a                  # built-in Example A
+//! repstream search mapping-search      # portfolio mapping search
 //! ```
+//!
+//! `search` runs the engine's portfolio driver (greedy + parallel random
+//! batch + delta-scored hill climbing + exponential re-rank) on a named
+//! `workload::scenarios` scenario (`mapping-search`, `example-a`) or on
+//! the application/platform of an `.rsys` file, and prints the scored
+//! finalists with the evaluation and cache counters.  Flags:
+//! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`.
 //!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
@@ -26,10 +34,12 @@
 
 use repstream::core::model::{Application, Mapping, Platform, System};
 use repstream::core::report::{system_report, ReportOptions};
+use repstream::engine::{portfolio_search, PortfolioOptions};
 use repstream::petri::dot::to_dot;
 use repstream::petri::shape::ExecModel;
 use repstream::petri::tpn::Tpn;
 use repstream::workload::examples::example_a;
+use repstream::workload::scenarios;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,12 +91,125 @@ fn run(args: &[String]) -> i32 {
             print!("{}", system_report(&example_a(), ReportOptions::default()));
             0
         }
+        Some("search") => run_search(&args[1..]),
         _ => usage(),
     }
 }
 
+/// `repstream search [SCENARIO|FILE] [--model M] [--candidates N]
+/// [--seed N] [--no-exp]`.
+fn run_search(args: &[String]) -> i32 {
+    let mut scenario = "mapping-search".to_string();
+    let mut opts = PortfolioOptions::default();
+    let mut scenario_set = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                i += 1;
+                opts.model = match args.get(i).map(String::as_str) {
+                    Some("overlap") => ExecModel::Overlap,
+                    Some("strict") => ExecModel::Strict,
+                    other => {
+                        eprintln!(
+                            "error: --model needs overlap|strict, got {}",
+                            other.unwrap_or("nothing")
+                        );
+                        return 2;
+                    }
+                };
+            }
+            "--candidates" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => opts.random_candidates = n,
+                    None => {
+                        eprintln!("error: --candidates needs a count");
+                        return 2;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => opts.seed = n,
+                    None => {
+                        eprintln!("error: --seed needs a u64");
+                        return 2;
+                    }
+                }
+            }
+            "--no-exp" => opts.exp_rerank = false,
+            other if !scenario_set && !other.starts_with('-') => {
+                scenario = other.to_string();
+                scenario_set = true;
+            }
+            other => {
+                eprintln!("error: unknown search argument {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let (app, platform) = match scenario.as_str() {
+        "mapping-search" => scenarios::mapping_search(),
+        "example-a" => {
+            let sys = example_a();
+            (sys.app().clone(), sys.platform().clone())
+        }
+        path => match load(path) {
+            Ok(sys) => (sys.app().clone(), sys.platform().clone()),
+            Err(e) => {
+                eprintln!("error: {scenario} is neither a scenario (mapping-search, example-a) nor a readable .rsys file: {e}");
+                return 2;
+            }
+        },
+    };
+
+    let report = match portfolio_search(&app, &platform, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "portfolio search on `{scenario}` ({}, {} random candidates, seed {})",
+        opts.model.label(),
+        opts.random_candidates,
+        opts.seed
+    );
+    println!("origin      det-throughput  exp-throughput  teams");
+    for c in &report.finalists {
+        let exp = c
+            .exp
+            .map(|e| format!("{e:>14.5}"))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        println!(
+            "{:<11} {:>14.5}  {exp}  {:?}",
+            c.origin,
+            c.det,
+            c.mapping.teams()
+        );
+    }
+    println!(
+        "evaluations: {} det (batch) + {} delta column recomputes + {} exp \
+         (chain cache: {} hits / {} misses)",
+        report.det_evaluations,
+        report.delta_recomputes,
+        report.exp_evaluations,
+        report.exp_cache.hits(),
+        report.exp_cache.misses(),
+    );
+    0
+}
+
 fn usage() -> i32 {
-    eprintln!("usage: repstream <analyze FILE | dot FILE [overlap|strict] | example-a>");
+    eprintln!(
+        "usage: repstream <analyze FILE | dot FILE [overlap|strict] | example-a | \
+         search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] [--no-exp]>"
+    );
     2
 }
 

@@ -5,10 +5,12 @@
 //! Replicated Streaming Applications”* (Benoit, Gallet, Gaujal, Robert —
 //! SPAA 2010 / INRIA RR-7510).
 //!
-//! See the [`core`] crate for the main entry points, and the repository
-//! `README.md` / `DESIGN.md` for the architecture.
+//! See the [`core`] crate for the single-evaluation entry points, the
+//! [`engine`] crate for batch scoring and mapping search, and the
+//! repository `README.md` / `DESIGN.md` for the architecture.
 
 pub use repstream_core as core;
+pub use repstream_engine as engine;
 pub use repstream_markov as markov;
 pub use repstream_maxplus as maxplus;
 pub use repstream_petri as petri;
