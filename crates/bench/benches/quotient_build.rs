@@ -1,0 +1,50 @@
+//! Full marking-graph build vs direct canonical-marking quotient build on
+//! homogeneous Strict TPNs.  `full_build` is the plain reachability BFS
+//! over all `m`-symmetric markings (what the PR 3 lump-first path paid
+//! before solving); `direct_quotient` interns one representative per
+//! row-rotation orbit and emits the symmetry-reduced chain straight away.
+//! 5×6 (2.58 M full states) is benched on the direct side only — its full
+//! build alone takes ~16 s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repstream_markov::marking::{MarkingGraph, MarkingOptions, QuotientGraph};
+use repstream_markov::net::EventNet;
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
+
+fn bench_quotient_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient_build");
+    group.sample_size(10);
+    for teams in [vec![3usize, 4], vec![4, 5], vec![5, 6]] {
+        let shape = MappingShape::new(teams.clone());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous rates keep the rotation");
+        let opts = MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+        };
+        let label = format!(
+            "{}[m={}]",
+            teams
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            shape.n_paths()
+        );
+        group.bench_with_input(BenchmarkId::new("direct_quotient", &label), &net, |b, n| {
+            b.iter(|| QuotientGraph::build(n, &sym, opts).unwrap())
+        });
+        if shape.n_paths() <= 20 {
+            group.bench_with_input(BenchmarkId::new("full_build", &label), &net, |b, n| {
+                b.iter(|| MarkingGraph::build(n, opts).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient_build);
+criterion_main!(benches);

@@ -20,18 +20,29 @@
 //! (sequential, i.e. "cached", and chunk-parallel) in candidates/sec,
 //! plus a bitwise-equality check of the three result vectors.
 //!
+//! A fourth `"quotient"` section records the direct canonical-marking
+//! quotient construction of the Theorem 2 chain against the PR 3
+//! lump-first pipeline (full BFS + orbit propagation + refinement +
+//! quotient solve), end to end per shape: build time, total
+//! time-to-throughput, the `m`-fold peak-state reduction (asserted), and
+//! the throughput agreement of the two paths (asserted ≤ 1e-12
+//! relative).  Shapes whose full chain exceeds the state budget record
+//! the lump-first path as unavailable — those are exactly the shapes the
+//! direct path newly opens.
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
 use repstream_core::deterministic;
 use repstream_core::model::System;
 use repstream_engine::batch::{score_batch, score_batch_with_threads};
-use repstream_markov::marking::{MarkingGraph, MarkingOptions};
+use repstream_markov::marking::{MarkingGraph, MarkingOptions, QuotientGraph};
 use repstream_markov::net::{comm_pattern, EventNet};
 use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::Tpn;
 use repstream_workload::random::random_mappings;
 use repstream_workload::scenarios;
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -198,6 +209,139 @@ fn main() {
             t_lump * 1e6,
             t_full * 1e6,
             maxdiff,
+        );
+    }
+    json.push_str("  ],\n  \"quotient\": [\n");
+
+    // Direct canonical-marking quotient vs the PR 3 lump-first pipeline,
+    // end to end (BFS through throughput).  The second tuple element is
+    // the rep count for the lump-first side: large shapes time it once
+    // (the full 5×6 BFS alone runs ~16 s), 0 skips it entirely (full
+    // chain over the state budget — feasible only via the direct path).
+    let qshapes: &[(&[usize], usize)] = if args.smoke {
+        &[(&[2, 3], 1), (&[3, 4], 1)]
+    } else {
+        &[(&[3, 4], 5), (&[4, 5], 5), (&[5, 6], 1), (&[3, 4, 5], 0)]
+    };
+    for (idx, &(teams, lf_reps)) in qshapes.iter().enumerate() {
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let opts = MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+        };
+        let last = tpn.last_column();
+
+        // Shapes that take seconds per direct run (the ones whose
+        // lump-first side is already clamped) get fewer direct reps.
+        let direct_reps = if lf_reps >= reps { reps } else { reps.min(3) };
+        let rho_direct = Cell::new(0.0f64);
+        let states = Cell::new((0usize, 0usize));
+        let t_direct_build = timed(direct_reps, || {
+            QuotientGraph::build(&net, &sym, opts).unwrap()
+        });
+        let t_direct = timed(direct_reps, || {
+            let qg = QuotientGraph::build(&net, &sym, opts).unwrap();
+            states.set((qg.n_states(), qg.full_states()));
+            rho_direct.set(qg.throughput_of(&net, &last));
+        });
+        let (q_states, f_states) = states.get();
+        assert_eq!(
+            f_states,
+            q_states * shape.n_paths(),
+            "peak interned states must be full/m on these free-orbit shapes"
+        );
+
+        // PR 3 lump-first end to end: full BFS + orbit + refine + quotient
+        // solve + throughput.
+        let rho_lump = Cell::new(0.0f64);
+        let lumpfirst = || {
+            let mg = MarkingGraph::build(&net, opts).unwrap();
+            let seed = mg.orbit_partition(&sym).expect("orbit seed applies");
+            let sol = mg.ctmc.stationary_lumped(&seed).expect("reduction exists");
+            let fired = mg.firing_rates_with(&net.rates, &sol.pi);
+            rho_lump.set(last.iter().map(|&t| fired[t]).sum::<f64>());
+        };
+        let t_lumpfirst = (lf_reps > 0).then(|| timed(lf_reps, lumpfirst));
+        if t_lumpfirst.is_some() {
+            let (a, b) = (rho_direct.get(), rho_lump.get());
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs(),
+                "direct {a} vs lump-first {b} throughput diverged"
+            );
+        }
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let label: Vec<String> = teams.iter().map(|r| r.to_string()).collect();
+        field(
+            &mut json,
+            ind,
+            "teams",
+            format!("\"{}\"", label.join("x")),
+            false,
+        );
+        field(&mut json, ind, "m", shape.n_paths(), false);
+        field(&mut json, ind, "full_states", f_states, false);
+        field(&mut json, ind, "quotient_states", q_states, false);
+        field(
+            &mut json,
+            ind,
+            "direct_build_s",
+            format!("{t_direct_build:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "direct_total_s",
+            format!("{t_direct:.3e}"),
+            false,
+        );
+        match t_lumpfirst {
+            Some(t) => {
+                field(
+                    &mut json,
+                    ind,
+                    "lumpfirst_total_s",
+                    format!("{t:.3e}"),
+                    false,
+                );
+                field(
+                    &mut json,
+                    ind,
+                    "speedup_end_to_end",
+                    format!("{:.2}", t / t_direct),
+                    true,
+                );
+            }
+            None => {
+                field(&mut json, ind, "lumpfirst_total_s", "null", false);
+                field(
+                    &mut json,
+                    ind,
+                    "lumpfirst_skipped",
+                    "\"full chain exceeds the state budget\"",
+                    true,
+                );
+            }
+        }
+        let comma = if idx + 1 == qshapes.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "quotient {}: m={} states {} -> {} direct {:.1}ms (build {:.1}ms) lumpfirst {}",
+            label.join("x"),
+            shape.n_paths(),
+            f_states,
+            q_states,
+            t_direct * 1e3,
+            t_direct_build * 1e3,
+            t_lumpfirst
+                .map(|t| format!("{:.1}ms ({:.1}x)", t * 1e3, t / t_direct))
+                .unwrap_or_else(|| "skipped (over budget)".into()),
         );
     }
     json.push_str("  ],\n  \"mapping_search\": {\n");

@@ -19,6 +19,7 @@ use crate::exponential::{self, ExpError, ExpOptions};
 use crate::model::SystemRef;
 use crate::simulate::{self, MonteCarloOptions, SimEngine};
 use crate::timing;
+use repstream_markov::cache::{ChainCache, StrictOptions};
 use repstream_petri::shape::ExecModel;
 use repstream_stochastic::law::LawFamily;
 
@@ -61,9 +62,23 @@ pub fn nbue_bounds<'a>(
     system: impl Into<SystemRef<'a>>,
     model: ExecModel,
 ) -> Result<NbueBounds, ExpError> {
+    nbue_bounds_cached(system, model, &mut ChainCache::new())
+}
+
+/// As [`nbue_bounds`], reusing chain structures from (and warming) a
+/// caller-supplied [`ChainCache`]: the exponential lower bound's pattern
+/// and Strict chains are refilled instead of rebuilt when the cache has
+/// already seen their shape — e.g. from an earlier decomposition of the
+/// same system in a report, or from sibling candidates in a search.
+/// Values are bitwise identical to [`nbue_bounds`] (the cache contract).
+pub fn nbue_bounds_cached<'a>(
+    system: impl Into<SystemRef<'a>>,
+    model: ExecModel,
+    cache: &mut ChainCache,
+) -> Result<NbueBounds, ExpError> {
     let system = system.into();
     let upper = deterministic::analyze(system, model).throughput;
-    let (lower, method) = exponential_lower(system, model)?;
+    let (lower, method) = exponential_lower(system, model, cache)?;
     Ok(NbueBounds {
         lower,
         upper,
@@ -74,19 +89,28 @@ pub fn nbue_bounds<'a>(
 fn exponential_lower(
     system: SystemRef<'_>,
     model: ExecModel,
+    cache: &mut ChainCache,
 ) -> Result<(f64, LowerBoundMethod), ExpError> {
+    let shape = system.shape();
+    let rates = timing::exponential_rates(system);
     match model {
-        ExecModel::Overlap => exponential::throughput_overlap(system)
-            .map(|r| (r.throughput, LowerBoundMethod::Decomposition)),
+        ExecModel::Overlap => exponential::throughput_overlap_with_solver(
+            &shape,
+            &rates,
+            ExpOptions::default(),
+            cache,
+        )
+        .map(|r| (r.throughput, LowerBoundMethod::Decomposition)),
         ExecModel::Strict => {
-            match exponential::throughput_strict(
-                system,
-                ExpOptions {
+            match cache.strict_throughput(
+                &shape,
+                &rates,
+                StrictOptions {
                     max_states: 400_000,
-                    ..Default::default()
+                    lumping: ExpOptions::default().lumping,
                 },
             ) {
-                Ok(v) => Ok((v, LowerBoundMethod::MarkingChain)),
+                Ok(v) => Ok((v.throughput, LowerBoundMethod::MarkingChain)),
                 Err(_) => {
                     // Chain too large: estimate by simulation (the one
                     // remaining owned-`System` consumer; this fallback is

@@ -6,8 +6,12 @@
 //!   components through their pattern CTMC — with Theorem 4's closed form
 //!   `u·v·λ/(u+v−1)` as a fast path when the component's links share one
 //!   rate) and the results compose by feed-forward `min`;
-//! * [`throughput_strict`] — Theorem 2's general method: the global
-//!   marking-graph CTMC (the Strict TPN is safe, so the chain is exact);
+//! * [`throughput_strict`] — Theorem 2's general method: the
+//!   marking-graph CTMC (the Strict TPN is safe, so the chain is exact).
+//!   On homogeneous mappings the symmetry-reduced chain is **built
+//!   directly** (canonical markings, one representative per row-rotation
+//!   orbit — `m`-fold fewer states ever touched); heterogeneous mappings
+//!   fall back to the full chain;
 //! * [`throughput_overlap_bounded`] — the same global chain for Overlap
 //!   with a finite buffer capacity, used to validate the decomposition
 //!   (the value increases to the true throughput as the capacity grows).
@@ -19,7 +23,8 @@
 
 use crate::model::SystemRef;
 use crate::timing::exponential_rates;
-use repstream_markov::marking::{MarkingError, MarkingGraph, MarkingOptions};
+use repstream_markov::cache::ChainCache;
+use repstream_markov::marking::{MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
 use repstream_markov::net::EventNet;
 use repstream_markov::pattern;
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, Resource, ResourceTable};
@@ -169,6 +174,20 @@ impl PatternSolver for ColdPatternSolver {
     }
 }
 
+/// A [`ChainCache`] is a pattern oracle (structure-keyed reuse, bitwise
+/// identical to cold solves): consumers that hold one cache — `bounds`,
+/// `report`, the engine's batch scorers — pass it anywhere a
+/// [`PatternSolver`] is expected.
+impl PatternSolver for ChainCache {
+    fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        ChainCache::pattern_throughput(self, rate, max_states)
+    }
+}
+
 /// Decomposition working directly on a shape and per-resource rates (used
 /// by benches that sweep synthetic columns without a full platform).
 pub fn throughput_overlap_with_rates(
@@ -261,17 +280,45 @@ pub fn throughput_overlap_with_solver(
     })
 }
 
+/// How a [`StrictReport`]'s chain was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrictMethod {
+    /// The symmetry-reduced chain was built **directly** by the
+    /// canonical-marking BFS — the full chain was never materialized.
+    DirectQuotient,
+    /// The full chain was built, then lumped through the orbit partition
+    /// before solving.
+    FullThenLump,
+    /// Full-chain solve (heterogeneous rates, `m = 1`, or lumping off).
+    Full,
+}
+
+impl StrictMethod {
+    /// Short label for reports ("direct-quotient" / "full-then-lump" /
+    /// "full").
+    pub fn label(self) -> &'static str {
+        match self {
+            StrictMethod::DirectQuotient => "direct-quotient",
+            StrictMethod::FullThenLump => "full-then-lump",
+            StrictMethod::Full => "full",
+        }
+    }
+}
+
 /// Result of the Theorem 2 analysis, recording whether the lump-first
 /// path was taken and how much it reduced the chain.
 #[derive(Debug, Clone)]
 pub struct StrictReport {
     /// System throughput (data sets per time unit).
     pub throughput: f64,
-    /// States of the full marking chain.
+    /// States of the full marking chain (for a direct-quotient solve this
+    /// is the orbit-size total — the full chain itself was never built).
     pub full_states: usize,
     /// States of the symmetry-reduced chain actually solved, when the
     /// lumped path applied (`None` ⇒ full-chain solve).
     pub lumped_states: Option<usize>,
+    /// How the solved chain was obtained.
+    pub method: StrictMethod,
 }
 
 /// Theorem 2: exact throughput of the **Strict** model through the global
@@ -287,15 +334,19 @@ pub fn throughput_strict<'a>(
     throughput_strict_report(system, opts).map(|r| r.throughput)
 }
 
-/// As [`throughput_strict`], also reporting full-vs-lumped state counts.
+/// As [`throughput_strict`], also reporting full-vs-quotient state counts
+/// and the construction method.
 ///
 /// Lump-first mode: when each stage's team and its links are homogeneous
 /// (the exponential setting of Theorem 2), the TPN row-rotation
-/// automorphism survives into the rate table, its orbits on the reachable
-/// markings seed an exact ordinary lumping, and the stationary vector is
-/// solved on the quotient and lifted back.  Any failure along that path —
-/// heterogeneous rates, a rotated marking escaping the reachable set, or
-/// a degenerate (discrete) refinement — falls back to the full chain.
+/// automorphism survives into the rate table and the symmetry-reduced
+/// chain is **constructed directly** — the canonical-marking BFS of
+/// [`QuotientGraph`] interns one representative per rotation orbit, so
+/// the full chain (larger by `m = lcm(R_i)`) is never materialized and
+/// [`ExpOptions::max_states`] only has to cover the quotient.  When the
+/// hint is refused — heterogeneous rates, or the degenerate `m = 1` —
+/// the analysis falls back to the full-then-lump pipeline (which itself
+/// degrades to a plain full-chain solve when no exact lumping exists).
 pub fn throughput_strict_report<'a>(
     system: impl Into<SystemRef<'a>>,
     opts: ExpOptions,
@@ -305,15 +356,30 @@ pub fn throughput_strict_report<'a>(
     let tpn = Tpn::build(&shape, ExecModel::Strict);
     let rates = exponential_rates(system);
     let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
-    let mg = MarkingGraph::build(
-        &net,
-        MarkingOptions {
-            max_states: opts.max_states,
-            capacity: None,
-        },
-    )
-    .map_err(ExpError::MarkingGraph)?;
+    let marking_opts = MarkingOptions {
+        max_states: opts.max_states,
+        capacity: None,
+    };
     let last = tpn.last_column();
+
+    // Direct quotient: a validated rate-preserving rotation of order > 1.
+    if opts.lumping && tpn.rows() > 1 {
+        if let Some(sym) = &sym {
+            let qg =
+                QuotientGraph::build(&net, sym, marking_opts).map_err(ExpError::MarkingGraph)?;
+            return Ok(StrictReport {
+                throughput: qg.throughput_of(&net, &last),
+                full_states: qg.full_states(),
+                lumped_states: Some(qg.n_states()),
+                method: StrictMethod::DirectQuotient,
+            });
+        }
+    }
+
+    // Fallback: full chain, lumped after the fact when an orbit seed
+    // still applies (kept for hints that cannot be pre-validated; with
+    // the gates above it is exercised by A/B runs with `lumping` off).
+    let mg = MarkingGraph::build(&net, marking_opts).map_err(ExpError::MarkingGraph)?;
     let throughput_from = |pi: &[f64]| -> f64 {
         let fired = mg.firing_rates(&net, pi);
         last.iter().map(|&t| fired[t]).sum()
@@ -325,6 +391,7 @@ pub fn throughput_strict_report<'a>(
                     throughput: throughput_from(&sol.pi),
                     full_states: sol.full_states,
                     lumped_states: Some(sol.lumped_states),
+                    method: StrictMethod::FullThenLump,
                 });
             }
         }
@@ -334,6 +401,7 @@ pub fn throughput_strict_report<'a>(
         throughput: throughput_from(&pi),
         full_states: mg.n_states(),
         lumped_states: None,
+        method: StrictMethod::Full,
     })
 }
 
@@ -473,7 +541,9 @@ mod tests {
         )
         .unwrap();
         let reduced = lumped.lumped_states.expect("homogeneous system lumps");
+        assert_eq!(lumped.method, StrictMethod::DirectQuotient);
         assert!(full.lumped_states.is_none());
+        assert_eq!(full.method, StrictMethod::Full);
         assert_eq!(lumped.full_states, full.full_states);
         assert!(
             reduced * 2 <= lumped.full_states,
@@ -495,6 +565,7 @@ mod tests {
         let sys = system(vec![vec![0, 1], vec![2]], vec![2.0, 1.0, 2.0], 1.0);
         let rep = throughput_strict_report(&sys, ExpOptions::default()).unwrap();
         assert!(rep.lumped_states.is_none(), "{rep:?}");
+        assert_eq!(rep.method, StrictMethod::Full);
         assert!(rep.throughput > 0.0);
     }
 
@@ -505,6 +576,7 @@ mod tests {
         let sys = system(vec![vec![0], vec![1], vec![2]], vec![1.0; 3], 2.0);
         let rep = throughput_strict_report(&sys, ExpOptions::default()).unwrap();
         assert!(rep.lumped_states.is_none(), "{rep:?}");
+        assert_eq!(rep.method, StrictMethod::Full);
         assert!(rep.throughput > 0.0);
     }
 

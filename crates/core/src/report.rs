@@ -3,13 +3,20 @@
 //! [`system_report`] runs every applicable analysis on a system and
 //! renders one text block: shape, deterministic periods and critical
 //! resources for both models, the exponential decomposition with its
-//! per-component candidates, and the Theorem 7 sandwich.  Used by the CLI
-//! (`repstream` binary) and handy in tests and examples.
+//! per-component candidates, the Strict Theorem 2 chain with its
+//! full-vs-quotient state counts, and the Theorem 7 sandwich.  Used by
+//! the CLI (`repstream` binary) and handy in tests and examples.
+//!
+//! All exponential analyses of one report share a single
+//! [`ChainCache`]: the Theorem 7 sandwich refills the pattern chains the
+//! decomposition already built instead of re-running their marking BFS.
 
 use crate::bounds;
 use crate::deterministic;
-use crate::exponential::{self, ColumnRef};
+use crate::exponential::{self, ColumnRef, ExpOptions};
 use crate::model::System;
+use crate::timing;
+use repstream_markov::cache::ChainCache;
 use repstream_petri::shape::ExecModel;
 use std::fmt::Write;
 
@@ -22,6 +29,10 @@ pub struct ReportOptions {
     /// List every per-component throughput candidate of the exponential
     /// decomposition.
     pub list_candidates: bool,
+    /// Solve the Strict Theorem 2 chain on the symmetry-reduced quotient
+    /// when the mapping is homogeneous (maps to [`ExpOptions::lumping`];
+    /// turn off for A/B validation against the full chain).
+    pub lumping: bool,
 }
 
 impl Default for ReportOptions {
@@ -29,6 +40,7 @@ impl Default for ReportOptions {
         ReportOptions {
             max_rows_strict: 20_000,
             list_candidates: true,
+            lumping: true,
         }
     }
 }
@@ -93,9 +105,17 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
         .unwrap();
     }
 
+    // One chain cache serves every exponential analysis of the report.
+    let mut cache = ChainCache::new();
+    let rates = timing::exponential_rates(system);
+    let exp_opts = ExpOptions {
+        lumping: opts.lumping,
+        ..Default::default()
+    };
+
     // Exponential decomposition.
     writeln!(s, "\n[overlap/exponential — Theorems 3/4]").unwrap();
-    match exponential::throughput_overlap(system) {
+    match exponential::throughput_overlap_with_solver(&shape, &rates, exp_opts, &mut cache) {
         Ok(rep) => {
             writeln!(s, "  throughput = {:.6}", rep.throughput).unwrap();
             writeln!(s, "  bottleneck: {}", describe(rep.bottleneck.place)).unwrap();
@@ -114,8 +134,37 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
         Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
     }
 
-    // Theorem 7 sandwich.
-    if let Ok(b) = bounds::nbue_bounds(system, ExecModel::Overlap) {
+    // Strict Theorem 2 chain with full-vs-quotient state counts.
+    if shape.n_paths() <= opts.max_rows_strict {
+        writeln!(s, "\n[strict/exponential — Theorem 2]").unwrap();
+        match exponential::throughput_strict_report(system, exp_opts) {
+            Ok(rep) => {
+                writeln!(s, "  throughput = {:.6}", rep.throughput).unwrap();
+                match rep.lumped_states {
+                    Some(q) => writeln!(
+                        s,
+                        "  chain: {} states solved for {} full ({}, {:.1}x reduction)",
+                        q,
+                        rep.full_states,
+                        rep.method.label(),
+                        rep.full_states as f64 / q as f64
+                    )
+                    .unwrap(),
+                    None => writeln!(
+                        s,
+                        "  chain: {} states ({})",
+                        rep.full_states,
+                        rep.method.label()
+                    )
+                    .unwrap(),
+                }
+            }
+            Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
+        }
+    }
+
+    // Theorem 7 sandwich (reuses the pattern chains cached above).
+    if let Ok(b) = bounds::nbue_bounds_cached(system, ExecModel::Overlap, &mut cache) {
         writeln!(s, "\n[N.B.U.E. sandwich — Theorem 7, overlap]").unwrap();
         writeln!(
             s,
@@ -160,11 +209,39 @@ mod tests {
             "[overlap/deterministic]",
             "[strict/deterministic]",
             "Theorems 3/4",
+            "[strict/exponential — Theorem 2]",
+            "direct-quotient",
             "N.B.U.E. sandwich",
             "bottleneck:",
         ] {
             assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
         }
+    }
+
+    #[test]
+    fn no_lump_reports_the_full_chain() {
+        // `lumping: false` is the A/B switch: the Strict section must
+        // solve (and label) the full chain, with the same throughput the
+        // quotient path prints.
+        let lumped = system_report(&system(), ReportOptions::default());
+        let full = system_report(
+            &system(),
+            ReportOptions {
+                lumping: false,
+                ..Default::default()
+            },
+        );
+        assert!(full.contains("states (full)"), "{full}");
+        assert!(!full.contains("direct-quotient"), "{full}");
+        let grab = |r: &str| -> String {
+            r.lines()
+                .skip_while(|l| !l.contains("Theorem 2"))
+                .nth(1)
+                .expect("throughput line")
+                .trim()
+                .to_string()
+        };
+        assert_eq!(grab(&lumped), grab(&full), "A/B throughput must agree");
     }
 
     #[test]

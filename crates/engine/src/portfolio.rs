@@ -23,6 +23,7 @@
 use crate::batch;
 use crate::delta::DeltaScorer;
 use crate::score::{ExpScoreError, ExpScorer};
+use repstream_core::exponential::ExpOptions;
 use repstream_core::mapping_opt::{self, OptError};
 use repstream_core::model::{Application, Mapping, ModelError, Platform};
 use repstream_markov::cache::CacheStats;
@@ -81,6 +82,10 @@ pub struct PortfolioOptions {
     pub finalists: usize,
     /// Re-rank finalists under exponential times (Theorem 7).
     pub exp_rerank: bool,
+    /// Solve Strict re-rank chains on the symmetry-reduced quotient when
+    /// a candidate is homogeneous (maps to `ExpOptions::lumping`; the
+    /// CLI's `--no-lump` turns it off for A/B runs).
+    pub lumping: bool,
 }
 
 impl Default for PortfolioOptions {
@@ -93,6 +98,7 @@ impl Default for PortfolioOptions {
             hill_climb_rounds: 32,
             finalists: 4,
             exp_rerank: true,
+            lumping: true,
         }
     }
 }
@@ -247,7 +253,15 @@ pub fn portfolio_search(
     let mut seen = std::collections::HashSet::new();
     pool.retain(|c| seen.insert(c.mapping.teams().to_vec()));
     pool.truncate(opts.finalists.max(1));
-    let mut exp_scorer = ExpScorer::new(app, platform, opts.model);
+    let mut exp_scorer = ExpScorer::with_options(
+        app,
+        platform,
+        opts.model,
+        ExpOptions {
+            lumping: opts.lumping,
+            ..Default::default()
+        },
+    );
     if opts.exp_rerank {
         for c in pool.iter_mut() {
             c.exp = Some(exp_scorer.score(&c.mapping).map_err(EngineError::Exp)?);

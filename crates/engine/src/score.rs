@@ -20,12 +20,11 @@
 //! [`exponential::throughput_strict`]); the engine's property tests pin
 //! this.
 
-use repstream_core::exponential::{self, ExpError, ExpOptions, ExpReport, PatternSolver};
+use repstream_core::exponential::{self, ExpError, ExpOptions, ExpReport};
 use repstream_core::model::{Application, Mapping, ModelError, Platform, SystemRef};
 use repstream_core::{deterministic, timing};
 use repstream_markov::cache::{ChainCache, StrictOptions};
 use repstream_markov::fxhash::FxHashMap;
-use repstream_markov::marking::MarkingError;
 use repstream_petri::shape::{ExecModel, Resource};
 
 /// Memo of deterministic pattern periods keyed by the **exact bits** of
@@ -145,20 +144,6 @@ impl<'a> DetScorer<'a> {
     }
 }
 
-/// [`PatternSolver`] adapter: Theorem 3 pattern chains served from a
-/// [`ChainCache`].
-struct CachedPatterns<'c>(&'c mut ChainCache);
-
-impl PatternSolver for CachedPatterns<'_> {
-    fn pattern_throughput(
-        &mut self,
-        rate: &[Vec<f64>],
-        max_states: usize,
-    ) -> Result<f64, MarkingError> {
-        self.0.pattern_throughput(rate, max_states)
-    }
-}
-
 /// Exponential throughput scorer with structure-keyed chain reuse.
 #[derive(Debug)]
 pub struct ExpScorer<'a> {
@@ -213,14 +198,18 @@ impl<'a> ExpScorer<'a> {
         let shape = system.shape();
         let rates = timing::exponential_rates(system);
         match self.model {
-            ExecModel::Overlap => exponential::throughput_overlap_with_solver(
-                &shape,
-                &rates,
-                self.opts,
-                &mut CachedPatterns(&mut self.cache),
-            )
-            .map(|r: ExpReport| r.throughput)
-            .map_err(ExpScoreError::Exp),
+            ExecModel::Overlap => {
+                // `ChainCache` is itself a `PatternSolver` (impl in
+                // `repstream-core`): pattern chains refill from the cache.
+                exponential::throughput_overlap_with_solver(
+                    &shape,
+                    &rates,
+                    self.opts,
+                    &mut self.cache,
+                )
+                .map(|r: ExpReport| r.throughput)
+                .map_err(ExpScoreError::Exp)
+            }
             ExecModel::Strict => self
                 .cache
                 .strict_throughput(

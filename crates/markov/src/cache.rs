@@ -12,7 +12,13 @@
 //! for the global Strict chain, the coprime `(u′, v′)` dimensions for
 //! Theorem 3 pattern chains — and **refills** the cached CSR on a hit
 //! ([`MarkingGraph::ctmc_with_trans_rates`], `O(nnz)`), skipping the BFS
-//! entirely.  Cached results are **bitwise identical** to cold solves:
+//! entirely.  Strict chains cache **two** structures per signature, each
+//! built lazily by the first candidate that needs it: the direct
+//! symmetry-reduced quotient ([`QuotientGraph`], served to every
+//! orbit-invariant candidate — the full graph is never materialized for
+//! those) and the full marking graph (heterogeneous candidates, `m = 1`,
+//! or lumping off).  Cached results are **bitwise identical** to cold
+//! solves:
 //! the refilled chain has byte-for-byte the arrays a fresh build would
 //! produce, and every solver is deterministic in its inputs.  The
 //! equivalence property tests of `repstream-engine` pin this contract.
@@ -23,8 +29,7 @@
 //! deployment, not per candidate.
 
 use crate::fxhash::FxHashMap;
-use crate::lump::Partition;
-use crate::marking::{MarkingError, MarkingGraph, MarkingOptions};
+use crate::marking::{MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
 use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::{Tpn, TpnSignature};
@@ -60,18 +65,22 @@ struct PatternEntry {
     mg: MarkingGraph,
 }
 
-/// Cached structure of one Strict-TPN chain.
+/// Cached structure of one Strict-TPN chain.  The two reachability
+/// structures are built **lazily**, each on the first candidate that
+/// needs it: orbit-invariant candidates only ever build (and share) the
+/// direct quotient — the full graph, `m` times larger, is never
+/// materialized for them — while heterogeneous candidates build the full
+/// graph.
 #[derive(Debug, Clone)]
 struct StrictEntry {
     tpn: Tpn,
-    mg: MarkingGraph,
     /// Structural row-rotation symmetry (rate invariance is re-checked
     /// against every candidate's rate table).
     sym: Option<NetSymmetry>,
-    /// Orbit seed induced by `sym` on the reachable markings (purely
-    /// structural; valid as a lumping seed only when the candidate's
-    /// rates are orbit-invariant).
-    seed: Option<Partition>,
+    /// Direct quotient structure (first orbit-invariant candidate).
+    quotient: Option<QuotientGraph>,
+    /// Full marking graph (first candidate that cannot lump).
+    full: Option<MarkingGraph>,
 }
 
 /// Options of a cached Strict-chain solve (the markov-level mirror of the
@@ -91,10 +100,14 @@ pub struct StrictSolve {
     /// System throughput (summed stationary firing rate of the last
     /// column).
     pub throughput: f64,
-    /// States of the full marking chain.
+    /// States of the full marking chain (for a direct-quotient solve this
+    /// is `Σ orbit sizes` — the full graph itself was never built).
     pub full_states: usize,
     /// States of the quotient actually solved (`None` ⇒ full solve).
     pub lumped_states: Option<usize>,
+    /// `true` when the quotient was constructed (or reused) directly via
+    /// canonical markings, without materializing the full chain.
+    pub quotient_direct: bool,
     /// `true` when the structure came from the cache (no BFS ran).
     pub cache_hit: bool,
 }
@@ -164,13 +177,18 @@ impl ChainCache {
 
     /// Exact Strict-model throughput through the global marking chain —
     /// the cached equivalent of the Theorem 2 evaluation, bitwise
-    /// identical to a cold solve with the same rate table.
+    /// identical to a cold solve
+    /// (`repstream-core`'s `throughput_strict`) with the same rate table.
     ///
-    /// On a miss the TPN, its marking graph, the structural row-rotation
-    /// symmetry and its orbit seed are built once and stored under the
-    /// shape's [`TpnSignature`].  On a hit only the per-candidate work
-    /// runs: an `O(nnz)` CSR refill, an (optional) orbit-invariance check
-    /// of the rates, the partition refinement, and the stationary solve.
+    /// On a miss the TPN and its structural row-rotation symmetry are
+    /// built and stored under the shape's [`TpnSignature`]; the
+    /// reachability structure itself is built lazily by the first
+    /// candidate that needs it.  Candidates whose rates keep the
+    /// symmetry (and `opts.lumping`) run on the **direct quotient**
+    /// ([`QuotientGraph`]) — the full chain is never materialized for
+    /// them — every other candidate on the full marking graph.  On a hit
+    /// only the per-candidate work runs: the orbit-invariance check, an
+    /// `O(nnz)` CSR refill, and the stationary solve.
     pub fn strict_throughput(
         &mut self,
         shape: &MappingShape,
@@ -178,20 +196,14 @@ impl ChainCache {
         opts: StrictOptions,
     ) -> Result<StrictSolve, MarkingError> {
         let key = TpnSignature::of(shape, ExecModel::Strict);
-        let cache_hit = self.strict.contains_key(&key);
-        if cache_hit {
-            self.stats.strict_hits += 1;
-        } else {
-            self.stats.strict_misses += 1;
+        if !self.strict.contains_key(&key) {
             let tpn = Tpn::build(shape, ExecModel::Strict);
+            // Validate the rotation *structurally* once per signature
+            // (rate-independent, so any candidate's net serves): a hint
+            // that is not a net automorphism is dropped here and every
+            // candidate takes the graceful full-chain path instead of
+            // tripping the quotient builder's contract assert.
             let net = EventNet::from_tpn(&tpn, rates);
-            let mg = MarkingGraph::build(
-                &net,
-                MarkingOptions {
-                    max_states: opts.max_states,
-                    capacity: None,
-                },
-            )?;
             let sym = tpn
                 .row_rotation()
                 .map(|a| NetSymmetry {
@@ -199,43 +211,74 @@ impl ChainCache {
                     place_perm: a.place_perm,
                 })
                 .filter(|s| net.symmetry_structural(s));
-            let seed = sym.as_ref().and_then(|s| mg.orbit_partition(s));
-            self.strict
-                .insert(key.clone(), StrictEntry { tpn, mg, sym, seed });
+            self.strict.insert(
+                key.clone(),
+                StrictEntry {
+                    tpn,
+                    sym,
+                    quotient: None,
+                    full: None,
+                },
+            );
         }
-        let entry = &self.strict[&key];
-
+        let entry = self.strict.get_mut(&key).expect("just inserted");
         let trans_rates: Vec<f64> = entry
             .tpn
             .transitions()
             .iter()
             .map(|t| *rates.get(t.resource))
             .collect();
-        let ctmc = entry.mg.ctmc_with_trans_rates(&trans_rates);
         let last = entry.tpn.last_column();
-        let throughput_from = |pi: &[f64]| -> f64 {
-            let fired = entry.mg.firing_rates_with(&trans_rates, pi);
-            last.iter().map(|&t| fired[t]).sum()
+        let marking_opts = MarkingOptions {
+            max_states: opts.max_states,
+            capacity: None,
         };
-        if opts.lumping {
-            if let (Some(sym), Some(seed)) = (&entry.sym, &entry.seed) {
-                if rates_orbit_invariant(&trans_rates, &sym.trans_perm) {
-                    if let Some(sol) = ctmc.stationary_lumped(seed) {
-                        return Ok(StrictSolve {
-                            throughput: throughput_from(&sol.pi),
-                            full_states: sol.full_states,
-                            lumped_states: Some(sol.lumped_states),
-                            cache_hit,
-                        });
-                    }
-                }
+
+        // Direct-quotient path: the rotation is non-trivial and bitwise
+        // rate-invariant.  (`m = 1` keeps the plain chain: the quotient
+        // would be the identical graph with canonicalization overhead.)
+        let direct_sym = entry.sym.as_ref().filter(|s| {
+            opts.lumping
+                && entry.tpn.rows() > 1
+                && s.trans_perm.len() == trans_rates.len()
+                && rates_orbit_invariant(&trans_rates, &s.trans_perm)
+        });
+        if let Some(sym) = direct_sym {
+            let cache_hit = entry.quotient.is_some();
+            if cache_hit {
+                self.stats.strict_hits += 1;
+            } else {
+                self.stats.strict_misses += 1;
+                let net = EventNet::from_tpn(&entry.tpn, rates);
+                entry.quotient = Some(QuotientGraph::build(&net, sym, marking_opts)?);
             }
+            let qg = entry.quotient.as_ref().expect("just built");
+            let ctmc = qg.ctmc_with_trans_rates(&trans_rates);
+            return Ok(StrictSolve {
+                throughput: qg.throughput_with(&ctmc, &trans_rates, &last),
+                full_states: qg.full_states(),
+                lumped_states: Some(qg.n_states()),
+                quotient_direct: true,
+                cache_hit,
+            });
         }
-        let pi = ctmc.stationary();
+
+        // Full-chain path (heterogeneous rates, m = 1, or lumping off).
+        let cache_hit = entry.full.is_some();
+        if cache_hit {
+            self.stats.strict_hits += 1;
+        } else {
+            self.stats.strict_misses += 1;
+            let net = EventNet::from_tpn(&entry.tpn, rates);
+            entry.full = Some(MarkingGraph::build(&net, marking_opts)?);
+        }
+        let mg = entry.full.as_ref().expect("just built");
+        let ctmc = mg.ctmc_with_trans_rates(&trans_rates);
         Ok(StrictSolve {
-            throughput: throughput_from(&pi),
-            full_states: entry.mg.n_states(),
+            throughput: mg.throughput_with(&ctmc, &trans_rates, &last),
+            full_states: mg.n_states(),
             lumped_states: None,
+            quotient_direct: false,
             cache_hit,
         })
     }
@@ -317,16 +360,32 @@ mod tests {
             lumping: true,
         };
         let mut cache = ChainCache::new();
-        // Warm with homogeneous rates (seed engages)…
+        // Warm with homogeneous rates: only the direct quotient is built.
         let hom = ResourceTable::from_fns(&shape, |_, _| 1.0, |_, _, _| 1.0);
         let a = cache.strict_throughput(&shape, &hom, opts).unwrap();
-        assert!(a.lumped_states.is_some());
-        // …then a heterogeneous candidate on the same structure: cache
-        // hit, but the orbit-invariance check refuses the lump.
+        assert!(a.quotient_direct && a.lumped_states.is_some(), "{a:?}");
+        assert!(!a.cache_hit);
+        // A heterogeneous candidate on the same signature refuses the
+        // quotient and lazily builds the full chain (a structural miss)…
         let het = ResourceTable::from_fns(&shape, |_, s| 1.0 + s as f64, |_, _, _| 1.0);
         let b = cache.strict_throughput(&shape, &het, opts).unwrap();
-        assert!(b.cache_hit);
-        assert!(b.lumped_states.is_none(), "{b:?}");
+        assert!(!b.cache_hit);
+        assert!(!b.quotient_direct && b.lumped_states.is_none(), "{b:?}");
         assert!(b.throughput > 0.0);
+        // …which later heterogeneous candidates reuse, as homogeneous
+        // ones reuse the quotient.
+        let het2 = ResourceTable::from_fns(&shape, |_, s| 2.0 + s as f64, |_, _, _| 1.0);
+        assert!(
+            cache
+                .strict_throughput(&shape, &het2, opts)
+                .unwrap()
+                .cache_hit
+        );
+        assert!(
+            cache
+                .strict_throughput(&shape, &hom, opts)
+                .unwrap()
+                .cache_hit
+        );
     }
 }

@@ -15,7 +15,11 @@
 //!   constructors: adapters from `repstream-petri` TPNs and the `u × v`
 //!   communication *pattern* of Theorem 3;
 //! * [`marking`] — reachable-marking enumeration (BFS with an FxHash map,
-//!   optional capacity bound for non-safe nets) producing a [`ctmc::Ctmc`];
+//!   optional capacity bound for non-safe nets) producing a [`ctmc::Ctmc`],
+//!   plus the **direct quotient BFS** ([`marking::QuotientGraph`]): when a
+//!   validated rate-preserving automorphism is known up front, the state
+//!   space is explored one canonical representative per orbit, emitting
+//!   the symmetry-reduced chain without ever materializing the full one;
 //! * [`ctmc`] — stationary solvers: GTH elimination (subtraction-free,
 //!   exact up to rounding) and uniformized power iteration for large sparse
 //!   chains;
@@ -55,5 +59,5 @@ pub mod transient;
 
 pub use cache::ChainCache;
 pub use ctmc::Ctmc;
-pub use marking::{MarkingGraph, MarkingOptions};
+pub use marking::{MarkingGraph, MarkingOptions, QuotientGraph};
 pub use net::EventNet;

@@ -53,6 +53,19 @@
 //! The canonical producer of orbit seeds is
 //! [`crate::marking::MarkingGraph::orbit_partition`], fed by the TPN
 //! row-rotation automorphism of `repstream_petri::tpn::Tpn::row_rotation`.
+//!
+//! # Full-then-lump vs direct construction
+//!
+//! This module is the *full-then-lump* pipeline: build the full chain,
+//! propagate the orbit seed, refine, quotient.  When the automorphism is
+//! known **up front** (the validated row-rotation of a homogeneous Strict
+//! TPN), [`crate::marking::QuotientGraph`] builds the very same quotient
+//! chain directly — one canonical representative per orbit, never
+//! materializing the full graph — and [`Ctmc::quotient`] is deliberately
+//! arranged (first-member rows, first-hit edge order) so the two paths
+//! agree bit for bit.  Full-then-lump remains the fallback for hints that
+//! cannot be pre-validated and the oracle the property tests compare
+//! against.
 
 use crate::ctmc::{CsrBuilder, Ctmc};
 
@@ -389,16 +402,41 @@ pub fn is_ordinarily_lumpable(c: &Ctmc, p: &Partition, rtol: f64) -> bool {
 /// lumpable partition; [`Lift::lift`] (blocks → full, uniform within each
 /// block) is exact only for automorphism-orbit-seeded partitions — see the
 /// module docs for the contract.
+///
+/// A `Lift` built by [`Ctmc::quotient`] carries the full state → block
+/// map; one built by [`Lift::from_block_sizes`] (the direct-quotient path
+/// of `crate::marking::QuotientGraph`, where the full chain is never
+/// materialized) carries **block sizes only** — the per-member uniform
+/// probability [`Lift::member_probability`] and the full state count stay
+/// available, but the positional [`Lift::lift`]/[`Lift::aggregate`] maps
+/// do not ([`Lift::has_state_map`] tells the two apart).
 #[derive(Debug, Clone)]
 pub struct Lift {
+    /// Block of every full state; empty when only sizes are known.
     block_of: Vec<u32>,
     block_size: Vec<u32>,
+    /// `Σ block_size` (equals `block_of.len()` when the map is present).
+    full_states: usize,
 }
 
 impl Lift {
+    /// A size-only lift: block `b` has `block_size[b]` full states behind
+    /// it, with no record of *which* ones.  This is what a direct
+    /// quotient construction can know — the orbit sizes fall out of
+    /// marking canonicalization while the full state space is never
+    /// enumerated.
+    pub fn from_block_sizes(block_size: Vec<u32>) -> Lift {
+        let full_states = block_size.iter().map(|&k| k as usize).sum();
+        Lift {
+            block_of: Vec::new(),
+            block_size,
+            full_states,
+        }
+    }
+
     /// Number of full states.
     pub fn n_states(&self) -> usize {
-        self.block_of.len()
+        self.full_states
     }
 
     /// Number of quotient states (blocks).
@@ -406,10 +444,37 @@ impl Lift {
         self.block_size.len()
     }
 
+    /// Number of full states behind block `b`.
+    pub fn block_size(&self, b: usize) -> usize {
+        self.block_size[b] as usize
+    }
+
+    /// `true` when the full state → block map is available (full-chain
+    /// lifts); `false` for size-only lifts from
+    /// [`Lift::from_block_sizes`].
+    pub fn has_state_map(&self) -> bool {
+        !self.block_of.is_empty() || self.full_states == 0
+    }
+
+    /// Uniform per-member probability of block `b`:
+    /// `π(s) = π̂(b) / |b|` for every member `s` (exact under the
+    /// automorphism-orbit contract).  Available on size-only lifts.
+    pub fn member_probability(&self, pi_quotient: &[f64], b: usize) -> f64 {
+        assert_eq!(pi_quotient.len(), self.n_blocks());
+        pi_quotient[b] / f64::from(self.block_size[b])
+    }
+
     /// Spread a quotient stationary vector uniformly over each block:
     /// `π(s) = π̂(B(s)) / |B(s)|`.
+    ///
+    /// # Panics
+    /// Panics on a size-only lift (see [`Lift::has_state_map`]).
     pub fn lift(&self, pi_quotient: &[f64]) -> Vec<f64> {
         assert_eq!(pi_quotient.len(), self.n_blocks());
+        assert!(
+            self.has_state_map(),
+            "size-only lift: the full state map was never materialized"
+        );
         self.block_of
             .iter()
             .map(|&b| pi_quotient[b as usize] / f64::from(self.block_size[b as usize]))
@@ -418,8 +483,15 @@ impl Lift {
 
     /// Aggregate a full-chain vector onto the blocks:
     /// `π̂(B) = Σ_{s ∈ B} π(s)`.
+    ///
+    /// # Panics
+    /// Panics on a size-only lift (see [`Lift::has_state_map`]).
     pub fn aggregate(&self, pi_full: &[f64]) -> Vec<f64> {
         assert_eq!(pi_full.len(), self.n_states());
+        assert!(
+            self.has_state_map(),
+            "size-only lift: the full state map was never materialized"
+        );
         let mut out = vec![0.0f64; self.n_blocks()];
         for (&b, &p) in self.block_of.iter().zip(pi_full.iter()) {
             out[b as usize] += p;
@@ -444,10 +516,16 @@ impl Ctmc {
     /// Quotient chain of an ordinarily lumpable partition, plus the
     /// [`Lift`] mapping its stationary vector back to the full states.
     ///
-    /// The quotient rate `q̂(B, C)` is the mean over `s ∈ B` of
-    /// `Σ_{j ∈ C} q(s, j)` — for a lumpable partition every member agrees,
-    /// so the mean *is* the common value while staying robust to
-    /// last-bit summation noise.  Intra-block transitions vanish (they do
+    /// The quotient rate `q̂(B, C)` is `Σ_{j ∈ C} q(s₀, j)` read off the
+    /// **first member** `s₀` of `B` (lowest state index) — for a lumpable
+    /// partition every member agrees, so the first member's value *is*
+    /// the common value.  Rates accumulate in `s₀`'s CSR row order and a
+    /// row's targets are emitted in first-hit order of that scan: both
+    /// choices mirror the direct quotient BFS of
+    /// [`crate::marking::QuotientGraph`], which is what makes
+    /// full-then-lump and direct construction **bitwise identical** (the
+    /// BFS's representative is exactly the block's first member; the
+    /// property tests pin this).  Intra-block transitions vanish (they do
     /// not change the block, i.e. they are the quotient's self-loops).
     ///
     /// # Panics
@@ -463,22 +541,19 @@ impl Ctmc {
         let mut acc = vec![0.0f64; k];
         let mut hit: Vec<u32> = Vec::new();
         for (b, block) in blocks.iter().enumerate() {
-            for &s in block {
-                for (j, r) in self.row(s as usize) {
-                    let c = p.block_of(j);
-                    if c == b {
-                        continue;
-                    }
-                    if acc[c] == 0.0 {
-                        hit.push(c as u32);
-                    }
-                    acc[c] += r;
+            let first = block[0];
+            for (j, r) in self.row(first as usize) {
+                let c = p.block_of(j);
+                if c == b {
+                    continue;
                 }
+                if acc[c] == 0.0 {
+                    hit.push(c as u32);
+                }
+                acc[c] += r;
             }
-            hit.sort_unstable();
-            let inv_len = 1.0 / block.len() as f64;
             for &c in &hit {
-                builder.push(c as usize, acc[c as usize] * inv_len);
+                builder.push(c as usize, acc[c as usize]);
                 acc[c as usize] = 0.0;
             }
             hit.clear();
@@ -488,6 +563,7 @@ impl Ctmc {
         let lift = Lift {
             block_of: p.block_of.clone(),
             block_size: blocks.iter().map(|b| b.len() as u32).collect(),
+            full_states: n,
         };
         (builder.finish(), lift)
     }

@@ -33,11 +33,31 @@
 //!   and the per-state enabled-transition sets are built directly in
 //!   compressed sparse row form; `enabled` was previously one `Vec` per
 //!   state.
+//!
+//! # Direct quotient construction
+//!
+//! When the net carries a validated rate-preserving automorphism (the TPN
+//! row-rotation in the homogeneous setting of Theorem 2),
+//! [`QuotientGraph::build`] explores the state space **directly in the
+//! quotient**: every successor marking is canonicalized under the
+//! automorphism's cyclic group
+//! ([`repstream_petri::canon::MarkingCanonicalizer`]) before interning, so
+//! the arena only ever holds one representative per orbit — the peak
+//! interned-state count is `full / m` on free orbits — and the CSR is
+//! emitted with orbit-aggregated rates.  The resulting chain (and its
+//! uniform [`Lift`]) is **bitwise identical** to
+//! building the full chain and lumping it through
+//! [`MarkingGraph::orbit_partition`] +
+//! [`Ctmc::quotient`](crate::ctmc::Ctmc::quotient), without ever
+//! materializing the full graph or running the orbit/refinement passes.
+//! See the [`QuotientGraph`] docs for why the state numbering and rate
+//! arithmetic coincide exactly.
 
 use crate::ctmc::{CsrBuilder, Ctmc};
 use crate::fxhash::FxHashMap;
-use crate::lump::Partition;
+use crate::lump::{Lift, Partition};
 use crate::net::{EventNet, NetSymmetry};
+use repstream_petri::canon::MarkingCanonicalizer;
 use std::hash::Hasher;
 
 /// Options for marking-graph construction.
@@ -630,6 +650,601 @@ impl MarkingGraph {
     }
 }
 
+/// The symmetry-reduced reachability graph of an [`EventNet`]: one state
+/// per orbit of the reachable markings under a rate-preserving
+/// automorphism, built **without materializing the full graph**.
+///
+/// # Why this equals full-then-lump bit for bit
+///
+/// The BFS interns every successor marking by its **canonical form** (the
+/// lexicographically smallest member of its orbit) but stores the
+/// **first-discovered** member as the orbit's representative, and it is
+/// that representative's row that is explored.  Three facts make the
+/// output coincide exactly with
+/// [`Ctmc::quotient`]`(`[`MarkingGraph::orbit_partition`]`)`:
+///
+/// 1. **Numbering.** In the full BFS, a non-first member `σᵃ(x)` of an
+///    orbit can never discover an orbit its first member `x` did not: its
+///    row is the `σᵃ`-image of `x`'s row, hitting the same orbits, and
+///    `x` is processed first.  So new orbits are first discovered only
+///    from first members, in ascending transition order of their rows —
+///    exactly the order this BFS visits (its representative *is* that
+///    first member, by induction along the discovery sequence).  Orbit
+///    ids here therefore equal the block ids of
+///    [`MarkingGraph::orbit_partition`] (first appearance by full state
+///    index).
+/// 2. **Rates.** [`Ctmc::quotient`] reads each block's row off its first
+///    member (every member agrees — that is lumpability), accumulating
+///    edge rates per target block in CSR row order, which for the full
+///    BFS is ascending enabled-transition order — the same scan order and
+///    the same `f64` additions performed here.
+/// 3. **Edges.** Both emit a block's targets in first-hit order of that
+///    scan and drop intra-orbit edges (the quotient's self-loops).
+///
+/// # What the quotient preserves
+///
+/// Per-state quantities are only available per orbit: [`Self::enabled`]
+/// lists the enabled transitions of the *representative*, and
+/// [`Self::firing_rates_with`] returns orbit-aggregated totals — sums
+/// over a transition set are the true full-chain sums **iff the set is
+/// closed under the automorphism** (e.g. a whole TPN column, like the
+/// last-column throughput set: the rotation permutes rows within a
+/// column).  Uniform per-state probabilities come from [`Self::lift`].
+#[derive(Debug, Clone)]
+pub struct QuotientGraph {
+    /// First-discovered member marking of every orbit (the block's
+    /// representative, whose enabled set [`Self::enabled`] reports).
+    pub reps: MarkingStore,
+    /// The quotient CTMC: orbit-aggregated rates, intra-orbit edges
+    /// dropped.
+    pub ctmc: Ctmc,
+    /// CSR layout of the representatives' enabled sets.
+    enabled_ptr: Vec<u32>,
+    enabled_idx: Vec<u32>,
+    /// Quotient edge `e` aggregates the representative-row transitions
+    /// `edge_trans[edge_ptr[e]..edge_ptr[e+1]]` (ascending within each
+    /// edge) — the refill map of [`Self::ctmc_with_trans_rates`].
+    edge_ptr: Vec<u32>,
+    edge_trans: Vec<u32>,
+    /// Orbit size (number of distinct markings) per quotient state.
+    orbit_size: Vec<u32>,
+}
+
+/// Rotation-buffer budget of the optimized quotient path (bytes): above
+/// this, `order · n_places` no longer fits a sane working set and the
+/// per-firing canonicalization fallback runs instead (state budgets rule
+/// such shapes out anyway — this guard only prevents a large up-front
+/// allocation before the budget can fire).
+const ROT_BUFFER_CAP: usize = 1 << 26;
+
+/// Row-by-row accumulator of the quotient BFS outputs: aggregated CSR
+/// rows, enabled sets, the edge→transitions refill map, and the
+/// per-target scratch (all reused across rows, nothing allocated per
+/// firing).
+struct QuotientBuilder {
+    csr: CsrBuilder,
+    enabled_ptr: Vec<u32>,
+    enabled_idx: Vec<u32>,
+    edge_ptr: Vec<u32>,
+    edge_trans: Vec<u32>,
+    /// Aggregated rate into each target orbit of the current row.
+    acc: Vec<f64>,
+    /// Targets of the current row, in first-hit order.
+    hit: Vec<u32>,
+    /// Contributing transitions per target of the current row (reused
+    /// allocations, drained at each row end).
+    tbucket: Vec<Vec<u32>>,
+    enabled_in_row: usize,
+}
+
+impl QuotientBuilder {
+    fn new(expected_states: usize, nt: usize) -> Self {
+        QuotientBuilder {
+            csr: CsrBuilder::with_capacity(expected_states, expected_states * nt / 2),
+            enabled_ptr: vec![0],
+            enabled_idx: Vec::new(),
+            edge_ptr: vec![0],
+            edge_trans: Vec::new(),
+            acc: Vec::new(),
+            hit: Vec::new(),
+            tbucket: Vec::new(),
+            enabled_in_row: 0,
+        }
+    }
+
+    /// Record that `t` is enabled in the current representative (every
+    /// enabled transition is recorded, including intra-orbit firings that
+    /// emit no quotient edge).
+    #[inline]
+    fn note_enabled(&mut self, t: usize) {
+        self.enabled_idx.push(t as u32);
+        self.enabled_in_row += 1;
+    }
+
+    /// Aggregate one firing of `t` from the current row (state `s`) into
+    /// orbit `target`.  Intra-orbit firings are dropped — they are the
+    /// quotient's self-loops.
+    #[inline]
+    fn fire(&mut self, s: u32, target: u32, t: usize, rate: f64) {
+        if target == s {
+            return;
+        }
+        if self.acc.len() <= target as usize {
+            self.acc.resize(target as usize + 1, 0.0);
+            self.tbucket.resize_with(target as usize + 1, Vec::new);
+        }
+        if self.acc[target as usize] == 0.0 {
+            self.hit.push(target);
+        }
+        self.acc[target as usize] += rate;
+        self.tbucket[target as usize].push(t as u32);
+    }
+
+    /// Close the current row, emitting its aggregated edges in first-hit
+    /// order; `Err(Deadlock)` when no transition was enabled.
+    fn end_row(&mut self) -> Result<(), MarkingError> {
+        if self.enabled_in_row == 0 {
+            return Err(MarkingError::Deadlock);
+        }
+        self.enabled_in_row = 0;
+        for i in 0..self.hit.len() {
+            let c = self.hit[i] as usize;
+            self.csr.push(c, self.acc[c]);
+            self.acc[c] = 0.0;
+            self.edge_trans.append(&mut self.tbucket[c]);
+            self.edge_ptr.push(self.edge_trans.len() as u32);
+        }
+        self.hit.clear();
+        self.csr.end_row();
+        self.enabled_ptr.push(self.enabled_idx.len() as u32);
+        Ok(())
+    }
+
+    fn finish(self, reps: MarkingStore, orbit_size: Vec<u32>) -> QuotientGraph {
+        QuotientGraph {
+            reps,
+            ctmc: self.csr.finish(),
+            enabled_ptr: self.enabled_ptr,
+            enabled_idx: self.enabled_idx,
+            edge_ptr: self.edge_ptr,
+            edge_trans: self.edge_trans,
+            orbit_size,
+        }
+    }
+}
+
+impl QuotientGraph {
+    /// Explore the reachable orbits of `net` under `sym` directly in the
+    /// quotient.  `opts.max_states` bounds the **interned
+    /// representatives** (the full chain is `Σ orbit sizes`, up to `m`
+    /// times larger), so shapes whose full chain busts the budget can
+    /// still be analysed.
+    ///
+    /// # Panics
+    /// Panics unless `sym` is a rate-preserving automorphism of `net`
+    /// ([`EventNet::symmetry_valid`]) — aggregated rates are only exact
+    /// under that contract, so callers must gate on it (heterogeneous
+    /// rate tables take the full-chain path instead).
+    pub fn build(
+        net: &EventNet,
+        sym: &NetSymmetry,
+        opts: MarkingOptions,
+    ) -> Result<Self, MarkingError> {
+        assert!(
+            net.symmetry_valid(sym),
+            "QuotientGraph::build needs a validated rate-preserving automorphism"
+        );
+        let canon = MarkingCanonicalizer::new(&sym.place_perm)
+            .expect("symmetry_valid guarantees a permutation");
+        let opts = MarkingOptions {
+            max_states: opts.max_states.min(u32::MAX as usize - 1),
+            ..opts
+        };
+        let cap = opts.capacity.unwrap_or(1).max(1);
+        if net.n_places() <= 8 && cap <= 255 {
+            Self::build_packed(net, &canon, opts, cap as u8)
+        } else if (canon.order() as usize).saturating_mul(net.n_places()) <= ROT_BUFFER_CAP {
+            Self::build_arena_rowrot(net, sym, &canon, opts, i64::from(cap))
+        } else {
+            Self::build_arena(net, &canon, opts, i64::from(cap))
+        }
+    }
+
+    /// Optimized generic path: one rotation buffer per **row** instead of
+    /// a full canonicalization per **firing**.
+    ///
+    /// The m rotations `σᵃ(cur)` of the row's marking are materialized
+    /// once; a successor's rotations then follow from the automorphism
+    /// identity `σᵃ(cur − •t + t•) = σᵃ(cur) − •σᵃ(t) + σᵃ(t)•`, i.e. an
+    /// `O(|•t| + |t•|)` delta per rotation (applied in place, undone after
+    /// the firing) instead of an `O(n_places)` permutation — on the
+    /// Theorem 2 chains that cuts the canonicalization work ~`n_places /
+    /// (|•t|+|t•|)`-fold.  The lexicographic minimum over the rotations
+    /// (the same representative [`MarkingCanonicalizer`] elects) is the
+    /// interning key; the scan stops at the successor's period, which is
+    /// also the orbit size.
+    fn build_arena_rowrot(
+        net: &EventNet,
+        sym: &NetSymmetry,
+        canon: &MarkingCanonicalizer,
+        opts: MarkingOptions,
+        cap: i64,
+    ) -> Result<Self, MarkingError> {
+        let width = net.n_places();
+        let nt = net.n_transitions();
+        let order = canon.order() as usize;
+        let strict_safe = opts.capacity.is_none();
+
+        // Powers of the transition permutation: `tp_pow[a·nt + t] = σᵃ(t)`.
+        let mut tp_pow = vec![0u32; order * nt];
+        for (t, slot) in tp_pow[..nt].iter_mut().enumerate() {
+            *slot = t as u32;
+        }
+        for a in 1..order {
+            for t in 0..nt {
+                tp_pow[a * nt + t] = sym.trans_perm[tp_pow[(a - 1) * nt + t] as usize] as u32;
+            }
+        }
+
+        // Seed: canonical key of the initial marking via the plain path.
+        let mut key = vec![0u8; width];
+        let mut scratch_a = vec![0u8; width];
+        let mut scratch_b = vec![0u8; width];
+        let mut reps: Vec<u8> = net.initial_marking();
+        assert_eq!(reps.len(), width);
+        let period = canon.canonicalize_marking(&reps, &mut key, &mut scratch_a, &mut scratch_b);
+        let mut keys: Vec<u8> = key.clone();
+        let mut orbit_size: Vec<u32> = vec![period];
+        let mut interner = OffsetInterner::with_capacity(1024);
+        let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
+        debug_assert!(fresh && id0 == 0);
+
+        let mut out = QuotientBuilder::new(1024, nt);
+        let mut cur = vec![0u8; width];
+        // `rot[a·width..][..width]` holds `σᵃ(cur)`, transiently mutated
+        // to `σᵃ(succ)` around each firing.
+        let mut rot = vec![0u8; order * width];
+        let mut frontier = 0usize;
+        let mut n_states = 1usize;
+
+        while frontier < n_states {
+            let s = frontier as u32;
+            frontier += 1;
+            cur.copy_from_slice(&reps[s as usize * width..(s as usize + 1) * width]);
+            rot[..width].copy_from_slice(&cur);
+            for a in 1..order {
+                let (prev, rest) = rot.split_at_mut(a * width);
+                let prev = &prev[(a - 1) * width..];
+                let dst = &mut rest[..width];
+                for (p, &img) in sym.place_perm.iter().enumerate() {
+                    dst[img] = prev[p];
+                }
+            }
+
+            'trans: for t in 0..nt {
+                for &p in net.inputs(t) {
+                    if cur[p] == 0 {
+                        continue 'trans;
+                    }
+                }
+                if !strict_safe {
+                    for &p in net.outputs(t) {
+                        let is_self = net.places[p].0 == net.places[p].1;
+                        if !is_self && i64::from(cur[p]) >= cap {
+                            continue 'trans;
+                        }
+                    }
+                }
+                out.note_enabled(t);
+                // rot[a] := σᵃ(succ), by the per-rotation firing delta.
+                for a in 0..order {
+                    let ta = tp_pow[a * nt + t] as usize;
+                    let base = a * width;
+                    for &p in net.inputs(ta) {
+                        rot[base + p] -= 1;
+                    }
+                    for &p in net.outputs(ta) {
+                        rot[base + p] += 1;
+                    }
+                }
+                if strict_safe {
+                    for &p in net.outputs(t) {
+                        if rot[p] > 1 {
+                            return Err(MarkingError::NotSafe { place: p });
+                        }
+                    }
+                }
+                // Lexicographic minimum over the orbit; the scan stops at
+                // the successor's period (later rotations repeat).
+                let mut best = 0usize;
+                let mut period = order as u32;
+                for a in 1..order {
+                    let c = &rot[a * width..(a + 1) * width];
+                    if c == &rot[..width] {
+                        period = a as u32;
+                        break;
+                    }
+                    if c < &rot[best * width..(best + 1) * width] {
+                        best = a;
+                    }
+                }
+                let probe_range = best * width..(best + 1) * width;
+                let (id, is_new) =
+                    interner.intern(&keys, width, &rot[probe_range.clone()], n_states as u32);
+                if is_new {
+                    if n_states >= opts.max_states {
+                        return Err(MarkingError::TooManyStates(opts.max_states));
+                    }
+                    keys.extend_from_slice(&rot[probe_range]);
+                    reps.extend_from_slice(&rot[..width]);
+                    orbit_size.push(period);
+                    n_states += 1;
+                }
+                out.fire(s, id, t, net.rates[t]);
+                // Undo the delta: rot[a] is σᵃ(cur) again.
+                for a in 0..order {
+                    let ta = tp_pow[a * nt + t] as usize;
+                    let base = a * width;
+                    for &p in net.outputs(ta) {
+                        rot[base + p] -= 1;
+                    }
+                    for &p in net.inputs(ta) {
+                        rot[base + p] += 1;
+                    }
+                }
+            }
+            out.end_row()?;
+        }
+
+        Ok(out.finish(MarkingStore { width, data: reps }, orbit_size))
+    }
+
+    /// Generic fallback path (also the oracle the rotation-buffer path is
+    /// tested against): byte markings in two arenas (canonical keys for
+    /// the interner, first-discovered representatives for the rows), one
+    /// full canonicalization per firing.  Used when the rotation buffer
+    /// of [`Self::build_arena_rowrot`] would exceed [`ROT_BUFFER_CAP`].
+    fn build_arena(
+        net: &EventNet,
+        canon: &MarkingCanonicalizer,
+        opts: MarkingOptions,
+        cap: i64,
+    ) -> Result<Self, MarkingError> {
+        let width = net.n_places();
+        let nt = net.n_transitions();
+        let strict_safe = opts.capacity.is_none();
+
+        // Reused canonicalization scratch.
+        let mut key = vec![0u8; width];
+        let mut scratch_a = vec![0u8; width];
+        let mut scratch_b = vec![0u8; width];
+
+        let mut reps: Vec<u8> = net.initial_marking();
+        assert_eq!(reps.len(), width);
+        let period = canon.canonicalize_marking(&reps, &mut key, &mut scratch_a, &mut scratch_b);
+        let mut keys: Vec<u8> = key.clone();
+        let mut orbit_size: Vec<u32> = vec![period];
+        let mut interner = OffsetInterner::with_capacity(1024);
+        let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
+        debug_assert!(fresh && id0 == 0);
+
+        let mut out = QuotientBuilder::new(1024, nt);
+        let mut cur = vec![0u8; width];
+        let mut succ = vec![0u8; width];
+        let mut frontier = 0usize;
+        let mut n_states = 1usize;
+
+        while frontier < n_states {
+            let s = frontier as u32;
+            frontier += 1;
+            cur.copy_from_slice(&reps[s as usize * width..(s as usize + 1) * width]);
+
+            'trans: for t in 0..nt {
+                for &p in net.inputs(t) {
+                    if cur[p] == 0 {
+                        continue 'trans;
+                    }
+                }
+                if !strict_safe {
+                    for &p in net.outputs(t) {
+                        let is_self = net.places[p].0 == net.places[p].1;
+                        if !is_self && i64::from(cur[p]) >= cap {
+                            continue 'trans;
+                        }
+                    }
+                }
+                out.note_enabled(t);
+                succ.copy_from_slice(&cur);
+                for &p in net.inputs(t) {
+                    succ[p] -= 1;
+                }
+                for &p in net.outputs(t) {
+                    succ[p] += 1;
+                    if strict_safe && succ[p] > 1 {
+                        return Err(MarkingError::NotSafe { place: p });
+                    }
+                }
+                let period =
+                    canon.canonicalize_marking(&succ, &mut key, &mut scratch_a, &mut scratch_b);
+                let (id, is_new) = interner.intern(&keys, width, &key, n_states as u32);
+                if is_new {
+                    if n_states >= opts.max_states {
+                        return Err(MarkingError::TooManyStates(opts.max_states));
+                    }
+                    keys.extend_from_slice(&key);
+                    reps.extend_from_slice(&succ);
+                    orbit_size.push(period);
+                    n_states += 1;
+                }
+                out.fire(s, id, t, net.rates[t]);
+            }
+            out.end_row()?;
+        }
+
+        Ok(out.finish(MarkingStore { width, data: reps }, orbit_size))
+    }
+
+    /// Packed path for ≤ 8 places: representatives and canonical keys are
+    /// single `u64` words.
+    fn build_packed(
+        net: &EventNet,
+        canon: &MarkingCanonicalizer,
+        opts: MarkingOptions,
+        cap: u8,
+    ) -> Result<Self, MarkingError> {
+        let width = net.n_places();
+        let nt = net.n_transitions();
+        let strict_safe = opts.capacity.is_none();
+        let packed = PackedNet::build(net);
+
+        let init = pack(&net.initial_marking());
+        let (key0, period0) = canon.canonicalize_packed(init);
+        let mut reps: Vec<u64> = vec![init];
+        let mut orbit_size: Vec<u32> = vec![period0];
+        let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+        index.insert(key0, 0);
+
+        let mut out = QuotientBuilder::new(1024, nt);
+        let mut frontier = 0usize;
+
+        while frontier < reps.len() {
+            let s = frontier as u32;
+            let cur = reps[frontier];
+            frontier += 1;
+
+            'trans: for t in 0..nt {
+                if !packed.enabled(t, cur) {
+                    continue;
+                }
+                if !strict_safe {
+                    for &p in net.outputs(t) {
+                        let is_self = net.places[p].0 == net.places[p].1;
+                        if !is_self && byte(cur, p) >= cap {
+                            continue 'trans;
+                        }
+                    }
+                }
+                out.note_enabled(t);
+                let next = packed.fire(t, cur);
+                if strict_safe {
+                    for &p in net.outputs(t) {
+                        if byte(next, p) > 1 {
+                            return Err(MarkingError::NotSafe { place: p });
+                        }
+                    }
+                }
+                let (key, period) = canon.canonicalize_packed(next);
+                let id = match index.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = reps.len() as u32;
+                        if id as usize >= opts.max_states {
+                            return Err(MarkingError::TooManyStates(opts.max_states));
+                        }
+                        reps.push(next);
+                        orbit_size.push(period);
+                        index.insert(key, id);
+                        id
+                    }
+                };
+                out.fire(s, id, t, net.rates[t]);
+            }
+            out.end_row()?;
+        }
+
+        let mut data = Vec::with_capacity(reps.len() * width);
+        for &w in &reps {
+            data.extend_from_slice(&w.to_le_bytes()[..width]);
+        }
+        Ok(out.finish(MarkingStore { width, data }, orbit_size))
+    }
+
+    /// Number of orbits (quotient states).
+    pub fn n_states(&self) -> usize {
+        self.ctmc.n_states()
+    }
+
+    /// Number of full-chain states represented: `Σ orbit sizes`.  Equals
+    /// the full reachable count whenever the automorphism maps the
+    /// reachable set onto itself (always the case when the full-chain
+    /// [`MarkingGraph::orbit_partition`] accepts the same hint).
+    pub fn full_states(&self) -> usize {
+        self.orbit_size.iter().map(|&k| k as usize).sum()
+    }
+
+    /// Orbit size of every quotient state.
+    pub fn orbit_sizes(&self) -> &[u32] {
+        &self.orbit_size
+    }
+
+    /// Transitions fireable in the representative of orbit `s`
+    /// (ascending).
+    pub fn enabled(&self, s: usize) -> &[u32] {
+        &self.enabled_idx[self.enabled_ptr[s] as usize..self.enabled_ptr[s + 1] as usize]
+    }
+
+    /// The uniform lift of this quotient: block sizes only (per-block
+    /// member probability `π̂(B)/|B|`), no full-state map — see
+    /// [`Lift::from_block_sizes`].
+    pub fn lift(&self) -> Lift {
+        Lift::from_block_sizes(self.orbit_size.clone())
+    }
+
+    /// The quotient re-rated from per-transition rates: edge `e` gets
+    /// `Σ trans_rates[t]` over its contributing transitions, summed in
+    /// the order the BFS aggregated them — bitwise identical to building
+    /// the quotient of a net with those rates (which must themselves be
+    /// orbit-invariant, the caller's gate), at `O(nnz)`.
+    ///
+    /// # Panics
+    /// Panics if `trans_rates` is shorter than the net's transition count
+    /// or a summed edge rate is non-positive.
+    pub fn ctmc_with_trans_rates(&self, trans_rates: &[f64]) -> Ctmc {
+        let rate: Vec<f64> = (0..self.ctmc.nnz())
+            .map(|e| {
+                self.edge_trans[self.edge_ptr[e] as usize..self.edge_ptr[e + 1] as usize]
+                    .iter()
+                    .map(|&t| trans_rates[t as usize])
+                    .sum()
+            })
+            .collect();
+        self.ctmc.with_rates(rate)
+    }
+
+    /// Orbit-aggregated stationary firing rates:
+    /// `rate(t) = Σ_B π̂(B) λ_t [t enabled in rep(B)]`.  Entry `t` is
+    /// **not** the full chain's per-transition rate (mass concentrates on
+    /// the representatives' transitions), but the sum over any
+    /// automorphism-closed transition set — a whole TPN column, the
+    /// last-column throughput set — equals the full chain's sum exactly.
+    pub fn firing_rates_with(&self, trans_rates: &[f64], pi: &[f64]) -> Vec<f64> {
+        assert_eq!(pi.len(), self.n_states());
+        let mut rates = vec![0.0f64; trans_rates.len()];
+        for (s, &p) in pi.iter().enumerate() {
+            for &t in self.enabled(s) {
+                rates[t as usize] += p * trans_rates[t as usize];
+            }
+        }
+        rates
+    }
+
+    /// Stationary distribution of the quotient, then the summed firing
+    /// rate of an automorphism-closed transition set (e.g. the TPN's last
+    /// column → system throughput).
+    pub fn throughput_of(&self, net: &EventNet, transitions: &[usize]) -> f64 {
+        self.throughput_with(&self.ctmc, &net.rates, transitions)
+    }
+
+    /// As [`QuotientGraph::throughput_of`] for a re-rated chain sharing
+    /// this graph's structure (same op order as the owned-chain path, so
+    /// refilled and cold solves agree bit for bit).
+    pub fn throughput_with(&self, ctmc: &Ctmc, trans_rates: &[f64], transitions: &[usize]) -> f64 {
+        let pi = ctmc.stationary();
+        let rates = self.firing_rates_with(trans_rates, &pi);
+        transitions.iter().map(|&t| rates[t]).sum()
+    }
+}
+
 /// Pack a byte marking into a little-endian `u64` word.
 fn pack(marking: &[u8]) -> u64 {
     let mut buf = [0u8; 8];
@@ -775,6 +1390,72 @@ mod tests {
             let b = slow.throughput_of(&net, &[1]);
             assert!((a - b).abs() < 1e-12, "cap {cap}: {a} vs {b}");
         }
+    }
+
+    /// The three quotient build paths (packed, rotation-buffer arena,
+    /// per-firing arena) must elect identical graphs: same
+    /// representatives, same orbit sizes, same aggregated chain, same
+    /// enabled sets and refill maps.
+    #[test]
+    fn quotient_paths_agree() {
+        use crate::net::comm_pattern;
+        use repstream_petri::canon::MarkingCanonicalizer;
+
+        // The uniform u×v pattern net carries a row-shift automorphism
+        // (transition k ↦ k+1 mod n maps both one-port cycle families
+        // onto themselves); 1×4 has 8 places, so `build` dispatches to
+        // the packed path while the arena paths are forced directly.
+        let (u, v) = (1usize, 4);
+        let n = u * v;
+        let net = comm_pattern(u, v, |_, _| 1.5);
+        let trans_perm: Vec<usize> = (0..n).map(|k| (k + 1) % n).collect();
+        // Places: sender cycle k → k+u at index k, receiver cycle k → k+v
+        // at index n+k; the shift maps place k ↦ k+1 within each family.
+        let place_perm: Vec<usize> = (0..2 * n)
+            .map(|p| {
+                if p < n {
+                    (p + 1) % n
+                } else {
+                    n + (p + 1 - n) % n
+                }
+            })
+            .collect();
+        let sym = NetSymmetry {
+            trans_perm,
+            place_perm,
+        };
+        assert!(net.symmetry_valid(&sym));
+        let canon = MarkingCanonicalizer::new(&sym.place_perm).unwrap();
+        let opts = MarkingOptions::default();
+
+        let packed = QuotientGraph::build(&net, &sym, opts).unwrap();
+        let rowrot = QuotientGraph::build_arena_rowrot(&net, &sym, &canon, opts, 1).unwrap();
+        let perfiring = QuotientGraph::build_arena(&net, &canon, opts, 1).unwrap();
+
+        for (label, other) in [("rowrot", &rowrot), ("perfiring", &perfiring)] {
+            assert_eq!(packed.n_states(), other.n_states(), "{label}");
+            assert_eq!(packed.ctmc.nnz(), other.ctmc.nnz(), "{label}");
+            assert_eq!(packed.orbit_sizes(), other.orbit_sizes(), "{label}");
+            assert_eq!(packed.edge_ptr, other.edge_ptr, "{label}");
+            assert_eq!(packed.edge_trans, other.edge_trans, "{label}");
+            for s in 0..packed.n_states() {
+                assert_eq!(packed.reps.get(s), other.reps.get(s), "{label} rep {s}");
+                assert_eq!(packed.enabled(s), other.enabled(s), "{label} state {s}");
+                assert_eq!(
+                    packed.ctmc.row_targets(s),
+                    other.ctmc.row_targets(s),
+                    "{label} state {s}"
+                );
+                for (a, b) in packed.ctmc.row_rates(s).iter().zip(other.ctmc.row_rates(s)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{label} state {s}");
+                }
+            }
+        }
+        // The quotient preserves the Theorem 4 closed form u·v·λ/(u+v−1).
+        let all: Vec<usize> = (0..n).collect();
+        let rho = packed.throughput_of(&net, &all);
+        let expect = (u * v) as f64 * 1.5 / (u + v - 1) as f64;
+        assert!((rho - expect).abs() < 1e-12, "rho {rho} vs {expect}");
     }
 
     /// Safe pattern nets route through the arena path (> 8 places) and

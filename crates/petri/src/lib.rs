@@ -24,6 +24,10 @@
 //!   structural invariants (event-graph property, liveness, place-count
 //!   formulas) and conversion to a [`repstream_maxplus::TokenGraph`] for
 //!   deterministic critical-cycle analysis;
+//! * [`canon`] — canonical markings under a place permutation
+//!   ([`canon::MarkingCanonicalizer`]): the interning key that lets the
+//!   symmetry-reduced reachability analysis of `repstream-markov` keep one
+//!   representative per row-rotation orbit;
 //! * [`egsim`] — a stochastic event-graph simulator (the role played by
 //!   ERS `eg_sim` in the paper): it evaluates the (max,+) dater recurrence
 //!   of the TPN under arbitrary I.I.D. firing-time laws, and also supports
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod canon;
 pub mod dot;
 pub mod egsim;
 pub mod invariants;

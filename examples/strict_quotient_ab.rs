@@ -1,0 +1,65 @@
+//! A/B smoke of the Theorem 2 paths on the homogeneous 4×5 Strict
+//! scenario: the direct canonical-marking quotient (`lumping: true`, the
+//! default) against the full-chain solve (`lumping: false`, the CLI's
+//! `--no-lump`).  Both are exact, so the throughputs must agree to
+//! rounding — CI runs this to pin the equivalence end to end through the
+//! public `throughput_strict_report` API.
+//!
+//! ```sh
+//! cargo run --release --example strict_quotient_ab
+//! ```
+
+use repstream::core::exponential::{throughput_strict_report, ExpOptions, StrictMethod};
+use repstream::core::model::{Application, Mapping, Platform, System};
+
+fn main() {
+    // Homogeneous 4×5 Strict scenario: two stages on teams of 4 and 5,
+    // uniform speeds and bandwidths, m = lcm(4, 5) = 20.
+    let app = Application::uniform(2, 6.0, 12.0).expect("valid app");
+    let platform = Platform::complete(vec![2.0; 9], 1.0).expect("valid platform");
+    let mapping = Mapping::new(vec![(0..4).collect(), (4..9).collect()]).expect("valid mapping");
+    let system = System::new(app, platform, mapping).expect("valid system");
+
+    let t = std::time::Instant::now();
+    let direct = throughput_strict_report(&system, ExpOptions::default()).expect("direct path");
+    let t_direct = t.elapsed();
+    let t = std::time::Instant::now();
+    let full = throughput_strict_report(
+        &system,
+        ExpOptions {
+            lumping: false,
+            ..Default::default()
+        },
+    )
+    .expect("full path");
+    let t_full = t.elapsed();
+
+    println!(
+        "direct-quotient: rho = {:.12}  ({} states solved for {} full, {:?})",
+        direct.throughput,
+        direct.lumped_states.expect("homogeneous 4x5 lumps"),
+        direct.full_states,
+        t_direct
+    );
+    println!(
+        "full chain:      rho = {:.12}  ({} states, {:?})",
+        full.throughput, full.full_states, t_full
+    );
+
+    assert_eq!(direct.method, StrictMethod::DirectQuotient);
+    assert_eq!(full.method, StrictMethod::Full);
+    assert_eq!(direct.full_states, full.full_states, "state accounting");
+    assert_eq!(
+        direct.full_states,
+        direct.lumped_states.unwrap() * 20,
+        "reduction is exactly m-fold"
+    );
+    let diff = (direct.throughput - full.throughput).abs();
+    assert!(
+        diff <= 1e-12 * full.throughput,
+        "paths diverged: {} vs {}",
+        direct.throughput,
+        full.throughput
+    );
+    println!("OK: both paths agree (|diff| = {diff:.3e})");
+}

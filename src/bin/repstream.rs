@@ -12,7 +12,13 @@
 //! `workload::scenarios` scenario (`mapping-search`, `example-a`) or on
 //! the application/platform of an `.rsys` file, and prints the scored
 //! finalists with the evaluation and cache counters.  Flags:
-//! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`.
+//! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`,
+//! `--no-lump`.
+//!
+//! `--no-lump` (also accepted by `analyze`) turns the symmetry-reduced
+//! quotient solve of the Strict Theorem 2 chain off, for A/B runs against
+//! the full chain — both report the same throughput, the report shows
+//! full-vs-quotient state counts.
 //!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
@@ -49,19 +55,33 @@ fn main() {
 
 fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
-        Some("analyze") => match args.get(1) {
-            Some(path) => match load(path) {
-                Ok(sys) => {
-                    print!("{}", system_report(&sys, ReportOptions::default()));
-                    0
+        Some("analyze") => {
+            let mut path = None;
+            let mut report_opts = ReportOptions::default();
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--no-lump" => report_opts.lumping = false,
+                    other if path.is_none() && !other.starts_with('-') => path = Some(other),
+                    other => {
+                        eprintln!("error: unknown analyze argument {other}");
+                        return 2;
+                    }
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    2
-                }
-            },
-            None => usage(),
-        },
+            }
+            match path {
+                Some(path) => match load(path) {
+                    Ok(sys) => {
+                        print!("{}", system_report(&sys, report_opts));
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        2
+                    }
+                },
+                None => usage(),
+            }
+        }
         Some("dot") => {
             let (path, model) = match (args.get(1), args.get(2)) {
                 (Some(p), m) => (p, m.map(String::as_str).unwrap_or("overlap")),
@@ -97,7 +117,7 @@ fn run(args: &[String]) -> i32 {
 }
 
 /// `repstream search [SCENARIO|FILE] [--model M] [--candidates N]
-/// [--seed N] [--no-exp]`.
+/// [--seed N] [--no-exp] [--no-lump]`.
 fn run_search(args: &[String]) -> i32 {
     let mut scenario = "mapping-search".to_string();
     let mut opts = PortfolioOptions::default();
@@ -140,6 +160,7 @@ fn run_search(args: &[String]) -> i32 {
                 }
             }
             "--no-exp" => opts.exp_rerank = false,
+            "--no-lump" => opts.lumping = false,
             other if !scenario_set && !other.starts_with('-') => {
                 scenario = other.to_string();
                 scenario_set = true;
@@ -207,8 +228,9 @@ fn run_search(args: &[String]) -> i32 {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: repstream <analyze FILE | dot FILE [overlap|strict] | example-a | \
-         search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] [--no-exp]>"
+        "usage: repstream <analyze FILE [--no-lump] | dot FILE [overlap|strict] | example-a | \
+         search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] [--no-exp] \
+         [--no-lump]>"
     );
     2
 }
