@@ -25,6 +25,7 @@ fn bench_lumping(c: &mut Criterion) {
             MarkingOptions {
                 max_states: 1 << 22,
                 capacity: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -42,6 +42,7 @@ fn bench_marking_build(c: &mut Criterion) {
         let opts = MarkingOptions {
             max_states: 1 << 22,
             capacity: Some(cap),
+            ..Default::default()
         };
         let states = MarkingGraph::build(&net, opts).unwrap().n_states();
         let label = format!("n={n} cap={cap} ({states} states)");

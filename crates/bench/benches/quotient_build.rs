@@ -24,6 +24,7 @@ fn bench_quotient_build(c: &mut Criterion) {
         let opts = MarkingOptions {
             max_states: 1 << 22,
             capacity: None,
+            ..Default::default()
         };
         let label = format!(
             "{}[m={}]",

@@ -48,6 +48,7 @@ fn main() {
                         MarkingOptions {
                             max_states: 6_000_000,
                             capacity: Some(cap),
+                            ..Default::default()
                         },
                     )
                     .map(|mg| mg.states.len())

@@ -30,6 +30,14 @@
 //! the lump-first path as unavailable — those are exactly the shapes the
 //! direct path newly opens.
 //!
+//! A fifth `"quotient_parallel"` section records the thread scaling of
+//! the chunk-parallel quotient-frontier BFS: the same direct quotient
+//! build at 1/2/4/8 workers on the 4×5 / 5×6 / 3×4×5 scenarios, with
+//! every output asserted **bitwise identical** to the sequential scan
+//! before its time is recorded (on a 1-core container the speedups sit
+//! below 1 and only the determinism check is meaningful — re-measure on
+//! a multi-core box).
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
@@ -81,6 +89,7 @@ fn main() {
         let opts = MarkingOptions {
             max_states: 1 << 22,
             capacity: None,
+            ..Default::default()
         };
         let t_build = timed(reps, || MarkingGraph::build(&net, opts).unwrap());
         let mg = MarkingGraph::build(&net, opts).unwrap();
@@ -146,6 +155,7 @@ fn main() {
             MarkingOptions {
                 max_states: 1 << 22,
                 capacity: None,
+                ..Default::default()
             },
         )
         .expect("Strict TPN is safe");
@@ -232,6 +242,7 @@ fn main() {
         let opts = MarkingOptions {
             max_states: 1 << 22,
             capacity: None,
+            ..Default::default()
         };
         let last = tpn.last_column();
 
@@ -342,6 +353,112 @@ fn main() {
             t_lumpfirst
                 .map(|t| format!("{:.1}ms ({:.1}x)", t * 1e3, t / t_direct))
                 .unwrap_or_else(|| "skipped (over budget)".into()),
+        );
+    }
+    json.push_str("  ],\n  \"quotient_parallel\": [\n");
+
+    // Thread scaling of the chunk-parallel quotient-frontier BFS: the
+    // same direct quotient build at 1/2/4/8 workers, every output
+    // asserted bitwise identical to the sequential scan before the times
+    // are recorded (on a 1-core box the spawns are pure overhead and the
+    // speedups sit below 1 — the determinism check is still real).
+    let pshapes: &[&[usize]] = if args.smoke {
+        &[&[2, 3], &[3, 4]]
+    } else {
+        &[&[4, 5], &[5, 6], &[3, 4, 5]]
+    };
+    let thread_counts = [1usize, 2, 4, 8];
+    for (idx, &teams) in pshapes.iter().enumerate() {
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let opts_with = |threads: usize| MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+            threads,
+        };
+        let reference = QuotientGraph::build(&net, &sym, opts_with(1)).unwrap();
+        // Big shapes (seconds per build) are timed once per count.
+        let preps = if reference.n_states() < 50_000 {
+            reps
+        } else {
+            1
+        };
+        let mut times = Vec::new();
+        for &threads in &thread_counts {
+            let t = timed(preps, || {
+                QuotientGraph::build(&net, &sym, opts_with(threads)).unwrap()
+            });
+            let qg = QuotientGraph::build(&net, &sym, opts_with(threads)).unwrap();
+            assert_eq!(qg.n_states(), reference.n_states(), "threads {threads}");
+            assert_eq!(
+                qg.orbit_sizes(),
+                reference.orbit_sizes(),
+                "threads {threads}"
+            );
+            for s in 0..reference.n_states() {
+                assert_eq!(qg.reps.get(s), reference.reps.get(s), "threads {threads}");
+                assert_eq!(
+                    qg.ctmc.row_targets(s),
+                    reference.ctmc.row_targets(s),
+                    "threads {threads}"
+                );
+                for (a, b) in qg.ctmc.row_rates(s).iter().zip(reference.ctmc.row_rates(s)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads {threads} state {s}");
+                }
+            }
+            times.push(t);
+        }
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let label: Vec<String> = teams.iter().map(|r| r.to_string()).collect();
+        field(
+            &mut json,
+            ind,
+            "teams",
+            format!("\"{}\"", label.join("x")),
+            false,
+        );
+        field(&mut json, ind, "m", shape.n_paths(), false);
+        field(
+            &mut json,
+            ind,
+            "quotient_states",
+            reference.n_states(),
+            false,
+        );
+        for (i, &threads) in thread_counts.iter().enumerate() {
+            field(
+                &mut json,
+                ind,
+                &format!("build_t{threads}_s"),
+                format!("{:.3e}", times[i]),
+                false,
+            );
+        }
+        for (i, &threads) in thread_counts.iter().enumerate().skip(1) {
+            field(
+                &mut json,
+                ind,
+                &format!("speedup_t{threads}"),
+                format!("{:.2}", times[0] / times[i]),
+                false,
+            );
+        }
+        field(&mut json, ind, "bitwise_equal", true, true);
+        let comma = if idx + 1 == pshapes.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "quotient_parallel {}: states {} t1 {:.1}ms t2 {:.1}ms t4 {:.1}ms t8 {:.1}ms (bitwise equal)",
+            label.join("x"),
+            reference.n_states(),
+            times[0] * 1e3,
+            times[1] * 1e3,
+            times[2] * 1e3,
+            times[3] * 1e3,
         );
     }
     json.push_str("  ],\n  \"mapping_search\": {\n");

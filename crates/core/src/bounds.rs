@@ -71,6 +71,26 @@ pub fn nbue_bounds<'a>(
 /// already seen their shape — e.g. from an earlier decomposition of the
 /// same system in a report, or from sibling candidates in a search.
 /// Values are bitwise identical to [`nbue_bounds`] (the cache contract).
+///
+/// ```
+/// use repstream_core::bounds::nbue_bounds_cached;
+/// use repstream_core::model::{Application, Mapping, Platform, System};
+/// use repstream_markov::cache::ChainCache;
+/// use repstream_petri::shape::ExecModel;
+///
+/// let app = Application::uniform(2, 6.0, 12.0).unwrap();
+/// let platform = Platform::complete(vec![1.0; 5], 2.0).unwrap();
+/// let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
+/// let system = System::new(app, platform, mapping).unwrap();
+///
+/// // One cache across both models: the Strict call reuses whatever
+/// // pattern chains the Overlap decomposition already built.
+/// let mut cache = ChainCache::new();
+/// let overlap = nbue_bounds_cached(&system, ExecModel::Overlap, &mut cache).unwrap();
+/// let strict = nbue_bounds_cached(&system, ExecModel::Strict, &mut cache).unwrap();
+/// assert!(overlap.lower <= overlap.upper);
+/// assert!(strict.lower <= strict.upper);
+/// ```
 pub fn nbue_bounds_cached<'a>(
     system: impl Into<SystemRef<'a>>,
     model: ExecModel,
@@ -108,6 +128,7 @@ fn exponential_lower(
                 StrictOptions {
                     max_states: 400_000,
                     lumping: ExpOptions::default().lumping,
+                    threads: ExpOptions::default().threads,
                 },
             ) {
                 Ok(v) => Ok((v.throughput, LowerBoundMethod::MarkingChain)),

@@ -116,6 +116,12 @@ pub struct ExpOptions {
     /// degenerates.  The result is exact either way; this switch exists
     /// for A/B validation and benchmarking.
     pub lumping: bool,
+    /// Worker threads of the chunk-parallel marking BFS (`0` = auto: one
+    /// per core on levels large enough to amortize the spawns).  Any
+    /// value — including `1`, the forced-sequential scan — produces
+    /// bitwise-identical chains and throughputs; the knob only trades
+    /// wall-clock for cores.  Exposed on the CLI as `--threads`.
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -124,6 +130,7 @@ impl Default for ExpOptions {
             max_pattern_states: 2_000_000,
             max_states: 4_000_000,
             lumping: true,
+            threads: 0,
         }
     }
 }
@@ -327,6 +334,26 @@ pub struct StrictReport {
 /// With [`ExpOptions::lumping`] on (the default) and a homogeneous
 /// mapping, the stationary solve runs on the row-rotation quotient chain
 /// — see [`throughput_strict_report`] for the reduction bookkeeping.
+///
+/// ```
+/// use repstream_core::exponential::{throughput_strict, ExpOptions};
+/// use repstream_core::model::{Application, Mapping, Platform, System};
+///
+/// // Two stages on teams of 2 and 3 (homogeneous ⇒ m = lcm(2,3) = 6
+/// // and the solve runs on the 6-fold-smaller quotient chain).
+/// let app = Application::uniform(2, 6.0, 12.0).unwrap();
+/// let platform = Platform::complete(vec![2.0; 5], 1.0).unwrap();
+/// let mapping = Mapping::new(vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
+/// let system = System::new(app, platform, mapping).unwrap();
+///
+/// let rho = throughput_strict(&system, ExpOptions::default()).unwrap();
+/// assert!(rho > 0.0);
+/// // Strict serialization can only lose throughput vs Overlap.
+/// let overlap = repstream_core::exponential::throughput_overlap(&system)
+///     .unwrap()
+///     .throughput;
+/// assert!(rho <= overlap + 1e-9);
+/// ```
 pub fn throughput_strict<'a>(
     system: impl Into<SystemRef<'a>>,
     opts: ExpOptions,
@@ -359,6 +386,7 @@ pub fn throughput_strict_report<'a>(
     let marking_opts = MarkingOptions {
         max_states: opts.max_states,
         capacity: None,
+        threads: opts.threads,
     };
     let last = tpn.last_column();
 
@@ -423,6 +451,7 @@ pub fn throughput_overlap_bounded<'a>(
         MarkingOptions {
             max_states: opts.max_states,
             capacity: Some(capacity),
+            threads: opts.threads,
         },
     )
     .map_err(ExpError::MarkingGraph)?;

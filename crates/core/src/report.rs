@@ -33,6 +33,10 @@ pub struct ReportOptions {
     /// when the mapping is homogeneous (maps to [`ExpOptions::lumping`];
     /// turn off for A/B validation against the full chain).
     pub lumping: bool,
+    /// Worker threads of the chain builds (maps to
+    /// [`ExpOptions::threads`]; `0` = auto, any value is bitwise
+    /// identical).  The CLI's `--threads`.
+    pub threads: usize,
 }
 
 impl Default for ReportOptions {
@@ -41,6 +45,7 @@ impl Default for ReportOptions {
             max_rows_strict: 20_000,
             list_candidates: true,
             lumping: true,
+            threads: 0,
         }
     }
 }
@@ -110,6 +115,7 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
     let rates = timing::exponential_rates(system);
     let exp_opts = ExpOptions {
         lumping: opts.lumping,
+        threads: opts.threads,
         ..Default::default()
     };
 

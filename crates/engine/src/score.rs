@@ -218,6 +218,7 @@ impl<'a> ExpScorer<'a> {
                     StrictOptions {
                         max_states: self.opts.max_states,
                         lumping: self.opts.lumping,
+                        threads: self.opts.threads,
                     },
                 )
                 .map(|s| s.throughput)

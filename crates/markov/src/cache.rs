@@ -92,6 +92,10 @@ pub struct StrictOptions {
     /// Solve the symmetry-reduced quotient when the candidate's rates
     /// keep the row-rotation symmetry (exact either way).
     pub lumping: bool,
+    /// Worker threads of a cold BFS ([`MarkingOptions::threads`]; `0` =
+    /// auto).  Any value builds the bitwise-identical structure, so warm
+    /// hits never depend on it.
+    pub threads: usize,
 }
 
 /// Result of a cached Strict-chain solve.
@@ -117,6 +121,37 @@ pub struct StrictSolve {
 /// See the module docs for the reuse contract.  One cache serves one
 /// search (or one worker thread of a parallel search); it is deliberately
 /// not synchronized.
+///
+/// # Warm reuse
+///
+/// ```
+/// use repstream_markov::cache::{ChainCache, StrictOptions};
+/// use repstream_petri::shape::{MappingShape, ResourceTable};
+///
+/// let shape = MappingShape::new(vec![2, 3]);
+/// let opts = StrictOptions {
+///     max_states: 1 << 20,
+///     lumping: true,
+///     threads: 0,
+/// };
+/// let mut cache = ChainCache::new();
+///
+/// // The first candidate of a shape pays for the BFS…
+/// let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+/// let cold = cache.strict_throughput(&shape, &rates, opts).unwrap();
+/// assert!(!cold.cache_hit);
+///
+/// // …every later candidate over the same shape refills the cached CSR
+/// // in O(nnz) — and gets bitwise the value a cold solve would produce.
+/// let faster = ResourceTable::from_fns(&shape, |_, _| 1.0, |_, _, _| 4.0);
+/// let warm = cache.strict_throughput(&shape, &faster, opts).unwrap();
+/// assert!(warm.cache_hit);
+/// assert_eq!(cache.stats().strict_hits, 1);
+/// let fresh = ChainCache::new()
+///     .strict_throughput(&shape, &faster, opts)
+///     .unwrap();
+/// assert_eq!(warm.throughput.to_bits(), fresh.throughput.to_bits());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct ChainCache {
     patterns: FxHashMap<(usize, usize), PatternEntry>,
@@ -167,6 +202,7 @@ impl ChainCache {
             MarkingOptions {
                 max_states,
                 capacity: None,
+                ..Default::default()
             },
         )?;
         let all: Vec<usize> = (0..net.n_transitions()).collect();
@@ -232,6 +268,7 @@ impl ChainCache {
         let marking_opts = MarkingOptions {
             max_states: opts.max_states,
             capacity: None,
+            threads: opts.threads,
         };
 
         // Direct-quotient path: the rotation is non-trivial and bitwise
@@ -336,6 +373,7 @@ mod tests {
         let opts = StrictOptions {
             max_states: 1 << 20,
             lumping: true,
+            threads: 0,
         };
         let mut warm = ChainCache::new();
         for lam in [0.5, 0.25, 2.0] {
@@ -353,11 +391,50 @@ mod tests {
     }
 
     #[test]
+    fn strict_parallel_build_warm_refill_is_bitwise_cold() {
+        // The chunk-parallel BFS builds the identical structure, so a
+        // warm refill under the parallel path must agree bit for bit with
+        // cold parallel *and* cold sequential solves.
+        let shape = MappingShape::new(vec![2, 3]);
+        let par = StrictOptions {
+            max_states: 1 << 20,
+            lumping: true,
+            threads: 4,
+        };
+        let seq = StrictOptions { threads: 1, ..par };
+        let mut warm = ChainCache::new();
+        for lam in [0.5, 0.25, 2.0] {
+            let rates = ResourceTable::from_fns(&shape, |_, _| lam, |_, _, _| 2.0 * lam);
+            let cold_par = ChainCache::new()
+                .strict_throughput(&shape, &rates, par)
+                .unwrap();
+            let cold_seq = ChainCache::new()
+                .strict_throughput(&shape, &rates, seq)
+                .unwrap();
+            let warmed = warm.strict_throughput(&shape, &rates, par).unwrap();
+            assert_eq!(
+                cold_par.throughput.to_bits(),
+                cold_seq.throughput.to_bits(),
+                "λ {lam}: parallel vs sequential cold"
+            );
+            assert_eq!(
+                warmed.throughput.to_bits(),
+                cold_seq.throughput.to_bits(),
+                "λ {lam}: warm refill vs cold"
+            );
+            assert_eq!(warmed.lumped_states, cold_seq.lumped_states);
+        }
+        assert_eq!(warm.stats().strict_hits, 2);
+        assert_eq!(warm.stats().strict_misses, 1);
+    }
+
+    #[test]
     fn strict_heterogeneous_rates_fall_back_to_full_chain() {
         let shape = MappingShape::new(vec![2, 2]);
         let opts = StrictOptions {
             max_states: 1 << 20,
             lumping: true,
+            threads: 0,
         };
         let mut cache = ChainCache::new();
         // Warm with homogeneous rates: only the direct quotient is built.

@@ -62,6 +62,12 @@
 //! * dense chains (`nnz > n²/4`) up to 1 500 states — GTH: elimination
 //!   cost is amortized by the dense rows, and relaxation loses its
 //!   `nnz ≪ n²` advantage;
+//! * `n ≥ 2²⁰` — the chunk-parallel power sweep directly: Gauss–Seidel's
+//!   sweep is inherently sequential (each update reads the freshest
+//!   values), so the million-state quotients (6×7-class shapes) run the
+//!   one solver whose inner loop scales with cores.  The threshold is a
+//!   state count, not a core count, so the solver choice — and the result
+//!   bits — stay machine-independent;
 //! * everything else — Gauss–Seidel, verified against the stationarity
 //!   residual; if it has not converged to `GS_RESIDUAL_TOL` the solver
 //!   falls back to the (slower, unconditionally convergent) power
@@ -113,6 +119,15 @@ const GTH_SMALL_N: usize = 32;
 
 /// GTH is used up to this state count when the chain is dense.
 const GTH_DENSE_N: usize = 1500;
+
+/// Chains at or above this state count route straight to the
+/// chunk-parallel power sweep: a Gauss–Seidel sweep is sequential by
+/// construction (every update reads the freshest values), so at the
+/// ≥ 1 M-state quotients (6×7-class shapes) the pull sweep is the only
+/// solver that scales with cores.  Routing by *size* — not by the
+/// machine's core count — keeps the solver choice, and hence the result
+/// bits, machine-independent.
+const POWER_ROUTE_MIN_STATES: usize = 1 << 20;
 
 /// Residual (max-norm, rate-relative) Gauss–Seidel must reach before its
 /// result is trusted by [`Ctmc::stationary`].
@@ -605,6 +620,23 @@ impl Ctmc {
         if dense && n <= GTH_DENSE_N {
             return self.stationary_gth();
         }
+        // Million-state chains (the 6×7-class quotients) skip relaxation:
+        // only the chunk-parallel pull sweep scales with cores there, and
+        // its extrapolated iteration is unconditionally convergent.  The
+        // result is still residual-verified — a chain mixing slowly
+        // enough to exhaust the iteration cap falls back to a
+        // Gauss–Seidel pass, keeping whichever iterate balances better.
+        if n >= POWER_ROUTE_MIN_STATES {
+            let pi = self.stationary_power(1e-13, 200_000);
+            let scale = self.max_rate().max(1e-300);
+            if self.stationarity_residual(&pi) <= GS_RESIDUAL_TOL * scale {
+                return pi;
+            }
+            let gs = self.stationary_gauss_seidel(1e-14, 10_000);
+            let gs_ok = gs.iter().all(|v| v.is_finite())
+                && self.stationarity_residual(&gs) < self.stationarity_residual(&pi);
+            return if gs_ok { gs } else { pi };
+        }
         let pi = self.stationary_gauss_seidel(1e-14, 10_000);
         // Acceptance requires finiteness explicitly: a zero-exit state
         // makes relaxation divide by zero, and `f64::max` in the residual
@@ -748,17 +780,22 @@ fn normalize(pi: &mut [f64]) {
     }
 }
 
-/// Threads the pull-sweep should use for an `n`-state chain.  The core
-/// count is probed once per process (`available_parallelism` is a syscall;
-/// calling it per sweep dominated small chains).
-fn sweep_threads(n: usize) -> usize {
+/// Core count, probed once per process (`available_parallelism` is a
+/// syscall; calling it per sweep dominated small chains).  Shared by the
+/// pull sweep here and the chunk-parallel marking BFS in
+/// [`crate::marking`].
+pub(crate) fn num_cores() -> usize {
     static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let cores = *CORES.get_or_init(|| {
+    *CORES.get_or_init(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
-    });
-    cores.min(n / PAR_MIN_ROWS).max(1)
+    })
+}
+
+/// Threads the pull-sweep should use for an `n`-state chain.
+fn sweep_threads(n: usize) -> usize {
+    num_cores().min(n / PAR_MIN_ROWS).max(1)
 }
 
 #[cfg(test)]

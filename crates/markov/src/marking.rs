@@ -52,12 +52,45 @@
 //! materializing the full graph or running the orbit/refinement passes.
 //! See the [`QuotientGraph`] docs for why the state numbering and rate
 //! arithmetic coincide exactly.
+//!
+//! # Chunk-parallel frontier BFS
+//!
+//! The queue of a breadth-first search is naturally level-structured: at
+//! any moment the discovered-but-unexplored states `frontier..n_states`
+//! form a batch whose rows can be scanned independently — every state a
+//! row fires into is either already interned (id known) or new to the
+//! whole level.  [`MarkingOptions::threads`] splits each such level into
+//! one contiguous chunk per `std::thread::scope` worker:
+//!
+//! * **workers** scan their chunk's rows exactly like the sequential
+//!   loop — enabledness, firing, canonicalization (with per-thread
+//!   rotation/scratch buffers) — but resolve successor targets against a
+//!   **level-frozen** view of the interner.  A miss is deduplicated into
+//!   a chunk-local key list instead of being interned; each firing is
+//!   staged as a `(transition, target-or-local-key)` record;
+//! * the **merge** replays the staged firings sequentially in chunk order
+//!   (= global state order), interning each chunk-local key at its first
+//!   use.  Because the replay order is the sequential scan order, new
+//!   states receive exactly the ids the sequential build assigns, the CSR
+//!   rows come out in the same first-hit order, and every `f64` addition
+//!   of the rate aggregation happens in the same sequence — the output is
+//!   **bitwise identical for any thread count** (the same contract the
+//!   parallel power sweep and the engine's batch scorer honor).  Budget
+//!   (`TooManyStates`), safety (`NotSafe`) and `Deadlock` errors surface
+//!   at the same point of the replay as in the sequential scan.
+//!
+//! The parallel driver covers the two arena paths — the plain
+//! [`MarkingGraph`] BFS (which is also what the quotient degenerates to
+//! at `m = 1`) and the rotation-buffer quotient path — where the big
+//! chains live; the packed-word paths (≤ 8 places) and the per-firing
+//! quotient fallback stay sequential, their state spaces being too small
+//! or too budget-bound to amortize a spawn.
 
 use crate::ctmc::{CsrBuilder, Ctmc};
 use crate::fxhash::FxHashMap;
 use crate::lump::{Lift, Partition};
 use crate::net::{EventNet, NetSymmetry};
-use repstream_petri::canon::MarkingCanonicalizer;
+use repstream_petri::canon::{CanonScratch, MarkingCanonicalizer};
 use std::hash::Hasher;
 
 /// Options for marking-graph construction.
@@ -68,6 +101,13 @@ pub struct MarkingOptions {
     /// Per-place token capacity.  `None` requires the net to be safe: the
     /// builder fails if any place would exceed one token.
     pub capacity: Option<u32>,
+    /// Worker threads of the chunk-parallel frontier BFS (see the module
+    /// docs).  `0` (the default) auto-sizes to the machine's core count,
+    /// engaging only on levels large enough to amortize the spawns; an
+    /// explicit count is honored on any level with at least that many
+    /// pending states (`1` forces the sequential scan).  Every choice
+    /// produces **bitwise-identical** output.
+    pub threads: usize,
 }
 
 impl Default for MarkingOptions {
@@ -75,6 +115,7 @@ impl Default for MarkingOptions {
         MarkingOptions {
             max_states: 1 << 20,
             capacity: None,
+            threads: 0,
         }
     }
 }
@@ -211,6 +252,27 @@ impl OffsetInterner {
         }
     }
 
+    /// Read-only probe: `probe`'s state id if it is interned, else
+    /// `None`.  This is the **level-frozen** lookup of the parallel BFS
+    /// workers — the table is shared immutably across threads while a
+    /// level is being explored, so states discovered *within* the level
+    /// miss here and are deduplicated chunk-locally instead.
+    #[inline]
+    fn find(&self, arena: &[u8], width: usize, probe: &[u8]) -> Option<u32> {
+        let mut slot = hash_marking(probe) as usize & self.mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY {
+                return None;
+            }
+            let off = id as usize * width;
+            if &arena[off..off + width] == probe {
+                return Some(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
     #[cold]
     fn grow(&mut self, arena: &[u8], width: usize) {
         let cap = self.table.len() * 2;
@@ -227,6 +289,77 @@ impl OffsetInterner {
         self.table = table;
         self.mask = mask;
     }
+}
+
+/// Coded-target flag of the parallel staging: targets carrying this bit
+/// index a chunk-local new-key list instead of naming a global state id
+/// (ids therefore live in 31 bits — `max_states` is clamped below it).
+const NEW_BIT: u32 = 1 << 31;
+
+/// Pending states each auto-sized worker must get before a level is
+/// chunked (spawning a scope thread costs tens of microseconds; a smaller
+/// slice of BFS work cannot amortize it).  Explicit thread requests skip
+/// this gate — output is bitwise identical either way.
+const PAR_MIN_STATES_PER_THREAD: usize = 256;
+
+/// Worker count for a BFS level with `pending` unexplored states: an
+/// explicit request is honored (clamped to one state per worker), `0`
+/// auto-sizes to the core count ([`crate::ctmc::num_cores`], shared with
+/// the power sweep) gated by [`PAR_MIN_STATES_PER_THREAD`].
+fn bfs_threads(requested: usize, pending: usize) -> usize {
+    match requested {
+        0 => crate::ctmc::num_cores()
+            .min(pending / PAR_MIN_STATES_PER_THREAD)
+            .max(1),
+        t => t.min(pending).max(1),
+    }
+}
+
+/// Staged exploration of one chunk of a parallel BFS level (see the
+/// module docs): every firing is recorded with its target either resolved
+/// against the level-frozen interner or deduplicated into the chunk-local
+/// new-key list, for the sequential merge to replay in chunk order.
+#[derive(Default)]
+struct ChunkStage {
+    /// `(transition, coded target)` per firing, in scan order; targets
+    /// carrying [`NEW_BIT`] index the new-key list.
+    firings: Vec<(u32, u32)>,
+    /// Exclusive end in `firings` of each explored state's row.
+    row_ends: Vec<u32>,
+    /// Chunk-local unique canonical keys (width-strided), in
+    /// first-appearance order.
+    new_keys: Vec<u8>,
+    /// First-discovered representative per new key (quotient chunks; the
+    /// plain BFS leaves it empty — its keys *are* the markings).
+    new_reps: Vec<u8>,
+    /// Orbit period per new key (quotient chunks only).
+    new_periods: Vec<u32>,
+    /// Error that cut the scan short (the last staged row is then
+    /// partial and the merge re-raises the error at that point).
+    error: Option<MarkingError>,
+}
+
+/// Lexicographic-minimum rotation of the successor held in `rot`
+/// (rotation `a` lives at `rot[a·width..][..width]`), returning
+/// `(best rotation index, orbit period)`.  The scan stops at the
+/// successor's period — later rotations repeat — which is also the orbit
+/// size.  Shared by the sequential rotation-buffer scan and its parallel
+/// workers so both elect the identical representative.
+#[inline]
+fn lex_min_rotation(rot: &[u8], width: usize, order: usize) -> (usize, u32) {
+    let mut best = 0usize;
+    let mut period = order as u32;
+    for a in 1..order {
+        let c = &rot[a * width..(a + 1) * width];
+        if c == &rot[..width] {
+            period = a as u32;
+            break;
+        }
+        if c < &rot[best * width..(best + 1) * width] {
+            best = a;
+        }
+    }
+    (best, period)
 }
 
 /// Per-transition firing masks of the packed-u64 fast path: place `p`
@@ -321,11 +454,12 @@ impl GraphBuilder {
 impl MarkingGraph {
     /// Explore the reachable markings of `net`.
     pub fn build(net: &EventNet, opts: MarkingOptions) -> Result<Self, MarkingError> {
-        // State ids are u32 (in the interner and the CSR); clamp the
-        // budget so the id-space bound fires as `TooManyStates` before
-        // any id could wrap.
+        // State ids are u32 in the interner and the CSR, and the parallel
+        // staging codes them in 31 bits (the top bit flags chunk-local
+        // keys); clamp the budget so the id-space bound fires as
+        // `TooManyStates` before any id could wrap.
         let opts = MarkingOptions {
-            max_states: opts.max_states.min(u32::MAX as usize - 1),
+            max_states: opts.max_states.min(NEW_BIT as usize - 1),
             ..opts
         };
         let cap = opts.capacity.unwrap_or(1).max(1);
@@ -339,6 +473,9 @@ impl MarkingGraph {
     }
 
     /// Generic path: arena-interned byte markings, reused scratch buffer.
+    /// Levels large enough for [`MarkingOptions::threads`] are scanned by
+    /// the chunk-parallel workers (see the module docs); either way the
+    /// output is bitwise identical.
     fn build_arena(net: &EventNet, opts: MarkingOptions, cap: i64) -> Result<Self, MarkingError> {
         let width = net.n_places();
         let nt = net.n_transitions();
@@ -357,6 +494,52 @@ impl MarkingGraph {
         let mut n_states = 1usize;
 
         while frontier < n_states {
+            let threads = bfs_threads(opts.threads, n_states - frontier);
+            if threads > 1 {
+                // Parallel level: freeze the interner/arena over the
+                // pending range, stage one chunk per worker, merge in
+                // chunk order.
+                let hi = n_states;
+                let chunk = (hi - frontier).div_ceil(threads);
+                let stages: Vec<ChunkStage> = std::thread::scope(|scope| {
+                    let (interner, arena) = (&interner, arena.as_slice());
+                    let handles: Vec<_> = (frontier..hi)
+                        .step_by(chunk)
+                        .map(|lo| {
+                            scope.spawn(move || {
+                                Self::explore_plain_chunk(
+                                    net,
+                                    strict_safe,
+                                    cap,
+                                    arena,
+                                    interner,
+                                    width,
+                                    lo..(lo + chunk).min(hi),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("marking BFS worker panicked"))
+                        .collect()
+                });
+                for stage in &stages {
+                    Self::merge_plain_chunk(
+                        net,
+                        stage,
+                        &mut interner,
+                        &mut arena,
+                        width,
+                        &mut n_states,
+                        opts.max_states,
+                        &mut out,
+                    )?;
+                }
+                frontier = hi;
+                continue;
+            }
+
             let s = frontier;
             frontier += 1;
             cur.copy_from_slice(&arena[s * width..(s + 1) * width]);
@@ -411,6 +594,121 @@ impl MarkingGraph {
             enabled_ptr: out.enabled_ptr,
             enabled_idx: out.enabled_idx,
         })
+    }
+
+    /// Worker of the parallel plain BFS: scan the rows of `states` (a
+    /// chunk of one level) exactly like the sequential loop, staging each
+    /// firing with its target resolved against the level-frozen interner
+    /// or deduplicated chunk-locally.
+    fn explore_plain_chunk(
+        net: &EventNet,
+        strict_safe: bool,
+        cap: i64,
+        arena: &[u8],
+        interner: &OffsetInterner,
+        width: usize,
+        states: std::ops::Range<usize>,
+    ) -> ChunkStage {
+        let nt = net.n_transitions();
+        let mut stage = ChunkStage::default();
+        let mut local = OffsetInterner::with_capacity(64);
+        let mut n_local = 0u32;
+        let mut scratch = vec![0u8; width];
+        for s in states {
+            let cur = &arena[s * width..(s + 1) * width];
+            'trans: for t in 0..nt {
+                for &p in net.inputs(t) {
+                    if cur[p] == 0 {
+                        continue 'trans;
+                    }
+                }
+                if !strict_safe {
+                    for &p in net.outputs(t) {
+                        let is_self = net.places[p].0 == net.places[p].1;
+                        if !is_self && i64::from(cur[p]) >= cap {
+                            continue 'trans;
+                        }
+                    }
+                }
+                scratch.copy_from_slice(cur);
+                for &p in net.inputs(t) {
+                    scratch[p] -= 1;
+                }
+                for &p in net.outputs(t) {
+                    scratch[p] += 1;
+                    if strict_safe && scratch[p] > 1 {
+                        stage.error = Some(MarkingError::NotSafe { place: p });
+                        stage.row_ends.push(stage.firings.len() as u32);
+                        return stage;
+                    }
+                }
+                let code = match interner.find(arena, width, &scratch) {
+                    Some(id) => id,
+                    None => {
+                        let (li, fresh) = local.intern(&stage.new_keys, width, &scratch, n_local);
+                        if fresh {
+                            stage.new_keys.extend_from_slice(&scratch);
+                            n_local += 1;
+                        }
+                        NEW_BIT | li
+                    }
+                };
+                stage.firings.push((t as u32, code));
+            }
+            stage.row_ends.push(stage.firings.len() as u32);
+        }
+        stage
+    }
+
+    /// Merge one staged chunk into the build in chunk order: replay the
+    /// firings sequentially, interning each chunk-local key at its first
+    /// use — the same intern sequence, row order and error points as the
+    /// sequential scan, hence bitwise-identical output.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_plain_chunk(
+        net: &EventNet,
+        stage: &ChunkStage,
+        interner: &mut OffsetInterner,
+        arena: &mut Vec<u8>,
+        width: usize,
+        n_states: &mut usize,
+        max_states: usize,
+        out: &mut GraphBuilder,
+    ) -> Result<(), MarkingError> {
+        let n_local = stage.new_keys.len() / width.max(1);
+        let mut local_ids = vec![EMPTY; n_local];
+        let mut f = 0usize;
+        for (row, &end) in stage.row_ends.iter().enumerate() {
+            for &(t, code) in &stage.firings[f..end as usize] {
+                let id = if code & NEW_BIT == 0 {
+                    code
+                } else {
+                    let li = (code & !NEW_BIT) as usize;
+                    if local_ids[li] == EMPTY {
+                        let key = &stage.new_keys[li * width..(li + 1) * width];
+                        let (id, is_new) = interner.intern(arena, width, key, *n_states as u32);
+                        if is_new {
+                            if *n_states >= max_states {
+                                return Err(MarkingError::TooManyStates(max_states));
+                            }
+                            arena.extend_from_slice(key);
+                            *n_states += 1;
+                        }
+                        local_ids[li] = id;
+                    }
+                    local_ids[li]
+                };
+                out.push(t as usize, id as usize, net.rates[t as usize]);
+            }
+            f = end as usize;
+            if row + 1 == stage.row_ends.len() {
+                if let Some(e) = &stage.error {
+                    return Err(e.clone());
+                }
+            }
+            out.end_row()?;
+        }
+        Ok(())
     }
 
     /// Packed path for ≤ 8 places: markings are single `u64` words.
@@ -836,8 +1134,10 @@ impl QuotientGraph {
         );
         let canon = MarkingCanonicalizer::new(&sym.place_perm)
             .expect("symmetry_valid guarantees a permutation");
+        // Same 31-bit id clamp as the plain BFS (the parallel staging
+        // flags chunk-local keys in the top bit).
         let opts = MarkingOptions {
-            max_states: opts.max_states.min(u32::MAX as usize - 1),
+            max_states: opts.max_states.min(NEW_BIT as usize - 1),
             ..opts
         };
         let cap = opts.capacity.unwrap_or(1).max(1);
@@ -887,13 +1187,11 @@ impl QuotientGraph {
         }
 
         // Seed: canonical key of the initial marking via the plain path.
-        let mut key = vec![0u8; width];
-        let mut scratch_a = vec![0u8; width];
-        let mut scratch_b = vec![0u8; width];
+        let mut scratch = CanonScratch::new(width);
         let mut reps: Vec<u8> = net.initial_marking();
         assert_eq!(reps.len(), width);
-        let period = canon.canonicalize_marking(&reps, &mut key, &mut scratch_a, &mut scratch_b);
-        let mut keys: Vec<u8> = key.clone();
+        let period = canon.canonicalize_into(&reps, &mut scratch);
+        let mut keys: Vec<u8> = scratch.key().to_vec();
         let mut orbit_size: Vec<u32> = vec![period];
         let mut interner = OffsetInterner::with_capacity(1024);
         let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
@@ -908,6 +1206,61 @@ impl QuotientGraph {
         let mut n_states = 1usize;
 
         while frontier < n_states {
+            let threads = bfs_threads(opts.threads, n_states - frontier);
+            if threads > 1 {
+                // Parallel level (module docs): each worker canonicalizes
+                // its chunk with a private rotation buffer against the
+                // frozen interner; the merge replays in chunk order.
+                let hi = n_states;
+                let chunk = (hi - frontier).div_ceil(threads);
+                let stages: Vec<ChunkStage> = std::thread::scope(|scope| {
+                    let (interner, keys, reps) = (&interner, keys.as_slice(), reps.as_slice());
+                    let tp_pow = tp_pow.as_slice();
+                    let handles: Vec<_> = (frontier..hi)
+                        .step_by(chunk)
+                        .map(|lo| {
+                            scope.spawn(move || {
+                                Self::explore_rowrot_chunk(
+                                    net,
+                                    sym,
+                                    tp_pow,
+                                    strict_safe,
+                                    cap,
+                                    reps,
+                                    keys,
+                                    interner,
+                                    width,
+                                    lo..(lo + chunk).min(hi),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("quotient BFS worker panicked"))
+                        .collect()
+                });
+                let mut base = frontier as u32;
+                for stage in &stages {
+                    Self::merge_quotient_chunk(
+                        net,
+                        stage,
+                        base,
+                        &mut interner,
+                        &mut keys,
+                        &mut reps,
+                        &mut orbit_size,
+                        width,
+                        &mut n_states,
+                        opts.max_states,
+                        &mut out,
+                    )?;
+                    base += stage.row_ends.len() as u32;
+                }
+                frontier = hi;
+                continue;
+            }
+
             let s = frontier as u32;
             frontier += 1;
             cur.copy_from_slice(&reps[s as usize * width..(s as usize + 1) * width]);
@@ -956,18 +1309,7 @@ impl QuotientGraph {
                 }
                 // Lexicographic minimum over the orbit; the scan stops at
                 // the successor's period (later rotations repeat).
-                let mut best = 0usize;
-                let mut period = order as u32;
-                for a in 1..order {
-                    let c = &rot[a * width..(a + 1) * width];
-                    if c == &rot[..width] {
-                        period = a as u32;
-                        break;
-                    }
-                    if c < &rot[best * width..(best + 1) * width] {
-                        best = a;
-                    }
-                }
+                let (best, period) = lex_min_rotation(&rot, width, order);
                 let probe_range = best * width..(best + 1) * width;
                 let (id, is_new) =
                     interner.intern(&keys, width, &rot[probe_range.clone()], n_states as u32);
@@ -999,6 +1341,169 @@ impl QuotientGraph {
         Ok(out.finish(MarkingStore { width, data: reps }, orbit_size))
     }
 
+    /// Worker of the parallel rotation-buffer quotient BFS: identical
+    /// per-row math to the sequential scan — rotation materialization,
+    /// per-rotation firing deltas, lexicographic-minimum election — with
+    /// per-thread `rot` scratch, staging each enabled firing with its
+    /// orbit target resolved against the level-frozen interner or
+    /// deduplicated chunk-locally (key, representative and period
+    /// recorded for the merge to intern).
+    #[allow(clippy::too_many_arguments)]
+    fn explore_rowrot_chunk(
+        net: &EventNet,
+        sym: &NetSymmetry,
+        tp_pow: &[u32],
+        strict_safe: bool,
+        cap: i64,
+        reps: &[u8],
+        keys: &[u8],
+        interner: &OffsetInterner,
+        width: usize,
+        states: std::ops::Range<usize>,
+    ) -> ChunkStage {
+        let nt = net.n_transitions();
+        let order = tp_pow.len() / nt.max(1);
+        let mut stage = ChunkStage::default();
+        let mut local = OffsetInterner::with_capacity(64);
+        let mut n_local = 0u32;
+        let mut rot = vec![0u8; order * width];
+        for s in states {
+            let cur = &reps[s * width..(s + 1) * width];
+            rot[..width].copy_from_slice(cur);
+            for a in 1..order {
+                let (prev, rest) = rot.split_at_mut(a * width);
+                let prev = &prev[(a - 1) * width..];
+                let dst = &mut rest[..width];
+                for (p, &img) in sym.place_perm.iter().enumerate() {
+                    dst[img] = prev[p];
+                }
+            }
+
+            'trans: for t in 0..nt {
+                for &p in net.inputs(t) {
+                    if cur[p] == 0 {
+                        continue 'trans;
+                    }
+                }
+                if !strict_safe {
+                    for &p in net.outputs(t) {
+                        let is_self = net.places[p].0 == net.places[p].1;
+                        if !is_self && i64::from(cur[p]) >= cap {
+                            continue 'trans;
+                        }
+                    }
+                }
+                for a in 0..order {
+                    let ta = tp_pow[a * nt + t] as usize;
+                    let base = a * width;
+                    for &p in net.inputs(ta) {
+                        rot[base + p] -= 1;
+                    }
+                    for &p in net.outputs(ta) {
+                        rot[base + p] += 1;
+                    }
+                }
+                if strict_safe {
+                    for &p in net.outputs(t) {
+                        if rot[p] > 1 {
+                            stage.error = Some(MarkingError::NotSafe { place: p });
+                            stage.row_ends.push(stage.firings.len() as u32);
+                            return stage;
+                        }
+                    }
+                }
+                let (best, period) = lex_min_rotation(&rot, width, order);
+                let probe = &rot[best * width..(best + 1) * width];
+                let code = match interner.find(keys, width, probe) {
+                    Some(id) => id,
+                    None => {
+                        let (li, fresh) = local.intern(&stage.new_keys, width, probe, n_local);
+                        if fresh {
+                            stage.new_keys.extend_from_slice(probe);
+                            stage.new_reps.extend_from_slice(&rot[..width]);
+                            stage.new_periods.push(period);
+                            n_local += 1;
+                        }
+                        NEW_BIT | li
+                    }
+                };
+                stage.firings.push((t as u32, code));
+                for a in 0..order {
+                    let ta = tp_pow[a * nt + t] as usize;
+                    let base = a * width;
+                    for &p in net.outputs(ta) {
+                        rot[base + p] -= 1;
+                    }
+                    for &p in net.inputs(ta) {
+                        rot[base + p] += 1;
+                    }
+                }
+            }
+            stage.row_ends.push(stage.firings.len() as u32);
+        }
+        stage
+    }
+
+    /// Merge one staged quotient chunk (rows of states `base..`) in chunk
+    /// order: replay every enabled firing through the aggregating
+    /// [`QuotientBuilder`] — the same first-hit edge order and `f64`
+    /// addition sequence as the sequential scan — interning each
+    /// chunk-local key (with its representative and orbit period) at
+    /// first use, so new orbits receive exactly the sequential ids.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_quotient_chunk(
+        net: &EventNet,
+        stage: &ChunkStage,
+        base: u32,
+        interner: &mut OffsetInterner,
+        keys: &mut Vec<u8>,
+        reps: &mut Vec<u8>,
+        orbit_size: &mut Vec<u32>,
+        width: usize,
+        n_states: &mut usize,
+        max_states: usize,
+        out: &mut QuotientBuilder,
+    ) -> Result<(), MarkingError> {
+        let n_local = stage.new_periods.len();
+        let mut local_ids = vec![EMPTY; n_local];
+        let mut f = 0usize;
+        for (row, &end) in stage.row_ends.iter().enumerate() {
+            let s = base + row as u32;
+            for &(t, code) in &stage.firings[f..end as usize] {
+                let id = if code & NEW_BIT == 0 {
+                    code
+                } else {
+                    let li = (code & !NEW_BIT) as usize;
+                    if local_ids[li] == EMPTY {
+                        let key = &stage.new_keys[li * width..(li + 1) * width];
+                        let (id, is_new) = interner.intern(keys, width, key, *n_states as u32);
+                        if is_new {
+                            if *n_states >= max_states {
+                                return Err(MarkingError::TooManyStates(max_states));
+                            }
+                            keys.extend_from_slice(key);
+                            reps.extend_from_slice(&stage.new_reps[li * width..(li + 1) * width]);
+                            orbit_size.push(stage.new_periods[li]);
+                            *n_states += 1;
+                        }
+                        local_ids[li] = id;
+                    }
+                    local_ids[li]
+                };
+                out.note_enabled(t as usize);
+                out.fire(s, id, t as usize, net.rates[t as usize]);
+            }
+            f = end as usize;
+            if row + 1 == stage.row_ends.len() {
+                if let Some(e) = &stage.error {
+                    return Err(e.clone());
+                }
+            }
+            out.end_row()?;
+        }
+        Ok(())
+    }
+
     /// Generic fallback path (also the oracle the rotation-buffer path is
     /// tested against): byte markings in two arenas (canonical keys for
     /// the interner, first-discovered representatives for the rows), one
@@ -1014,15 +1519,14 @@ impl QuotientGraph {
         let nt = net.n_transitions();
         let strict_safe = opts.capacity.is_none();
 
-        // Reused canonicalization scratch.
-        let mut key = vec![0u8; width];
-        let mut scratch_a = vec![0u8; width];
-        let mut scratch_b = vec![0u8; width];
+        // Reused canonicalization scratch (one per BFS; parallel builds
+        // would hold one per worker thread).
+        let mut scratch = CanonScratch::new(width);
 
         let mut reps: Vec<u8> = net.initial_marking();
         assert_eq!(reps.len(), width);
-        let period = canon.canonicalize_marking(&reps, &mut key, &mut scratch_a, &mut scratch_b);
-        let mut keys: Vec<u8> = key.clone();
+        let period = canon.canonicalize_into(&reps, &mut scratch);
+        let mut keys: Vec<u8> = scratch.key().to_vec();
         let mut orbit_size: Vec<u32> = vec![period];
         let mut interner = OffsetInterner::with_capacity(1024);
         let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
@@ -1064,14 +1568,13 @@ impl QuotientGraph {
                         return Err(MarkingError::NotSafe { place: p });
                     }
                 }
-                let period =
-                    canon.canonicalize_marking(&succ, &mut key, &mut scratch_a, &mut scratch_b);
-                let (id, is_new) = interner.intern(&keys, width, &key, n_states as u32);
+                let period = canon.canonicalize_into(&succ, &mut scratch);
+                let (id, is_new) = interner.intern(&keys, width, scratch.key(), n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
                         return Err(MarkingError::TooManyStates(opts.max_states));
                     }
-                    keys.extend_from_slice(&key);
+                    keys.extend_from_slice(scratch.key());
                     reps.extend_from_slice(&succ);
                     orbit_size.push(period);
                     n_states += 1;
@@ -1350,6 +1853,7 @@ mod tests {
             MarkingOptions {
                 max_states: 10,
                 capacity: None,
+                ..Default::default()
             },
         )
         .unwrap_err();
@@ -1367,6 +1871,7 @@ mod tests {
             let opts = MarkingOptions {
                 max_states: 1 << 16,
                 capacity: Some(cap),
+                ..Default::default()
             };
             let fast = MarkingGraph::build(&net, opts).unwrap();
             // Force the arena path on the *same* net.

@@ -51,6 +51,7 @@ pub fn pattern_throughput(rate: &[Vec<f64>], max_states: usize) -> Result<f64, M
         MarkingOptions {
             max_states,
             capacity: None,
+            ..Default::default()
         },
     )?;
     let all: Vec<usize> = (0..net.n_transitions()).collect();
@@ -65,6 +66,7 @@ pub fn enumerated_state_count(u: usize, v: usize) -> Result<usize, MarkingError>
         MarkingOptions {
             max_states: 1 << 22,
             capacity: None,
+            ..Default::default()
         },
     )?;
     Ok(mg.states.len())

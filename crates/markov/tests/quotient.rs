@@ -171,6 +171,7 @@ fn budget_covers_representatives_not_the_full_chain() {
     let tight = MarkingOptions {
         max_states: quotient_states + 1,
         capacity: None,
+        ..Default::default()
     };
     assert!(MarkingGraph::build(&net, tight).is_err());
     let qg = QuotientGraph::build(&net, &sym, tight).unwrap();
@@ -184,6 +185,7 @@ fn budget_covers_representatives_not_the_full_chain() {
     let too_tight = MarkingOptions {
         max_states: quotient_states - 1,
         capacity: None,
+        ..Default::default()
     };
     assert!(QuotientGraph::build(&net, &sym, too_tight).is_err());
 }
@@ -210,6 +212,107 @@ fn quotient_refill_is_bitwise_cold() {
         let a = warm.throughput_with(&refilled, &net.rates, &last);
         let b = cold.throughput_of(&net, &last);
         assert_eq!(a.to_bits(), b.to_bits(), "λ ({comp},{comm})");
+    }
+}
+
+/// The chunk-parallel frontier BFS of the quotient build is **bitwise
+/// identical** to the sequential scan for every thread count: chain
+/// (targets and rate bits), representatives, enabled sets, orbit sizes,
+/// the edge→transitions refill map, and the solved throughput.
+#[test]
+fn parallel_quotient_build_is_bitwise_sequential() {
+    for teams in [vec![2usize, 3], vec![3, 4], vec![2, 3, 4]] {
+        let (tpn, net, sym) = strict_net(&teams, 0.5, 2.0);
+        let sym = sym.expect("homogeneous rates keep the rotation");
+        let seq = QuotientGraph::build(
+            &net,
+            &sym,
+            MarkingOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let last = tpn.last_column();
+        for threads in [2usize, 4, 8] {
+            let par = QuotientGraph::build(
+                &net,
+                &sym,
+                MarkingOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let ctx = format!("teams {teams:?} threads {threads}");
+            assert_chains_identical(&par.ctmc, &seq.ctmc, &ctx);
+            assert_eq!(par.orbit_sizes(), seq.orbit_sizes(), "{ctx}");
+            assert_eq!(par.full_states(), seq.full_states(), "{ctx}");
+            for s in 0..seq.n_states() {
+                assert_eq!(par.reps.get(s), seq.reps.get(s), "{ctx}: rep {s}");
+                assert_eq!(par.enabled(s), seq.enabled(s), "{ctx}: enabled {s}");
+            }
+            // The edge→transitions refill maps coincide: re-rating both
+            // graphs from a scaled table gives identical chains.
+            let doubled: Vec<f64> = net.rates.iter().map(|r| r * 2.0).collect();
+            assert_chains_identical(
+                &par.ctmc_with_trans_rates(&doubled),
+                &seq.ctmc_with_trans_rates(&doubled),
+                &format!("{ctx} (refilled)"),
+            );
+            assert_eq!(
+                par.throughput_of(&net, &last).to_bits(),
+                seq.throughput_of(&net, &last).to_bits(),
+                "{ctx}"
+            );
+        }
+    }
+}
+
+/// The same contract for the plain marking BFS (the `m = 1` degenerate of
+/// the quotient): states, enabled sets and chain agree bit for bit at
+/// every thread count, and budget errors fire identically.
+#[test]
+fn parallel_plain_bfs_is_bitwise_sequential() {
+    for teams in [vec![2usize, 3], vec![1, 2, 2]] {
+        let (_, net, _) = strict_net(&teams, 0.5, 2.0);
+        let seq = MarkingGraph::build(
+            &net,
+            MarkingOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = MarkingGraph::build(
+                &net,
+                MarkingOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let ctx = format!("teams {teams:?} threads {threads}");
+            assert_chains_identical(&par.ctmc, &seq.ctmc, &ctx);
+            assert_eq!(par.n_states(), seq.n_states(), "{ctx}");
+            for s in 0..seq.n_states() {
+                assert_eq!(par.states.get(s), seq.states.get(s), "{ctx}: state {s}");
+                assert_eq!(par.enabled(s), seq.enabled(s), "{ctx}: enabled {s}");
+            }
+            // A budget below the reachable count errors identically.
+            let tight = MarkingOptions {
+                max_states: seq.n_states() - 1,
+                threads,
+                ..Default::default()
+            };
+            let err = MarkingGraph::build(&net, tight).unwrap_err();
+            assert_eq!(
+                err,
+                repstream_markov::marking::MarkingError::TooManyStates(seq.n_states() - 1),
+                "{ctx}"
+            );
+        }
     }
 }
 

@@ -60,6 +60,7 @@ fn strict_tpns_are_safe() {
             MarkingOptions {
                 max_states: 1 << 21,
                 capacity: None,
+                ..Default::default()
             },
         );
         assert!(res.is_ok(), "{teams:?}: {:?}", res.err());
@@ -121,6 +122,7 @@ fn overlap_capacity_ctmc_converges_to_simulation() {
             MarkingOptions {
                 max_states: 1 << 21,
                 capacity: Some(cap),
+                ..Default::default()
             },
         )
         .unwrap();

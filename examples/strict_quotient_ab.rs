@@ -5,14 +5,37 @@
 //! rounding — CI runs this to pin the equivalence end to end through the
 //! public `throughput_strict_report` API.
 //!
+//! `--threads N` forces the worker count of the chunk-parallel
+//! quotient-frontier BFS (0 = auto) — CI runs this smoke at 2 threads so
+//! the parallel path is exercised and its bitwise-determinism contract
+//! checked even though 1-core runners see no speedup.
+//!
 //! ```sh
 //! cargo run --release --example strict_quotient_ab
+//! cargo run --release --example strict_quotient_ab -- --threads 2
 //! ```
 
 use repstream::core::exponential::{throughput_strict_report, ExpOptions, StrictMethod};
 use repstream::core::model::{Application, Mapping, Platform, System};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a count (0 = auto)");
+            }
+            other => panic!("unknown argument {other} (only --threads N is accepted)"),
+        }
+        i += 1;
+    }
+
     // Homogeneous 4×5 Strict scenario: two stages on teams of 4 and 5,
     // uniform speeds and bandwidths, m = lcm(4, 5) = 20.
     let app = Application::uniform(2, 6.0, 12.0).expect("valid app");
@@ -21,19 +44,28 @@ fn main() {
     let system = System::new(app, platform, mapping).expect("valid system");
 
     let t = std::time::Instant::now();
-    let direct = throughput_strict_report(&system, ExpOptions::default()).expect("direct path");
+    let direct = throughput_strict_report(
+        &system,
+        ExpOptions {
+            threads,
+            ..Default::default()
+        },
+    )
+    .expect("direct path");
     let t_direct = t.elapsed();
     let t = std::time::Instant::now();
     let full = throughput_strict_report(
         &system,
         ExpOptions {
             lumping: false,
+            threads,
             ..Default::default()
         },
     )
     .expect("full path");
     let t_full = t.elapsed();
 
+    println!("threads: {} (0 = auto)", threads);
     println!(
         "direct-quotient: rho = {:.12}  ({} states solved for {} full, {:?})",
         direct.throughput,

@@ -13,12 +13,18 @@
 //! the application/platform of an `.rsys` file, and prints the scored
 //! finalists with the evaluation and cache counters.  Flags:
 //! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`,
-//! `--no-lump`.
+//! `--no-lump`, `--threads N`.
 //!
 //! `--no-lump` (also accepted by `analyze`) turns the symmetry-reduced
 //! quotient solve of the Strict Theorem 2 chain off, for A/B runs against
 //! the full chain — both report the same throughput, the report shows
 //! full-vs-quotient state counts.
+//!
+//! `--threads N` (also accepted by `analyze`) sets the worker count of
+//! the chunk-parallel marking BFS behind the Theorem 2 chains: `0` (the
+//! default) auto-sizes to the machine, `1` forces the sequential scan.
+//! Every value produces **bitwise-identical** numbers — the flag only
+//! trades wall-clock for cores.
 //!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
@@ -58,15 +64,27 @@ fn run(args: &[String]) -> i32 {
         Some("analyze") => {
             let mut path = None;
             let mut report_opts = ReportOptions::default();
-            for arg in &args[1..] {
-                match arg.as_str() {
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
                     "--no-lump" => report_opts.lumping = false,
+                    "--threads" => {
+                        i += 1;
+                        match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(n) => report_opts.threads = n,
+                            None => {
+                                eprintln!("error: --threads needs a count (0 = auto)");
+                                return 2;
+                            }
+                        }
+                    }
                     other if path.is_none() && !other.starts_with('-') => path = Some(other),
                     other => {
                         eprintln!("error: unknown analyze argument {other}");
                         return 2;
                     }
                 }
+                i += 1;
             }
             match path {
                 Some(path) => match load(path) {
@@ -117,7 +135,7 @@ fn run(args: &[String]) -> i32 {
 }
 
 /// `repstream search [SCENARIO|FILE] [--model M] [--candidates N]
-/// [--seed N] [--no-exp] [--no-lump]`.
+/// [--seed N] [--no-exp] [--no-lump] [--threads N]`.
 fn run_search(args: &[String]) -> i32 {
     let mut scenario = "mapping-search".to_string();
     let mut opts = PortfolioOptions::default();
@@ -161,6 +179,16 @@ fn run_search(args: &[String]) -> i32 {
             }
             "--no-exp" => opts.exp_rerank = false,
             "--no-lump" => opts.lumping = false,
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => opts.threads = n,
+                    None => {
+                        eprintln!("error: --threads needs a count (0 = auto)");
+                        return 2;
+                    }
+                }
+            }
             other if !scenario_set && !other.starts_with('-') => {
                 scenario = other.to_string();
                 scenario_set = true;
@@ -228,9 +256,9 @@ fn run_search(args: &[String]) -> i32 {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: repstream <analyze FILE [--no-lump] | dot FILE [overlap|strict] | example-a | \
-         search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] [--no-exp] \
-         [--no-lump]>"
+        "usage: repstream <analyze FILE [--no-lump] [--threads N] | dot FILE [overlap|strict] | \
+         example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
+         [--no-exp] [--no-lump] [--threads N]>"
     );
     2
 }

@@ -6,8 +6,12 @@
 //! SPAA 2010 / INRIA RR-7510).
 //!
 //! See the [`core`] crate for the single-evaluation entry points, the
-//! [`engine`] crate for batch scoring and mapping search, and the
-//! repository `README.md` / `DESIGN.md` for the architecture.
+//! [`engine`] crate for batch scoring and mapping search, the repository
+//! `README.md` for the CLI, and `ARCHITECTURE.md` for the paper↔code map
+//! and the crate dependency diagram.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use repstream_core as core;
 pub use repstream_engine as engine;
