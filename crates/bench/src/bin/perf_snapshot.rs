@@ -38,13 +38,26 @@
 //! below 1 and only the determinism check is meaningful — re-measure on
 //! a multi-core box).
 //!
+//! A sixth `"solver_scale"` section times every stationary method
+//! (automatic plan, Gauss–Seidel where feasible, GMRES, SOR, power) on
+//! the direct quotient chains up to the ≥ 2²⁰-state 6×7 shape —
+//! wall-clock, iteration count and final residual per solver, with every
+//! forced solve's throughput asserted against the automatic plan's.
+//! This is the measured record behind the Krylov routing threshold.
+//!
+//! A seventh `"arena_memory"` section builds the same quotients with the
+//! marking arenas flat and delta-compressed, asserts the two chains
+//! bitwise identical (compression is storage-only), and records the peak
+//! arena+interner bytes and the reduction ratio.
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
 use repstream_core::deterministic;
 use repstream_core::model::System;
 use repstream_engine::batch::{score_batch, score_batch_with_threads};
-use repstream_markov::marking::{MarkingGraph, MarkingOptions, QuotientGraph};
+use repstream_markov::ctmc::{Solver, SolverChoice};
+use repstream_markov::marking::{ArenaCompression, MarkingGraph, MarkingOptions, QuotientGraph};
 use repstream_markov::net::{comm_pattern, EventNet};
 use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::Tpn;
@@ -378,6 +391,7 @@ fn main() {
             max_states: 1 << 22,
             capacity: None,
             threads,
+            ..Default::default()
         };
         let reference = QuotientGraph::build(&net, &sym, opts_with(1)).unwrap();
         // Big shapes (seconds per build) are timed once per count.
@@ -398,8 +412,13 @@ fn main() {
                 reference.orbit_sizes(),
                 "threads {threads}"
             );
+            let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
             for s in 0..reference.n_states() {
-                assert_eq!(qg.reps.get(s), reference.reps.get(s), "threads {threads}");
+                assert_eq!(
+                    qg.reps.read_into(s, &mut buf_a),
+                    reference.reps.read_into(s, &mut buf_b),
+                    "threads {threads}"
+                );
                 assert_eq!(
                     qg.ctmc.row_targets(s),
                     reference.ctmc.row_targets(s),
@@ -459,6 +478,230 @@ fn main() {
             times[1] * 1e3,
             times[2] * 1e3,
             times[3] * 1e3,
+        );
+    }
+    json.push_str("  ],\n  \"solver_scale\": [\n");
+
+    // Stationary-solver scaling on the direct quotient chains: one timed
+    // solve-to-throughput per method.  Single-shot timings — the top-end
+    // solves run seconds to minutes, medians would triple the bench.
+    // Gauss–Seidel only runs below 200 k states (a GS sweep is
+    // sequential by construction; above that it is exactly what the
+    // Krylov routing exists to avoid).  The ≥ 2²⁰-state shape (6×7) is
+    // the acceptance record: GMRES/SOR must beat power there at equal
+    // residual.  Every forced solve's throughput is asserted against the
+    // automatic plan's.
+    let sshapes: &[&[usize]] = if args.smoke {
+        &[&[2, 3], &[3, 4]]
+    } else {
+        &[&[4, 5], &[5, 6], &[6, 7]]
+    };
+    for (idx, &teams) in sshapes.iter().enumerate() {
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let opts = MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+            ..Default::default()
+        };
+        let last = tpn.last_column();
+        let qg = QuotientGraph::build(&net, &sym, opts).unwrap();
+        let n = qg.n_states();
+        let mut choices: Vec<(&str, SolverChoice)> = vec![("auto", SolverChoice::Auto)];
+        if n < 200_000 {
+            choices.push(("gs", SolverChoice::Force(Solver::GaussSeidel)));
+        }
+        for s in [Solver::Gmres, Solver::Sor, Solver::Power] {
+            choices.push((s.label(), SolverChoice::Force(s)));
+        }
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let label: Vec<String> = teams.iter().map(|r| r.to_string()).collect();
+        field(
+            &mut json,
+            ind,
+            "teams",
+            format!("\"{}\"", label.join("x")),
+            false,
+        );
+        field(&mut json, ind, "states", n, false);
+        field(&mut json, ind, "nnz", qg.ctmc.nnz(), false);
+        let mut rho_auto = f64::NAN;
+        let mut summary = String::new();
+        for (i, &(name, choice)) in choices.iter().enumerate() {
+            let t0 = Instant::now();
+            let (rho, report) = qg.throughput_solve(&qg.ctmc, &net.rates, &last, choice);
+            let t = t0.elapsed().as_secs_f64();
+            if name == "auto" {
+                rho_auto = rho;
+            }
+            assert!(
+                (rho - rho_auto).abs() <= 1e-8 * rho_auto.abs(),
+                "{name} throughput {rho} diverged from auto {rho_auto}"
+            );
+            field(
+                &mut json,
+                ind,
+                &format!("{name}_s"),
+                format!("{t:.3e}"),
+                false,
+            );
+            field(
+                &mut json,
+                ind,
+                &format!("{name}_solver"),
+                format!("\"{}\"", report.solver.label()),
+                false,
+            );
+            field(
+                &mut json,
+                ind,
+                &format!("{name}_iters"),
+                report.iterations,
+                false,
+            );
+            field(
+                &mut json,
+                ind,
+                &format!("{name}_residual"),
+                format!("{:.3e}", report.residual),
+                i + 1 == choices.len(),
+            );
+            write!(
+                summary,
+                " {name} {:.2}s ({} it res {:.1e})",
+                t, report.iterations, report.residual
+            )
+            .unwrap();
+        }
+        let comma = if idx + 1 == sshapes.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!("solver_scale {}: states {n}{summary}", label.join("x"));
+    }
+    json.push_str("  ],\n  \"arena_memory\": [\n");
+
+    // Delta-compressed marking arenas vs flat storage on the same direct
+    // quotient builds: peak arena+interner bytes each way, with the
+    // storage-only contract enforced — both builds must agree bitwise on
+    // every representative and every chain rate before the numbers are
+    // recorded.  (Shapes on the packed-u64 fast path report ratio 1 —
+    // packed markings are already 8 bytes and never delta-encoded.)
+    for (idx, &teams) in sshapes.iter().enumerate() {
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let mk = |c: ArenaCompression| MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+            arena_compression: c,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let flat = QuotientGraph::build(&net, &sym, mk(ArenaCompression::Off)).unwrap();
+        let t_flat = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let comp = QuotientGraph::build(&net, &sym, mk(ArenaCompression::On)).unwrap();
+        let t_comp = t0.elapsed().as_secs_f64();
+
+        assert_eq!(comp.n_states(), flat.n_states());
+        assert_eq!(comp.orbit_sizes(), flat.orbit_sizes());
+        let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+        for s in 0..flat.n_states() {
+            assert_eq!(
+                comp.reps.read_into(s, &mut buf_a),
+                flat.reps.read_into(s, &mut buf_b),
+                "state {s}"
+            );
+            assert_eq!(comp.ctmc.row_targets(s), flat.ctmc.row_targets(s));
+            for (a, b) in comp.ctmc.row_rates(s).iter().zip(flat.ctmc.row_rates(s)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "state {s}");
+            }
+        }
+        let fs = flat.arena_stats();
+        let cs = comp.arena_stats();
+        let ratio = fs.total() as f64 / cs.total() as f64;
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let label: Vec<String> = teams.iter().map(|r| r.to_string()).collect();
+        field(
+            &mut json,
+            ind,
+            "teams",
+            format!("\"{}\"", label.join("x")),
+            false,
+        );
+        field(&mut json, ind, "quotient_states", flat.n_states(), false);
+        field(&mut json, ind, "flat_keys_bytes", fs.keys_bytes, false);
+        field(&mut json, ind, "flat_reps_bytes", fs.reps_bytes, false);
+        field(
+            &mut json,
+            ind,
+            "flat_interner_bytes",
+            fs.interner_bytes,
+            false,
+        );
+        field(&mut json, ind, "flat_total_bytes", fs.total(), false);
+        field(
+            &mut json,
+            ind,
+            "compressed_keys_bytes",
+            cs.keys_bytes,
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "compressed_reps_bytes",
+            cs.reps_bytes,
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "compressed_interner_bytes",
+            cs.interner_bytes,
+            false,
+        );
+        field(&mut json, ind, "compressed_total_bytes", cs.total(), false);
+        field(
+            &mut json,
+            ind,
+            "flat_build_s",
+            format!("{t_flat:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "compressed_build_s",
+            format!("{t_comp:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "reduction_ratio",
+            format!("{ratio:.2}"),
+            false,
+        );
+        field(&mut json, ind, "bitwise_equal", true, true);
+        let comma = if idx + 1 == sshapes.len() { "" } else { "," };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "arena_memory {}: states {} flat {} B compressed {} B ratio {ratio:.2} build {:.1}ms -> {:.1}ms",
+            label.join("x"),
+            flat.n_states(),
+            fs.total(),
+            cs.total(),
+            t_flat * 1e3,
+            t_comp * 1e3,
         );
     }
     json.push_str("  ],\n  \"mapping_search\": {\n");

@@ -129,6 +129,7 @@ fn exponential_lower(
                     max_states: 400_000,
                     lumping: ExpOptions::default().lumping,
                     threads: ExpOptions::default().threads,
+                    ..Default::default()
                 },
             ) {
                 Ok(v) => Ok((v.throughput, LowerBoundMethod::MarkingChain)),

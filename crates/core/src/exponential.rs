@@ -24,7 +24,10 @@
 use crate::model::SystemRef;
 use crate::timing::exponential_rates;
 use repstream_markov::cache::ChainCache;
-use repstream_markov::marking::{MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
+use repstream_markov::ctmc::{Solver, SolverChoice};
+use repstream_markov::marking::{
+    ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph,
+};
 use repstream_markov::net::EventNet;
 use repstream_markov::pattern;
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, Resource, ResourceTable};
@@ -122,6 +125,18 @@ pub struct ExpOptions {
     /// bitwise-identical chains and throughputs; the knob only trades
     /// wall-clock for cores.  Exposed on the CLI as `--threads`.
     pub threads: usize,
+    /// Stationary solver for the Theorem 2 chain:
+    /// [`SolverChoice::Auto`] (default) runs the measured
+    /// [`SolverPlan`](repstream_markov::ctmc::SolverPlan) policy;
+    /// `Force` pins one method for A/B runs.  Exposed on the CLI as
+    /// `--solver`.  Pattern chains of the Theorem 3 path always use the
+    /// automatic policy (they are small; forcing there only adds noise).
+    pub solver: SolverChoice,
+    /// Delta-compression policy for the marking arenas of the Theorem 2
+    /// BFS (storage only — state ids, BFS order and the chain are
+    /// bitwise-unchanged).  The default [`ArenaCompression::Auto`]
+    /// compresses once an arena crosses the built-in byte threshold.
+    pub arena_compression: ArenaCompression,
 }
 
 impl Default for ExpOptions {
@@ -131,6 +146,8 @@ impl Default for ExpOptions {
             max_states: 4_000_000,
             lumping: true,
             threads: 0,
+            solver: SolverChoice::Auto,
+            arena_compression: ArenaCompression::Auto,
         }
     }
 }
@@ -326,6 +343,14 @@ pub struct StrictReport {
     pub lumped_states: Option<usize>,
     /// How the solved chain was obtained.
     pub method: StrictMethod,
+    /// The stationary method that actually ran (under
+    /// [`SolverChoice::Auto`] this is the plan's pick; under `Force` it
+    /// echoes the forced method).
+    pub solver: Solver,
+    /// Max-norm stationarity residual `‖πQ‖∞` of the solved chain's
+    /// vector, measured by the solver layer after the solve (for every
+    /// method, including the direct ones).
+    pub residual: f64,
 }
 
 /// Theorem 2: exact throughput of the **Strict** model through the global
@@ -387,6 +412,8 @@ pub fn throughput_strict_report<'a>(
         max_states: opts.max_states,
         capacity: None,
         threads: opts.threads,
+        arena_compression: opts.arena_compression,
+        ..Default::default()
     };
     let last = tpn.last_column();
 
@@ -395,11 +422,15 @@ pub fn throughput_strict_report<'a>(
         if let Some(sym) = &sym {
             let qg =
                 QuotientGraph::build(&net, sym, marking_opts).map_err(ExpError::MarkingGraph)?;
+            let (throughput, report) =
+                qg.throughput_solve(&qg.ctmc, &net.rates, &last, opts.solver);
             return Ok(StrictReport {
-                throughput: qg.throughput_of(&net, &last),
+                throughput,
                 full_states: qg.full_states(),
                 lumped_states: Some(qg.n_states()),
                 method: StrictMethod::DirectQuotient,
+                solver: report.solver,
+                residual: report.residual,
             });
         }
     }
@@ -414,22 +445,26 @@ pub fn throughput_strict_report<'a>(
     };
     if opts.lumping {
         if let Some(seed) = sym.as_ref().and_then(|s| mg.orbit_partition(s)) {
-            if let Some(sol) = mg.ctmc.stationary_lumped(&seed) {
+            if let Some((sol, report)) = mg.ctmc.stationary_lumped_solve(&seed, opts.solver) {
                 return Ok(StrictReport {
                     throughput: throughput_from(&sol.pi),
                     full_states: sol.full_states,
                     lumped_states: Some(sol.lumped_states),
                     method: StrictMethod::FullThenLump,
+                    solver: report.solver,
+                    residual: report.residual,
                 });
             }
         }
     }
-    let pi = mg.ctmc.stationary();
+    let report = mg.ctmc.stationary_solve(opts.solver);
     Ok(StrictReport {
-        throughput: throughput_from(&pi),
+        throughput: throughput_from(&report.pi),
         full_states: mg.n_states(),
         lumped_states: None,
         method: StrictMethod::Full,
+        solver: report.solver,
+        residual: report.residual,
     })
 }
 
@@ -452,6 +487,8 @@ pub fn throughput_overlap_bounded<'a>(
             max_states: opts.max_states,
             capacity: Some(capacity),
             threads: opts.threads,
+            arena_compression: opts.arena_compression,
+            ..Default::default()
         },
     )
     .map_err(ExpError::MarkingGraph)?;

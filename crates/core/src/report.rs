@@ -17,6 +17,7 @@ use crate::exponential::{self, ColumnRef, ExpOptions};
 use crate::model::System;
 use crate::timing;
 use repstream_markov::cache::ChainCache;
+use repstream_markov::ctmc::SolverChoice;
 use repstream_petri::shape::ExecModel;
 use std::fmt::Write;
 
@@ -37,6 +38,10 @@ pub struct ReportOptions {
     /// [`ExpOptions::threads`]; `0` = auto, any value is bitwise
     /// identical).  The CLI's `--threads`.
     pub threads: usize,
+    /// Stationary solver of the Strict Theorem 2 chain (maps to
+    /// [`ExpOptions::solver`]; the CLI's `--solver`).  The report's
+    /// Strict section prints which method actually ran and its residual.
+    pub solver: SolverChoice,
 }
 
 impl Default for ReportOptions {
@@ -46,6 +51,7 @@ impl Default for ReportOptions {
             list_candidates: true,
             lumping: true,
             threads: 0,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -116,6 +122,7 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
     let exp_opts = ExpOptions {
         lumping: opts.lumping,
         threads: opts.threads,
+        solver: opts.solver,
         ..Default::default()
     };
 
@@ -164,6 +171,13 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
                     )
                     .unwrap(),
                 }
+                writeln!(
+                    s,
+                    "  solver={} residual={:.3e}",
+                    rep.solver.label(),
+                    rep.residual
+                )
+                .unwrap();
             }
             Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
         }
@@ -217,6 +231,8 @@ mod tests {
             "Theorems 3/4",
             "[strict/exponential — Theorem 2]",
             "direct-quotient",
+            "solver=",
+            "residual=",
             "N.B.U.E. sandwich",
             "bottleneck:",
         ] {

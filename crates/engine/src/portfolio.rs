@@ -27,6 +27,7 @@ use repstream_core::exponential::ExpOptions;
 use repstream_core::mapping_opt::{self, OptError};
 use repstream_core::model::{Application, Mapping, ModelError, Platform};
 use repstream_markov::cache::CacheStats;
+use repstream_markov::ctmc::SolverChoice;
 use repstream_petri::shape::ExecModel;
 use repstream_workload::random::random_mappings;
 
@@ -90,6 +91,9 @@ pub struct PortfolioOptions {
     /// `ExpOptions::threads`; `0` = auto, any value is bitwise
     /// identical).  The CLI's `--threads`.
     pub threads: usize,
+    /// Stationary solver of the re-rank chains (maps to
+    /// `ExpOptions::solver`; the CLI's `--solver`).
+    pub solver: SolverChoice,
 }
 
 impl Default for PortfolioOptions {
@@ -104,6 +108,7 @@ impl Default for PortfolioOptions {
             exp_rerank: true,
             lumping: true,
             threads: 0,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -292,6 +297,7 @@ pub fn portfolio_search(
         ExpOptions {
             lumping: opts.lumping,
             threads: opts.threads,
+            solver: opts.solver,
             ..Default::default()
         },
     );

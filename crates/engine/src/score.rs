@@ -219,6 +219,8 @@ impl<'a> ExpScorer<'a> {
                         max_states: self.opts.max_states,
                         lumping: self.opts.lumping,
                         threads: self.opts.threads,
+                        solver: self.opts.solver,
+                        arena_compression: self.opts.arena_compression,
                     },
                 )
                 .map(|s| s.throughput)

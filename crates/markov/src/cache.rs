@@ -28,8 +28,9 @@
 //! (possibly smaller) budget of the current call — budgets are per
 //! deployment, not per candidate.
 
+use crate::ctmc::{Solver, SolverChoice};
 use crate::fxhash::FxHashMap;
-use crate::marking::{MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
+use crate::marking::{ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
 use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::{Tpn, TpnSignature};
@@ -96,6 +97,26 @@ pub struct StrictOptions {
     /// auto).  Any value builds the bitwise-identical structure, so warm
     /// hits never depend on it.
     pub threads: usize,
+    /// Stationary solver ([`SolverChoice::Auto`] = the measured plan).
+    /// Applies to every solve, warm or cold — forcing a method changes
+    /// the result bits only within the solvers' agreement tolerance.
+    pub solver: SolverChoice,
+    /// Marking-arena compression of a cold BFS
+    /// ([`MarkingOptions::arena_compression`]).  Storage-only: any value
+    /// builds the bitwise-identical structure.
+    pub arena_compression: ArenaCompression,
+}
+
+impl Default for StrictOptions {
+    fn default() -> Self {
+        StrictOptions {
+            max_states: 4_000_000,
+            lumping: true,
+            threads: 0,
+            solver: SolverChoice::Auto,
+            arena_compression: ArenaCompression::Auto,
+        }
+    }
 }
 
 /// Result of a cached Strict-chain solve.
@@ -114,6 +135,11 @@ pub struct StrictSolve {
     pub quotient_direct: bool,
     /// `true` when the structure came from the cache (no BFS ran).
     pub cache_hit: bool,
+    /// The stationary method that actually ran (the plan's pick under
+    /// [`SolverChoice::Auto`]).
+    pub solver: Solver,
+    /// Final max-norm stationarity residual of the solved vector.
+    pub residual: f64,
 }
 
 /// A cache of marking-graph structures keyed by chain shape.
@@ -131,8 +157,7 @@ pub struct StrictSolve {
 /// let shape = MappingShape::new(vec![2, 3]);
 /// let opts = StrictOptions {
 ///     max_states: 1 << 20,
-///     lumping: true,
-///     threads: 0,
+///     ..Default::default()
 /// };
 /// let mut cache = ChainCache::new();
 ///
@@ -269,6 +294,8 @@ impl ChainCache {
             max_states: opts.max_states,
             capacity: None,
             threads: opts.threads,
+            arena_compression: opts.arena_compression,
+            ..Default::default()
         };
 
         // Direct-quotient path: the rotation is non-trivial and bitwise
@@ -291,12 +318,15 @@ impl ChainCache {
             }
             let qg = entry.quotient.as_ref().expect("just built");
             let ctmc = qg.ctmc_with_trans_rates(&trans_rates);
+            let (throughput, report) = qg.throughput_solve(&ctmc, &trans_rates, &last, opts.solver);
             return Ok(StrictSolve {
-                throughput: qg.throughput_with(&ctmc, &trans_rates, &last),
+                throughput,
                 full_states: qg.full_states(),
                 lumped_states: Some(qg.n_states()),
                 quotient_direct: true,
                 cache_hit,
+                solver: report.solver,
+                residual: report.residual,
             });
         }
 
@@ -311,12 +341,15 @@ impl ChainCache {
         }
         let mg = entry.full.as_ref().expect("just built");
         let ctmc = mg.ctmc_with_trans_rates(&trans_rates);
+        let (throughput, report) = mg.throughput_solve(&ctmc, &trans_rates, &last, opts.solver);
         Ok(StrictSolve {
-            throughput: mg.throughput_with(&ctmc, &trans_rates, &last),
+            throughput,
             full_states: mg.n_states(),
             lumped_states: None,
             quotient_direct: false,
             cache_hit,
+            solver: report.solver,
+            residual: report.residual,
         })
     }
 }
@@ -372,8 +405,7 @@ mod tests {
         let shape = MappingShape::new(vec![2, 3]);
         let opts = StrictOptions {
             max_states: 1 << 20,
-            lumping: true,
-            threads: 0,
+            ..Default::default()
         };
         let mut warm = ChainCache::new();
         for lam in [0.5, 0.25, 2.0] {
@@ -398,8 +430,8 @@ mod tests {
         let shape = MappingShape::new(vec![2, 3]);
         let par = StrictOptions {
             max_states: 1 << 20,
-            lumping: true,
             threads: 4,
+            ..Default::default()
         };
         let seq = StrictOptions { threads: 1, ..par };
         let mut warm = ChainCache::new();
@@ -433,8 +465,7 @@ mod tests {
         let shape = MappingShape::new(vec![2, 2]);
         let opts = StrictOptions {
             max_states: 1 << 20,
-            lumping: true,
-            threads: 0,
+            ..Default::default()
         };
         let mut cache = ChainCache::new();
         // Warm with homogeneous rates: only the direct quotient is built.

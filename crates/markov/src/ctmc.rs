@@ -49,30 +49,45 @@
 //!   balance equations `π_j · exit_j = Σ_{i→j} π_i r_ij` using the latest
 //!   values in place.  On the sparse, shallow marking chains of this
 //!   repository it converges in tens of sweeps, so its `O(sweeps · nnz)`
-//!   beats GTH's `O(n³)` by orders of magnitude at a few hundred states.
+//!   beats GTH's `O(n³)` by orders of magnitude at a few hundred states;
+//! * [`Ctmc::stationary_gmres`] — restarted GMRES (Arnoldi + Givens
+//!   least squares) on the singular system `πQ = 0` with renormalized
+//!   deflation of the trivial null direction, implemented in
+//!   [`crate::krylov`]: the top-end method for the ≥ 2²⁰-state quotients;
+//! * [`Ctmc::stationary_sor`] — successive over-relaxation of the same
+//!   balance equations Gauss–Seidel sweeps, also in [`crate::krylov`];
+//!   the verified fallback between GMRES and power at the top end.
 //!
 //! # Selection policy ([`Ctmc::stationary`])
 //!
-//! Measured on the pattern chains of the `stationary` bench (see
-//! `ROADMAP.md` for the numbers):
+//! The automatic choice is an explicit, documented [`SolverPlan`]
+//! computed by [`Ctmc::solver_plan`] from the chain's size and density
+//! (measured crossovers; see `BENCH_ctmc.json` and the solver-inventory
+//! table in `ARCHITECTURE.md`):
 //!
 //! * `n ≤ 32` — GTH: the dense elimination is at its fastest and exact to
 //!   rounding; the measured GTH↔Gauss–Seidel crossover sits near 30
-//!   states for marking-graph densities (see `BENCH_ctmc.json`);
+//!   states for marking-graph densities;
 //! * dense chains (`nnz > n²/4`) up to 1 500 states — GTH: elimination
 //!   cost is amortized by the dense rows, and relaxation loses its
 //!   `nnz ≪ n²` advantage;
-//! * `n ≥ 2²⁰` — the chunk-parallel power sweep directly: Gauss–Seidel's
-//!   sweep is inherently sequential (each update reads the freshest
-//!   values), so the million-state quotients (6×7-class shapes) run the
-//!   one solver whose inner loop scales with cores.  The threshold is a
-//!   state count, not a core count, so the solver choice — and the result
-//!   bits — stay machine-independent;
+//! * `n ≥ 2²⁰` — restarted GMRES, whose Krylov iteration count is far
+//!   below power's geometric mixing on the million-state quotients
+//!   (6×7-class shapes) and whose matvec is the same chunk-parallel
+//!   gather the power sweep uses.  Fallbacks, each residual-verified:
+//!   SOR, then the unconditionally convergent extrapolated power sweep.
+//!   The threshold is a state count, not a core count, so the solver
+//!   choice — and the result bits — stay machine-independent;
 //! * everything else — Gauss–Seidel, verified against the stationarity
 //!   residual; if it has not converged to `GS_RESIDUAL_TOL` the solver
 //!   falls back to the (slower, unconditionally convergent) power
 //!   iteration.  This replaces the seed's hard-coded `n ≤ 1500` GTH/power
 //!   split.
+//!
+//! [`Ctmc::stationary_solve`] runs the plan (or a forced
+//! [`SolverChoice`]) and returns a [`SolveReport`] recording which solver
+//! actually produced the result, its final stationarity residual and its
+//! iteration count — the provenance the CLI reports print.
 
 /// A CTMC in flat compressed-sparse-row form.
 #[derive(Debug, Clone)]
@@ -94,8 +109,25 @@ pub struct Ctmc {
     in_prob: Vec<f64>,
 }
 
-/// States per thread below which the parallel sweep is not worth spawning.
-const PAR_MIN_ROWS: usize = 4096;
+/// States per thread below which the parallel sweep is not worth
+/// spawning (default; override with `REPSTREAM_PAR_MIN_ROWS`).
+const PAR_MIN_ROWS_DEFAULT: usize = 4096;
+
+/// States per thread below which the parallel sweep is not worth
+/// spawning.  Read once per process from `REPSTREAM_PAR_MIN_ROWS` so
+/// multi-core retuning needs no code change; the gate only shifts *when*
+/// chunked spawning kicks in, never the result bits (the per-entry
+/// reduction order is the CSR order for any thread count).
+pub(crate) fn par_min_rows() -> usize {
+    static GATE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *GATE.get_or_init(|| {
+        std::env::var("REPSTREAM_PAR_MIN_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(PAR_MIN_ROWS_DEFAULT)
+    })
+}
 
 /// Sweeps between renormalizations of the power iterate (FP drift guard).
 const NORM_PERIOD: usize = 32;
@@ -120,18 +152,131 @@ const GTH_SMALL_N: usize = 32;
 /// GTH is used up to this state count when the chain is dense.
 const GTH_DENSE_N: usize = 1500;
 
-/// Chains at or above this state count route straight to the
-/// chunk-parallel power sweep: a Gauss–Seidel sweep is sequential by
-/// construction (every update reads the freshest values), so at the
-/// ≥ 1 M-state quotients (6×7-class shapes) the pull sweep is the only
-/// solver that scales with cores.  Routing by *size* — not by the
-/// machine's core count — keeps the solver choice, and hence the result
-/// bits, machine-independent.
-const POWER_ROUTE_MIN_STATES: usize = 1 << 20;
+/// Chains at or above this state count route to the top-end stack
+/// (adaptive SOR, then restarted GMRES, then power — each
+/// residual-verified).  Measured on the 1 081 344-state 6×7 quotient
+/// (`solver_scale` in `BENCH_ctmc.json`): SOR converges in ~10× fewer
+/// sweeps than power takes iterations (2.5 s vs 18.7 s), while GMRES —
+/// despite the fewest operator applications — pays O(restart · n)
+/// orthogonalization per matvec and lands slowest (30 s), so it serves
+/// as the robust fallback rather than the primary.  Routing by *size* —
+/// not by the machine's core count — keeps the solver choice, and hence
+/// the result bits, machine-independent.
+const KRYLOV_ROUTE_MIN_STATES: usize = 1 << 20;
 
-/// Residual (max-norm, rate-relative) Gauss–Seidel must reach before its
-/// result is trusted by [`Ctmc::stationary`].
+/// Residual (max-norm, rate-relative) an iterative solver must reach
+/// before its result is trusted by [`Ctmc::stationary_solve`].
 const GS_RESIDUAL_TOL: f64 = 1e-10;
+
+/// GMRES *aims* two decades below the acceptance contract.  Residual →
+/// stationary-vector error amplification grows with the chain's mixing
+/// time (measured ~500× on the 1M-state 6×7 quotient), so a solver that
+/// stops exactly at [`GS_RESIDUAL_TOL`] would carry ~1e-7-class
+/// throughput error while the sweep solvers (which overshoot their
+/// change-based `tol` by many decades) sit at ~1e-12.  Aiming tighter
+/// costs GMRES a few extra restarts and keeps cross-solver agreement in
+/// the 1e-8 class; acceptance (and fallback) still uses the contract.
+const GMRES_TARGET_SAFETY: f64 = 1e-2;
+
+/// The stationary methods this crate implements — the members of a
+/// [`SolverPlan`] and the vocabulary of the CLI's `--solver` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Solver {
+    /// Grassmann–Taksar–Heyman elimination (`O(n³)`, exact to rounding).
+    Gth,
+    /// Gauss–Seidel relaxation of the balance equations.
+    GaussSeidel,
+    /// Restarted GMRES on `πQ = 0` with renormalized deflation
+    /// ([`crate::krylov`]).
+    Gmres,
+    /// Successive over-relaxation of the balance equations
+    /// ([`crate::krylov`]).
+    Sor,
+    /// Uniformized power iteration with safeguarded RRE extrapolation.
+    Power,
+}
+
+impl Solver {
+    /// Short lowercase name, as printed by reports and accepted by the
+    /// CLI (`gth`, `gs`, `gmres`, `sor`, `power`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Solver::Gth => "gth",
+            Solver::GaussSeidel => "gs",
+            Solver::Gmres => "gmres",
+            Solver::Sor => "sor",
+            Solver::Power => "power",
+        }
+    }
+}
+
+/// A stationary-solver request: the measured automatic policy, or one
+/// forced method (the CLI's `--solver` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverChoice {
+    /// Follow [`Ctmc::solver_plan`] (size/density crossovers plus
+    /// residual-verified fallbacks).
+    #[default]
+    Auto,
+    /// Run exactly this solver with its standard budget; no fallback.
+    /// The [`SolveReport`] still records the achieved residual, so a
+    /// forced solver that failed to converge is visible to the caller.
+    Force(Solver),
+}
+
+impl SolverChoice {
+    /// Parse a CLI spelling: `auto`, `gth`, `gs` (or `gauss-seidel`),
+    /// `gmres`, `sor`, `power`.  Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<SolverChoice> {
+        Some(match s {
+            "auto" => SolverChoice::Auto,
+            "gth" => SolverChoice::Force(Solver::Gth),
+            "gs" | "gauss-seidel" => SolverChoice::Force(Solver::GaussSeidel),
+            "gmres" => SolverChoice::Force(Solver::Gmres),
+            "sor" => SolverChoice::Force(Solver::Sor),
+            "power" => SolverChoice::Force(Solver::Power),
+            _ => return None,
+        })
+    }
+
+    /// The label of the forced solver, or `"auto"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverChoice::Auto => "auto",
+            SolverChoice::Force(s) => s.label(),
+        }
+    }
+}
+
+/// The explicit outcome of the automatic solver selection for one chain:
+/// which method runs first, which residual-verified fallbacks follow,
+/// and why — the policy [`Ctmc::stationary`] used to bury in its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverPlan {
+    /// The method tried first.
+    pub primary: Solver,
+    /// Fallbacks tried in order when the previous method misses the
+    /// rate-relative `1e-10` residual contract.
+    pub fallbacks: &'static [Solver],
+    /// One-line rationale (the measured crossover that fired).
+    pub reason: &'static str,
+}
+
+/// A solved stationary system plus the provenance reports print:
+/// which solver actually produced `pi`, the final max-norm stationarity
+/// residual, and how many iterations (sweeps for the relaxations and
+/// power, matvecs for GMRES, `n` for GTH's eliminations) it took.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The stationary distribution (unit sum).
+    pub pi: Vec<f64>,
+    /// The solver that produced `pi` (after any fallbacks).
+    pub solver: Solver,
+    /// Final max-norm stationarity residual `‖πQ‖_∞` of `pi`.
+    pub residual: f64,
+    /// Iterations the winning solver spent.
+    pub iterations: usize,
+}
 
 /// Incremental builder used by the marking BFS: rows are appended in
 /// state order straight into the flat arrays, no nested `Vec`s.
@@ -485,13 +630,19 @@ impl Ctmc {
     pub fn stationary_power(&self, tol: f64, max_iters: usize) -> Vec<f64> {
         assert!(self.n > 0);
         let pi0 = vec![1.0 / self.n as f64; self.n];
-        self.stationary_power_from(pi0, tol, max_iters)
+        self.stationary_power_from(pi0, tol, max_iters).0
     }
 
     /// [`Ctmc::stationary_power`] warm-started from `pi` (used by the
-    /// [`Ctmc::stationary`] fallback so a near-converged Gauss–Seidel
-    /// iterate is polished instead of thrown away).
-    fn stationary_power_from(&self, mut pi: Vec<f64>, tol: f64, max_iters: usize) -> Vec<f64> {
+    /// [`Ctmc::stationary_solve`] fallback so a near-converged relaxation
+    /// iterate is polished instead of thrown away).  Returns the iterate
+    /// and the number of sweeps spent.
+    fn stationary_power_from(
+        &self,
+        mut pi: Vec<f64>,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<f64>, usize) {
         let n = self.n;
         assert_eq!(pi.len(), n);
         // Hoisted out of the sweep: stay[j] = 1 − exit[j]/Λ and the
@@ -506,7 +657,9 @@ impl Ctmc {
         // one real error mode, RRE kills up to RRE_WINDOW − 2 modes at
         // once, which is what the complex-spectrum marking chains need).
         let mut burst: Vec<Vec<f64>> = Vec::with_capacity(RRE_WINDOW);
+        let mut sweeps = 0usize;
         for it in 0..max_iters {
+            sweeps = it + 1;
             self.power_sweep(&pi, &mut next, &stay);
             // The L1 change is only needed on the sweeps that may stop;
             // computing it 1-in-CHECK_PERIOD keeps the hot path to the
@@ -536,7 +689,7 @@ impl Ctmc {
             }
         }
         normalize(&mut pi);
-        pi
+        (pi, sweeps)
     }
 
     /// Replace `pi` by `candidate` when the candidate is a proper
@@ -577,13 +730,21 @@ impl Ctmc {
     /// miss should check [`Ctmc::stationarity_residual`] and fall back —
     /// [`Ctmc::stationary`] does exactly that.
     pub fn stationary_gauss_seidel(&self, tol: f64, max_sweeps: usize) -> Vec<f64> {
+        self.gauss_seidel_counted(tol, max_sweeps).0
+    }
+
+    /// [`Ctmc::stationary_gauss_seidel`] plus the number of sweeps spent
+    /// (same arithmetic, same bits).
+    pub(crate) fn gauss_seidel_counted(&self, tol: f64, max_sweeps: usize) -> (Vec<f64>, usize) {
         let n = self.n;
         assert!(n > 0);
         if n == 1 {
-            return vec![1.0];
+            return (vec![1.0], 0);
         }
         let mut pi = vec![1.0 / n as f64; n];
-        for _ in 0..max_sweeps {
+        let mut sweeps = 0usize;
+        for it in 0..max_sweeps {
+            sweeps = it + 1;
             let mut max_rel = 0.0f64;
             for j in 0..n {
                 let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
@@ -604,60 +765,216 @@ impl Ctmc {
                 break;
             }
         }
-        pi
+        (pi, sweeps)
     }
 
-    /// Stationary distribution with automatic solver selection (see the
-    /// module docs for the measured policy): GTH for small or dense
-    /// chains, Gauss–Seidel (with a power-iteration fallback verified by
-    /// the stationarity residual) for large sparse ones.
-    pub fn stationary(&self) -> Vec<f64> {
+    /// The explicit [`SolverPlan`] the automatic selection follows for
+    /// this chain — size/density crossovers measured with
+    /// `perf_snapshot` (see the module docs and `ARCHITECTURE.md`).
+    pub fn solver_plan(&self) -> SolverPlan {
         let n = self.n;
         if n <= GTH_SMALL_N {
-            return self.stationary_gth();
+            return SolverPlan {
+                primary: Solver::Gth,
+                fallbacks: &[],
+                reason: "n <= 32: GTH elimination is fastest and exact to rounding",
+            };
         }
         let dense = self.nnz() as f64 > (n as f64) * (n as f64) * 0.25;
         if dense && n <= GTH_DENSE_N {
-            return self.stationary_gth();
+            return SolverPlan {
+                primary: Solver::Gth,
+                fallbacks: &[],
+                reason: "dense (nnz > n^2/4) and n <= 1500: elimination beats relaxation",
+            };
         }
-        // Million-state chains (the 6×7-class quotients) skip relaxation:
-        // only the chunk-parallel pull sweep scales with cores there, and
-        // its extrapolated iteration is unconditionally convergent.  The
-        // result is still residual-verified — a chain mixing slowly
-        // enough to exhaust the iteration cap falls back to a
-        // Gauss–Seidel pass, keeping whichever iterate balances better.
-        if n >= POWER_ROUTE_MIN_STATES {
-            let pi = self.stationary_power(1e-13, 200_000);
-            let scale = self.max_rate().max(1e-300);
-            if self.stationarity_residual(&pi) <= GS_RESIDUAL_TOL * scale {
-                return pi;
+        if n >= KRYLOV_ROUTE_MIN_STATES {
+            return SolverPlan {
+                primary: Solver::Sor,
+                fallbacks: &[Solver::Gmres, Solver::Power],
+                reason: "n >= 2^20: adaptive SOR converges in ~10x fewer sweeps \
+                         than power iterations; GMRES is the robust fallback \
+                         (fewest matvecs but O(restart*n) orthogonalization each)",
+            };
+        }
+        SolverPlan {
+            primary: Solver::GaussSeidel,
+            fallbacks: &[Solver::Power],
+            reason: "sparse mid-range: Gauss-Seidel converges in tens of sweeps",
+        }
+    }
+
+    /// Stationary distribution with automatic solver selection — a thin
+    /// wrapper over [`Ctmc::stationary_solve`] with [`SolverChoice::Auto`]
+    /// for callers that do not need the provenance.
+    pub fn stationary(&self) -> Vec<f64> {
+        self.stationary_solve(SolverChoice::Auto).pi
+    }
+
+    /// Solve for the stationary distribution following `choice` and
+    /// report which solver produced the result, its final max-norm
+    /// stationarity residual, and its iteration count.
+    ///
+    /// With [`SolverChoice::Auto`] this executes [`Ctmc::solver_plan`]:
+    /// the primary method runs first and each fallback only fires when
+    /// the previous result misses the rate-relative `1e-10` residual
+    /// contract (or is non-finite).  With [`SolverChoice::Force`] exactly
+    /// that solver runs, with its standard budget and no fallback — the
+    /// reported residual is then the caller's only convergence signal.
+    pub fn stationary_solve(&self, choice: SolverChoice) -> SolveReport {
+        match choice {
+            SolverChoice::Force(s) => self.run_forced(s),
+            SolverChoice::Auto => self.run_plan(self.solver_plan()),
+        }
+    }
+
+    /// Run one solver with its standard budget and report the outcome.
+    fn run_forced(&self, solver: Solver) -> SolveReport {
+        let (pi, iterations) = match solver {
+            Solver::Gth => (self.stationary_gth(), self.n),
+            Solver::GaussSeidel => self.gauss_seidel_counted(1e-14, 10_000),
+            Solver::Gmres => {
+                let scale = self.max_rate().max(1e-300);
+                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale)
             }
-            let gs = self.stationary_gauss_seidel(1e-14, 10_000);
-            let gs_ok = gs.iter().all(|v| v.is_finite())
-                && self.stationarity_residual(&gs) < self.stationarity_residual(&pi);
-            return if gs_ok { gs } else { pi };
+            Solver::Sor => self.sor_counted(crate::krylov::SOR_OMEGA, 1e-14, 10_000),
+            Solver::Power => {
+                self.stationary_power_from(vec![1.0 / self.n as f64; self.n], 1e-13, 200_000)
+            }
+        };
+        let residual = self.stationarity_residual(&pi);
+        SolveReport {
+            pi,
+            solver,
+            residual,
+            iterations,
         }
-        let pi = self.stationary_gauss_seidel(1e-14, 10_000);
-        // Acceptance requires finiteness explicitly: a zero-exit state
-        // makes relaxation divide by zero, and `f64::max` in the residual
-        // ignores the resulting NaNs rather than propagating them.
-        let finite = pi.iter().all(|v| v.is_finite());
-        // Residual is rate-relative: compare against the largest flow.
+    }
+
+    /// Execute a [`SolverPlan`]: primary first, then residual-verified
+    /// fallbacks.  The mid-range Gauss–Seidel→power chain warm-starts the
+    /// power polish from the relaxation iterate (matching the historical
+    /// `stationary()` bit for bit); the top-end SOR→GMRES→power chain
+    /// keeps the best-balancing iterate if every method misses the
+    /// contract.
+    fn run_plan(&self, plan: SolverPlan) -> SolveReport {
+        let n = self.n;
         let scale = self.max_rate().max(1e-300);
-        if finite && self.stationarity_residual(&pi) <= GS_RESIDUAL_TOL * scale {
-            return pi;
+        let tol = GS_RESIDUAL_TOL * scale;
+        match plan.primary {
+            Solver::Gth => self.run_forced(Solver::Gth),
+            Solver::GaussSeidel => {
+                let (pi, sweeps) = self.gauss_seidel_counted(1e-14, 10_000);
+                // Acceptance requires finiteness explicitly: a zero-exit
+                // state makes relaxation divide by zero, and `f64::max` in
+                // the residual ignores the resulting NaNs rather than
+                // propagating them.
+                let finite = pi.iter().all(|v| v.is_finite());
+                if finite {
+                    let residual = self.stationarity_residual(&pi);
+                    if residual <= tol {
+                        return SolveReport {
+                            pi,
+                            solver: Solver::GaussSeidel,
+                            residual,
+                            iterations: sweeps,
+                        };
+                    }
+                }
+                // Fallback: polish the (partially converged) Gauss–Seidel
+                // iterate with the unconditionally convergent power method
+                // rather than restarting from the uniform vector — unless
+                // relaxation produced non-finite entries, which would
+                // poison every later sweep.
+                let pi0 = if finite { pi } else { vec![1.0 / n as f64; n] };
+                let (pw, iters) = self.stationary_power_from(pi0, 1e-13, 200_000);
+                let residual = self.stationarity_residual(&pw);
+                SolveReport {
+                    pi: pw,
+                    solver: Solver::Power,
+                    residual,
+                    iterations: iters,
+                }
+            }
+            // Top end (n >= 2^20): SOR, then GMRES, then power, each
+            // residual-verified; if everything misses the contract, keep
+            // whichever iterate balances best.
+            Solver::Sor | Solver::Gmres | Solver::Power => {
+                if plan.fallbacks.is_empty() {
+                    return self.run_forced(plan.primary);
+                }
+                let mut best: Option<SolveReport> = None;
+                for &solver in std::iter::once(&plan.primary).chain(plan.fallbacks) {
+                    let rep = self.run_forced(solver);
+                    let finite = rep.residual.is_finite() && rep.pi.iter().all(|v| v.is_finite());
+                    if finite && rep.residual <= tol {
+                        return rep;
+                    }
+                    if finite && best.as_ref().is_none_or(|b| rep.residual < b.residual) {
+                        best = Some(rep);
+                    }
+                }
+                best.unwrap_or_else(|| self.run_forced(Solver::Power))
+            }
         }
-        // Fallback: polish the (partially converged) Gauss–Seidel iterate
-        // with the unconditionally convergent power method rather than
-        // restarting from the uniform vector — unless relaxation produced
-        // non-finite entries, which would poison every later sweep.
-        let pi0 = if finite { pi } else { vec![1.0 / n as f64; n] };
-        self.stationary_power_from(pi0, 1e-13, 200_000)
     }
 
     /// Largest single transition rate (residual scale).
-    fn max_rate(&self) -> f64 {
+    pub(crate) fn max_rate(&self) -> f64 {
         self.rate.iter().fold(0.0f64, |m, &r| m.max(r))
+    }
+
+    /// The gather product `out = x Q` (row vector times generator):
+    /// `out[j] = Σ_{i→j} x_i r_ij − x_j exit_j`.  Chunk-parallel over the
+    /// incoming CSR exactly like the power sweep, so it is bitwise
+    /// deterministic for any thread count.  This is the GMRES matvec.
+    pub(crate) fn apply_q(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let threads = sweep_threads(self.n);
+        if threads <= 1 {
+            self.apply_q_range(x, out, 0);
+            return;
+        }
+        let chunk = self.n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, o) in out.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    self.apply_q_range(x, o, start);
+                });
+            }
+        });
+    }
+
+    /// Sequential kernel of [`Ctmc::apply_q`] for rows
+    /// `start..start + out.len()`.
+    #[inline]
+    fn apply_q_range(&self, x: &[f64], out: &mut [f64], start: usize) {
+        // SAFETY: same invariants as `power_sweep_range` — `from_csr`
+        // validated the incoming CSR, `x` has length `n` (asserted by
+        // `apply_q`), and every chunk satisfies `start + out.len() <= n`.
+        for (dj, v) in out.iter_mut().enumerate() {
+            let j = start + dj;
+            unsafe {
+                let lo = *self.in_ptr.get_unchecked(j) as usize;
+                let hi = *self.in_ptr.get_unchecked(j + 1) as usize;
+                let mut acc = -*x.get_unchecked(j) * *self.exit.get_unchecked(j);
+                for e in lo..hi {
+                    let i = *self.in_src.get_unchecked(e) as usize;
+                    acc += *x.get_unchecked(i) * *self.in_rate.get_unchecked(e);
+                }
+                *v = acc;
+            }
+        }
+    }
+
+    /// Incoming CSR row of state `j` as `(sources, rates)` slices — the
+    /// zero-overhead view the SOR sweep in [`crate::krylov`] iterates.
+    #[inline]
+    pub(crate) fn in_row(&self, j: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
+        (&self.in_src[lo..hi], &self.in_rate[lo..hi])
     }
 
     /// Verify `π Q = 0` (stationarity residual, max-norm) — used by tests
@@ -795,7 +1112,7 @@ pub(crate) fn num_cores() -> usize {
 
 /// Threads the pull-sweep should use for an `n`-state chain.
 fn sweep_threads(n: usize) -> usize {
-    num_cores().min(n / PAR_MIN_ROWS).max(1)
+    num_cores().min(n / par_min_rows()).max(1)
 }
 
 #[cfg(test)]

@@ -19,10 +19,16 @@
 //!   plus the **direct quotient BFS** ([`marking::QuotientGraph`]): when a
 //!   validated rate-preserving automorphism is known up front, the state
 //!   space is explored one canonical representative per orbit, emitting
-//!   the symmetry-reduced chain without ever materializing the full one;
+//!   the symmetry-reduced chain without ever materializing the full one,
+//!   with optionally delta-compressed marking arenas
+//!   ([`marking::ArenaCompression`] — storage-only, bitwise-identical
+//!   output) for the 10M+-state regime;
 //! * [`ctmc`] — stationary solvers: GTH elimination (subtraction-free,
-//!   exact up to rounding) and uniformized power iteration for large sparse
-//!   chains;
+//!   exact up to rounding), Gauss–Seidel, and uniformized power iteration,
+//!   selected by an explicit measured [`SolverPlan`](ctmc::SolverPlan);
+//! * [`krylov`] — the top-end solvers of that plan: restarted GMRES on
+//!   `πQ = 0` (Arnoldi + Givens least squares with renormalized
+//!   deflation) and SOR, for the ≥ 2²⁰-state quotient chains;
 //! * [`pattern`] — the Young-diagram pattern chain of Theorem 3: the state
 //!   count `S(u,v) = C(u+v−1, u−1) · v`, its stationary throughput under
 //!   arbitrary per-link rates, and the homogeneous closed form
@@ -51,6 +57,7 @@
 pub mod cache;
 pub mod ctmc;
 pub mod fxhash;
+pub mod krylov;
 pub mod lump;
 pub mod marking;
 pub mod net;
@@ -58,6 +65,6 @@ pub mod pattern;
 pub mod transient;
 
 pub use cache::ChainCache;
-pub use ctmc::Ctmc;
-pub use marking::{MarkingGraph, MarkingOptions, QuotientGraph};
+pub use ctmc::{Ctmc, SolveReport, Solver, SolverChoice};
+pub use marking::{ArenaCompression, MarkingGraph, MarkingOptions, QuotientGraph};
 pub use net::EventNet;

@@ -67,7 +67,7 @@
 //! cannot be pre-validated and the oracle the property tests compare
 //! against.
 
-use crate::ctmc::{CsrBuilder, Ctmc};
+use crate::ctmc::{CsrBuilder, Ctmc, SolveReport, SolverChoice};
 
 /// A partition of `0..n` states into contiguous-numbered blocks.
 ///
@@ -583,17 +583,35 @@ impl Ctmc {
     /// single block is vacuously lumpable) yields a quotient whose
     /// uniform lift is wrong unless the chain really is symmetric.
     pub fn stationary_lumped(&self, seed: &Partition) -> Option<LumpedStationary> {
+        self.stationary_lumped_solve(seed, SolverChoice::Auto)
+            .map(|(lumped, _)| lumped)
+    }
+
+    /// As [`Ctmc::stationary_lumped`], but with an explicit
+    /// [`SolverChoice`] for the quotient solve and the quotient's
+    /// [`SolveReport`] returned alongside for provenance (which solver
+    /// ran, at what residual).  The report's `pi` is the *quotient*
+    /// stationary vector the lift was computed from, not the lifted one.
+    ///
+    /// `stationary_lumped` delegates here with [`SolverChoice::Auto`],
+    /// so the two are bitwise identical on the lifted vector.
+    pub fn stationary_lumped_solve(
+        &self,
+        seed: &Partition,
+        choice: SolverChoice,
+    ) -> Option<(LumpedStationary, SolveReport)> {
         let refined = coarsest_refinement(self, seed);
         if refined.is_discrete() {
             return None;
         }
         let (quotient, lift) = self.quotient(&refined);
-        let pi_q = quotient.stationary();
-        Some(LumpedStationary {
-            pi: lift.lift(&pi_q),
+        let report = quotient.stationary_solve(choice);
+        let lumped = LumpedStationary {
+            pi: lift.lift(&report.pi),
             lumped_states: quotient.n_states(),
             full_states: self.n_states(),
-        })
+        };
+        Some((lumped, report))
     }
 }
 

@@ -86,12 +86,38 @@
 //! quotient fallback stay sequential, their state spaces being too small
 //! or too budget-bound to amortize a spawn.
 
-use crate::ctmc::{CsrBuilder, Ctmc};
+use crate::ctmc::{CsrBuilder, Ctmc, SolveReport, SolverChoice};
 use crate::fxhash::FxHashMap;
 use crate::lump::{Lift, Partition};
 use crate::net::{EventNet, NetSymmetry};
 use repstream_petri::canon::{CanonScratch, MarkingCanonicalizer};
 use std::hash::Hasher;
+
+/// When the delta-compressed marking arena engages (see the
+/// `MarkingArena` encoding notes in the module source and the
+/// `arena_memory` section of `BENCH_ctmc.json` for measured ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArenaCompression {
+    /// Store verbatim until a flat arena would exceed
+    /// [`ARENA_COMPRESS_THRESHOLD`] bytes, then delta-encode (the
+    /// conversion re-encodes what is already stored; output bits are
+    /// unaffected either way).
+    #[default]
+    Auto,
+    /// Delta-encode from the first marking (what the bitwise A/B tests
+    /// force so small shapes exercise the compressed path).
+    On,
+    /// Never compress (the historical flat layout).
+    Off,
+}
+
+/// Flat-arena byte size above which [`ArenaCompression::Auto`] converts
+/// to the delta encoding.  8 MiB per arena: small enough that the
+/// million-state quotient builds (the 6×7-and-beyond class) compress
+/// long before the interner becomes the memory ceiling, large enough
+/// that the sub-100k-state chains of the interactive paths keep the
+/// zero-decode flat layout.
+pub const ARENA_COMPRESS_THRESHOLD: usize = 8 << 20;
 
 /// Options for marking-graph construction.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +134,17 @@ pub struct MarkingOptions {
     /// pending states (`1` forces the sequential scan).  Every choice
     /// produces **bitwise-identical** output.
     pub threads: usize,
+    /// Pending states each auto-sized BFS worker must get before a level
+    /// is chunked.  `0` (the default) reads `REPSTREAM_BFS_MIN_STATES_PER_WORKER`
+    /// from the environment, falling back to 256 — so multi-core
+    /// retuning needs no code change.  Output is bitwise identical for
+    /// any value (the gate only decides *whether* to spawn).
+    pub min_states_per_worker: usize,
+    /// Delta compression of the marking arenas (keys and representatives;
+    /// the packed-u64 ≤ 8-place fast path is unaffected).  Compression
+    /// changes only how markings are *stored* — BFS order, interned ids
+    /// and all emitted chain bits are identical in every mode.
+    pub arena_compression: ArenaCompression,
 }
 
 impl Default for MarkingOptions {
@@ -116,6 +153,8 @@ impl Default for MarkingOptions {
             max_states: 1 << 20,
             capacity: None,
             threads: 0,
+            min_states_per_worker: 0,
+            arena_compression: ArenaCompression::Auto,
         }
     }
 }
@@ -151,38 +190,439 @@ impl std::fmt::Display for MarkingError {
 
 impl std::error::Error for MarkingError {}
 
-/// All reachable markings, interned in one flat byte arena: marking `s`
-/// is the `n_places`-byte slice at offset `s · n_places`.
+/// LEB128-encode `v` (7 payload bits per byte, high bit = continue).
+#[inline]
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Encoded byte length of `v` under [`push_varint`].
+#[inline]
+fn varint_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+/// Decode one varint at `off`, returning `(value, next offset)`.
+#[inline]
+fn read_varint(buf: &[u8], mut off: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let b = buf[off];
+        off += 1;
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return (v, off);
+        }
+        shift += 7;
+    }
+}
+
+/// The marking arena: append-only storage of fixed-width byte markings,
+/// flat or **delta-compressed**.
+///
+/// # Flat layout
+///
+/// Marking `s` is the `width`-byte slice at offset `s · width` of one
+/// `Vec<u8>` — the historical layout, zero-cost to read.
+///
+/// # Delta layout
+///
+/// Markings of one BFS level differ in few places (each successor is its
+/// parent ± the fired transition's places, and parents within a level are
+/// themselves close), so each entry is encoded against a **base** marking
+/// of its level:
+///
+/// * a base is stored verbatim: varint header `0`, then `width` bytes;
+/// * any other entry stores header `ndiffs + 1` followed by `ndiffs`
+///   `(varint position gap, new byte)` pairs against its base;
+/// * an entry whose delta would not beat half the verbatim cost is itself
+///   stored verbatim and **becomes the new base** — bases refresh as a
+///   level drifts, bounding every entry below `1 + width/2` bytes plus
+///   the 8-byte offset/base bookkeeping while keeping decode depth at
+///   one (a delta never chains through another delta).
+///
+/// [`MarkingArena::begin_level`] marks level boundaries (the next push
+/// starts a fresh base); under [`ArenaCompression::Auto`] the arena
+/// starts flat and converts in place when it crosses
+/// [`ARENA_COMPRESS_THRESHOLD`] — base bookkeeping is maintained while
+/// flat so the conversion re-encodes exactly what a compressed-from-birth
+/// arena would hold.  Compression affects storage only: ids, push order
+/// and every read are identical in all modes.
+#[derive(Debug, Clone)]
+struct MarkingArena {
+    width: usize,
+    len: usize,
+    /// Verbatim payload (flat mode): marking `s` at `s · width`.
+    flat: Vec<u8>,
+    /// Encoded payload (compressed mode).
+    enc: Vec<u8>,
+    /// Start offset in `enc` of each entry (compressed mode).
+    entry_ptr: Vec<u32>,
+    /// Base state of each entry (maintained while flat too — unless the
+    /// threshold is infinite — so a mid-build conversion knows every
+    /// entry's level base).
+    base_of: Vec<u32>,
+    compressed: bool,
+    /// Flat bytes above which the arena converts; `usize::MAX` = never.
+    threshold: usize,
+    /// Current base state (always stored verbatim).
+    cur_base: u32,
+    /// Set by [`Self::begin_level`]: the next push starts a new base.
+    new_level: bool,
+}
+
+impl MarkingArena {
+    fn new(width: usize, compression: ArenaCompression) -> Self {
+        let (compressed, threshold) = match compression {
+            ArenaCompression::Off => (false, usize::MAX),
+            ArenaCompression::Auto => (false, ARENA_COMPRESS_THRESHOLD),
+            ArenaCompression::On => (true, 0),
+        };
+        MarkingArena {
+            width,
+            len: 0,
+            flat: Vec::new(),
+            enc: Vec::new(),
+            entry_ptr: Vec::new(),
+            base_of: Vec::new(),
+            compressed,
+            threshold,
+            cur_base: 0,
+            new_level: false,
+        }
+    }
+
+    /// Wrap already-materialized flat bytes (the packed paths).
+    fn from_flat(width: usize, data: Vec<u8>) -> Self {
+        let len = data.len() / width.max(1);
+        MarkingArena {
+            width,
+            len,
+            flat: data,
+            enc: Vec::new(),
+            entry_ptr: Vec::new(),
+            base_of: Vec::new(),
+            compressed: false,
+            threshold: usize::MAX,
+            cur_base: 0,
+            new_level: false,
+        }
+    }
+
+    /// Number of stored markings.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Places per marking.
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` once the delta encoding is active.
+    fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// Mark a BFS level boundary: the next pushed marking becomes the
+    /// base its level's entries are encoded against.
+    fn begin_level(&mut self) {
+        self.new_level = true;
+    }
+
+    /// Append a marking (its id is the current [`Self::len`]).
+    fn push(&mut self, m: &[u8]) {
+        debug_assert_eq!(m.len(), self.width);
+        let id = self.len;
+        self.len = id + 1;
+        if self.compressed {
+            self.push_encoded(m, id);
+            return;
+        }
+        if self.threshold != usize::MAX {
+            let base = if self.new_level || id == 0 {
+                id as u32
+            } else {
+                self.cur_base
+            };
+            self.new_level = false;
+            self.cur_base = base;
+            self.base_of.push(base);
+        }
+        self.flat.extend_from_slice(m);
+        if self.flat.len() > self.threshold {
+            self.convert();
+        }
+    }
+
+    /// Encode one entry (compressed mode): delta against the current base
+    /// when that wins, verbatim-as-new-base otherwise (see the type docs).
+    fn push_encoded(&mut self, m: &[u8], id: usize) {
+        self.entry_ptr.push(self.enc.len() as u32);
+        let start_base = self.new_level || id == 0;
+        self.new_level = false;
+        if !start_base {
+            let boff = self.entry_ptr[self.cur_base as usize] as usize + 1;
+            // Cost the delta first: gap varints plus one value byte each.
+            let mut ndiffs = 0u32;
+            let mut cost = 0usize;
+            let mut prev = 0usize;
+            for (p, &v) in m.iter().enumerate().take(self.width) {
+                if v != self.enc[boff + p] {
+                    cost += varint_len((p - prev) as u32) + 1;
+                    prev = p;
+                    ndiffs += 1;
+                }
+            }
+            cost += varint_len(ndiffs + 1);
+            if cost < 1 + self.width / 2 {
+                self.base_of.push(self.cur_base);
+                push_varint(&mut self.enc, ndiffs + 1);
+                let mut prev = 0usize;
+                for (p, &v) in m.iter().enumerate().take(self.width) {
+                    if v != self.enc[boff + p] {
+                        push_varint(&mut self.enc, (p - prev) as u32);
+                        self.enc.push(v);
+                        prev = p;
+                    }
+                }
+                return;
+            }
+        }
+        self.base_of.push(id as u32);
+        self.cur_base = id as u32;
+        self.enc.push(0);
+        self.enc.extend_from_slice(m);
+    }
+
+    /// Flat → delta conversion when [`ArenaCompression::Auto`] crosses
+    /// the threshold: re-encode every stored marking against its recorded
+    /// level base.  Storage-only — ids and reads are unaffected.
+    #[cold]
+    fn convert(&mut self) {
+        let flat = std::mem::take(&mut self.flat);
+        let bases = std::mem::take(&mut self.base_of);
+        let w = self.width.max(1);
+        self.compressed = true;
+        self.enc = Vec::with_capacity(flat.len() / 4);
+        self.entry_ptr = Vec::with_capacity(self.len);
+        let pending_level = self.new_level;
+        for (s, &b) in bases.iter().enumerate() {
+            self.new_level = b as usize == s;
+            self.push_encoded(&flat[s * w..(s + 1) * w], s);
+        }
+        self.new_level = pending_level;
+    }
+
+    /// Bytes of marking `s` in flat mode.
+    ///
+    /// # Panics
+    /// Panics once the arena is compressed — bulk callers use
+    /// [`Self::read_at`]/[`Self::matches`].
+    fn get(&self, s: usize) -> &[u8] {
+        assert!(
+            !self.compressed,
+            "marking arena is delta-compressed; use read_into/matches"
+        );
+        &self.flat[s * self.width..(s + 1) * self.width]
+    }
+
+    /// Decode marking `s` into `out` (exactly `width` bytes).
+    fn copy_to(&self, s: usize, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.width);
+        if !self.compressed {
+            out.copy_from_slice(&self.flat[s * self.width..(s + 1) * self.width]);
+            return;
+        }
+        let (h, mut off) = read_varint(&self.enc, self.entry_ptr[s] as usize);
+        if h == 0 {
+            out.copy_from_slice(&self.enc[off..off + self.width]);
+            return;
+        }
+        let boff = self.entry_ptr[self.base_of[s] as usize] as usize + 1;
+        out.copy_from_slice(&self.enc[boff..boff + self.width]);
+        let mut pos = 0usize;
+        for _ in 1..h {
+            let (gap, next) = read_varint(&self.enc, off);
+            pos += gap as usize;
+            out[pos] = self.enc[next];
+            off = next + 1;
+        }
+    }
+
+    /// Marking `s` as a slice: zero-copy while flat, decoded into `buf`
+    /// when compressed.
+    fn read_at<'a>(&'a self, s: usize, buf: &'a mut [u8]) -> &'a [u8] {
+        if !self.compressed {
+            &self.flat[s * self.width..(s + 1) * self.width]
+        } else {
+            self.copy_to(s, buf);
+            buf
+        }
+    }
+
+    /// Does marking `s` equal `probe`?  Compressed entries compare
+    /// without materializing: the base segments between diffs are
+    /// compared directly.
+    fn matches(&self, s: usize, probe: &[u8]) -> bool {
+        debug_assert_eq!(probe.len(), self.width);
+        if !self.compressed {
+            return &self.flat[s * self.width..(s + 1) * self.width] == probe;
+        }
+        let (h, mut off) = read_varint(&self.enc, self.entry_ptr[s] as usize);
+        if h == 0 {
+            return &self.enc[off..off + self.width] == probe;
+        }
+        let boff = self.entry_ptr[self.base_of[s] as usize] as usize + 1;
+        let base = &self.enc[boff..boff + self.width];
+        let mut pos = 0usize;
+        let mut seg = 0usize;
+        for _ in 1..h {
+            let (gap, next) = read_varint(&self.enc, off);
+            pos += gap as usize;
+            if probe[seg..pos] != base[seg..pos] || probe[pos] != self.enc[next] {
+                return false;
+            }
+            seg = pos + 1;
+            off = next + 1;
+        }
+        probe[seg..] == base[seg..]
+    }
+
+    /// Fx hash of marking `s` (`scratch` decodes compressed entries).
+    fn hash_entry(&self, s: usize, scratch: &mut Vec<u8>) -> u64 {
+        if !self.compressed {
+            hash_marking(&self.flat[s * self.width..(s + 1) * self.width])
+        } else {
+            scratch.resize(self.width, 0);
+            self.copy_to(s, scratch);
+            hash_marking(scratch)
+        }
+    }
+
+    /// Payload bytes currently stored (either layout, including the
+    /// compressed layout's per-entry offset/base bookkeeping).
+    fn bytes(&self) -> usize {
+        self.flat.len()
+            + self.enc.len()
+            + self.entry_ptr.len() * std::mem::size_of::<u32>()
+            + self.base_of.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// All reachable markings, interned in one arena — flat (marking `s`
+/// readable in place via [`MarkingStore::get`]) or delta-compressed
+/// (see [`ArenaCompression`]; read through
+/// [`MarkingStore::read_into`] / [`MarkingStore::matches`]).
 #[derive(Debug, Clone)]
 pub struct MarkingStore {
-    width: usize,
-    data: Vec<u8>,
+    arena: MarkingArena,
 }
 
 impl MarkingStore {
+    fn from_arena(arena: MarkingArena) -> Self {
+        MarkingStore { arena }
+    }
+
+    fn from_flat(width: usize, data: Vec<u8>) -> Self {
+        MarkingStore {
+            arena: MarkingArena::from_flat(width, data),
+        }
+    }
+
     /// Number of stored markings.
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.width).unwrap_or(0)
+        self.arena.len()
     }
 
     /// `true` when no marking is stored.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.arena.len() == 0
     }
 
     /// Tokens per place of marking `s`.
+    ///
+    /// # Panics
+    /// Panics when the store is delta-compressed
+    /// ([`Self::is_compressed`]) — use [`Self::read_into`] or
+    /// [`Self::matches`] there.
     pub fn get(&self, s: usize) -> &[u8] {
-        &self.data[s * self.width..(s + 1) * self.width]
+        self.arena.get(s)
+    }
+
+    /// Tokens per place of marking `s`, decoded into `buf` when the
+    /// store is compressed (zero-copy otherwise).
+    pub fn read_into<'a>(&'a self, s: usize, buf: &'a mut Vec<u8>) -> &'a [u8] {
+        buf.resize(self.arena.width(), 0);
+        self.arena.read_at(s, buf)
+    }
+
+    /// Does marking `s` equal `probe` (works in either layout)?
+    pub fn matches(&self, s: usize, probe: &[u8]) -> bool {
+        self.arena.matches(s, probe)
+    }
+
+    /// `true` when markings are stored delta-compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.arena.is_compressed()
     }
 
     /// Places per marking.
     pub fn width(&self) -> usize {
-        self.width
+        self.arena.width()
+    }
+
+    /// Stored payload bytes (see [`ArenaStats`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.bytes()
     }
 
     /// All markings in state order.
+    ///
+    /// # Panics
+    /// Panics when the store is delta-compressed — iterate with
+    /// [`Self::read_into`] there.
     pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
-        self.data.chunks_exact(self.width.max(1))
+        (0..self.len()).map(move |s| self.arena.get(s))
+    }
+}
+
+/// Byte accounting of a build's marking storage, captured when the BFS
+/// finishes (arena and table only grow, so this is also the peak).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Canonical-key arena bytes (what the interner dedups against; the
+    /// plain BFS's keys *are* its markings).
+    pub keys_bytes: usize,
+    /// Representative arena bytes (quotient builds; `0` when the keys
+    /// double as the stored markings).
+    pub reps_bytes: usize,
+    /// Interner bytes: open-addressing slots, or the hash-map estimate
+    /// on the packed paths.
+    pub interner_bytes: usize,
+    /// Whether delta compression was active when the build finished.
+    pub compressed: bool,
+}
+
+impl ArenaStats {
+    /// Total bytes across both arenas and the interner.
+    pub fn total(&self) -> usize {
+        self.keys_bytes + self.reps_bytes + self.interner_bytes
     }
 }
 
@@ -197,6 +637,8 @@ pub struct MarkingGraph {
     /// `enabled_idx[enabled_ptr[s]..enabled_ptr[s+1]]`.
     enabled_ptr: Vec<u32>,
     enabled_idx: Vec<u32>,
+    /// Storage accounting captured at the end of the build.
+    arena_stats: ArenaStats,
 }
 
 /// Fx hash of a marking slice.
@@ -230,11 +672,11 @@ impl OffsetInterner {
     }
 
     /// Find `probe`'s state id, or intern it as `new_id` (the caller must
-    /// then append `probe` to the arena to keep ids and offsets in sync).
+    /// then append `probe` to the arena to keep ids in sync).
     #[inline]
-    fn intern(&mut self, arena: &[u8], width: usize, probe: &[u8], new_id: u32) -> (u32, bool) {
+    fn intern(&mut self, arena: &MarkingArena, probe: &[u8], new_id: u32) -> (u32, bool) {
         if (self.len + 1) * 8 > self.table.len() * 7 {
-            self.grow(arena, width);
+            self.grow(arena);
         }
         let mut slot = hash_marking(probe) as usize & self.mask;
         loop {
@@ -244,8 +686,7 @@ impl OffsetInterner {
                 self.len += 1;
                 return (new_id, true);
             }
-            let off = id as usize * width;
-            if &arena[off..off + width] == probe {
+            if arena.matches(id as usize, probe) {
                 return (id, false);
             }
             slot = (slot + 1) & self.mask;
@@ -258,15 +699,14 @@ impl OffsetInterner {
     /// level is being explored, so states discovered *within* the level
     /// miss here and are deduplicated chunk-locally instead.
     #[inline]
-    fn find(&self, arena: &[u8], width: usize, probe: &[u8]) -> Option<u32> {
+    fn find(&self, arena: &MarkingArena, probe: &[u8]) -> Option<u32> {
         let mut slot = hash_marking(probe) as usize & self.mask;
         loop {
             let id = self.table[slot];
             if id == EMPTY {
                 return None;
             }
-            let off = id as usize * width;
-            if &arena[off..off + width] == probe {
+            if arena.matches(id as usize, probe) {
                 return Some(id);
             }
             slot = (slot + 1) & self.mask;
@@ -274,13 +714,13 @@ impl OffsetInterner {
     }
 
     #[cold]
-    fn grow(&mut self, arena: &[u8], width: usize) {
+    fn grow(&mut self, arena: &MarkingArena) {
         let cap = self.table.len() * 2;
         let mut table = vec![EMPTY; cap];
         let mask = cap - 1;
+        let mut scratch = Vec::new();
         for &id in self.table.iter().filter(|&&id| id != EMPTY) {
-            let off = id as usize * width;
-            let mut slot = hash_marking(&arena[off..off + width]) as usize & mask;
+            let mut slot = arena.hash_entry(id as usize, &mut scratch) as usize & mask;
             while table[slot] != EMPTY {
                 slot = (slot + 1) & mask;
             }
@@ -289,6 +729,11 @@ impl OffsetInterner {
         self.table = table;
         self.mask = mask;
     }
+
+    /// Bytes of the open-addressing slot table.
+    fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Coded-target flag of the parallel staging: targets carrying this bit
@@ -296,21 +741,36 @@ impl OffsetInterner {
 /// (ids therefore live in 31 bits — `max_states` is clamped below it).
 const NEW_BIT: u32 = 1 << 31;
 
-/// Pending states each auto-sized worker must get before a level is
-/// chunked (spawning a scope thread costs tens of microseconds; a smaller
-/// slice of BFS work cannot amortize it).  Explicit thread requests skip
-/// this gate — output is bitwise identical either way.
-const PAR_MIN_STATES_PER_THREAD: usize = 256;
+/// Resolved default of [`MarkingOptions::min_states_per_worker`]: read
+/// once from `REPSTREAM_BFS_MIN_STATES_PER_WORKER`, else 256 (spawning a
+/// scope thread costs tens of microseconds; a smaller slice of BFS work
+/// cannot amortize it).
+fn default_min_states_per_worker() -> usize {
+    static GATE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *GATE.get_or_init(|| {
+        std::env::var("REPSTREAM_BFS_MIN_STATES_PER_WORKER")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(256)
+    })
+}
 
 /// Worker count for a BFS level with `pending` unexplored states: an
 /// explicit request is honored (clamped to one state per worker), `0`
 /// auto-sizes to the core count ([`crate::ctmc::num_cores`], shared with
-/// the power sweep) gated by [`PAR_MIN_STATES_PER_THREAD`].
-fn bfs_threads(requested: usize, pending: usize) -> usize {
+/// the power sweep) gated by `min_per_worker`
+/// ([`MarkingOptions::min_states_per_worker`]; `0` defers to
+/// [`default_min_states_per_worker`]).  Explicit thread requests skip
+/// the gate — output is bitwise identical either way.
+fn bfs_threads(requested: usize, pending: usize, min_per_worker: usize) -> usize {
+    let gate = if min_per_worker == 0 {
+        default_min_states_per_worker()
+    } else {
+        min_per_worker
+    };
     match requested {
-        0 => crate::ctmc::num_cores()
-            .min(pending / PAR_MIN_STATES_PER_THREAD)
-            .max(1),
+        0 => crate::ctmc::num_cores().min(pending / gate).max(1),
         t => t.min(pending).max(1),
     }
 }
@@ -319,16 +779,15 @@ fn bfs_threads(requested: usize, pending: usize) -> usize {
 /// module docs): every firing is recorded with its target either resolved
 /// against the level-frozen interner or deduplicated into the chunk-local
 /// new-key list, for the sequential merge to replay in chunk order.
-#[derive(Default)]
 struct ChunkStage {
     /// `(transition, coded target)` per firing, in scan order; targets
     /// carrying [`NEW_BIT`] index the new-key list.
     firings: Vec<(u32, u32)>,
     /// Exclusive end in `firings` of each explored state's row.
     row_ends: Vec<u32>,
-    /// Chunk-local unique canonical keys (width-strided), in
-    /// first-appearance order.
-    new_keys: Vec<u8>,
+    /// Chunk-local unique canonical keys, in first-appearance order (a
+    /// flat arena — its lifetime is one level, so it never compresses).
+    new_keys: MarkingArena,
     /// First-discovered representative per new key (quotient chunks; the
     /// plain BFS leaves it empty — its keys *are* the markings).
     new_reps: Vec<u8>,
@@ -337,6 +796,19 @@ struct ChunkStage {
     /// Error that cut the scan short (the last staged row is then
     /// partial and the merge re-raises the error at that point).
     error: Option<MarkingError>,
+}
+
+impl ChunkStage {
+    fn new(width: usize) -> Self {
+        ChunkStage {
+            firings: Vec::new(),
+            row_ends: Vec::new(),
+            new_keys: MarkingArena::new(width, ArenaCompression::Off),
+            new_reps: Vec::new(),
+            new_periods: Vec::new(),
+            error: None,
+        }
+    }
 }
 
 /// Lexicographic-minimum rotation of the successor held in `rot`
@@ -481,10 +953,12 @@ impl MarkingGraph {
         let nt = net.n_transitions();
         let strict_safe = opts.capacity.is_none();
 
-        let mut arena: Vec<u8> = net.initial_marking();
-        assert_eq!(arena.len(), width);
+        let init = net.initial_marking();
+        assert_eq!(init.len(), width);
+        let mut arena = MarkingArena::new(width, opts.arena_compression);
+        arena.push(&init);
         let mut interner = OffsetInterner::with_capacity(1024);
-        let (id0, fresh) = interner.intern(&[], width.max(1), &arena, 0);
+        let (id0, fresh) = interner.intern(&arena, &init, 0);
         debug_assert!(fresh && id0 == 0);
 
         let mut out = GraphBuilder::new(1024, nt);
@@ -492,9 +966,20 @@ impl MarkingGraph {
         let mut scratch = vec![0u8; width];
         let mut frontier = 0usize;
         let mut n_states = 1usize;
+        // Exclusive end of the BFS level being explored: crossing it
+        // starts the next level (and a fresh delta base in the arena).
+        let mut level_end = 0usize;
 
         while frontier < n_states {
-            let threads = bfs_threads(opts.threads, n_states - frontier);
+            if frontier >= level_end {
+                level_end = n_states;
+                arena.begin_level();
+            }
+            let threads = bfs_threads(
+                opts.threads,
+                n_states - frontier,
+                opts.min_states_per_worker,
+            );
             if threads > 1 {
                 // Parallel level: freeze the interner/arena over the
                 // pending range, stage one chunk per worker, merge in
@@ -502,7 +987,7 @@ impl MarkingGraph {
                 let hi = n_states;
                 let chunk = (hi - frontier).div_ceil(threads);
                 let stages: Vec<ChunkStage> = std::thread::scope(|scope| {
-                    let (interner, arena) = (&interner, arena.as_slice());
+                    let (interner, arena) = (&interner, &arena);
                     let handles: Vec<_> = (frontier..hi)
                         .step_by(chunk)
                         .map(|lo| {
@@ -530,7 +1015,6 @@ impl MarkingGraph {
                         stage,
                         &mut interner,
                         &mut arena,
-                        width,
                         &mut n_states,
                         opts.max_states,
                         &mut out,
@@ -542,7 +1026,7 @@ impl MarkingGraph {
 
             let s = frontier;
             frontier += 1;
-            cur.copy_from_slice(&arena[s * width..(s + 1) * width]);
+            arena.copy_to(s, &mut cur);
 
             'trans: for t in 0..nt {
                 // Enabled: all inputs marked…
@@ -575,12 +1059,12 @@ impl MarkingGraph {
                         return Err(MarkingError::NotSafe { place: p });
                     }
                 }
-                let (id, is_new) = interner.intern(&arena, width, &scratch, n_states as u32);
+                let (id, is_new) = interner.intern(&arena, &scratch, n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
                         return Err(MarkingError::TooManyStates(opts.max_states));
                     }
-                    arena.extend_from_slice(&scratch);
+                    arena.push(&scratch);
                     n_states += 1;
                 }
                 out.push(t, id as usize, net.rates[t]);
@@ -588,11 +1072,18 @@ impl MarkingGraph {
             out.end_row()?;
         }
 
+        let arena_stats = ArenaStats {
+            keys_bytes: arena.bytes(),
+            reps_bytes: 0,
+            interner_bytes: interner.table_bytes(),
+            compressed: arena.is_compressed(),
+        };
         Ok(MarkingGraph {
-            states: MarkingStore { width, data: arena },
+            states: MarkingStore::from_arena(arena),
             ctmc: out.csr.finish(),
             enabled_ptr: out.enabled_ptr,
             enabled_idx: out.enabled_idx,
+            arena_stats,
         })
     }
 
@@ -604,18 +1095,19 @@ impl MarkingGraph {
         net: &EventNet,
         strict_safe: bool,
         cap: i64,
-        arena: &[u8],
+        arena: &MarkingArena,
         interner: &OffsetInterner,
         width: usize,
         states: std::ops::Range<usize>,
     ) -> ChunkStage {
         let nt = net.n_transitions();
-        let mut stage = ChunkStage::default();
+        let mut stage = ChunkStage::new(width);
         let mut local = OffsetInterner::with_capacity(64);
         let mut n_local = 0u32;
         let mut scratch = vec![0u8; width];
+        let mut curbuf = vec![0u8; width];
         for s in states {
-            let cur = &arena[s * width..(s + 1) * width];
+            let cur = arena.read_at(s, &mut curbuf);
             'trans: for t in 0..nt {
                 for &p in net.inputs(t) {
                     if cur[p] == 0 {
@@ -642,12 +1134,12 @@ impl MarkingGraph {
                         return stage;
                     }
                 }
-                let code = match interner.find(arena, width, &scratch) {
+                let code = match interner.find(arena, &scratch) {
                     Some(id) => id,
                     None => {
-                        let (li, fresh) = local.intern(&stage.new_keys, width, &scratch, n_local);
+                        let (li, fresh) = local.intern(&stage.new_keys, &scratch, n_local);
                         if fresh {
-                            stage.new_keys.extend_from_slice(&scratch);
+                            stage.new_keys.push(&scratch);
                             n_local += 1;
                         }
                         NEW_BIT | li
@@ -669,13 +1161,12 @@ impl MarkingGraph {
         net: &EventNet,
         stage: &ChunkStage,
         interner: &mut OffsetInterner,
-        arena: &mut Vec<u8>,
-        width: usize,
+        arena: &mut MarkingArena,
         n_states: &mut usize,
         max_states: usize,
         out: &mut GraphBuilder,
     ) -> Result<(), MarkingError> {
-        let n_local = stage.new_keys.len() / width.max(1);
+        let n_local = stage.new_keys.len();
         let mut local_ids = vec![EMPTY; n_local];
         let mut f = 0usize;
         for (row, &end) in stage.row_ends.iter().enumerate() {
@@ -685,13 +1176,13 @@ impl MarkingGraph {
                 } else {
                     let li = (code & !NEW_BIT) as usize;
                     if local_ids[li] == EMPTY {
-                        let key = &stage.new_keys[li * width..(li + 1) * width];
-                        let (id, is_new) = interner.intern(arena, width, key, *n_states as u32);
+                        let key = stage.new_keys.get(li);
+                        let (id, is_new) = interner.intern(arena, key, *n_states as u32);
                         if is_new {
                             if *n_states >= max_states {
                                 return Err(MarkingError::TooManyStates(max_states));
                             }
-                            arena.extend_from_slice(key);
+                            arena.push(key);
                             *n_states += 1;
                         }
                         local_ids[li] = id;
@@ -772,11 +1263,19 @@ impl MarkingGraph {
         for &w in &states {
             data.extend_from_slice(&w.to_le_bytes()[..width]);
         }
+        let arena_stats = ArenaStats {
+            keys_bytes: states.len() * std::mem::size_of::<u64>(),
+            reps_bytes: 0,
+            interner_bytes: index.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>()),
+            compressed: false,
+        };
         Ok(MarkingGraph {
-            states: MarkingStore { width, data },
+            states: MarkingStore::from_flat(width, data),
             ctmc: out.csr.finish(),
             enabled_ptr: out.enabled_ptr,
             enabled_idx: out.enabled_idx,
+            arena_stats,
         })
     }
 
@@ -788,6 +1287,12 @@ impl MarkingGraph {
     /// Transitions fireable in state `s` (ascending).
     pub fn enabled(&self, s: usize) -> &[u32] {
         &self.enabled_idx[self.enabled_ptr[s] as usize..self.enabled_ptr[s + 1] as usize]
+    }
+
+    /// Byte accounting of the build's marking storage (the peak — arena
+    /// and interner only grow during the BFS).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena_stats
     }
 
     /// Orbit seed partition of the reachable markings under a net
@@ -823,7 +1328,8 @@ impl MarkingGraph {
         // permuted transition, a σ conflict, or a non-injective image
         // proves the hint does not apply and returns `None`.
         let image0: Option<Vec<u8>> = {
-            let m0 = self.states.get(0);
+            let mut buf = Vec::new();
+            let m0 = self.states.read_into(0, &mut buf);
             let mut img = vec![0u8; width];
             let mut ok = true;
             for (p, &tokens) in m0.iter().enumerate() {
@@ -837,7 +1343,7 @@ impl MarkingGraph {
             ok.then_some(img)
         };
         let image0 = image0?;
-        let s0_img = (0..n).find(|&s| self.states.get(s) == image0)? as u32;
+        let s0_img = (0..n).find(|&s| self.states.matches(s, &image0))? as u32;
 
         let mut sigma = vec![u32::MAX; n];
         let mut taken = vec![false; n];
@@ -942,9 +1448,25 @@ impl MarkingGraph {
     /// this graph's structure (same op order as the owned-chain path, so
     /// refilled and cold solves agree bit for bit).
     pub fn throughput_with(&self, ctmc: &Ctmc, trans_rates: &[f64], transitions: &[usize]) -> f64 {
-        let pi = ctmc.stationary();
-        let rates = self.firing_rates_with(trans_rates, &pi);
-        transitions.iter().map(|&t| rates[t]).sum()
+        self.throughput_solve(ctmc, trans_rates, transitions, SolverChoice::Auto)
+            .0
+    }
+
+    /// As [`MarkingGraph::throughput_with`], solving the chain with an
+    /// explicit [`SolverChoice`] and returning the [`SolveReport`] (which
+    /// solver ran, its residual and iteration count) alongside the
+    /// throughput.  [`SolverChoice::Auto`] reproduces
+    /// [`MarkingGraph::throughput_with`] bit for bit.
+    pub fn throughput_solve(
+        &self,
+        ctmc: &Ctmc,
+        trans_rates: &[f64],
+        transitions: &[usize],
+        choice: SolverChoice,
+    ) -> (f64, SolveReport) {
+        let report = ctmc.stationary_solve(choice);
+        let rates = self.firing_rates_with(trans_rates, &report.pi);
+        (transitions.iter().map(|&t| rates[t]).sum(), report)
     }
 }
 
@@ -1006,6 +1528,8 @@ pub struct QuotientGraph {
     edge_trans: Vec<u32>,
     /// Orbit size (number of distinct markings) per quotient state.
     orbit_size: Vec<u32>,
+    /// Storage accounting captured at the end of the build.
+    arena_stats: ArenaStats,
 }
 
 /// Rotation-buffer budget of the optimized quotient path (bytes): above
@@ -1098,7 +1622,12 @@ impl QuotientBuilder {
         Ok(())
     }
 
-    fn finish(self, reps: MarkingStore, orbit_size: Vec<u32>) -> QuotientGraph {
+    fn finish(
+        self,
+        reps: MarkingStore,
+        orbit_size: Vec<u32>,
+        arena_stats: ArenaStats,
+    ) -> QuotientGraph {
         QuotientGraph {
             reps,
             ctmc: self.csr.finish(),
@@ -1107,6 +1636,7 @@ impl QuotientBuilder {
             edge_ptr: self.edge_ptr,
             edge_trans: self.edge_trans,
             orbit_size,
+            arena_stats,
         }
     }
 }
@@ -1188,13 +1718,16 @@ impl QuotientGraph {
 
         // Seed: canonical key of the initial marking via the plain path.
         let mut scratch = CanonScratch::new(width);
-        let mut reps: Vec<u8> = net.initial_marking();
-        assert_eq!(reps.len(), width);
-        let period = canon.canonicalize_into(&reps, &mut scratch);
-        let mut keys: Vec<u8> = scratch.key().to_vec();
+        let init = net.initial_marking();
+        assert_eq!(init.len(), width);
+        let period = canon.canonicalize_into(&init, &mut scratch);
+        let mut reps = MarkingArena::new(width, opts.arena_compression);
+        reps.push(&init);
+        let mut keys = MarkingArena::new(width, opts.arena_compression);
+        keys.push(scratch.key());
         let mut orbit_size: Vec<u32> = vec![period];
         let mut interner = OffsetInterner::with_capacity(1024);
-        let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
+        let (id0, fresh) = interner.intern(&keys, scratch.key(), 0);
         debug_assert!(fresh && id0 == 0);
 
         let mut out = QuotientBuilder::new(1024, nt);
@@ -1204,9 +1737,19 @@ impl QuotientGraph {
         let mut rot = vec![0u8; order * width];
         let mut frontier = 0usize;
         let mut n_states = 1usize;
+        let mut level_end = 0usize;
 
         while frontier < n_states {
-            let threads = bfs_threads(opts.threads, n_states - frontier);
+            if frontier >= level_end {
+                level_end = n_states;
+                keys.begin_level();
+                reps.begin_level();
+            }
+            let threads = bfs_threads(
+                opts.threads,
+                n_states - frontier,
+                opts.min_states_per_worker,
+            );
             if threads > 1 {
                 // Parallel level (module docs): each worker canonicalizes
                 // its chunk with a private rotation buffer against the
@@ -1214,7 +1757,7 @@ impl QuotientGraph {
                 let hi = n_states;
                 let chunk = (hi - frontier).div_ceil(threads);
                 let stages: Vec<ChunkStage> = std::thread::scope(|scope| {
-                    let (interner, keys, reps) = (&interner, keys.as_slice(), reps.as_slice());
+                    let (interner, keys, reps) = (&interner, &keys, &reps);
                     let tp_pow = tp_pow.as_slice();
                     let handles: Vec<_> = (frontier..hi)
                         .step_by(chunk)
@@ -1263,7 +1806,7 @@ impl QuotientGraph {
 
             let s = frontier as u32;
             frontier += 1;
-            cur.copy_from_slice(&reps[s as usize * width..(s as usize + 1) * width]);
+            reps.copy_to(s as usize, &mut cur);
             rot[..width].copy_from_slice(&cur);
             for a in 1..order {
                 let (prev, rest) = rot.split_at_mut(a * width);
@@ -1312,13 +1855,13 @@ impl QuotientGraph {
                 let (best, period) = lex_min_rotation(&rot, width, order);
                 let probe_range = best * width..(best + 1) * width;
                 let (id, is_new) =
-                    interner.intern(&keys, width, &rot[probe_range.clone()], n_states as u32);
+                    interner.intern(&keys, &rot[probe_range.clone()], n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
                         return Err(MarkingError::TooManyStates(opts.max_states));
                     }
-                    keys.extend_from_slice(&rot[probe_range]);
-                    reps.extend_from_slice(&rot[..width]);
+                    keys.push(&rot[probe_range]);
+                    reps.push(&rot[..width]);
                     orbit_size.push(period);
                     n_states += 1;
                 }
@@ -1338,7 +1881,13 @@ impl QuotientGraph {
             out.end_row()?;
         }
 
-        Ok(out.finish(MarkingStore { width, data: reps }, orbit_size))
+        let arena_stats = ArenaStats {
+            keys_bytes: keys.bytes(),
+            reps_bytes: reps.bytes(),
+            interner_bytes: interner.table_bytes(),
+            compressed: keys.is_compressed() || reps.is_compressed(),
+        };
+        Ok(out.finish(MarkingStore::from_arena(reps), orbit_size, arena_stats))
     }
 
     /// Worker of the parallel rotation-buffer quotient BFS: identical
@@ -1355,20 +1904,21 @@ impl QuotientGraph {
         tp_pow: &[u32],
         strict_safe: bool,
         cap: i64,
-        reps: &[u8],
-        keys: &[u8],
+        reps: &MarkingArena,
+        keys: &MarkingArena,
         interner: &OffsetInterner,
         width: usize,
         states: std::ops::Range<usize>,
     ) -> ChunkStage {
         let nt = net.n_transitions();
         let order = tp_pow.len() / nt.max(1);
-        let mut stage = ChunkStage::default();
+        let mut stage = ChunkStage::new(width);
         let mut local = OffsetInterner::with_capacity(64);
         let mut n_local = 0u32;
         let mut rot = vec![0u8; order * width];
+        let mut curbuf = vec![0u8; width];
         for s in states {
-            let cur = &reps[s * width..(s + 1) * width];
+            let cur = reps.read_at(s, &mut curbuf);
             rot[..width].copy_from_slice(cur);
             for a in 1..order {
                 let (prev, rest) = rot.split_at_mut(a * width);
@@ -1414,12 +1964,12 @@ impl QuotientGraph {
                 }
                 let (best, period) = lex_min_rotation(&rot, width, order);
                 let probe = &rot[best * width..(best + 1) * width];
-                let code = match interner.find(keys, width, probe) {
+                let code = match interner.find(keys, probe) {
                     Some(id) => id,
                     None => {
-                        let (li, fresh) = local.intern(&stage.new_keys, width, probe, n_local);
+                        let (li, fresh) = local.intern(&stage.new_keys, probe, n_local);
                         if fresh {
-                            stage.new_keys.extend_from_slice(probe);
+                            stage.new_keys.push(probe);
                             stage.new_reps.extend_from_slice(&rot[..width]);
                             stage.new_periods.push(period);
                             n_local += 1;
@@ -1456,8 +2006,8 @@ impl QuotientGraph {
         stage: &ChunkStage,
         base: u32,
         interner: &mut OffsetInterner,
-        keys: &mut Vec<u8>,
-        reps: &mut Vec<u8>,
+        keys: &mut MarkingArena,
+        reps: &mut MarkingArena,
         orbit_size: &mut Vec<u32>,
         width: usize,
         n_states: &mut usize,
@@ -1475,14 +2025,14 @@ impl QuotientGraph {
                 } else {
                     let li = (code & !NEW_BIT) as usize;
                     if local_ids[li] == EMPTY {
-                        let key = &stage.new_keys[li * width..(li + 1) * width];
-                        let (id, is_new) = interner.intern(keys, width, key, *n_states as u32);
+                        let key = stage.new_keys.get(li);
+                        let (id, is_new) = interner.intern(keys, key, *n_states as u32);
                         if is_new {
                             if *n_states >= max_states {
                                 return Err(MarkingError::TooManyStates(max_states));
                             }
-                            keys.extend_from_slice(key);
-                            reps.extend_from_slice(&stage.new_reps[li * width..(li + 1) * width]);
+                            keys.push(key);
+                            reps.push(&stage.new_reps[li * width..(li + 1) * width]);
                             orbit_size.push(stage.new_periods[li]);
                             *n_states += 1;
                         }
@@ -1523,13 +2073,16 @@ impl QuotientGraph {
         // would hold one per worker thread).
         let mut scratch = CanonScratch::new(width);
 
-        let mut reps: Vec<u8> = net.initial_marking();
-        assert_eq!(reps.len(), width);
-        let period = canon.canonicalize_into(&reps, &mut scratch);
-        let mut keys: Vec<u8> = scratch.key().to_vec();
+        let init = net.initial_marking();
+        assert_eq!(init.len(), width);
+        let period = canon.canonicalize_into(&init, &mut scratch);
+        let mut reps = MarkingArena::new(width, opts.arena_compression);
+        reps.push(&init);
+        let mut keys = MarkingArena::new(width, opts.arena_compression);
+        keys.push(scratch.key());
         let mut orbit_size: Vec<u32> = vec![period];
         let mut interner = OffsetInterner::with_capacity(1024);
-        let (id0, fresh) = interner.intern(&[], width.max(1), &keys, 0);
+        let (id0, fresh) = interner.intern(&keys, scratch.key(), 0);
         debug_assert!(fresh && id0 == 0);
 
         let mut out = QuotientBuilder::new(1024, nt);
@@ -1537,11 +2090,17 @@ impl QuotientGraph {
         let mut succ = vec![0u8; width];
         let mut frontier = 0usize;
         let mut n_states = 1usize;
+        let mut level_end = 0usize;
 
         while frontier < n_states {
+            if frontier >= level_end {
+                level_end = n_states;
+                keys.begin_level();
+                reps.begin_level();
+            }
             let s = frontier as u32;
             frontier += 1;
-            cur.copy_from_slice(&reps[s as usize * width..(s as usize + 1) * width]);
+            reps.copy_to(s as usize, &mut cur);
 
             'trans: for t in 0..nt {
                 for &p in net.inputs(t) {
@@ -1569,13 +2128,13 @@ impl QuotientGraph {
                     }
                 }
                 let period = canon.canonicalize_into(&succ, &mut scratch);
-                let (id, is_new) = interner.intern(&keys, width, scratch.key(), n_states as u32);
+                let (id, is_new) = interner.intern(&keys, scratch.key(), n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
                         return Err(MarkingError::TooManyStates(opts.max_states));
                     }
-                    keys.extend_from_slice(scratch.key());
-                    reps.extend_from_slice(&succ);
+                    keys.push(scratch.key());
+                    reps.push(&succ);
                     orbit_size.push(period);
                     n_states += 1;
                 }
@@ -1584,7 +2143,13 @@ impl QuotientGraph {
             out.end_row()?;
         }
 
-        Ok(out.finish(MarkingStore { width, data: reps }, orbit_size))
+        let arena_stats = ArenaStats {
+            keys_bytes: keys.bytes(),
+            reps_bytes: reps.bytes(),
+            interner_bytes: interner.table_bytes(),
+            compressed: keys.is_compressed() || reps.is_compressed(),
+        };
+        Ok(out.finish(MarkingStore::from_arena(reps), orbit_size, arena_stats))
     }
 
     /// Packed path for ≤ 8 places: representatives and canonical keys are
@@ -1659,7 +2224,18 @@ impl QuotientGraph {
         for &w in &reps {
             data.extend_from_slice(&w.to_le_bytes()[..width]);
         }
-        Ok(out.finish(MarkingStore { width, data }, orbit_size))
+        let arena_stats = ArenaStats {
+            keys_bytes: 0,
+            reps_bytes: reps.len() * std::mem::size_of::<u64>(),
+            interner_bytes: index.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>()),
+            compressed: false,
+        };
+        Ok(out.finish(
+            MarkingStore::from_flat(width, data),
+            orbit_size,
+            arena_stats,
+        ))
     }
 
     /// Number of orbits (quotient states).
@@ -1678,6 +2254,12 @@ impl QuotientGraph {
     /// Orbit size of every quotient state.
     pub fn orbit_sizes(&self) -> &[u32] {
         &self.orbit_size
+    }
+
+    /// Byte accounting of the build's marking storage (the peak — arenas
+    /// and interner only grow during the BFS).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena_stats
     }
 
     /// Transitions fireable in the representative of orbit `s`
@@ -1742,9 +2324,25 @@ impl QuotientGraph {
     /// this graph's structure (same op order as the owned-chain path, so
     /// refilled and cold solves agree bit for bit).
     pub fn throughput_with(&self, ctmc: &Ctmc, trans_rates: &[f64], transitions: &[usize]) -> f64 {
-        let pi = ctmc.stationary();
-        let rates = self.firing_rates_with(trans_rates, &pi);
-        transitions.iter().map(|&t| rates[t]).sum()
+        self.throughput_solve(ctmc, trans_rates, transitions, SolverChoice::Auto)
+            .0
+    }
+
+    /// As [`QuotientGraph::throughput_with`], solving the chain with an
+    /// explicit [`SolverChoice`] and returning the [`SolveReport`] (which
+    /// solver ran, its residual and iteration count) alongside the
+    /// throughput.  [`SolverChoice::Auto`] reproduces
+    /// [`QuotientGraph::throughput_with`] bit for bit.
+    pub fn throughput_solve(
+        &self,
+        ctmc: &Ctmc,
+        trans_rates: &[f64],
+        transitions: &[usize],
+        choice: SolverChoice,
+    ) -> (f64, SolveReport) {
+        let report = ctmc.stationary_solve(choice);
+        let rates = self.firing_rates_with(trans_rates, &report.pi);
+        (transitions.iter().map(|&t| rates[t]).sum(), report)
     }
 }
 
@@ -1961,6 +2559,123 @@ mod tests {
         let rho = packed.throughput_of(&net, &all);
         let expect = (u * v) as f64 * 1.5 / (u + v - 1) as f64;
         assert!((rho - expect).abs() < 1e-12, "rho {rho} vs {expect}");
+    }
+
+    /// Delta-arena roundtrip: every pushed marking reads back exactly,
+    /// `matches` agrees with equality, and the Auto conversion mid-build
+    /// changes nothing a reader can observe.
+    #[test]
+    fn marking_arena_roundtrip() {
+        let width = 24usize;
+        // Deterministic pseudo-random markings with level structure.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut markings: Vec<Vec<u8>> = Vec::new();
+        let mut level_starts = vec![0usize];
+        let mut base = vec![0u8; width];
+        for level in 0..6 {
+            for (p, b) in base.iter_mut().enumerate() {
+                *b = ((level * 7 + p) % 3) as u8;
+            }
+            let n = 1 + (step() % 40) as usize;
+            for _ in 0..n {
+                let mut m = base.clone();
+                // A few random place edits — the within-level delta.
+                for _ in 0..(step() % 5) {
+                    let p = (step() as usize) % width;
+                    m[p] = (step() % 4) as u8;
+                }
+                if !markings.contains(&m) {
+                    markings.push(m);
+                }
+            }
+            level_starts.push(markings.len());
+        }
+
+        for compression in [
+            ArenaCompression::Off,
+            ArenaCompression::On,
+            ArenaCompression::Auto,
+        ] {
+            let mut arena = MarkingArena::new(width, compression);
+            // Force the Auto conversion mid-build by shrinking the
+            // threshold below the total payload.
+            if compression == ArenaCompression::Auto {
+                arena.threshold = markings.len() * width / 2;
+            }
+            let mut next_level = 0usize;
+            for (s, m) in markings.iter().enumerate() {
+                if level_starts[next_level] == s {
+                    arena.begin_level();
+                    next_level += 1;
+                }
+                arena.push(m);
+            }
+            assert_eq!(arena.len(), markings.len());
+            assert_eq!(
+                arena.is_compressed(),
+                compression != ArenaCompression::Off,
+                "{compression:?}"
+            );
+            let mut buf = vec![0u8; width];
+            for (s, m) in markings.iter().enumerate() {
+                arena.copy_to(s, &mut buf);
+                assert_eq!(&buf, m, "{compression:?} state {s}");
+                assert_eq!(arena.read_at(s, &mut buf), &m[..]);
+                assert!(arena.matches(s, m), "{compression:?} state {s}");
+                // A probe differing in one byte must not match.
+                let mut probe = m.clone();
+                probe[s % width] ^= 0x40;
+                assert!(!arena.matches(s, &probe), "{compression:?} state {s}");
+                let mut scratch = Vec::new();
+                assert_eq!(arena.hash_entry(s, &mut scratch), hash_marking(m));
+            }
+        }
+    }
+
+    /// A forced-compressed plain build must be bitwise identical to the
+    /// flat build: same states, chain, enabled sets — only the storage
+    /// accounting differs.
+    #[test]
+    fn compressed_plain_build_is_bitwise_identical() {
+        let net = comm_pattern(2, 3, |i, j| 1.0 + (i + 2 * j) as f64);
+        let flat = MarkingGraph::build_arena(
+            &net,
+            MarkingOptions {
+                arena_compression: ArenaCompression::Off,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let packed = MarkingGraph::build_arena(
+            &net,
+            MarkingOptions {
+                arena_compression: ArenaCompression::On,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        assert!(!flat.states.is_compressed());
+        assert!(packed.states.is_compressed());
+        assert!(packed.arena_stats().compressed);
+        assert_eq!(flat.n_states(), packed.n_states());
+        assert_eq!(flat.ctmc.nnz(), packed.ctmc.nnz());
+        let mut buf = Vec::new();
+        for s in 0..flat.n_states() {
+            assert_eq!(flat.states.get(s), packed.states.read_into(s, &mut buf));
+            assert_eq!(flat.enabled(s), packed.enabled(s));
+            assert_eq!(flat.ctmc.row_targets(s), packed.ctmc.row_targets(s));
+            for (a, b) in flat.ctmc.row_rates(s).iter().zip(packed.ctmc.row_rates(s)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     /// Safe pattern nets route through the arena path (> 8 places) and

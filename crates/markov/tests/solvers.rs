@@ -1,10 +1,17 @@
-//! Cross-solver property tests: GTH, uniformized power iteration and
-//! Gauss–Seidel must agree on random irreducible chains, including sizes
-//! that bracket the auto-selection thresholds of `Ctmc::stationary`
-//! (GTH below ~32 states, Gauss–Seidel with a power fallback above).
+//! Cross-solver property tests: GTH, uniformized power iteration,
+//! Gauss–Seidel, restarted GMRES and SOR must agree on random
+//! irreducible chains, including sizes that bracket the auto-selection
+//! thresholds of `Ctmc::stationary` (GTH below ~32 states, Gauss–Seidel
+//! with a power fallback above), and on the real Theorem 2 quotient
+//! chains the top-end plan exists for.
 
 use proptest::prelude::*;
-use repstream_markov::ctmc::Ctmc;
+use repstream_markov::ctmc::{Ctmc, Solver, SolverChoice};
+use repstream_markov::krylov::SOR_OMEGA;
+use repstream_markov::marking::{MarkingOptions, QuotientGraph};
+use repstream_markov::net::EventNet;
+use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
+use repstream_petri::tpn::Tpn;
 
 /// A random irreducible CTMC: a ring `i → i+1` guarantees strong
 /// connectivity, plus `extra` random chords per state with rates drawn
@@ -73,27 +80,91 @@ proptest! {
 }
 
 /// The large-chain regime (~2 000 states, past every GTH threshold):
-/// Gauss–Seidel, power and the auto-selected solver agree to 1e-8 with
-/// residuals below 1e-10.  GTH is `O(n³)` and checked separately at one
-/// size as the exactness anchor.
+/// Gauss–Seidel, power, restarted GMRES, SOR and the auto-selected
+/// solver agree to 1e-8 with residuals below 1e-10.  GTH is `O(n³)` and
+/// checked separately at one size as the exactness anchor.
 #[test]
 fn large_sparse_chains_agree() {
     for (n, extra, seed) in [(1000, 2, 7u64), (2000, 2, 11), (2000, 3, 13)] {
         let c = random_irreducible(n, extra, seed);
         let gs = c.stationary_gauss_seidel(1e-15, 50_000);
         let power = c.stationary_power(1e-14, 500_000);
+        let gmres = c.stationary_gmres(1e-12, 20_000);
+        let sor = c.stationary_sor(SOR_OMEGA, 1e-15, 50_000);
         let auto = c.stationary();
-        assert!(c.stationarity_residual(&gs) < 1e-10, "gs residual at n={n}");
-        assert!(
-            c.stationarity_residual(&power) < 1e-10,
-            "power residual at n={n}"
-        );
-        assert!(
-            c.stationarity_residual(&auto) < 1e-10,
-            "auto residual at n={n}"
-        );
+        for (name, pi) in [
+            ("gs", &gs),
+            ("power", &power),
+            ("gmres", &gmres),
+            ("sor", &sor),
+            ("auto", &auto),
+        ] {
+            assert!(
+                c.stationarity_residual(pi) < 1e-10,
+                "{name} residual at n={n}"
+            );
+        }
         assert_agree(&gs, &power, 1e-8, &format!("gs vs power n={n}"));
+        assert_agree(&gs, &gmres, 1e-8, &format!("gs vs gmres n={n}"));
+        assert_agree(&gs, &sor, 1e-8, &format!("gs vs sor n={n}"));
         assert_agree(&gs, &auto, 1e-8, &format!("gs vs auto n={n}"));
+    }
+}
+
+/// The Krylov stack on the chains it was built for: the direct Theorem 2
+/// quotient CTMCs of homogeneous Strict TPNs.  Forced GMRES and SOR must
+/// reproduce the automatic plan's stationary vector to 1e-8 (and its
+/// throughput to 1e-8 relative) with residuals below 1e-10.
+#[test]
+fn krylov_agrees_on_real_quotient_chains() {
+    for teams in [vec![4usize, 5], vec![5, 6]] {
+        let shape = MappingShape::new(teams.clone());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let qg = QuotientGraph::build(
+            &net,
+            &sym,
+            MarkingOptions {
+                max_states: 1 << 22,
+                capacity: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let c = &qg.ctmc;
+        let n = c.n_states();
+        let last = tpn.last_column();
+        let (rho_auto, auto) = qg.throughput_solve(c, &net.rates, &last, SolverChoice::Auto);
+        assert!(
+            c.stationarity_residual(&auto.pi) < 1e-10,
+            "auto residual {:?} n={n}",
+            teams
+        );
+        for solver in [Solver::Gmres, Solver::Sor] {
+            let (rho, rep) = qg.throughput_solve(c, &net.rates, &last, SolverChoice::Force(solver));
+            assert_eq!(rep.solver, solver, "force must run what was forced");
+            assert!(
+                c.stationarity_residual(&rep.pi) < 1e-10,
+                "{} residual {:.3e} on {:?} (n={n})",
+                solver.label(),
+                rep.residual,
+                teams
+            );
+            assert_agree(
+                &auto.pi,
+                &rep.pi,
+                1e-8,
+                &format!("auto vs {} on {teams:?}", solver.label()),
+            );
+            assert!(
+                (rho - rho_auto).abs() <= 1e-8 * rho_auto.abs(),
+                "{} throughput {rho} vs auto {rho_auto} on {:?}",
+                solver.label(),
+                teams
+            );
+        }
     }
 }
 

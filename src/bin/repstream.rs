@@ -13,7 +13,7 @@
 //! the application/platform of an `.rsys` file, and prints the scored
 //! finalists with the evaluation and cache counters.  Flags:
 //! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`,
-//! `--no-lump`, `--threads N`.
+//! `--no-lump`, `--threads N`, `--solver S`.
 //!
 //! `--no-lump` (also accepted by `analyze`) turns the symmetry-reduced
 //! quotient solve of the Strict Theorem 2 chain off, for A/B runs against
@@ -25,6 +25,15 @@
 //! default) auto-sizes to the machine, `1` forces the sequential scan.
 //! Every value produces **bitwise-identical** numbers — the flag only
 //! trades wall-clock for cores.
+//!
+//! `--solver auto|gth|gs|gmres|sor|power` (also accepted by `analyze`)
+//! picks the stationary method of the Theorem 2 chains: `auto` (the
+//! default) runs the measured solver plan (GTH on small/dense chains,
+//! Gauss–Seidel in the mid range, adaptive SOR → restarted GMRES →
+//! power on ≥ 2²⁰-state quotients), anything else forces that one
+//! method.  The
+//! report's Strict section prints the solver that actually ran and its
+//! final residual.
 //!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
@@ -47,6 +56,7 @@
 use repstream::core::model::{Application, Mapping, Platform, System};
 use repstream::core::report::{system_report, ReportOptions};
 use repstream::engine::{portfolio_search, PortfolioOptions};
+use repstream::markov::ctmc::SolverChoice;
 use repstream::petri::dot::to_dot;
 use repstream::petri::shape::ExecModel;
 use repstream::petri::tpn::Tpn;
@@ -74,6 +84,16 @@ fn run(args: &[String]) -> i32 {
                             Some(n) => report_opts.threads = n,
                             None => {
                                 eprintln!("error: --threads needs a count (0 = auto)");
+                                return 2;
+                            }
+                        }
+                    }
+                    "--solver" => {
+                        i += 1;
+                        match args.get(i).and_then(|s| SolverChoice::parse(s)) {
+                            Some(c) => report_opts.solver = c,
+                            None => {
+                                eprintln!("error: --solver needs auto|gth|gs|gmres|sor|power");
                                 return 2;
                             }
                         }
@@ -135,7 +155,7 @@ fn run(args: &[String]) -> i32 {
 }
 
 /// `repstream search [SCENARIO|FILE] [--model M] [--candidates N]
-/// [--seed N] [--no-exp] [--no-lump] [--threads N]`.
+/// [--seed N] [--no-exp] [--no-lump] [--threads N] [--solver S]`.
 fn run_search(args: &[String]) -> i32 {
     let mut scenario = "mapping-search".to_string();
     let mut opts = PortfolioOptions::default();
@@ -185,6 +205,16 @@ fn run_search(args: &[String]) -> i32 {
                     Some(n) => opts.threads = n,
                     None => {
                         eprintln!("error: --threads needs a count (0 = auto)");
+                        return 2;
+                    }
+                }
+            }
+            "--solver" => {
+                i += 1;
+                match args.get(i).and_then(|s| SolverChoice::parse(s)) {
+                    Some(c) => opts.solver = c,
+                    None => {
+                        eprintln!("error: --solver needs auto|gth|gs|gmres|sor|power");
                         return 2;
                     }
                 }
@@ -256,9 +286,10 @@ fn run_search(args: &[String]) -> i32 {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: repstream <analyze FILE [--no-lump] [--threads N] | dot FILE [overlap|strict] | \
+        "usage: repstream <analyze FILE [--no-lump] [--threads N] [--solver S] | \
+         dot FILE [overlap|strict] | \
          example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
-         [--no-exp] [--no-lump] [--threads N]>"
+         [--no-exp] [--no-lump] [--threads N] [--solver S]>  (S: auto|gth|gs|gmres|sor|power)"
     );
     2
 }
