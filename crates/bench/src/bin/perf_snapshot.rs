@@ -50,18 +50,26 @@
 //! bitwise identical (compression is storage-only), and records the peak
 //! arena+interner bytes and the reduction ratio.
 //!
+//! An eighth `"workload_search"` section records **joint multi-app**
+//! candidate scoring on the shared 12-processor platform
+//! (`shared_platform`, K = 2 and K = 3 tenants): the cold per-candidate
+//! contended rescore vs the engine's `WorkloadDetScorer` with its shared
+//! pattern memo, in candidates/sec, with the two per-app score matrices
+//! asserted bitwise equal before any time is recorded.
+//!
 //! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
 
 use repstream_bench::Args;
-use repstream_core::deterministic;
 use repstream_core::model::System;
+use repstream_core::{deterministic, timing};
 use repstream_engine::batch::{score_batch, score_batch_with_threads};
+use repstream_engine::WorkloadDetScorer;
 use repstream_markov::ctmc::{Solver, SolverChoice};
 use repstream_markov::marking::{ArenaCompression, MarkingGraph, MarkingOptions, QuotientGraph};
 use repstream_markov::net::{comm_pattern, EventNet};
 use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::Tpn;
-use repstream_workload::random::random_mappings;
+use repstream_workload::random::{random_joint_mappings, random_mappings};
 use repstream_workload::scenarios;
 use std::cell::Cell;
 use std::fmt::Write as _;
@@ -809,7 +817,98 @@ fn main() {
     );
     assert!(bitwise_equal, "engine scoring diverged from the baseline");
 
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n  \"workload_search\": [\n");
+
+    // Joint multi-app candidate scoring: K tenants of the shared
+    // 12-processor platform, each joint candidate scored with the
+    // per-resource contention folded into every app's service times.
+    // Cold = fresh contended tables + columnwise evaluation per
+    // candidate; engine = WorkloadDetScorer with its shared pattern
+    // memo.  Bitwise equality of the K×N score matrices is asserted
+    // before either time is recorded.
+    let tenant_counts = [2usize, 3];
+    for (idx, &k) in tenant_counts.iter().enumerate() {
+        let workload = scenarios::shared_platform(k);
+        let stage_counts: Vec<usize> = workload
+            .apps()
+            .iter()
+            .map(|a| a.application().n_stages())
+            .collect();
+        let joints = random_joint_mappings(
+            &stage_counts,
+            workload.platform().n_processors(),
+            n_candidates,
+            args.seed ^ 0x10AD,
+        );
+        let cold = || -> Vec<Vec<f64>> {
+            joints
+                .iter()
+                .map(|joint| {
+                    timing::contended_times(&workload, joint)
+                        .iter()
+                        .zip(joint.mappings())
+                        .map(|(times, m)| {
+                            deterministic::throughput_columnwise_shape(&m.shape(), times)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let shared = || -> Vec<Vec<f64>> {
+            let mut scorer = WorkloadDetScorer::new((&workload).into(), ExecModel::Overlap);
+            joints
+                .iter()
+                .map(|joint| scorer.score(joint).expect("valid candidate"))
+                .collect()
+        };
+        let cold_scores = cold();
+        let shared_scores = shared();
+        let joint_bitwise = cold_scores
+            .iter()
+            .zip(&shared_scores)
+            .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(
+            joint_bitwise,
+            "K={k} shared-memo scoring diverged from cold"
+        );
+        let t_cold = timed(reps, cold);
+        let t_shared = timed(reps, shared);
+
+        json.push_str("    {\n");
+        let ind = "      ";
+        let per_s = |t: f64| format!("{:.4e}", n_candidates as f64 / t);
+        field(&mut json, ind, "apps", k, false);
+        field(&mut json, ind, "candidates", n_candidates, false);
+        field(&mut json, ind, "cold_s", format!("{t_cold:.3e}"), false);
+        field(&mut json, ind, "shared_s", format!("{t_shared:.3e}"), false);
+        field(&mut json, ind, "cold_cand_per_s", per_s(t_cold), false);
+        field(&mut json, ind, "shared_cand_per_s", per_s(t_shared), false);
+        field(
+            &mut json,
+            ind,
+            "speedup_shared",
+            format!("{:.2}", t_cold / t_shared),
+            false,
+        );
+        field(&mut json, ind, "bitwise_equal", joint_bitwise, true);
+        let comma = if idx + 1 == tenant_counts.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(json, "    }}{comma}").unwrap();
+        println!(
+            "workload_search K={k}: {n_candidates} candidates cold {:.1}ms shared {:.1}ms \
+             ({:.0}/s -> {:.0}/s, {:.2}x) bitwise_equal {joint_bitwise}",
+            t_cold * 1e3,
+            t_shared * 1e3,
+            n_candidates as f64 / t_cold,
+            n_candidates as f64 / t_shared,
+            t_cold / t_shared,
+        );
+    }
+
+    json.push_str("  ]\n}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");

@@ -6,7 +6,7 @@
 //! cross-check of `egsim` and `platformsim` (three implementations, one
 //! semantics).  Used as the ablation baseline in the benches.
 
-use crate::model::System;
+use crate::model::SystemRef;
 use crate::timing::deterministic_times;
 use repstream_petri::shape::{ExecModel, Resource, ResourceTable};
 use repstream_stochastic::law::Law;
@@ -45,13 +45,13 @@ pub struct ChainSimReport {
 }
 
 /// Run the recurrence with per-resource laws.
-pub fn simulate(
-    system: &System,
+pub fn simulate<'a>(
+    system: impl Into<SystemRef<'a>>,
     model: ExecModel,
     laws: &ResourceTable<Law>,
     opts: ChainSimOptions,
 ) -> ChainSimReport {
-    let shape = system.shape();
+    let shape = system.into().shape();
     let n = shape.n_stages();
     let k = opts.datasets;
     assert!(k > 0);
@@ -135,11 +135,12 @@ pub fn simulate(
 }
 
 /// Deterministic-law convenience wrapper.
-pub fn simulate_deterministic(
-    system: &System,
+pub fn simulate_deterministic<'a>(
+    system: impl Into<SystemRef<'a>>,
     model: ExecModel,
     opts: ChainSimOptions,
 ) -> ChainSimReport {
+    let system = system.into();
     let laws = deterministic_times(system).map(|_, &t| Law::det(t));
     simulate(system, model, &laws, opts)
 }
@@ -148,7 +149,7 @@ pub fn simulate_deterministic(
 mod tests {
     use super::*;
     use crate::deterministic;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
 
     fn system(teams: Vec<Vec<usize>>, speeds: Vec<f64>, bw: f64) -> System {
         let n = teams.len();

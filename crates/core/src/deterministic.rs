@@ -140,22 +140,42 @@ pub fn throughput_columnwise_with_periods(
     times: &ResourceTable<f64>,
     period: &mut impl FnMut(usize, usize, usize, usize, usize) -> f64,
 ) -> f64 {
-    let n = shape.n_stages();
+    throughput_columnwise_with_fns(
+        shape.teams(),
+        &mut |stage, slot| *times.get(Resource::Proc { stage, slot }),
+        period,
+    )
+}
+
+/// As [`throughput_columnwise_with_periods`] with the stage times also
+/// supplied by a closure, so batch evaluators can fold per-resource
+/// service times (e.g. contention shares) on the fly instead of
+/// materializing a [`ResourceTable`] per candidate.  Takes the raw team
+/// sizes (`shape.teams()`) so hot paths need not allocate a
+/// [`MappingShape`] either.  Every fold and candidate value happens
+/// here, in the one shared implementation — a caller whose closures
+/// return the table's values is **bitwise**
+/// [`throughput_columnwise_shape`].
+pub fn throughput_columnwise_with_fns(
+    teams: &[usize],
+    stage_time: &mut impl FnMut(usize, usize) -> f64,
+    period: &mut impl FnMut(usize, usize, usize, usize, usize) -> f64,
+) -> f64 {
+    let n = teams.len();
     let mut best = f64::INFINITY;
 
     // Compute columns.
-    for stage in 0..n {
-        let r = shape.team_size(stage);
+    for (stage, &r) in teams.iter().enumerate() {
         for slot in 0..r {
-            let c = *times.get(Resource::Proc { stage, slot });
+            let c = stage_time(stage, slot);
             best = best.min(r as f64 / c);
         }
     }
 
     // Communication columns.
     for file in 0..n.saturating_sub(1) {
-        let u = shape.team_size(file);
-        let v = shape.team_size(file + 1);
+        let u = teams[file];
+        let v = teams[file + 1];
         let g = gcd(u, v);
         let (up, vp) = (u / g, v / g);
         for comp in 0..g {

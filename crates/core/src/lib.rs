@@ -79,4 +79,6 @@ pub mod report;
 pub mod simulate;
 pub mod timing;
 
-pub use model::{Application, Mapping, Platform, System, SystemRef};
+pub use model::{
+    App, Application, JointMapping, Mapping, Platform, System, SystemRef, Workload, WorkloadRef,
+};

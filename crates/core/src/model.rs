@@ -1,4 +1,12 @@
-//! Applications, platforms and one-to-many mappings (§2.1–2.2).
+//! Applications, platforms and one-to-many mappings (§2.1–2.2), plus the
+//! multi-application extension: several applications ([`App`]) competing
+//! for one shared [`Platform`] as a [`Workload`], mapped jointly by a
+//! [`JointMapping`].
+//!
+//! The single-application [`System`] is the `K = 1` special case: its
+//! timing path (`crate::timing`) routes through the same contention
+//! machinery with every share equal to one, so single-app results are
+//! bit-for-bit what they were before the multi-app refactor.
 
 use repstream_petri::shape::MappingShape;
 
@@ -45,6 +53,15 @@ pub enum ModelError {
         /// Teams in the mapping.
         mapping: usize,
     },
+    /// A workload needs at least one application.
+    NoApps,
+    /// Workload and joint mapping disagree on the number of applications.
+    AppCountMismatch {
+        /// Applications in the workload.
+        apps: usize,
+        /// Per-app mappings in the joint mapping.
+        mappings: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -71,6 +88,11 @@ impl std::fmt::Display for ModelError {
             ModelError::StageCountMismatch { app, mapping } => write!(
                 f,
                 "application has {app} stages but the mapping has {mapping} teams"
+            ),
+            ModelError::NoApps => write!(f, "workload has no applications"),
+            ModelError::AppCountMismatch { apps, mappings } => write!(
+                f,
+                "workload has {apps} applications but the joint mapping has {mappings}"
             ),
         }
     }
@@ -408,6 +430,241 @@ impl<'a> From<&'a System> for SystemRef<'a> {
     }
 }
 
+/// One tenant of a multi-application workload: an [`Application`] plus
+/// its scheduling metadata — an objective weight and an optional
+/// per-app throughput SLA (jobs/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct App {
+    application: Application,
+    weight: f64,
+    sla: Option<f64>,
+}
+
+impl App {
+    /// Wrap an application with weight 1 and no SLA.
+    pub fn new(application: Application) -> Self {
+        App {
+            application,
+            weight: 1.0,
+            sla: None,
+        }
+    }
+
+    /// Set the objective weight (must be positive and finite).
+    pub fn with_weight(mut self, weight: f64) -> Result<Self, ModelError> {
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(ModelError::NonPositive { what: "app weight" });
+        }
+        self.weight = weight;
+        Ok(self)
+    }
+
+    /// Set the throughput SLA in jobs/s (must be positive and finite).
+    pub fn with_sla(mut self, sla: f64) -> Result<Self, ModelError> {
+        if !(sla > 0.0 && sla.is_finite()) {
+            return Err(ModelError::NonPositive { what: "app SLA" });
+        }
+        self.sla = Some(sla);
+        Ok(self)
+    }
+
+    /// The wrapped application.
+    pub fn application(&self) -> &Application {
+        &self.application
+    }
+
+    /// Objective weight (default 1).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Throughput SLA in jobs/s, if declared.
+    pub fn sla(&self) -> Option<f64> {
+        self.sla
+    }
+}
+
+impl From<Application> for App {
+    fn from(application: Application) -> App {
+        App::new(application)
+    }
+}
+
+/// A joint mapping for a K-app workload: one [`Mapping`] per application.
+///
+/// Each per-app mapping keeps the paper's rule (a processor serves at
+/// most one stage *of that app*), but **different apps may share a
+/// processor** — that is the whole point of the workload model, and the
+/// sharing is what the contention terms in
+/// [`crate::timing::contended_times`] charge for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointMapping {
+    mappings: Vec<Mapping>,
+}
+
+impl JointMapping {
+    /// Build from per-app mappings (each already validated on its own).
+    pub fn new(mappings: Vec<Mapping>) -> Result<Self, ModelError> {
+        if mappings.is_empty() {
+            return Err(ModelError::NoApps);
+        }
+        Ok(JointMapping { mappings })
+    }
+
+    /// Number of applications `K`.
+    pub fn n_apps(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The mapping of application `k`.
+    pub fn mapping(&self, k: usize) -> &Mapping {
+        &self.mappings[k]
+    }
+
+    /// All per-app mappings.
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// Replace the mapping of application `k` (builder-style tweak for
+    /// search loops that own their candidate).
+    pub fn set_mapping(&mut self, k: usize, mapping: Mapping) {
+        self.mappings[k] = mapping;
+    }
+}
+
+impl From<Mapping> for JointMapping {
+    fn from(mapping: Mapping) -> JointMapping {
+        JointMapping {
+            mappings: vec![mapping],
+        }
+    }
+}
+
+/// `K` applications competing for one shared [`Platform`].
+///
+/// The single-application [`System`] is the `K = 1` special case; all
+/// single-app entry points delegate to this model with one app and no
+/// co-tenants (every contention share is 1, so results are bitwise
+/// unchanged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    apps: Vec<App>,
+    platform: Platform,
+}
+
+impl Workload {
+    /// Build from tenant apps and the shared platform (`K ≥ 1`).
+    pub fn new(apps: Vec<App>, platform: Platform) -> Result<Self, ModelError> {
+        if apps.is_empty() {
+            return Err(ModelError::NoApps);
+        }
+        Ok(Workload { apps, platform })
+    }
+
+    /// Number of applications `K`.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Tenant `k`.
+    pub fn app(&self, k: usize) -> &App {
+        &self.apps[k]
+    }
+
+    /// All tenants.
+    pub fn apps(&self) -> &[App] {
+        &self.apps
+    }
+
+    /// The shared platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Borrowed view (validity inherited, no re-check).
+    pub fn as_ref(&self) -> WorkloadRef<'_> {
+        WorkloadRef {
+            apps: &self.apps,
+            platform: &self.platform,
+        }
+    }
+}
+
+/// A **borrowed** workload view — the zero-clone counterpart of
+/// [`Workload`], mirroring what [`SystemRef`] is to [`System`].
+///
+/// Search loops score thousands of candidate [`JointMapping`]s against
+/// one `WorkloadRef`; [`WorkloadRef::validate`] re-runs exactly the
+/// shared triple validation per app, with no clones.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRef<'a> {
+    apps: &'a [App],
+    platform: &'a Platform,
+}
+
+impl<'a> WorkloadRef<'a> {
+    /// Build a borrowed view (`K ≥ 1`).
+    pub fn new(apps: &'a [App], platform: &'a Platform) -> Result<Self, ModelError> {
+        if apps.is_empty() {
+            return Err(ModelError::NoApps);
+        }
+        Ok(WorkloadRef { apps, platform })
+    }
+
+    /// Number of applications `K`.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Tenant `k`.
+    pub fn app(&self, k: usize) -> &'a App {
+        &self.apps[k]
+    }
+
+    /// All tenants.
+    pub fn apps(&self) -> &'a [App] {
+        self.apps
+    }
+
+    /// The shared platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// Validate a joint mapping against this workload: one mapping per
+    /// app, stage counts matching, only existing processors — the same
+    /// checks [`SystemRef::new`] runs, per app.
+    pub fn validate(&self, joint: &JointMapping) -> Result<(), ModelError> {
+        if joint.n_apps() != self.apps.len() {
+            return Err(ModelError::AppCountMismatch {
+                apps: self.apps.len(),
+                mappings: joint.n_apps(),
+            });
+        }
+        for (app, mapping) in self.apps.iter().zip(joint.mappings()) {
+            validate_triple(app.application(), self.platform, mapping)?;
+        }
+        Ok(())
+    }
+
+    /// Borrowed single-app view of tenant `k` under `joint` (validity
+    /// inherited from [`WorkloadRef::validate`], no re-check).
+    pub fn system_of(&self, k: usize, joint: &'a JointMapping) -> SystemRef<'a> {
+        SystemRef {
+            app: self.apps[k].application(),
+            platform: self.platform,
+            mapping: joint.mapping(k),
+        }
+    }
+}
+
+impl<'a> From<&'a Workload> for WorkloadRef<'a> {
+    fn from(w: &'a Workload) -> WorkloadRef<'a> {
+        w.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,5 +774,63 @@ mod tests {
         let owned = r.to_owned();
         let back: SystemRef<'_> = (&owned).into();
         assert_eq!(back.mapping(), &mapping);
+    }
+
+    #[test]
+    fn app_metadata_validation() {
+        let a = App::new(app2());
+        assert_eq!(a.weight(), 1.0);
+        assert_eq!(a.sla(), None);
+        let a = a.with_weight(2.5).unwrap().with_sla(0.125).unwrap();
+        assert_eq!(a.weight(), 2.5);
+        assert_eq!(a.sla(), Some(0.125));
+        for bad in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            assert!(App::new(app2()).with_weight(bad).is_err());
+            assert!(App::new(app2()).with_sla(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn workload_validation() {
+        let plat = Platform::homogeneous(4, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            Workload::new(vec![], plat.clone()).unwrap_err(),
+            ModelError::NoApps
+        ));
+        let w = Workload::new(vec![App::new(app2()), App::new(app2())], plat).unwrap();
+        assert_eq!(w.n_apps(), 2);
+        let r = w.as_ref();
+
+        // Wrong app count.
+        let one: JointMapping = Mapping::one_to_one(2).into();
+        assert!(matches!(
+            r.validate(&one).unwrap_err(),
+            ModelError::AppCountMismatch {
+                apps: 2,
+                mappings: 1
+            }
+        ));
+
+        // Cross-app processor sharing is allowed; per-app checks still run.
+        let shared = JointMapping::new(vec![
+            Mapping::new(vec![vec![0], vec![1, 2]]).unwrap(),
+            Mapping::new(vec![vec![0], vec![3]]).unwrap(),
+        ])
+        .unwrap();
+        assert!(r.validate(&shared).is_ok());
+        let bad = JointMapping::new(vec![
+            Mapping::one_to_one(2),
+            Mapping::new(vec![vec![0], vec![9]]).unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            r.validate(&bad).unwrap_err(),
+            ModelError::UnknownProcessor { proc: 9 }
+        ));
+
+        // Per-app borrowed view matches the plain SystemRef.
+        let view = r.system_of(1, &shared);
+        assert_eq!(view.proc_at(1, 0), 3);
+        assert_eq!(view.app(), w.app(1).application());
     }
 }

@@ -6,7 +6,7 @@
 //! paper's Figure 11 runs 500 replications per point.
 
 use crate::chainsim::{self, ChainSimOptions};
-use crate::model::System;
+use crate::model::SystemRef;
 use crate::timing;
 use crossbeam::thread;
 use repstream_petri::egsim::{self, EgSimOptions};
@@ -71,12 +71,13 @@ impl Default for MonteCarloOptions {
 }
 
 /// One simulated throughput value.
-pub fn throughput_once(
-    system: &System,
+pub fn throughput_once<'a>(
+    system: impl Into<SystemRef<'a>>,
     model: ExecModel,
     laws: &ResourceTable<Law>,
     opts: MonteCarloOptions,
 ) -> f64 {
+    let system = system.into();
     match opts.engine {
         SimEngine::EventGraph => {
             let tpn = Tpn::build(&system.shape(), model);
@@ -136,12 +137,13 @@ pub fn throughput_once(
 /// Parallel Monte-Carlo estimate across `opts.replications` independent
 /// runs; returns the across-run summary (min/max/mean/std — the columns
 /// of the paper's Figure 11).
-pub fn monte_carlo(
-    system: &System,
+pub fn monte_carlo<'a>(
+    system: impl Into<SystemRef<'a>>,
     model: ExecModel,
     laws: &ResourceTable<Law>,
     opts: MonteCarloOptions,
 ) -> RunSummary {
+    let system = system.into();
     let reps = opts.replications.max(1);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -151,7 +153,6 @@ pub fn monte_carlo(
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let laws = &*laws;
-            let system = &*system;
             handles.push(scope.spawn(move |_| {
                 let mut acc = OnlineStats::new();
                 let mut i = w;
@@ -175,12 +176,13 @@ pub fn monte_carlo(
 }
 
 /// Convenience: Monte-Carlo with a law family at the system's means.
-pub fn monte_carlo_family(
-    system: &System,
+pub fn monte_carlo_family<'a>(
+    system: impl Into<SystemRef<'a>>,
     model: ExecModel,
     family: LawFamily,
     opts: MonteCarloOptions,
 ) -> RunSummary {
+    let system = system.into();
     let laws = timing::laws(system, family);
     monte_carlo(system, model, &laws, opts)
 }
@@ -189,7 +191,7 @@ pub fn monte_carlo_family(
 mod tests {
     use super::*;
     use crate::deterministic;
-    use crate::model::{Application, Mapping, Platform};
+    use crate::model::{Application, Mapping, Platform, System};
 
     fn system() -> System {
         let app = Application::uniform(2, 6.0, 12.0).unwrap();

@@ -8,8 +8,10 @@
 //! any thread count** — the same pattern as the CTMC power sweep (see
 //! `repstream-markov`), and pinned by the engine's property tests.
 
-use crate::score::DetScorer;
-use repstream_core::model::{Application, Mapping, ModelError, Platform};
+use crate::score::{DetScorer, WorkloadDetScorer};
+use repstream_core::model::{
+    Application, JointMapping, Mapping, ModelError, Platform, WorkloadRef,
+};
 use repstream_petri::shape::ExecModel;
 
 /// Candidates per thread below which spawning is not worth it.
@@ -81,10 +83,74 @@ pub fn score_batch_with_threads(
     Ok(out)
 }
 
+/// Contended per-app deterministic throughputs of every joint candidate,
+/// in input order — the K-app counterpart of [`score_batch`].
+///
+/// Thread count is `available_parallelism` capped so each thread scores
+/// at least `PAR_MIN_CANDIDATES` (64); the result does not depend on it.
+/// The first invalid candidate (in input order) aborts the batch with its
+/// validation error.
+pub fn score_joint_batch(
+    workload: WorkloadRef<'_>,
+    model: ExecModel,
+    candidates: &[JointMapping],
+) -> Result<Vec<Vec<f64>>, ModelError> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores.min(candidates.len() / PAR_MIN_CANDIDATES).max(1);
+    score_joint_batch_with_threads(workload, model, candidates, threads)
+}
+
+/// As [`score_joint_batch`] with an explicit thread count (≥ 1); the
+/// scores are bitwise identical for every choice (each thread owns a
+/// private [`WorkloadDetScorer`] and a disjoint output slice).
+pub fn score_joint_batch_with_threads(
+    workload: WorkloadRef<'_>,
+    model: ExecModel,
+    candidates: &[JointMapping],
+    threads: usize,
+) -> Result<Vec<Vec<f64>>, ModelError> {
+    let threads = threads.max(1);
+    let mut out = vec![Vec::new(); candidates.len()];
+    if threads == 1 || candidates.len() <= 1 {
+        let mut scorer = WorkloadDetScorer::new(workload, model);
+        for (m, slot) in candidates.iter().zip(out.iter_mut()) {
+            scorer.score_into(m, slot)?;
+        }
+        return Ok(out);
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let results: Vec<Result<(), ModelError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .zip(candidates.chunks(chunk))
+            .map(|(slots, chunk_candidates)| {
+                scope.spawn(move || {
+                    let mut scorer = WorkloadDetScorer::new(workload, model);
+                    for (m, slot) in chunk_candidates.iter().zip(slots.iter_mut()) {
+                        scorer.score_into(m, slot)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("joint batch scorer thread panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use repstream_workload::random::random_mappings;
+    use repstream_core::model::{App, Workload};
+    use repstream_workload::random::{random_joint_mappings, random_mappings};
 
     fn instance() -> (Application, Platform) {
         repstream_workload::scenarios::mapping_search()
@@ -132,5 +198,55 @@ mod tests {
         let seq =
             score_batch_with_threads(&app, &platform, ExecModel::Overlap, &candidates, 1).unwrap();
         assert_eq!(auto, seq);
+    }
+
+    #[test]
+    fn joint_thread_counts_agree_bitwise() {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone()), App::new(app)], platform).unwrap();
+        let candidates = random_joint_mappings(&[4, 4], workload.platform().n_processors(), 96, 13);
+        let seq =
+            score_joint_batch_with_threads(workload.as_ref(), ExecModel::Overlap, &candidates, 1)
+                .unwrap();
+        for threads in [2, 3, 8] {
+            let par = score_joint_batch_with_threads(
+                workload.as_ref(),
+                ExecModel::Overlap,
+                &candidates,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (i, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_eq!(a.len(), b.len());
+                for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "candidate {i} app {k} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_invalid_candidate_aborts_with_first_error() {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone()), App::new(app)], platform).unwrap();
+        let mut candidates =
+            random_joint_mappings(&[4, 4], workload.platform().n_processors(), 8, 3);
+        candidates.insert(
+            2,
+            JointMapping::new(vec![
+                Mapping::one_to_one(4),
+                Mapping::new(vec![vec![0], vec![1], vec![2], vec![99]]).unwrap(),
+            ])
+            .unwrap(),
+        );
+        let err =
+            score_joint_batch_with_threads(workload.as_ref(), ExecModel::Overlap, &candidates, 4)
+                .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProcessor { proc: 99 }));
     }
 }

@@ -8,33 +8,288 @@
 //! re-evaluations, not `O(N)` — [`DeltaScorer`] maintains the per-column
 //! minima and recomputes exactly the touched ones.
 //!
+//! [`JointDeltaScorer`] is the K-app generalization: every column value
+//! uses the **contended** service times (`timing::Contention` shares),
+//! and a move of processor `p` in app `k` additionally refreshes, for
+//! every *co-located* app `l ≠ k` that uses `p`, the columns around the
+//! stage `p` serves in `l` — those are exactly the columns whose user
+//! counts can change, because only links with endpoint `p` gain or lose
+//! users.  [`DeltaScorer`] is the K = 1 wrapper (no co-tenants, every
+//! share is 1, values bitwise what they were before the workload
+//! refactor).
+//!
 //! Exactness: every column value is computed by the same formulas (and
 //! the same memoized pattern-period solver) as the full columnwise
-//! evaluation, and `min` over the per-column minima equals the flat fold
-//! of [`throughput_columnwise`] bit for bit — the engine's property
-//! tests compare a randomly walked [`DeltaScorer`] against full
-//! rescoring to 0 ulp.
+//! evaluation over [`timing::contended_times`], and `min` over the
+//! per-column minima equals the flat fold of [`throughput_columnwise`]
+//! bit for bit — the engine's property tests compare randomly walked
+//! scorers against full rescoring to 0 ulp.
 //!
 //! [`throughput_columnwise`]: repstream_core::deterministic::throughput_columnwise
+//! [`timing::contended_times`]: repstream_core::timing::contended_times
 
 use crate::score::PatternMemo;
-use repstream_core::model::{Application, Mapping, ModelError, Platform, ProcId, SystemRef};
+use repstream_core::model::{
+    Application, JointMapping, Mapping, ModelError, Platform, ProcId, SystemRef, WorkloadRef,
+};
+use repstream_core::timing::Contention;
 use repstream_petri::shape::gcd;
 
-/// Incremental columnwise Overlap scorer over a mutable team assignment.
+/// Incremental columnwise Overlap scorer over the mutable team
+/// assignments of a K-app workload, charging contention shares.
 #[derive(Debug)]
-pub struct DeltaScorer<'a> {
-    app: &'a Application,
+pub struct JointDeltaScorer<'a> {
+    apps: Vec<&'a Application>,
     platform: &'a Platform,
-    teams: Vec<Vec<ProcId>>,
-    /// Min candidate rate of each compute column.
-    stage_min: Vec<f64>,
-    /// Min candidate rate of each communication column (file).
-    comm_min: Vec<f64>,
+    /// `teams[k][stage]` = processors serving stage `stage` of app `k`.
+    teams: Vec<Vec<Vec<ProcId>>>,
+    contention: Contention,
+    /// Min candidate rate of each compute column, per app.
+    stage_min: Vec<Vec<f64>>,
+    /// Min candidate rate of each communication column (file), per app.
+    comm_min: Vec<Vec<f64>>,
     memo: PatternMemo,
     scratch: Vec<f64>,
     /// Column re-evaluations performed (the `O(affected)` count).
     recomputes: usize,
+}
+
+impl<'a> JointDeltaScorer<'a> {
+    /// Build from a starting joint mapping (validated per app).
+    pub fn new(
+        workload: WorkloadRef<'a>,
+        start: &JointMapping,
+    ) -> Result<JointDeltaScorer<'a>, ModelError> {
+        workload.validate(start)?;
+        let apps = workload
+            .apps()
+            .iter()
+            .map(|a| a.application())
+            .collect::<Vec<_>>();
+        let teams = start
+            .mappings()
+            .iter()
+            .map(|m| m.teams().to_vec())
+            .collect::<Vec<_>>();
+        Ok(JointDeltaScorer::from_parts(
+            apps,
+            workload.platform(),
+            teams,
+        ))
+    }
+
+    /// Internal constructor over pre-validated parts (shared with the
+    /// single-app [`DeltaScorer`] wrapper, which has no `App` metadata).
+    fn from_parts(
+        apps: Vec<&'a Application>,
+        platform: &'a Platform,
+        teams: Vec<Vec<Vec<ProcId>>>,
+    ) -> JointDeltaScorer<'a> {
+        let n_procs = platform.n_processors();
+        let mut contention = Contention::empty(apps.len(), n_procs);
+        for (k, app_teams) in teams.iter().enumerate() {
+            for (stage, team) in app_teams.iter().enumerate() {
+                for &p in team {
+                    contention.assign(k, p, stage);
+                }
+            }
+        }
+        let mut s = JointDeltaScorer {
+            stage_min: apps
+                .iter()
+                .map(|a| vec![f64::INFINITY; a.n_stages()])
+                .collect(),
+            comm_min: apps
+                .iter()
+                .map(|a| vec![f64::INFINITY; a.n_stages().saturating_sub(1)])
+                .collect(),
+            apps,
+            platform,
+            teams,
+            contention,
+            memo: PatternMemo::default(),
+            scratch: Vec::new(),
+            recomputes: 0,
+        };
+        for k in 0..s.apps.len() {
+            for stage in 0..s.apps[k].n_stages() {
+                s.recompute_stage(k, stage);
+            }
+            for file in 0..s.apps[k].n_stages().saturating_sub(1) {
+                s.recompute_comm(k, file);
+            }
+        }
+        s
+    }
+
+    /// Number of applications `K`.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The current team assignment of app `k`.
+    pub fn teams_of(&self, k: usize) -> &[Vec<ProcId>] {
+        &self.teams[k]
+    }
+
+    /// The current assignment of app `k` as a validated [`Mapping`].
+    pub fn mapping_of(&self, k: usize) -> Result<Mapping, ModelError> {
+        Mapping::new(self.teams[k].clone())
+    }
+
+    /// The current assignment as a validated [`JointMapping`].
+    pub fn joint_mapping(&self) -> Result<JointMapping, ModelError> {
+        JointMapping::new(
+            (0..self.apps.len())
+                .map(|k| self.mapping_of(k))
+                .collect::<Result<_, _>>()?,
+        )
+    }
+
+    /// Column re-evaluations performed so far.
+    pub fn recomputes(&self) -> usize {
+        self.recomputes
+    }
+
+    /// Current contended columnwise throughput of app `k` — bitwise equal
+    /// to [`throughput_columnwise_shape`] over that app's table from
+    /// [`timing::contended_times`] on the current joint mapping.
+    ///
+    /// [`throughput_columnwise_shape`]: repstream_core::deterministic::throughput_columnwise_shape
+    /// [`timing::contended_times`]: repstream_core::timing::contended_times
+    pub fn score_of(&self, k: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for &s in &self.stage_min[k] {
+            best = best.min(s);
+        }
+        for &c in &self.comm_min[k] {
+            best = best.min(c);
+        }
+        best
+    }
+
+    /// Current per-app throughputs, written into `out` (cleared first).
+    pub fn scores_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.apps.len()).map(|k| self.score_of(k)));
+    }
+
+    /// Remove the processor at `(k, stage, pos)` and return it,
+    /// re-scoring the affected columns of app `k` **and of every
+    /// co-located app** (the shares of resources `p` touches change).
+    /// The inverse of [`JointDeltaScorer::insert`].
+    ///
+    /// The team may transiently become empty (an invalid mapping); the
+    /// caller must re-insert a processor before trusting
+    /// [`JointDeltaScorer::score_of`] — empty columns report the neutral
+    /// `+∞` candidate, which makes the transient state *look* faster
+    /// than any valid one.
+    ///
+    /// # Panics
+    /// Panics if `(k, stage, pos)` is out of range.
+    pub fn remove(&mut self, k: usize, stage: usize, pos: usize) -> ProcId {
+        let p = self.teams[k][stage].remove(pos);
+        self.contention.clear(k, p);
+        self.refresh_move(k, stage, p);
+        p
+    }
+
+    /// Insert processor `p` at `(k, stage, pos)`, re-scoring the affected
+    /// columns (co-located apps included).  The inverse of
+    /// [`JointDeltaScorer::remove`].
+    ///
+    /// # Panics
+    /// Panics if `k`, `stage` or `pos` is out of range, `p` is not a
+    /// platform processor, or `p` already serves another stage of app
+    /// `k` (per-app disjointness).
+    pub fn insert(&mut self, k: usize, stage: usize, pos: usize, p: ProcId) {
+        assert!(p < self.platform.n_processors(), "unknown processor {p}");
+        assert!(
+            self.contention.stage_of(k, p).is_none(),
+            "processor {p} already serves app {k}"
+        );
+        self.teams[k][stage].insert(pos, p);
+        self.contention.assign(k, p, stage);
+        self.refresh_move(k, stage, p);
+    }
+
+    /// Re-score every column a change of processor `p` at `(k, stage)`
+    /// can affect: app `k`'s columns around `stage`, plus — because only
+    /// resources with endpoint `p` change user counts — the columns
+    /// around the stage `p` serves in each co-located app.
+    fn refresh_move(&mut self, k: usize, stage: usize, p: ProcId) {
+        self.refresh_around(k, stage);
+        for l in 0..self.apps.len() {
+            if l == k {
+                continue;
+            }
+            if let Some(s) = self.contention.stage_of(l, p) {
+                self.refresh_around(l, s);
+            }
+        }
+    }
+
+    /// Re-score the columns touched by a team change at `(k, stage)`: its
+    /// compute column and the transfer columns on both sides.
+    fn refresh_around(&mut self, k: usize, stage: usize) {
+        self.recompute_stage(k, stage);
+        if stage > 0 {
+            self.recompute_comm(k, stage - 1);
+        }
+        if stage < self.comm_min[k].len() {
+            self.recompute_comm(k, stage);
+        }
+    }
+
+    fn recompute_stage(&mut self, k: usize, stage: usize) {
+        self.recomputes += 1;
+        let team = &self.teams[k][stage];
+        let r = team.len();
+        let mut best = f64::INFINITY;
+        for &p in team {
+            // Same formula as `timing::contended_system_times`:
+            // c = w_i / (s_p / users), candidate = R_i / c.
+            let users = self.contention.proc_users(p) as f64;
+            let c = self.apps[k].work(stage) / (self.platform.speed(p) / users);
+            best = best.min(r as f64 / c);
+        }
+        self.stage_min[k][stage] = best;
+    }
+
+    fn recompute_comm(&mut self, k: usize, file: usize) {
+        self.recomputes += 1;
+        let u = self.teams[k][file].len();
+        let v = self.teams[k][file + 1].len();
+        if u == 0 || v == 0 {
+            // Transient invalid state between a remove and an insert.
+            self.comm_min[k][file] = f64::INFINITY;
+            return;
+        }
+        let g = gcd(u, v);
+        let (up, vp) = (u / g, v / g);
+        let mut best = f64::INFINITY;
+        for comp in 0..g {
+            self.scratch.clear();
+            for i in 0..up * vp {
+                let p = self.teams[k][file][comp + g * (i % up)];
+                let q = self.teams[k][file + 1][comp + g * (i % vp)];
+                let users = self.contention.link_users(p, q) as f64;
+                self.scratch
+                    .push(self.apps[k].file_size(file) / (self.platform.bandwidth(p, q) / users));
+            }
+            let period = self.memo.period(up, vp, &self.scratch);
+            best = best.min(g as f64 * (up * vp) as f64 / period);
+        }
+        self.comm_min[k][file] = best;
+    }
+}
+
+/// Incremental columnwise Overlap scorer over a mutable single-app team
+/// assignment — the K = 1 view of [`JointDeltaScorer`] (no co-tenants,
+/// every contention share is 1, values bitwise unchanged).
+#[derive(Debug)]
+pub struct DeltaScorer<'a> {
+    inner: JointDeltaScorer<'a>,
 }
 
 impl<'a> DeltaScorer<'a> {
@@ -45,39 +300,24 @@ impl<'a> DeltaScorer<'a> {
         start: &Mapping,
     ) -> Result<DeltaScorer<'a>, ModelError> {
         SystemRef::new(app, platform, start)?;
-        let n = app.n_stages();
-        let mut s = DeltaScorer {
-            app,
-            platform,
-            teams: start.teams().to_vec(),
-            stage_min: vec![f64::INFINITY; n],
-            comm_min: vec![f64::INFINITY; n.saturating_sub(1)],
-            memo: PatternMemo::default(),
-            scratch: Vec::new(),
-            recomputes: 0,
-        };
-        for stage in 0..n {
-            s.recompute_stage(stage);
-        }
-        for file in 0..n.saturating_sub(1) {
-            s.recompute_comm(file);
-        }
-        Ok(s)
+        Ok(DeltaScorer {
+            inner: JointDeltaScorer::from_parts(vec![app], platform, vec![start.teams().to_vec()]),
+        })
     }
 
     /// The current team assignment.
     pub fn teams(&self) -> &[Vec<ProcId>] {
-        &self.teams
+        self.inner.teams_of(0)
     }
 
     /// The current assignment as a validated [`Mapping`].
     pub fn mapping(&self) -> Result<Mapping, ModelError> {
-        Mapping::new(self.teams.clone())
+        self.inner.mapping_of(0)
     }
 
     /// Column re-evaluations performed so far.
     pub fn recomputes(&self) -> usize {
-        self.recomputes
+        self.inner.recomputes()
     }
 
     /// Current columnwise throughput — bitwise equal to
@@ -85,14 +325,7 @@ impl<'a> DeltaScorer<'a> {
     ///
     /// [`throughput_columnwise`]: repstream_core::deterministic::throughput_columnwise
     pub fn score(&self) -> f64 {
-        let mut best = f64::INFINITY;
-        for &s in &self.stage_min {
-            best = best.min(s);
-        }
-        for &c in &self.comm_min {
-            best = best.min(c);
-        }
-        best
+        self.inner.score_of(0)
     }
 
     /// Remove the processor at `(stage, pos)` and return it, re-scoring
@@ -107,9 +340,7 @@ impl<'a> DeltaScorer<'a> {
     /// # Panics
     /// Panics if `(stage, pos)` is out of range.
     pub fn remove(&mut self, stage: usize, pos: usize) -> ProcId {
-        let p = self.teams[stage].remove(pos);
-        self.refresh_around(stage);
-        p
+        self.inner.remove(0, stage, pos)
     }
 
     /// Insert processor `p` at `(stage, pos)`, re-scoring the affected
@@ -119,61 +350,7 @@ impl<'a> DeltaScorer<'a> {
     /// Panics if `stage` or `pos` is out of range, or `p` is not a
     /// platform processor.
     pub fn insert(&mut self, stage: usize, pos: usize, p: ProcId) {
-        assert!(p < self.platform.n_processors(), "unknown processor {p}");
-        self.teams[stage].insert(pos, p);
-        self.refresh_around(stage);
-    }
-
-    /// Re-score the columns touched by a team change at `stage`: its
-    /// compute column and the transfer columns on both sides.
-    fn refresh_around(&mut self, stage: usize) {
-        self.recompute_stage(stage);
-        if stage > 0 {
-            self.recompute_comm(stage - 1);
-        }
-        if stage < self.comm_min.len() {
-            self.recompute_comm(stage);
-        }
-    }
-
-    fn recompute_stage(&mut self, stage: usize) {
-        self.recomputes += 1;
-        let team = &self.teams[stage];
-        let r = team.len();
-        let mut best = f64::INFINITY;
-        for &p in team {
-            // Same formula as `timing::deterministic_times`:
-            // c = w_i / s_p, candidate = R_i / c.
-            let c = self.app.work(stage) / self.platform.speed(p);
-            best = best.min(r as f64 / c);
-        }
-        self.stage_min[stage] = best;
-    }
-
-    fn recompute_comm(&mut self, file: usize) {
-        self.recomputes += 1;
-        let u = self.teams[file].len();
-        let v = self.teams[file + 1].len();
-        if u == 0 || v == 0 {
-            // Transient invalid state between a remove and an insert.
-            self.comm_min[file] = f64::INFINITY;
-            return;
-        }
-        let g = gcd(u, v);
-        let (up, vp) = (u / g, v / g);
-        let mut best = f64::INFINITY;
-        for comp in 0..g {
-            self.scratch.clear();
-            for k in 0..up * vp {
-                let p = self.teams[file][comp + g * (k % up)];
-                let q = self.teams[file + 1][comp + g * (k % vp)];
-                self.scratch
-                    .push(self.app.file_size(file) / self.platform.bandwidth(p, q));
-            }
-            let period = self.memo.period(up, vp, &self.scratch);
-            best = best.min(g as f64 * (up * vp) as f64 / period);
-        }
-        self.comm_min[file] = best;
+        self.inner.insert(0, stage, pos, p)
     }
 }
 
@@ -181,7 +358,8 @@ impl<'a> DeltaScorer<'a> {
 mod tests {
     use super::*;
     use repstream_core::deterministic;
-    use repstream_core::model::System;
+    use repstream_core::model::{App, System, Workload};
+    use repstream_core::timing;
 
     fn instance() -> (Application, Platform) {
         repstream_workload::scenarios::mapping_search()
@@ -257,5 +435,88 @@ mod tests {
         assert_eq!(d.score().to_bits(), dropped.to_bits());
         d.insert(0, 1, p);
         assert_eq!(d.score().to_bits(), before.to_bits());
+    }
+
+    fn workload2() -> (Workload, JointMapping) {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone()), App::new(app)], platform).unwrap();
+        let joint = JointMapping::new(vec![
+            Mapping::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6], vec![7]]).unwrap(),
+            Mapping::new(vec![vec![8], vec![4, 5], vec![0, 1, 2], vec![9]]).unwrap(),
+        ])
+        .unwrap();
+        (workload, joint)
+    }
+
+    fn full_joint_scores(workload: &Workload, joint: &JointMapping) -> Vec<f64> {
+        timing::contended_times(workload, joint)
+            .iter()
+            .zip(joint.mappings())
+            .map(|(times, m)| deterministic::throughput_columnwise_shape(&m.shape(), times))
+            .collect()
+    }
+
+    #[test]
+    fn joint_initial_scores_match_full_bitwise() {
+        let (workload, joint) = workload2();
+        let d = JointDeltaScorer::new(workload.as_ref(), &joint).unwrap();
+        let full = full_joint_scores(&workload, &joint);
+        for (k, f) in full.iter().enumerate() {
+            assert_eq!(d.score_of(k).to_bits(), f.to_bits(), "app {k}");
+        }
+    }
+
+    #[test]
+    fn joint_moves_refresh_colocated_apps_bitwise() {
+        let (workload, joint) = workload2();
+        let mut d = JointDeltaScorer::new(workload.as_ref(), &joint).unwrap();
+        // Move app 0's proc 0 (shared with app 1's stage 2) to stage 1,
+        // then app 1's proc 4 (shared with app 0's stage 2) to stage 3 —
+        // both moves change co-located apps' contention terms.
+        let tours = [(0usize, 0usize, 0usize, 1usize), (1, 1, 0, 3)];
+        for &(k, from, pos, to) in &tours {
+            let p = d.remove(k, from, pos);
+            let at = d.teams_of(k)[to].len();
+            d.insert(k, to, at, p);
+            let now = d.joint_mapping().unwrap();
+            let full = full_joint_scores(&workload, &now);
+            for (l, f) in full.iter().enumerate() {
+                assert_eq!(
+                    d.score_of(l).to_bits(),
+                    f.to_bits(),
+                    "app {l} after moving app {k}'s processor"
+                );
+            }
+        }
+        // Reverse the tour: land exactly on the starting scores.
+        for &(k, from, pos, to) in tours.iter().rev() {
+            let p = d.remove(k, to, d.teams_of(k)[to].len() - 1);
+            d.insert(k, from, pos, p);
+        }
+        let full = full_joint_scores(&workload, &joint);
+        for (l, f) in full.iter().enumerate() {
+            assert_eq!(d.score_of(l).to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn joint_recompute_count_stays_local() {
+        let (workload, joint) = workload2();
+        let mut d = JointDeltaScorer::new(workload.as_ref(), &joint).unwrap();
+        let base = d.recomputes();
+        // Proc 7 is private to app 0: moving it must not touch app 1.
+        let p = d.remove(0, 3, 0);
+        d.insert(0, 2, 3, p);
+        // Stage 3 touch: compute + comm 2; stage 2 touch: compute +
+        // comms 1, 2 — 5 columns, none of app 1's.
+        assert_eq!(d.recomputes() - base, 5);
+        // Proc 4 is shared with app 0's stage 2: moving it inside app 1
+        // refreshes app 0's stage-2 neighbourhood too.  Remove from
+        // stage 1: 3 own columns + 3 of app 0; insert at stage 0: 2 own
+        // columns (no left comm) + 3 of app 0.
+        let base = d.recomputes();
+        let p = d.remove(1, 1, 0);
+        d.insert(1, 0, 0, p);
+        assert_eq!(d.recomputes() - base, 6 + 5);
     }
 }

@@ -41,7 +41,10 @@ pub mod delta;
 pub mod portfolio;
 pub mod score;
 
-pub use batch::score_batch;
-pub use delta::DeltaScorer;
-pub use portfolio::{portfolio_search, PortfolioOptions, PortfolioReport};
-pub use score::{DetScorer, ExpScorer};
+pub use batch::{score_batch, score_joint_batch};
+pub use delta::{DeltaScorer, JointDeltaScorer};
+pub use portfolio::{
+    portfolio_search, workload_search, Objective, PortfolioOptions, PortfolioReport,
+    WorkloadSearchOptions, WorkloadSearchReport,
+};
+pub use score::{DetScorer, ExpScorer, WorkloadDetScorer, WorkloadExpScorer};

@@ -21,11 +21,14 @@
 //! this.
 
 use repstream_core::exponential::{self, ExpError, ExpOptions, ExpReport};
-use repstream_core::model::{Application, Mapping, ModelError, Platform, SystemRef};
+use repstream_core::model::{
+    Application, JointMapping, Mapping, ModelError, Platform, SystemRef, WorkloadRef,
+};
+use repstream_core::timing::Contention;
 use repstream_core::{deterministic, timing};
 use repstream_markov::cache::{ChainCache, StrictOptions};
 use repstream_markov::fxhash::FxHashMap;
-use repstream_petri::shape::{ExecModel, Resource};
+use repstream_petri::shape::{ExecModel, Resource, ResourceTable};
 
 /// Memo of deterministic pattern periods keyed by the **exact bits** of
 /// the pattern's weight vector (plus its dimensions), so a hit is
@@ -116,27 +119,12 @@ impl<'a> DetScorer<'a> {
         self.evaluations += 1;
         match self.model {
             ExecModel::Overlap => {
-                let shape = system.shape();
                 let times = timing::deterministic_times(system);
-                let memo = &mut self.memo;
-                let scratch = &mut self.scratch;
-                Ok(deterministic::throughput_columnwise_with_periods(
-                    &shape,
+                Ok(columnwise_with_memo(
+                    system,
                     &times,
-                    &mut |file, comp, g, up, vp| {
-                        // Same weight layout as `pattern_period`: row k is
-                        // the link (k mod u′) → (k mod v′) of the
-                        // component.
-                        scratch.clear();
-                        scratch.extend((0..up * vp).map(|k| {
-                            *times.get(Resource::Link {
-                                file,
-                                src: comp + g * (k % up),
-                                dst: comp + g * (k % vp),
-                            })
-                        }));
-                        memo.period(up, vp, scratch)
-                    },
+                    &mut self.memo,
+                    &mut self.scratch,
                 ))
             }
             ExecModel::Strict => Ok(deterministic::analyze(system, self.model).throughput),
@@ -226,6 +214,237 @@ impl<'a> ExpScorer<'a> {
                 .map(|s| s.throughput)
                 .map_err(|e| ExpScoreError::Exp(ExpError::MarkingGraph(e))),
         }
+    }
+}
+
+/// Columnwise throughput of one app's table with the shared pattern
+/// memo — the common kernel of [`DetScorer`] and [`WorkloadDetScorer`].
+fn columnwise_with_memo(
+    system: SystemRef<'_>,
+    times: &ResourceTable<f64>,
+    memo: &mut PatternMemo,
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    let shape = system.shape();
+    deterministic::throughput_columnwise_with_periods(
+        &shape,
+        times,
+        &mut |file, comp, g, up, vp| {
+            // Same weight layout as `pattern_period`: row k is the link
+            // (k mod u′) → (k mod v′) of the component.
+            scratch.clear();
+            scratch.extend((0..up * vp).map(|k| {
+                *times.get(Resource::Link {
+                    file,
+                    src: comp + g * (k % up),
+                    dst: comp + g * (k % vp),
+                })
+            }));
+            memo.period(up, vp, scratch)
+        },
+    )
+}
+
+/// Deterministic **per-app** throughput scorer for joint candidates of a
+/// K-app workload, with one [`PatternMemo`] shared across apps and
+/// candidates.
+///
+/// Each score builds the contended time tables
+/// ([`timing::contended_times`]) and evaluates every app's columnwise
+/// throughput against them — bitwise what the cold path computes, and
+/// for K = 1 bitwise what [`DetScorer`] returns on the same mapping.
+#[derive(Debug)]
+pub struct WorkloadDetScorer<'a> {
+    workload: WorkloadRef<'a>,
+    model: ExecModel,
+    memo: PatternMemo,
+    scratch: Vec<f64>,
+    /// Reused team-size buffer (the hot path never allocates a
+    /// [`repstream_petri::shape::MappingShape`]).
+    teams: Vec<usize>,
+    /// Reused per-candidate contention bookkeeping (refilled, never
+    /// reallocated).
+    contention: Contention,
+    evaluations: usize,
+}
+
+impl<'a> WorkloadDetScorer<'a> {
+    /// Scorer over one workload.
+    pub fn new(workload: WorkloadRef<'a>, model: ExecModel) -> WorkloadDetScorer<'a> {
+        let contention = Contention::empty(workload.n_apps(), workload.platform().n_processors());
+        WorkloadDetScorer {
+            workload,
+            model,
+            memo: PatternMemo::default(),
+            scratch: Vec::new(),
+            teams: Vec::new(),
+            contention,
+            evaluations: 0,
+        }
+    }
+
+    /// The workload being scored.
+    pub fn workload(&self) -> WorkloadRef<'a> {
+        self.workload
+    }
+
+    /// Candidates scored so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Pattern-period memo `(hits, misses)`.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        self.memo.stats()
+    }
+
+    /// Contended per-app deterministic throughputs of a joint candidate,
+    /// appended to `out` (cleared first).
+    pub fn score_into(
+        &mut self,
+        joint: &JointMapping,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ModelError> {
+        self.workload.validate(joint)?;
+        self.evaluations += 1;
+        out.clear();
+        self.contention.refill_from_joint(joint);
+        let contention = &self.contention;
+        for k in 0..self.workload.n_apps() {
+            let system = self.workload.system_of(k, joint);
+            out.push(match self.model {
+                // Hot path: fold the contention shares on the fly — the
+                // closures compute exactly the expressions
+                // `contended_system_times` tabulates, so the fold is
+                // bitwise the cold table path without the per-candidate
+                // table allocation (pinned by this module's tests and
+                // the engine's equivalence properties).
+                ExecModel::Overlap => {
+                    self.teams.clear();
+                    self.teams
+                        .extend(system.mapping().teams().iter().map(Vec::len));
+                    let (app, platform) = (system.app(), system.platform());
+                    let (memo, scratch) = (&mut self.memo, &mut self.scratch);
+                    deterministic::throughput_columnwise_with_fns(
+                        &self.teams,
+                        &mut |stage, slot| {
+                            let p = system.proc_at(stage, slot);
+                            let users = contention.proc_users(p) as f64;
+                            app.work(stage) / (platform.speed(p) / users)
+                        },
+                        &mut |file, comp, g, up, vp| {
+                            scratch.clear();
+                            scratch.extend((0..up * vp).map(|k| {
+                                let p = system.proc_at(file, comp + g * (k % up));
+                                let q = system.proc_at(file + 1, comp + g * (k % vp));
+                                let users = contention.link_users(p, q) as f64;
+                                app.file_size(file) / (platform.bandwidth(p, q) / users)
+                            }));
+                            memo.period(up, vp, scratch)
+                        },
+                    )
+                }
+                ExecModel::Strict => {
+                    let times = timing::contended_system_times(system, contention);
+                    deterministic::analyze_shape(&system.shape(), self.model, &times).throughput
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// As [`WorkloadDetScorer::score_into`], allocating the result.
+    pub fn score(&mut self, joint: &JointMapping) -> Result<Vec<f64>, ModelError> {
+        let mut out = Vec::with_capacity(self.workload.n_apps());
+        self.score_into(joint, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Exponential **per-app** throughput scorer for joint candidates, with
+/// **one** [`ChainCache`] shared across apps and candidates — two apps
+/// with the same replication shape (same `TpnSignature`) pay one
+/// marking-graph BFS, the designed stress-test for the cache.
+#[derive(Debug)]
+pub struct WorkloadExpScorer<'a> {
+    workload: WorkloadRef<'a>,
+    model: ExecModel,
+    opts: ExpOptions,
+    cache: ChainCache,
+    evaluations: usize,
+}
+
+impl<'a> WorkloadExpScorer<'a> {
+    /// Scorer over one workload with default budgets.
+    pub fn new(workload: WorkloadRef<'a>, model: ExecModel) -> WorkloadExpScorer<'a> {
+        WorkloadExpScorer::with_options(workload, model, ExpOptions::default())
+    }
+
+    /// As [`WorkloadExpScorer::new`] with explicit [`ExpOptions`].
+    pub fn with_options(
+        workload: WorkloadRef<'a>,
+        model: ExecModel,
+        opts: ExpOptions,
+    ) -> WorkloadExpScorer<'a> {
+        WorkloadExpScorer {
+            workload,
+            model,
+            opts,
+            cache: ChainCache::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Candidates scored so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Chain-cache hit/miss counters (shared across all apps).
+    pub fn cache_stats(&self) -> repstream_markov::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Contended per-app exponential throughputs of a joint candidate.
+    pub fn score(&mut self, joint: &JointMapping) -> Result<Vec<f64>, ExpScoreError> {
+        self.workload
+            .validate(joint)
+            .map_err(ExpScoreError::Model)?;
+        self.evaluations += 1;
+        let contention = Contention::from_joint(joint, self.workload.platform().n_processors());
+        let mut out = Vec::with_capacity(self.workload.n_apps());
+        for k in 0..self.workload.n_apps() {
+            let system = self.workload.system_of(k, joint);
+            let shape = system.shape();
+            let rates = timing::contended_system_times(system, &contention).map(|_, &t| 1.0 / t);
+            let rho = match self.model {
+                ExecModel::Overlap => exponential::throughput_overlap_with_solver(
+                    &shape,
+                    &rates,
+                    self.opts,
+                    &mut self.cache,
+                )
+                .map(|r: ExpReport| r.throughput)
+                .map_err(ExpScoreError::Exp)?,
+                ExecModel::Strict => self
+                    .cache
+                    .strict_throughput(
+                        &shape,
+                        &rates,
+                        StrictOptions {
+                            max_states: self.opts.max_states,
+                            lumping: self.opts.lumping,
+                            threads: self.opts.threads,
+                            solver: self.opts.solver,
+                            arena_compression: self.opts.arena_compression,
+                        },
+                    )
+                    .map(|s| s.throughput)
+                    .map_err(|e| ExpScoreError::Exp(ExpError::MarkingGraph(e)))?,
+            };
+            out.push(rho);
+        }
+        Ok(out)
     }
 }
 
@@ -343,5 +562,86 @@ mod tests {
             Err(ModelError::UnknownProcessor { proc: 42 })
         ));
         assert_eq!(scorer.evaluations(), 0);
+    }
+
+    use repstream_core::model::{App, Workload};
+
+    #[test]
+    fn workload_det_scorer_k1_matches_det_scorer_bitwise() {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone())], platform.clone()).unwrap();
+        for model in [ExecModel::Overlap, ExecModel::Strict] {
+            let mut single = DetScorer::new(&app, &platform, model);
+            let mut joint = WorkloadDetScorer::new(workload.as_ref(), model);
+            for m in mappings() {
+                let s = single.score(&m).unwrap();
+                let j = joint.score(&m.clone().into()).unwrap();
+                assert_eq!(j.len(), 1);
+                assert_eq!(s.to_bits(), j[0].to_bits(), "{model:?} {:?}", m.teams());
+            }
+        }
+    }
+
+    #[test]
+    fn workload_det_scorer_matches_cold_contended_tables() {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone()), App::new(app)], platform).unwrap();
+        let joint = JointMapping::new(vec![
+            Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap(),
+            Mapping::new(vec![vec![7], vec![3, 4], vec![0, 1, 2], vec![8]]).unwrap(),
+        ])
+        .unwrap();
+        let mut scorer = WorkloadDetScorer::new(workload.as_ref(), ExecModel::Overlap);
+        let scores = scorer.score(&joint).unwrap();
+        let cold: Vec<f64> = timing::contended_times(&workload, &joint)
+            .iter()
+            .zip(joint.mappings())
+            .map(|(t, m)| deterministic::throughput_columnwise_shape(&m.shape(), t))
+            .collect();
+        for (k, (s, c)) in scores.iter().zip(cold.iter()).enumerate() {
+            assert_eq!(s.to_bits(), c.to_bits(), "app {k}");
+        }
+        // Contention must actually bite: both apps share procs 0..=4.
+        let mut solo = DetScorer::new(
+            workload.app(0).application(),
+            workload.platform(),
+            ExecModel::Overlap,
+        );
+        let alone = solo.score(joint.mapping(0)).unwrap();
+        assert!(scores[0] < alone, "{} !< {alone}", scores[0]);
+    }
+
+    #[test]
+    fn workload_exp_scorer_k1_matches_exp_scorer_bitwise() {
+        let (app, platform) = instance();
+        let workload = Workload::new(vec![App::new(app.clone())], platform.clone()).unwrap();
+        let mut single = ExpScorer::new(&app, &platform, ExecModel::Overlap);
+        let mut joint = WorkloadExpScorer::new(workload.as_ref(), ExecModel::Overlap);
+        for m in mappings() {
+            let s = single.score(&m).unwrap();
+            let j = joint.score(&m.clone().into()).unwrap();
+            assert_eq!(s.to_bits(), j[0].to_bits(), "{:?}", m.teams());
+        }
+    }
+
+    #[test]
+    fn workload_exp_scorer_shares_one_chain_cache_across_apps() {
+        // Two apps with the same replication shape: one Strict BFS total.
+        let app = Application::uniform(2, 6.0, 12.0).unwrap();
+        let platform = Platform::complete(vec![1.0; 8], 2.0).unwrap();
+        let workload = Workload::new(vec![App::new(app.clone()), App::new(app)], platform).unwrap();
+        let joint = JointMapping::new(vec![
+            Mapping::new(vec![vec![0, 1], vec![2, 3]]).unwrap(),
+            Mapping::new(vec![vec![4, 5], vec![6, 7]]).unwrap(),
+        ])
+        .unwrap();
+        let mut scorer = WorkloadExpScorer::new(workload.as_ref(), ExecModel::Strict);
+        scorer.score(&joint).unwrap();
+        let stats = scorer.cache_stats();
+        assert_eq!(
+            stats.strict_misses, 1,
+            "two same-shape apps must pay exactly one marking-graph build"
+        );
+        assert!(stats.strict_hits >= 1, "second app must hit the cache");
     }
 }

@@ -4,14 +4,14 @@
 
 use proptest::prelude::*;
 use rand::Rng;
-use repstream_core::model::{Application, Mapping, Platform, System};
-use repstream_core::{deterministic, exponential};
+use repstream_core::model::{App, Application, Mapping, Platform, System, Workload};
+use repstream_core::{deterministic, exponential, timing};
 use repstream_engine::batch::score_batch_with_threads;
 use repstream_engine::score::{DetScorer, ExpScorer};
-use repstream_engine::DeltaScorer;
+use repstream_engine::{DeltaScorer, JointDeltaScorer};
 use repstream_petri::shape::ExecModel;
 use repstream_stochastic::rng::seeded_rng;
-use repstream_workload::random::{random_mapping_with, random_mappings};
+use repstream_workload::random::{random_joint_mapping_with, random_mapping_with, random_mappings};
 
 /// A random heterogeneous instance: `stages` stage works and file sizes,
 /// `procs` processor speeds, and (sometimes) per-link bandwidths.
@@ -163,6 +163,70 @@ proptest! {
                 scorer.score().to_bits(),
                 "step {} of case", step
             );
+        }
+    }
+
+    /// (d) Joint delta scoring: after a single-stage move of **one** app,
+    /// every app's maintained score — including the contention terms of
+    /// co-located apps — equals a cold full workload rescore over
+    /// [`timing::contended_times`] to 0 ulp.  This is the multi-app
+    /// extension of the PR 3 delta ≡ full contract.
+    #[test]
+    fn joint_delta_moves_match_full_contended_rescore_to_zero_ulp(
+        extra in 1usize..6,
+        moves in 1usize..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed ^ 0x10177);
+        let n_apps = rng.gen_range(2..4usize);
+        let stage_counts: Vec<usize> =
+            (0..n_apps).map(|_| rng.gen_range(2..4usize)).collect();
+        let procs = stage_counts.iter().copied().max().unwrap() + extra;
+        // One shared platform; each tenant gets its own random chain.
+        let (_, platform) = random_instance(2, procs, seed);
+        let apps: Vec<App> = stage_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let (a, _) =
+                    random_instance(s, procs, seed ^ ((i as u64 + 1) * 0x9E37_79B9));
+                App::new(a)
+            })
+            .collect();
+        let workload = Workload::new(apps, platform).expect("at least one app");
+        let start = random_joint_mapping_with(&stage_counts, procs, &mut rng);
+        let mut scorer =
+            JointDeltaScorer::new((&workload).into(), &start).expect("valid start");
+        for step in 0..moves {
+            // A random within-app move that keeps every team non-empty:
+            // app k moves one processor from a team of ≥ 2 to any of its
+            // other stages (or drops it).  Co-located apps are the point:
+            // their shares of the moved processor's resources change too.
+            let k = rng.gen_range(0..n_apps);
+            let donors: Vec<usize> = (0..stage_counts[k])
+                .filter(|&s| scorer.teams_of(k)[s].len() >= 2)
+                .collect();
+            if donors.is_empty() {
+                continue;
+            }
+            let from = donors[rng.gen_range(0..donors.len())];
+            let pos = rng.gen_range(0..scorer.teams_of(k)[from].len());
+            let p = scorer.remove(k, from, pos);
+            if !rng.gen_bool(0.2) {
+                let to = rng.gen_range(0..stage_counts[k]);
+                let at = rng.gen_range(0..=scorer.teams_of(k)[to].len());
+                scorer.insert(k, to, at, p);
+            }
+            let joint = scorer.joint_mapping().expect("teams stay non-empty");
+            let tables = timing::contended_times(&workload, &joint);
+            for (l, (times, m)) in tables.iter().zip(joint.mappings()).enumerate() {
+                let full = deterministic::throughput_columnwise_shape(&m.shape(), times);
+                prop_assert_eq!(
+                    full.to_bits(),
+                    scorer.score_of(l).to_bits(),
+                    "step {}, app {} (moved app {})", step, l, k
+                );
+            }
         }
     }
 }

@@ -163,30 +163,31 @@ fn infinite_weight_cycle_in_scc(
 
 /// A cycle made only of token-free arcs inside the SCC, if any.
 fn tokenless_cycle_in_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<Vec<ArcId>> {
-    // DFS over 0-token arcs restricted to the component.
+    // DFS over 0-token arcs restricted to the component.  Per-node state
+    // is dense (indexed by `NodeId`): this helper runs on every memo miss
+    // of the batch scorers, where hash-map bookkeeping dominated the
+    // profile.  Nodes outside the SCC are never reached (the `comp_of`
+    // guard below), so the all-nodes allocation is safe.
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
         Grey,
         Black,
     }
-    let mut color: std::collections::HashMap<NodeId, Color> = cond.members[cid]
-        .iter()
-        .map(|&u| (u, Color::White))
-        .collect();
-    let mut parent_arc: std::collections::HashMap<NodeId, ArcId> = Default::default();
+    let mut color = vec![Color::White; g.n_nodes()];
+    let mut parent_arc = vec![ArcId::MAX; g.n_nodes()];
 
     for &start in &cond.members[cid] {
-        if color[&start] != Color::White {
+        if color[start] != Color::White {
             continue;
         }
         // Iterative DFS.
         let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
-        *color.get_mut(&start).unwrap() = Color::Grey;
+        color[start] = Color::Grey;
         while let Some(&(u, pos)) = stack.last() {
             let outs = g.out_arcs(u);
             if pos >= outs.len() {
-                *color.get_mut(&u).unwrap() = Color::Black;
+                color[u] = Color::Black;
                 stack.pop();
                 continue;
             }
@@ -196,10 +197,10 @@ fn tokenless_cycle_in_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Op
             if arc.tokens != 0 || cond.comp_of[arc.dst] != cid {
                 continue;
             }
-            match color[&arc.dst] {
+            match color[arc.dst] {
                 Color::White => {
-                    parent_arc.insert(arc.dst, aid);
-                    *color.get_mut(&arc.dst).unwrap() = Color::Grey;
+                    parent_arc[arc.dst] = aid;
+                    color[arc.dst] = Color::Grey;
                     stack.push((arc.dst, 0));
                 }
                 Color::Grey => {
@@ -207,7 +208,7 @@ fn tokenless_cycle_in_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Op
                     let mut cycle = vec![aid];
                     let mut cur = u;
                     while cur != arc.dst {
-                        let pa = parent_arc[&cur];
+                        let pa = parent_arc[cur];
                         cycle.push(pa);
                         cur = g.arc(pa).src;
                     }
@@ -236,10 +237,11 @@ pub fn howard(g: &TokenGraph) -> Option<CycleRatio> {
 fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRatio> {
     let nodes = &cond.members[cid];
     let k = nodes.len();
-    // Local indexing.
-    let mut local_of: std::collections::HashMap<NodeId, usize> = Default::default();
+    // Local indexing (dense — this is the memo-miss hot path of the
+    // batch scorers; nodes outside the SCC are never looked up).
+    let mut local_of = vec![usize::MAX; g.n_nodes()];
     for (i, &u) in nodes.iter().enumerate() {
-        local_of.insert(u, i);
+        local_of[u] = i;
     }
     // Local arcs (both endpoints in the SCC).
     struct LArc {
@@ -260,7 +262,7 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
             // caller before policy iteration starts.
             if cond.comp_of[a.dst] == cid && a.weight.is_finite() {
                 out[i].push(LArc {
-                    dst: local_of[&a.dst],
+                    dst: local_of[a.dst],
                     w: a.weight,
                     t: f64::from(a.tokens),
                     id: aid,
@@ -286,74 +288,82 @@ fn howard_scc(g: &TokenGraph, cond: &Condensation, cid: SccId) -> Option<CycleRa
     // the current policy, find the cycle reached from every node, set
     // `λ[u]` to that cycle's ratio, and compute potentials `v` satisfying
     // `v[u] = w(u) − λ[u]·t(u) + v[succ(u)]` with `v = 0` at the cycle
-    // root.
-    let evaluate = |policy: &[usize], lambda: &mut [f64], pot: &mut [f64], out: &[Vec<LArc>]| {
-        let k = policy.len();
-        // 0 = unvisited, 1 = on current walk, 2 = resolved.
-        let mut state = vec![0u8; k];
-        let mut walk: Vec<usize> = Vec::new();
-        for s in 0..k {
-            if state[s] != 0 {
-                continue;
-            }
-            walk.clear();
-            let mut u = s;
-            while state[u] == 0 {
-                state[u] = 1;
-                walk.push(u);
-                u = out[u][policy[u]].dst;
-            }
-            if state[u] == 1 {
-                // Found a new cycle; `u` is its entry point on the walk.
-                let cstart = walk.iter().position(|&x| x == u).unwrap();
-                let cycle = &walk[cstart..];
-                let mut w = 0.0;
-                let mut t = 0.0;
-                for &x in cycle {
-                    let a = &out[x][policy[x]];
-                    w += a.w;
-                    t += a.t;
-                }
-                debug_assert!(t > 0.0, "tokenless policy cycle");
-                let lam = w / t;
-                // Potentials around the cycle, backwards from the root.
-                lambda[u] = lam;
-                pot[u] = 0.0;
-                // Walk the cycle in order, computing v forward is awkward;
-                // go around once collecting nodes then back-substitute.
-                let mut order: Vec<usize> = Vec::with_capacity(cycle.len());
-                let mut x = u;
-                loop {
-                    order.push(x);
-                    x = out[x][policy[x]].dst;
-                    if x == u {
-                        break;
-                    }
-                }
-                // v[last] follows from v[root]; iterate in reverse.
-                for i in (1..order.len()).rev() {
-                    let y = order[i];
-                    let a = &out[y][policy[y]];
-                    let vnext = if a.dst == u { 0.0 } else { pot[a.dst] };
-                    lambda[y] = lam;
-                    pot[y] = a.w - lam * a.t + vnext;
-                    state[y] = 2;
-                }
-                state[u] = 2;
-            }
-            // Resolve the tail of the walk (nodes leading into the cycle or
-            // into previously resolved territory), in reverse.
-            for &x in walk.iter().rev() {
-                if state[x] == 2 {
+    // root.  The scratch buffers are hoisted out of the closure — it runs
+    // once per policy-iteration round.
+    let mut state_buf: Vec<u8> = Vec::new();
+    let mut walk_buf: Vec<usize> = Vec::new();
+    let mut order_buf: Vec<usize> = Vec::new();
+    let mut evaluate =
+        |policy: &[usize], lambda: &mut [f64], pot: &mut [f64], out: &[Vec<LArc>]| {
+            let k = policy.len();
+            // 0 = unvisited, 1 = on current walk, 2 = resolved.
+            let state = &mut state_buf;
+            state.clear();
+            state.resize(k, 0u8);
+            let walk = &mut walk_buf;
+            for s in 0..k {
+                if state[s] != 0 {
                     continue;
                 }
-                let a = &out[x][policy[x]];
-                lambda[x] = lambda[a.dst];
-                pot[x] = a.w - lambda[x] * a.t + pot[a.dst];
-                state[x] = 2;
+                walk.clear();
+                let mut u = s;
+                while state[u] == 0 {
+                    state[u] = 1;
+                    walk.push(u);
+                    u = out[u][policy[u]].dst;
+                }
+                if state[u] == 1 {
+                    // Found a new cycle; `u` is its entry point on the walk.
+                    let cstart = walk.iter().position(|&x| x == u).unwrap();
+                    let cycle = &walk[cstart..];
+                    let mut w = 0.0;
+                    let mut t = 0.0;
+                    for &x in cycle {
+                        let a = &out[x][policy[x]];
+                        w += a.w;
+                        t += a.t;
+                    }
+                    debug_assert!(t > 0.0, "tokenless policy cycle");
+                    let lam = w / t;
+                    // Potentials around the cycle, backwards from the root.
+                    lambda[u] = lam;
+                    pot[u] = 0.0;
+                    // Walk the cycle in order, computing v forward is awkward;
+                    // go around once collecting nodes then back-substitute.
+                    let order = &mut order_buf;
+                    order.clear();
+                    let mut x = u;
+                    loop {
+                        order.push(x);
+                        x = out[x][policy[x]].dst;
+                        if x == u {
+                            break;
+                        }
+                    }
+                    // v[last] follows from v[root]; iterate in reverse.
+                    for i in (1..order.len()).rev() {
+                        let y = order[i];
+                        let a = &out[y][policy[y]];
+                        let vnext = if a.dst == u { 0.0 } else { pot[a.dst] };
+                        lambda[y] = lam;
+                        pot[y] = a.w - lam * a.t + vnext;
+                        state[y] = 2;
+                    }
+                    state[u] = 2;
+                }
+                // Resolve the tail of the walk (nodes leading into the cycle or
+                // into previously resolved territory), in reverse.
+                for &x in walk.iter().rev() {
+                    if state[x] == 2 {
+                        continue;
+                    }
+                    let a = &out[x][policy[x]];
+                    lambda[x] = lambda[a.dst];
+                    pot[x] = a.w - lambda[x] * a.t + pot[a.dst];
+                    state[x] = 2;
+                }
             }
-        }
-    };
+        };
 
     // Bounded iterations: policy iteration converges in far fewer steps.
     let cap = 64 + 8 * k;

@@ -8,7 +8,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use repstream_core::model::Mapping;
+use repstream_core::model::{JointMapping, Mapping};
 use repstream_petri::shape::{MappingShape, ResourceTable};
 use repstream_stochastic::rng::seeded_rng;
 
@@ -155,6 +155,48 @@ pub fn random_mappings(stages: usize, processors: usize, count: usize, seed: u64
         .collect()
 }
 
+/// One uniformly random **valid** joint mapping for `stage_counts.len()`
+/// applications sharing processors `0..processors`: an independent
+/// [`random_mapping_with`] draw per app, so cross-app processor sharing
+/// (the contention the workload model charges for) arises naturally.
+///
+/// # Panics
+/// Panics when `stage_counts` is empty or any app has more stages than
+/// there are processors.
+pub fn random_joint_mapping_with<R: Rng>(
+    stage_counts: &[usize],
+    processors: usize,
+    rng: &mut R,
+) -> JointMapping {
+    JointMapping::new(
+        stage_counts
+            .iter()
+            .map(|&stages| random_mapping_with(stages, processors, rng))
+            .collect(),
+    )
+    .expect("stage_counts is non-empty")
+}
+
+/// `count` seeded random joint mappings (see
+/// [`random_joint_mapping_with`]), the candidate sets of the joint-search
+/// benches and property tests.  Candidate `i` depends only on
+/// `(seed, i)`, so sets are reproducible and extendable — and for a
+/// single app, candidate `i`'s first mapping is exactly
+/// [`random_mappings`]' candidate `i` (same per-candidate stream).
+pub fn random_joint_mappings(
+    stage_counts: &[usize],
+    processors: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<JointMapping> {
+    (0..count as u64)
+        .map(|i| {
+            let mut rng = seeded_rng(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9));
+            random_joint_mapping_with(stage_counts, processors, &mut rng)
+        })
+        .collect()
+}
+
 /// Iterator over `count` seeded instances of a family.
 pub fn instances(
     params: FamilyParams,
@@ -260,6 +302,50 @@ mod tests {
     #[should_panic(expected = "cannot serve")]
     fn random_mappings_need_enough_processors() {
         random_mappings(5, 3, 1, 0);
+    }
+
+    #[test]
+    fn random_joint_mappings_are_valid_and_reproducible() {
+        let a = random_joint_mappings(&[4, 3], 12, 30, 9);
+        let b = random_joint_mappings(&[4, 3], 12, 30, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.mappings(), y.mappings());
+        }
+        for j in &a {
+            assert_eq!(j.n_apps(), 2);
+            assert_eq!(j.mapping(0).n_stages(), 4);
+            assert_eq!(j.mapping(1).n_stages(), 3);
+            // Per-app disjointness holds; cross-app sharing may not.
+            for m in j.mappings() {
+                let mut seen = std::collections::HashSet::new();
+                for team in m.teams() {
+                    assert!(!team.is_empty());
+                    for &p in team {
+                        assert!(p < 12);
+                        assert!(seen.insert(p), "processor reused within an app");
+                    }
+                }
+            }
+        }
+        // With 2 apps on 12 processors some candidate shares a processor.
+        assert!(
+            a.iter().any(|j| {
+                let first: std::collections::HashSet<_> =
+                    j.mapping(0).teams().iter().flatten().copied().collect();
+                j.mapping(1)
+                    .teams()
+                    .iter()
+                    .flatten()
+                    .any(|p| first.contains(p))
+            }),
+            "no candidate exercises cross-app sharing"
+        );
+        // For one app the first mapping replays `random_mappings`' stream.
+        let solo = random_joint_mappings(&[4], 12, 10, 9);
+        let plain = random_mappings(4, 12, 10, 9);
+        for (j, m) in solo.iter().zip(plain.iter()) {
+            assert_eq!(j.mapping(0).teams(), m.teams());
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `v`; the fidelity figure (12) chains that pattern repeatedly.
 
 use rand::Rng;
-use repstream_core::model::{Application, Mapping, Platform, System};
+use repstream_core::model::{App, Application, Mapping, Platform, System, Workload};
 use repstream_stochastic::rng::seeded_rng;
 
 /// Errors of the scenario constructors.
@@ -110,6 +110,41 @@ pub fn mapping_search() -> (Application, Platform) {
     (app, platform)
 }
 
+/// The **shared-platform workload** scenario: `k ≥ 1` applications
+/// competing for the 12-processor [`mapping_search`] platform.
+///
+/// Tenants cycle through three templates:
+///
+/// * `i % 3 == 0` — the 4-stage mapping-search chain, weight 1, no SLA;
+/// * `i % 3 == 1` — the **same** chain again, weight 2 and an SLA of
+///   0.02 jobs/s.  Identical stage counts mean joint candidates often
+///   give apps 0 and 1 the same replication shape, so one search
+///   exercises cross-app `ChainCache` sharing (one `TpnSignature`, one
+///   marking-graph build);
+/// * `i % 3 == 2` — a lighter 3-stage chain with an SLA of 0.05 jobs/s.
+///
+/// `shared_platform(2)` is therefore the smallest instance with both
+/// contention and cache sharing — the CI smoke workload.
+pub fn shared_platform(k: usize) -> Workload {
+    assert!(k >= 1, "a workload needs at least one application");
+    let (anchor, platform) = mapping_search();
+    let light =
+        Application::new(vec![6.0, 18.0, 9.0], vec![3.0, 2.0]).expect("static scenario is valid");
+    let apps = (0..k)
+        .map(|i| match i % 3 {
+            0 => App::new(anchor.clone()),
+            1 => App::new(anchor.clone())
+                .with_weight(2.0)
+                .and_then(|a| a.with_sla(0.02))
+                .expect("static weight/SLA are valid"),
+            _ => App::new(light.clone())
+                .with_sla(0.05)
+                .expect("static SLA is valid"),
+        })
+        .collect();
+    Workload::new(apps, platform).expect("k >= 1 apps")
+}
+
 /// Figure 12's repeated pattern: `reps` copies of a 2-stage block joined
 /// by a costly 5 → 7 communication.  Stage works are negligible; all the
 /// action is in the `reps` communication columns.
@@ -208,6 +243,23 @@ mod tests {
         let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]).unwrap();
         let sys = System::new(app, platform, mapping).unwrap();
         assert!(deterministic::throughput_columnwise(&sys) > 0.0);
+    }
+
+    #[test]
+    fn shared_platform_cycles_templates() {
+        let w = shared_platform(4);
+        assert_eq!(w.n_apps(), 4);
+        assert_eq!(w.platform().n_processors(), 12);
+        // Apps 0 and 1 share a chain shape (the cache-sharing pair).
+        assert_eq!(w.app(0).application(), w.app(1).application());
+        assert_eq!(w.app(0).weight(), 1.0);
+        assert_eq!(w.app(0).sla(), None);
+        assert_eq!(w.app(1).weight(), 2.0);
+        assert_eq!(w.app(1).sla(), Some(0.02));
+        assert_eq!(w.app(2).application().n_stages(), 3);
+        assert_eq!(w.app(2).sla(), Some(0.05));
+        // Template cycle wraps around.
+        assert_eq!(w.app(3).application(), w.app(0).application());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! Gamma(3) run — watching the communication column become the binding
 //! resource.
 
-use repstream::core::model::{Application, Mapping, Platform, System};
+use repstream::core::model::{Application, Mapping, Platform, SystemRef};
 use repstream::core::simulate::{monte_carlo_family, MonteCarloOptions, SimEngine};
 use repstream::core::{bounds, exponential};
 use repstream::petri::shape::ExecModel;
@@ -40,12 +40,14 @@ fn main() {
             vec![replicas + 2],
         ])
         .expect("mapping");
-        let system = System::new(app, platform, mapping).expect("system");
+        // Borrowed view: validation only, no Application/Platform/Mapping
+        // clones — the same zero-copy path the batch engine scores with.
+        let system = SystemRef::new(&app, &platform, &mapping).expect("system");
 
-        let b = bounds::nbue_bounds(&system, ExecModel::Overlap).expect("bounds");
-        let exp = exponential::throughput_overlap(&system).expect("exp");
+        let b = bounds::nbue_bounds(system, ExecModel::Overlap).expect("bounds");
+        let exp = exponential::throughput_overlap(system).expect("exp");
         let sim = monte_carlo_family(
-            &system,
+            system,
             ExecModel::Overlap,
             LawFamily::Gamma(3.0),
             MonteCarloOptions {

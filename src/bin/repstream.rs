@@ -15,6 +15,14 @@
 //! `--model overlap|strict`, `--candidates N`, `--seed N`, `--no-exp`,
 //! `--no-lump`, `--threads N`, `--solver S`.
 //!
+//! `search --scenario workload` (equivalently `search workload`) runs
+//! the **multi-application** joint search instead: `--apps K` tenants of
+//! `scenarios::shared_platform` contend for the 12-processor platform,
+//! and `--objective maxmin|weighted|sla` picks the scalarization of the
+//! per-app contended throughputs.  The report prints the winner's
+//! per-app throughput table (weight, SLA verdict) and a contention
+//! summary (shared processors/links, busiest processor).
+//!
 //! `--no-lump` (also accepted by `analyze`) turns the symmetry-reduced
 //! quotient solve of the Strict Theorem 2 chain off, for A/B runs against
 //! the full chain — both report the same throughput, the report shows
@@ -55,7 +63,9 @@
 
 use repstream::core::model::{Application, Mapping, Platform, System};
 use repstream::core::report::{system_report, ReportOptions};
-use repstream::engine::{portfolio_search, PortfolioOptions};
+use repstream::engine::{
+    portfolio_search, workload_search, Objective, PortfolioOptions, WorkloadSearchOptions,
+};
 use repstream::markov::ctmc::SolverChoice;
 use repstream::petri::dot::to_dot;
 use repstream::petri::shape::ExecModel;
@@ -154,15 +164,51 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
-/// `repstream search [SCENARIO|FILE] [--model M] [--candidates N]
-/// [--seed N] [--no-exp] [--no-lump] [--threads N] [--solver S]`.
+/// `repstream search [SCENARIO|FILE] [--scenario NAME] [--model M]
+/// [--candidates N] [--seed N] [--no-exp] [--no-lump] [--threads N]
+/// [--solver S] [--objective O] [--apps K]`.
 fn run_search(args: &[String]) -> i32 {
     let mut scenario = "mapping-search".to_string();
     let mut opts = PortfolioOptions::default();
+    let mut objective: Option<Objective> = None;
+    let mut apps = 2usize;
     let mut scenario_set = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--scenario" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => {
+                        scenario = name.clone();
+                        scenario_set = true;
+                    }
+                    None => {
+                        eprintln!("error: --scenario needs a name");
+                        return 2;
+                    }
+                }
+            }
+            "--objective" => {
+                i += 1;
+                match args.get(i).and_then(|s| Objective::parse(s)) {
+                    Some(o) => objective = Some(o),
+                    None => {
+                        eprintln!("error: --objective needs maxmin|weighted|sla");
+                        return 2;
+                    }
+                }
+            }
+            "--apps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) if k >= 1 => apps = k,
+                    _ => {
+                        eprintln!("error: --apps needs a count >= 1");
+                        return 2;
+                    }
+                }
+            }
             "--model" => {
                 i += 1;
                 opts.model = match args.get(i).map(String::as_str) {
@@ -231,6 +277,14 @@ fn run_search(args: &[String]) -> i32 {
         i += 1;
     }
 
+    if scenario == "workload" {
+        return run_workload_search(apps, objective.unwrap_or(Objective::MaxMin), &opts);
+    }
+    if objective.is_some() {
+        eprintln!("error: --objective only applies to the workload scenario");
+        return 2;
+    }
+
     let (app, platform) = match scenario.as_str() {
         "mapping-search" => scenarios::mapping_search(),
         "example-a" => {
@@ -284,12 +338,99 @@ fn run_search(args: &[String]) -> i32 {
     0
 }
 
+/// `repstream search --scenario workload`: the K-app joint search on the
+/// shared 12-processor platform.
+fn run_workload_search(apps: usize, objective: Objective, portfolio: &PortfolioOptions) -> i32 {
+    let workload = scenarios::shared_platform(apps);
+    let opts = WorkloadSearchOptions {
+        model: portfolio.model,
+        objective,
+        random_candidates: portfolio.random_candidates,
+        seed: portfolio.seed,
+        exp_rerank: portfolio.exp_rerank,
+        lumping: portfolio.lumping,
+        threads: portfolio.threads,
+        solver: portfolio.solver,
+        ..WorkloadSearchOptions::default()
+    };
+    let report = match workload_search(&workload, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "workload search: {apps} apps on {} shared processors ({}, objective {}, \
+         {} random candidates, seed {})",
+        workload.platform().n_processors(),
+        opts.model.label(),
+        objective.label(),
+        opts.random_candidates,
+        opts.seed
+    );
+    println!("origin      det-objective   exp-objective");
+    for c in &report.finalists {
+        let exp = c
+            .exp_objective
+            .map(|e| format!("{e:>14.5}"))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        println!("{:<11} {:>14.5}  {exp}", c.origin, c.objective);
+    }
+    println!("winner ({}):", report.best.origin);
+    println!("  app  weight  sla          det-throughput  exp-throughput  teams");
+    for (k, app) in workload.apps().iter().enumerate() {
+        let sla = app
+            .sla()
+            .map(|s| {
+                let rho = report
+                    .best
+                    .exp_per_app
+                    .as_ref()
+                    .map_or(report.best.per_app[k], |e| e[k]);
+                format!("{s:.4}{}", if rho >= s { " ok" } else { " MISS" })
+            })
+            .unwrap_or_else(|| "-".to_string());
+        let exp = report
+            .best
+            .exp_per_app
+            .as_ref()
+            .map(|e| format!("{:>14.5}", e[k]))
+            .unwrap_or_else(|| format!("{:>14}", "-"));
+        println!(
+            "  {k:<4} {:<7} {sla:<12} {:>14.5}  {exp}  {:?}",
+            app.weight(),
+            report.best.per_app[k],
+            report.best.joint.mapping(k).teams()
+        );
+    }
+    println!(
+        "contention: {} shared processors, {} shared directed links, \
+         busiest processor carries {} apps",
+        report.contention.shared_processors,
+        report.contention.shared_links,
+        report.contention.max_processor_users
+    );
+    println!(
+        "evaluations: {} det (batch) + {} delta column recomputes + {} exp \
+         (shared chain cache: {} hits / {} misses)",
+        report.det_evaluations,
+        report.delta_recomputes,
+        report.exp_evaluations,
+        report.exp_cache.hits(),
+        report.exp_cache.misses(),
+    );
+    0
+}
+
 fn usage() -> i32 {
     eprintln!(
         "usage: repstream <analyze FILE [--no-lump] [--threads N] [--solver S] | \
          dot FILE [overlap|strict] | \
          example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
-         [--no-exp] [--no-lump] [--threads N] [--solver S]>  (S: auto|gth|gs|gmres|sor|power)"
+         [--no-exp] [--no-lump] [--threads N] [--solver S] \
+         [--scenario workload --apps K --objective maxmin|weighted|sla]>  \
+         (S: auto|gth|gs|gmres|sor|power)"
     );
     2
 }
