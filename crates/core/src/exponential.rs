@@ -24,9 +24,9 @@
 use crate::model::SystemRef;
 use crate::timing::exponential_rates;
 use repstream_markov::cache::ChainCache;
-use repstream_markov::ctmc::{Solver, SolverChoice};
+use repstream_markov::ctmc::{Precond, Solver, SolverChoice};
 use repstream_markov::marking::{
-    ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph,
+    ArenaCompression, ArenaStats, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph,
 };
 use repstream_markov::net::EventNet;
 use repstream_markov::pattern;
@@ -137,6 +137,12 @@ pub struct ExpOptions {
     /// bitwise-unchanged).  The default [`ArenaCompression::Auto`]
     /// compresses once an arena crosses the built-in byte threshold.
     pub arena_compression: ArenaCompression,
+    /// Spill marking-arena payload bytes to an unlinked temp file once
+    /// they cross the spill limit (`REPSTREAM_SPILL_MIB`, default 64),
+    /// bounding peak RSS on 10M-state builds
+    /// ([`MarkingOptions::interner_spill`]).  Storage only — the chain
+    /// is bitwise-unchanged.  Exposed on the CLI as `--interner-spill`.
+    pub interner_spill: bool,
 }
 
 impl Default for ExpOptions {
@@ -148,6 +154,7 @@ impl Default for ExpOptions {
             threads: 0,
             solver: SolverChoice::Auto,
             arena_compression: ArenaCompression::Auto,
+            interner_spill: false,
         }
     }
 }
@@ -347,10 +354,19 @@ pub struct StrictReport {
     /// [`SolverChoice::Auto`] this is the plan's pick; under `Force` it
     /// echoes the forced method).
     pub solver: Solver,
+    /// The diagonal scaling that method iterated under
+    /// ([`Precond::Jacobi`] only when GMRES produced the vector).
+    pub precond: Precond,
+    /// Iterations the winning solver spent (sweeps for the relaxations
+    /// and power, matvecs for GMRES, `n` for GTH's eliminations).
+    pub iterations: usize,
     /// Max-norm stationarity residual `‖πQ‖∞` of the solved chain's
     /// vector, measured by the solver layer after the solve (for every
     /// method, including the direct ones).
     pub residual: f64,
+    /// Storage accounting of the build: marking-arena, interner
+    /// slot-table, and spill-file bytes — the report's memory line.
+    pub arena: ArenaStats,
 }
 
 /// Theorem 2: exact throughput of the **Strict** model through the global
@@ -413,6 +429,7 @@ pub fn throughput_strict_report<'a>(
         capacity: None,
         threads: opts.threads,
         arena_compression: opts.arena_compression,
+        interner_spill: opts.interner_spill,
         ..Default::default()
     };
     let last = tpn.last_column();
@@ -430,7 +447,10 @@ pub fn throughput_strict_report<'a>(
                 lumped_states: Some(qg.n_states()),
                 method: StrictMethod::DirectQuotient,
                 solver: report.solver,
+                precond: report.precond,
+                iterations: report.iterations,
                 residual: report.residual,
+                arena: qg.arena_stats(),
             });
         }
     }
@@ -452,7 +472,10 @@ pub fn throughput_strict_report<'a>(
                     lumped_states: Some(sol.lumped_states),
                     method: StrictMethod::FullThenLump,
                     solver: report.solver,
+                    precond: report.precond,
+                    iterations: report.iterations,
                     residual: report.residual,
+                    arena: mg.arena_stats(),
                 });
             }
         }
@@ -464,7 +487,10 @@ pub fn throughput_strict_report<'a>(
         lumped_states: None,
         method: StrictMethod::Full,
         solver: report.solver,
+        precond: report.precond,
+        iterations: report.iterations,
         residual: report.residual,
+        arena: mg.arena_stats(),
     })
 }
 

@@ -40,8 +40,18 @@ pub struct ReportOptions {
     pub threads: usize,
     /// Stationary solver of the Strict Theorem 2 chain (maps to
     /// [`ExpOptions::solver`]; the CLI's `--solver`).  The report's
-    /// Strict section prints which method actually ran and its residual.
+    /// Strict section prints which method actually ran, the diagonal
+    /// scaling it iterated under, its iteration count and residual.
     pub solver: SolverChoice,
+    /// State budget of the Strict Theorem 2 chain (maps to
+    /// [`ExpOptions::max_states`]; the CLI's `--max-states`).  The
+    /// 4M default covers quotients up to the 6×7 shape; 10M-class
+    /// shapes (7×8, 14.06M lumped states) need [`ReportOptions::interner_spill`].
+    pub max_states: usize,
+    /// Spill marking-arena payloads to an unlinked temp file during the
+    /// BFS (maps to [`ExpOptions::interner_spill`]; the CLI's
+    /// `--interner-spill`).  Bitwise-neutral; bounds peak RSS.
+    pub interner_spill: bool,
 }
 
 impl Default for ReportOptions {
@@ -52,6 +62,8 @@ impl Default for ReportOptions {
             lumping: true,
             threads: 0,
             solver: SolverChoice::Auto,
+            max_states: 4_000_000,
+            interner_spill: false,
         }
     }
 }
@@ -123,6 +135,8 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
         lumping: opts.lumping,
         threads: opts.threads,
         solver: opts.solver,
+        max_states: opts.max_states,
+        interner_spill: opts.interner_spill,
         ..Default::default()
     };
 
@@ -173,9 +187,19 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
                 }
                 writeln!(
                     s,
-                    "  solver={} residual={:.3e}",
+                    "  solver={} precond={} iterations={} residual={:.3e}",
                     rep.solver.label(),
+                    rep.precond.label(),
+                    rep.iterations,
                     rep.residual
+                )
+                .unwrap();
+                writeln!(
+                    s,
+                    "  memory: arena {} + interner {} resident, {} spilled",
+                    mib(rep.arena.keys_bytes + rep.arena.reps_bytes),
+                    mib(rep.arena.interner_bytes),
+                    mib(rep.arena.spill_bytes)
                 )
                 .unwrap();
             }
@@ -300,6 +324,11 @@ pub fn workload_report(
     Ok(s)
 }
 
+/// Render a byte count as MiB with enough precision for small builds.
+fn mib(bytes: usize) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
 fn describe(place: ColumnRef) -> String {
     match place {
         ColumnRef::Compute { stage, slot } => format!("compute stage {stage} slot {slot}"),
@@ -336,7 +365,10 @@ mod tests {
             "[strict/exponential — Theorem 2]",
             "direct-quotient",
             "solver=",
+            "precond=",
+            "iterations=",
             "residual=",
+            "memory: arena",
             "N.B.U.E. sandwich",
             "bottleneck:",
         ] {

@@ -28,7 +28,7 @@
 //! (possibly smaller) budget of the current call — budgets are per
 //! deployment, not per candidate.
 
-use crate::ctmc::{Solver, SolverChoice};
+use crate::ctmc::{Precond, Solver, SolverChoice};
 use crate::fxhash::FxHashMap;
 use crate::marking::{ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
 use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
@@ -138,8 +138,14 @@ pub struct StrictSolve {
     /// The stationary method that actually ran (the plan's pick under
     /// [`SolverChoice::Auto`]).
     pub solver: Solver,
+    /// The diagonal scaling that method iterated under
+    /// ([`crate::ctmc::Precond::Jacobi`] only for GMRES).
+    pub precond: Precond,
     /// Final max-norm stationarity residual of the solved vector.
     pub residual: f64,
+    /// Iterations the winning solver spent (sweeps for relaxations and
+    /// power, matvecs for GMRES, `n` for GTH).
+    pub iterations: usize,
 }
 
 /// A cache of marking-graph structures keyed by chain shape.
@@ -326,7 +332,9 @@ impl ChainCache {
                 quotient_direct: true,
                 cache_hit,
                 solver: report.solver,
+                precond: report.precond,
                 residual: report.residual,
+                iterations: report.iterations,
             });
         }
 
@@ -349,7 +357,9 @@ impl ChainCache {
             quotient_direct: false,
             cache_hit,
             solver: report.solver,
+            precond: report.precond,
             residual: report.residual,
+            iterations: report.iterations,
         })
     }
 }

@@ -186,9 +186,12 @@ pub enum Solver {
     Gth,
     /// Gauss–Seidel relaxation of the balance equations.
     GaussSeidel,
-    /// Restarted GMRES on `πQ = 0` with renormalized deflation
-    /// ([`crate::krylov`]).
+    /// Restarted GMRES on `πQ = 0` with renormalized deflation and
+    /// Jacobi exit-rate scaling ([`crate::krylov`]).
     Gmres,
+    /// Restarted GMRES without preconditioning — the historical
+    /// baseline, kept forceable for A/B runs (`--solver gmres-plain`).
+    GmresPlain,
     /// Successive over-relaxation of the balance equations
     /// ([`crate::krylov`]).
     Sor,
@@ -198,14 +201,49 @@ pub enum Solver {
 
 impl Solver {
     /// Short lowercase name, as printed by reports and accepted by the
-    /// CLI (`gth`, `gs`, `gmres`, `sor`, `power`).
+    /// CLI (`gth`, `gs`, `gmres`, `gmres-plain`, `sor`, `power`).
     pub fn label(self) -> &'static str {
         match self {
             Solver::Gth => "gth",
             Solver::GaussSeidel => "gs",
             Solver::Gmres => "gmres",
+            Solver::GmresPlain => "gmres-plain",
             Solver::Sor => "sor",
             Solver::Power => "power",
+        }
+    }
+}
+
+/// The diagonal scaling applied inside a GMRES solve of `πQ = 0` — part
+/// of the [`SolveReport`] provenance, so a report always names both the
+/// method *and* the operator it actually iterated on.
+///
+/// Stiff rate tables (fast replicas next to slow stages) spread the
+/// generator's column scales over the full rate dynamic range, and GMRES
+/// convergence tracks that spread.  Jacobi right-scaling by inverse exit
+/// rates (`A′ = Q·D⁻¹`, `D = diag(exit)`) equalizes the column norms at
+/// the cost of one extra multiply per matvec entry; the solution is
+/// untransformed (`x(QD⁻¹) = 0 ⇔ xQ = 0`), so acceptance still verifies
+/// the *unpreconditioned* residual contract.  ILU(0) is the documented
+/// next rung (it needs a triangular solve per matvec and a determinism
+/// story for its fill ordering) and is intentionally not implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precond {
+    /// Iterate on `Q` directly (every non-GMRES solver, and
+    /// [`Solver::GmresPlain`]).
+    #[default]
+    None,
+    /// Jacobi right-scaling by inverse exit rates (absorbing states keep
+    /// scale 1, matching GMRES's division-free handling of them).
+    Jacobi,
+}
+
+impl Precond {
+    /// Short lowercase name, as printed by reports (`none`, `jacobi`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Precond::None => "none",
+            Precond::Jacobi => "jacobi",
         }
     }
 }
@@ -226,13 +264,15 @@ pub enum SolverChoice {
 
 impl SolverChoice {
     /// Parse a CLI spelling: `auto`, `gth`, `gs` (or `gauss-seidel`),
-    /// `gmres`, `sor`, `power`.  Returns `None` for anything else.
+    /// `gmres`, `gmres-plain`, `sor`, `power`.  Returns `None` for
+    /// anything else.
     pub fn parse(s: &str) -> Option<SolverChoice> {
         Some(match s {
             "auto" => SolverChoice::Auto,
             "gth" => SolverChoice::Force(Solver::Gth),
             "gs" | "gauss-seidel" => SolverChoice::Force(Solver::GaussSeidel),
             "gmres" => SolverChoice::Force(Solver::Gmres),
+            "gmres-plain" => SolverChoice::Force(Solver::GmresPlain),
             "sor" => SolverChoice::Force(Solver::Sor),
             "power" => SolverChoice::Force(Solver::Power),
             _ => return None,
@@ -276,6 +316,9 @@ pub struct SolveReport {
     pub residual: f64,
     /// Iterations the winning solver spent.
     pub iterations: usize,
+    /// The diagonal scaling the winning solver iterated under —
+    /// [`Precond::Jacobi`] only when [`Solver::Gmres`] produced `pi`.
+    pub precond: Precond,
 }
 
 /// Incremental builder used by the marking BFS: rows are appended in
@@ -793,8 +836,9 @@ impl Ctmc {
                 primary: Solver::Sor,
                 fallbacks: &[Solver::Gmres, Solver::Power],
                 reason: "n >= 2^20: adaptive SOR converges in ~10x fewer sweeps \
-                         than power iterations; GMRES is the robust fallback \
-                         (fewest matvecs but O(restart*n) orthogonalization each)",
+                         than power iterations; Jacobi-scaled GMRES is the robust \
+                         fallback (fewest matvecs but O(restart*n) \
+                         orthogonalization each)",
             };
         }
         SolverPlan {
@@ -830,12 +874,18 @@ impl Ctmc {
 
     /// Run one solver with its standard budget and report the outcome.
     fn run_forced(&self, solver: Solver) -> SolveReport {
+        let mut precond = Precond::None;
         let (pi, iterations) = match solver {
             Solver::Gth => (self.stationary_gth(), self.n),
             Solver::GaussSeidel => self.gauss_seidel_counted(1e-14, 10_000),
             Solver::Gmres => {
+                precond = Precond::Jacobi;
                 let scale = self.max_rate().max(1e-300);
-                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale)
+                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale, precond)
+            }
+            Solver::GmresPlain => {
+                let scale = self.max_rate().max(1e-300);
+                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale, Precond::None)
             }
             Solver::Sor => self.sor_counted(crate::krylov::SOR_OMEGA, 1e-14, 10_000),
             Solver::Power => {
@@ -848,6 +898,7 @@ impl Ctmc {
             solver,
             residual,
             iterations,
+            precond,
         }
     }
 
@@ -878,6 +929,7 @@ impl Ctmc {
                             solver: Solver::GaussSeidel,
                             residual,
                             iterations: sweeps,
+                            precond: Precond::None,
                         };
                     }
                 }
@@ -894,12 +946,13 @@ impl Ctmc {
                     solver: Solver::Power,
                     residual,
                     iterations: iters,
+                    precond: Precond::None,
                 }
             }
             // Top end (n >= 2^20): SOR, then GMRES, then power, each
             // residual-verified; if everything misses the contract, keep
             // whichever iterate balances best.
-            Solver::Sor | Solver::Gmres | Solver::Power => {
+            Solver::Sor | Solver::Gmres | Solver::GmresPlain | Solver::Power => {
                 if plan.fallbacks.is_empty() {
                     return self.run_forced(plan.primary);
                 }

@@ -34,6 +34,29 @@
 //! `‖xQ‖_∞` (the same contract [`Ctmc::stationary_solve`] verifies), not
 //! on the least-squares estimate alone.
 //!
+//! # Jacobi right-scaling
+//!
+//! With [`Precond::Jacobi`] the Krylov recurrence runs on the scaled
+//! operator `A′ : x ↦ (xQ)D⁻¹`, `D = diag(max(exit_j, →1))` — one extra
+//! multiply per matvec entry, applied after the same deterministic
+//! gather, so matvecs stay bitwise deterministic for any thread count.
+//! Exit rates *are* the diagonal magnitudes of `Q` (`q_jj = −exit_j`),
+//! so this equalizes column norms exactly where stiff rate tables spread
+//! them; absorbing states (exit 0) keep scale 1, preserving the
+//! division-free NaN story.  Because `D` is invertible, `x(QD⁻¹) = 0 ⇔
+//! xQ = 0`: the iterate needs no untransforming and the final acceptance
+//! still verifies the *unpreconditioned* residual.  Two care points:
+//!
+//! * **stopping** — the in-cycle least-squares estimate and the restart
+//!   `beta` live in the scaled norm, so they are compared against
+//!   `tol / max(D)` (since `‖xQ‖_∞ ≤ max(D)·‖(xQ)D⁻¹‖₂`), keeping the
+//!   certificate sound in the caller's unscaled contract;
+//! * **deflation** — scaled residuals no longer have exactly zero
+//!   component sum, so corrections can drift off the simplex; the
+//!   per-restart renormalization (already required for floating-point
+//!   drift) absorbs exactly this component, since the drift direction is
+//!   the null direction the deflation removes.
+//!
 //! # SOR
 //!
 //! [`Ctmc::stationary_sor`] is the Gauss–Seidel sweep of
@@ -54,7 +77,7 @@
 //! iterations, while GMRES pays O(restart · n) orthogonalization per
 //! matvec and serves as the robust residual-verified fallback.
 
-use crate::ctmc::Ctmc;
+use crate::ctmc::{Ctmc, Precond};
 
 /// Arnoldi depth per GMRES cycle.  Deep enough that the million-state
 /// quotient chains converge in a handful of restarts; shallow enough
@@ -89,18 +112,34 @@ impl Ctmc {
     /// without NaNs.  The result is clamped to the simplex (tiny negative
     /// overshoot zeroed) and normalized to unit sum.
     pub fn stationary_gmres(&self, tol: f64, max_matvecs: usize) -> Vec<f64> {
-        self.gmres_restarted(GMRES_RESTART, tol, max_matvecs).0
+        self.stationary_gmres_pc(Precond::None, tol, max_matvecs)
     }
 
-    /// [`Ctmc::stationary_gmres`] with the standard budget, returning the
-    /// matvec count — what [`Ctmc::stationary_solve`] runs.
-    pub(crate) fn gmres_counted(&self, target: f64) -> (Vec<f64>, usize) {
-        self.gmres_restarted(GMRES_RESTART, target, GMRES_MAX_MATVECS)
+    /// [`Ctmc::stationary_gmres`] with an explicit diagonal scaling —
+    /// [`Precond::Jacobi`] is what the automatic policy's `gmres` entry
+    /// runs (see the module docs on right-scaling).  `tol` remains the
+    /// **unpreconditioned** max-norm residual to certify; the scaling
+    /// only changes the operator iterated on, never the contract.
+    pub fn stationary_gmres_pc(&self, precond: Precond, tol: f64, max_matvecs: usize) -> Vec<f64> {
+        self.gmres_restarted(GMRES_RESTART, tol, max_matvecs, precond)
+            .0
+    }
+
+    /// [`Ctmc::stationary_gmres_pc`] with the standard budget, returning
+    /// the matvec count — what [`Ctmc::stationary_solve`] runs.
+    pub(crate) fn gmres_counted(&self, target: f64, precond: Precond) -> (Vec<f64>, usize) {
+        self.gmres_restarted(GMRES_RESTART, target, GMRES_MAX_MATVECS, precond)
     }
 
     /// Restarted GMRES with explicit Arnoldi depth.  Returns the iterate
     /// and the number of operator applications (matvecs) spent.
-    fn gmres_restarted(&self, restart: usize, tol: f64, max_matvecs: usize) -> (Vec<f64>, usize) {
+    fn gmres_restarted(
+        &self,
+        restart: usize,
+        tol: f64,
+        max_matvecs: usize,
+        precond: Precond,
+    ) -> (Vec<f64>, usize) {
         let n = self.n_states();
         assert!(n > 0);
         if n == 1 {
@@ -108,6 +147,27 @@ impl Ctmc {
         }
         let m = restart.clamp(2, n.max(2));
         let mut x = vec![1.0 / n as f64; n];
+        // Jacobi right-scaling: invd[j] multiplies entry j after every
+        // gather (empty = identity, so the plain path is untouched, not
+        // merely multiplied by 1.0).  Absorbing states keep scale 1.
+        let invd: Vec<f64> = match precond {
+            Precond::None => Vec::new(),
+            Precond::Jacobi => (0..n)
+                .map(|j| {
+                    let d = self.exit_rate(j);
+                    if d > 0.0 {
+                        1.0 / d
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        };
+        // Scaled-norm stopping threshold: ‖xQ‖_∞ ≤ max(D)·‖(xQ)D⁻¹‖₂,
+        // so certifying `tol` through the scaled operator needs the
+        // estimates under `tol / max(D)` (max(D) = 1 unpreconditioned).
+        let max_d = invd.iter().fold(1.0f64, |acc, &s| acc.max(1.0 / s));
+        let tol_pc = tol / max_d;
         // Workspaces, allocated once and reused across restarts.
         let mut v = vec![0.0f64; (m + 1) * n]; // Krylov basis, rows of n
         let mut h = vec![0.0f64; m * (m + 1)]; // Hessenberg, column-major
@@ -118,19 +178,25 @@ impl Ctmc {
         let mut matvecs = 0usize;
 
         while matvecs < max_matvecs {
-            // r0 = −xQ into the first basis slot.
+            // r0 = −(xQ)D⁻¹ into the first basis slot (D = I when plain).
             {
                 let v0 = &mut v[..n];
                 self.apply_q(&x, v0);
                 matvecs += 1;
-                for val in v0.iter_mut() {
-                    *val = -*val;
+                if invd.is_empty() {
+                    for val in v0.iter_mut() {
+                        *val = -*val;
+                    }
+                } else {
+                    for (val, &s) in v0.iter_mut().zip(&invd) {
+                        *val = -*val * s;
+                    }
                 }
             }
             let beta = norm2(&v[..n]);
             // A 2-norm bounds the max-norm, so a tiny beta certifies the
-            // residual contract directly.
-            if beta <= tol.max(TINY) {
+            // residual contract directly (through `max(D)` when scaled).
+            if beta <= tol_pc.max(TINY) {
                 break;
             }
             let inv_beta = 1.0 / beta;
@@ -149,6 +215,11 @@ impl Ctmc {
                 let w = &mut rest[..n];
                 self.apply_q(&basis[j * n..(j + 1) * n], w);
                 matvecs += 1;
+                if !invd.is_empty() {
+                    for (wv, &s) in w.iter_mut().zip(&invd) {
+                        *wv *= s;
+                    }
+                }
                 let col = &mut h[j * (m + 1)..(j + 1) * (m + 1)];
                 for (i, hij) in col.iter_mut().enumerate().take(j + 1) {
                     let vi = &basis[i * n..(i + 1) * n];
@@ -188,10 +259,11 @@ impl Ctmc {
                         *wv *= inv;
                     }
                 }
-                // |g[j+1]| is the least-squares residual 2-norm; leave
-                // the cycle early once it is safely under target (the
-                // true residual is re-verified below).
-                if happy || g[j + 1].abs() <= 0.25 * tol || matvecs >= max_matvecs {
+                // |g[j+1]| is the least-squares residual 2-norm (in the
+                // scaled norm when preconditioned); leave the cycle
+                // early once it is safely under target (the true
+                // unpreconditioned residual is re-verified below).
+                if happy || g[j + 1].abs() <= 0.25 * tol_pc || matvecs >= max_matvecs {
                     break;
                 }
             }
@@ -213,10 +285,13 @@ impl Ctmc {
                 }
             }
 
-            // Renormalized deflation: corrections live in the zero-sum
-            // subspace, so this only removes floating-point drift along
-            // the null direction — but removing it every restart is what
-            // keeps the iteration anchored on the simplex.
+            // Renormalized deflation: plain corrections live in the
+            // zero-sum subspace, so this removes only floating-point
+            // drift along the null direction; scaled corrections carry a
+            // genuine (still null-direction) sum component, and this
+            // same rescale is what absorbs it (see the module docs).
+            // Either way, renormalizing every restart is what keeps the
+            // iteration anchored on the simplex.
             let total: f64 = x.iter().sum();
             if total.is_finite() && total.abs() > TINY {
                 let inv = 1.0 / total;
@@ -382,6 +457,44 @@ mod tests {
         let c = Ctmc::new(vec![Vec::new()]);
         assert_eq!(c.stationary_gmres(1e-12, 10), vec![1.0]);
         assert_eq!(c.stationary_sor(SOR_OMEGA, 1e-12, 10), vec![1.0]);
+    }
+
+    #[test]
+    fn jacobi_gmres_matches_plain_on_stiff_chain() {
+        // Rates spread over 6 decades: exactly the column-scale spread
+        // Jacobi equalizes.  Both variants must land on the same
+        // stationary vector to far below the acceptance contract.
+        let rows = vec![
+            vec![(1, 1.0e3), (2, 5.0e-2)],
+            vec![(2, 7.0e2), (0, 1.0e-3)],
+            vec![(0, 2.0e-1), (3, 9.0e2)],
+            vec![(0, 4.0e-3), (1, 6.0e1)],
+        ];
+        let c = Ctmc::new(rows);
+        let plain = c.stationary_gmres_pc(Precond::None, 1e-12, 10_000);
+        let pc = c.stationary_gmres_pc(Precond::Jacobi, 1e-12, 10_000);
+        for (a, b) in plain.iter().zip(&pc) {
+            assert!((a - b).abs() < 1e-10, "plain {plain:?} vs jacobi {pc:?}");
+        }
+        assert!(c.stationarity_residual(&pc) < 1e-11);
+    }
+
+    #[test]
+    fn jacobi_gmres_handles_absorbing_chain() {
+        // Absorbing state keeps scale 1: no division by a zero exit.
+        let rows: Vec<Vec<(usize, f64)>> = (0..8)
+            .map(|i| {
+                if i + 1 < 8 {
+                    vec![(i + 1, 2.0)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let c = Ctmc::new(rows);
+        let pi = c.stationary_gmres_pc(Precond::Jacobi, 1e-12, 5_000);
+        assert!(pi.iter().all(|v| v.is_finite()), "{pi:?}");
+        assert!((pi[7] - 1.0).abs() < 1e-9, "mass {} at absorber", pi[7]);
     }
 
     #[test]

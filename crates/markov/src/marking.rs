@@ -145,6 +145,28 @@ pub struct MarkingOptions {
     /// changes only how markings are *stored* — BFS order, interned ids
     /// and all emitted chain bits are identical in every mode.
     pub arena_compression: ArenaCompression,
+    /// Shard count of the two-level interner (rounded up to a power of
+    /// two, capped at [`MAX_INTERNER_SHARDS`]).  `0` (the default) reads
+    /// `REPSTREAM_INTERNER_SHARDS` from the environment, falling back to
+    /// 16 shards for budgets of 2^18 states and above and a single shard
+    /// below.  Sharding reorganizes only the hash table — ids are still
+    /// assigned in sequential scan/merge order and dedup is exact byte
+    /// equality, so output is **bitwise identical** for any shard count.
+    pub interner_shards: usize,
+    /// Spill the marking arenas' byte payloads (not the slot tables) to
+    /// an unlinked temp file once they outgrow [`Self::spill_limit`], so
+    /// peak RSS stays bounded on 10M+-state builds.  Storage-only: every
+    /// read decodes through the same byte sequence, so chains are
+    /// bitwise identical with spill on or off.  Trades wall clock
+    /// (collision probes against spilled markings re-read from the file)
+    /// for memory; no-op on non-Unix targets.
+    pub interner_spill: bool,
+    /// In-memory payload bytes each arena keeps resident before flushing
+    /// to the spill file (only meaningful with
+    /// [`Self::interner_spill`]).  `0` (the default) reads
+    /// `REPSTREAM_SPILL_MIB` from the environment, falling back to
+    /// 64 MiB per arena.
+    pub spill_limit: usize,
 }
 
 impl Default for MarkingOptions {
@@ -155,9 +177,66 @@ impl Default for MarkingOptions {
             threads: 0,
             min_states_per_worker: 0,
             arena_compression: ArenaCompression::Auto,
+            interner_shards: 0,
+            interner_spill: false,
+            spill_limit: 0,
         }
     }
 }
+
+impl MarkingOptions {
+    /// Resolved per-arena resident-byte bound of the spill machinery:
+    /// `usize::MAX` (never spill) unless [`Self::interner_spill`] is set,
+    /// then [`Self::spill_limit`] or its environment default.
+    fn resolved_spill_limit(&self) -> usize {
+        if !self.interner_spill {
+            return usize::MAX;
+        }
+        if self.spill_limit > 0 {
+            return self.spill_limit;
+        }
+        static LIMIT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *LIMIT.get_or_init(|| {
+            std::env::var("REPSTREAM_SPILL_MIB")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(64)
+                << 20
+        })
+    }
+
+    /// Resolved shard count of the two-level interner (see
+    /// [`Self::interner_shards`]).
+    fn resolved_interner_shards(&self) -> usize {
+        if self.interner_shards > 0 {
+            return self
+                .interner_shards
+                .next_power_of_two()
+                .min(MAX_INTERNER_SHARDS);
+        }
+        static SHARDS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let env = *SHARDS.get_or_init(|| {
+            std::env::var("REPSTREAM_INTERNER_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        });
+        if let Some(n) = env {
+            return n.next_power_of_two().min(MAX_INTERNER_SHARDS);
+        }
+        if self.max_states >= (1 << 18) {
+            16
+        } else {
+            1
+        }
+    }
+}
+
+/// Upper bound on [`MarkingOptions::interner_shards`].  256 shards keep
+/// the per-shard budget ≥ 2^15 states even at the 2^31 id ceiling; more
+/// shards would only add top-bit collisions without spreading work.
+pub const MAX_INTERNER_SHARDS: usize = 256;
 
 /// Failure modes of the marking BFS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -284,10 +363,108 @@ struct MarkingArena {
     cur_base: u32,
     /// Set by [`Self::begin_level`]: the next push starts a new base.
     new_level: bool,
+    /// Verbatim bytes of the current base (compressed mode): the delta
+    /// coster/encoder reads the base from here instead of `enc`, so base
+    /// bytes never have to be re-read from a spilled payload.
+    base_cache: Vec<u8>,
+    /// Resident payload bytes kept before flushing to the spill file;
+    /// `usize::MAX` disables spilling (see
+    /// [`MarkingOptions::interner_spill`]).
+    spill_limit: usize,
+    /// Lazily-created spill region (first flush).
+    spill: Option<SpillFile>,
+}
+
+/// Temp-file-backed spill region of one arena: the first `spilled` bytes
+/// of the active payload (flat or delta-encoded, whichever layout is
+/// live) sit in an **unlinked** temp file — space is reclaimed by the OS
+/// when the last handle drops — and the payload `Vec` holds only the
+/// tail.  Reads go through positioned I/O (`pread`), so level-frozen
+/// parallel workers can probe spilled markings concurrently.  Clones
+/// share the file; that is sound because graphs are only cloned after
+/// their build finishes (the payload is append-only and frozen by then).
+#[derive(Debug, Clone)]
+struct SpillFile {
+    file: std::sync::Arc<std::fs::File>,
+    spilled: usize,
+}
+
+impl SpillFile {
+    /// Open an unlinked temp file under `REPSTREAM_SPILL_DIR` (default:
+    /// the system temp dir).  `None` when creation fails or the target
+    /// has no positioned-I/O support — the arena then stays in memory.
+    fn create() -> Option<Self> {
+        #[cfg(unix)]
+        {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::var_os("REPSTREAM_SPILL_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(std::env::temp_dir);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("repstream-spill-{}-{n}.bin", std::process::id()));
+            let file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)
+                .ok()?;
+            let _ = std::fs::remove_file(&path);
+            Some(SpillFile {
+                file: std::sync::Arc::new(file),
+                spilled: 0,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], off: u64) {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, off).expect("spill read");
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (buf, off);
+            unreachable!("spill files are never created off-Unix");
+        }
+    }
+
+    fn write_all_at(&self, buf: &[u8], off: u64) {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, off).expect("spill write");
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (buf, off);
+            unreachable!("spill files are never created off-Unix");
+        }
+    }
+}
+
+thread_local! {
+    /// Scratch pair (entry bytes, base bytes) for reads that touch a
+    /// spilled payload — per thread so frozen-interner probes of the
+    /// parallel BFS workers stay allocation-free after warm-up.
+    static SPILL_SCRATCH: std::cell::RefCell<(Vec<u8>, Vec<u8>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl MarkingArena {
     fn new(width: usize, compression: ArenaCompression) -> Self {
+        Self::with_spill(width, compression, usize::MAX)
+    }
+
+    /// Like [`Self::new`] with a resident-payload bound: once the active
+    /// payload `Vec` reaches `spill_limit` bytes it is flushed to the
+    /// spill file (`usize::MAX` = never).
+    fn with_spill(width: usize, compression: ArenaCompression, spill_limit: usize) -> Self {
         let (compressed, threshold) = match compression {
             ArenaCompression::Off => (false, usize::MAX),
             ArenaCompression::Auto => (false, ARENA_COMPRESS_THRESHOLD),
@@ -304,6 +481,9 @@ impl MarkingArena {
             threshold,
             cur_base: 0,
             new_level: false,
+            base_cache: Vec::new(),
+            spill_limit,
+            spill: None,
         }
     }
 
@@ -321,6 +501,9 @@ impl MarkingArena {
             threshold: usize::MAX,
             cur_base: 0,
             new_level: false,
+            base_cache: Vec::new(),
+            spill_limit: usize::MAX,
+            spill: None,
         }
     }
 
@@ -352,38 +535,42 @@ impl MarkingArena {
         self.len = id + 1;
         if self.compressed {
             self.push_encoded(m, id);
-            return;
+        } else {
+            if self.threshold != usize::MAX {
+                let base = if self.new_level || id == 0 {
+                    id as u32
+                } else {
+                    self.cur_base
+                };
+                self.new_level = false;
+                self.cur_base = base;
+                self.base_of.push(base);
+            }
+            self.flat.extend_from_slice(m);
+            if self.flat.len() + self.spilled() > self.threshold {
+                self.convert();
+            }
         }
-        if self.threshold != usize::MAX {
-            let base = if self.new_level || id == 0 {
-                id as u32
-            } else {
-                self.cur_base
-            };
-            self.new_level = false;
-            self.cur_base = base;
-            self.base_of.push(base);
-        }
-        self.flat.extend_from_slice(m);
-        if self.flat.len() > self.threshold {
-            self.convert();
+        if self.payload_vec().len() >= self.spill_limit {
+            self.flush_spill();
         }
     }
 
     /// Encode one entry (compressed mode): delta against the current base
     /// when that wins, verbatim-as-new-base otherwise (see the type docs).
+    /// The base bytes come from [`Self::base_cache`], so encoding never
+    /// reads back through the (possibly spilled) payload.
     fn push_encoded(&mut self, m: &[u8], id: usize) {
-        self.entry_ptr.push(self.enc.len() as u32);
+        self.entry_ptr.push(self.payload_len() as u32);
         let start_base = self.new_level || id == 0;
         self.new_level = false;
         if !start_base {
-            let boff = self.entry_ptr[self.cur_base as usize] as usize + 1;
             // Cost the delta first: gap varints plus one value byte each.
             let mut ndiffs = 0u32;
             let mut cost = 0usize;
             let mut prev = 0usize;
             for (p, &v) in m.iter().enumerate().take(self.width) {
-                if v != self.enc[boff + p] {
+                if v != self.base_cache[p] {
                     cost += varint_len((p - prev) as u32) + 1;
                     prev = p;
                     ndiffs += 1;
@@ -395,7 +582,7 @@ impl MarkingArena {
                 push_varint(&mut self.enc, ndiffs + 1);
                 let mut prev = 0usize;
                 for (p, &v) in m.iter().enumerate().take(self.width) {
-                    if v != self.enc[boff + p] {
+                    if v != self.base_cache[p] {
                         push_varint(&mut self.enc, (p - prev) as u32);
                         self.enc.push(v);
                         prev = p;
@@ -408,14 +595,28 @@ impl MarkingArena {
         self.cur_base = id as u32;
         self.enc.push(0);
         self.enc.extend_from_slice(m);
+        self.base_cache.clear();
+        self.base_cache.extend_from_slice(m);
     }
 
     /// Flat → delta conversion when [`ArenaCompression::Auto`] crosses
     /// the threshold: re-encode every stored marking against its recorded
-    /// level base.  Storage-only — ids and reads are unaffected.
+    /// level base.  Storage-only — ids and reads are unaffected.  A
+    /// spilled flat payload is read back first; the spill file is then
+    /// reused from offset 0 for the encoded payload.
     #[cold]
     fn convert(&mut self) {
-        let flat = std::mem::take(&mut self.flat);
+        let mut flat = std::mem::take(&mut self.flat);
+        if let Some(sp) = &mut self.spill {
+            if sp.spilled > 0 {
+                let mut full = vec![0u8; sp.spilled + flat.len()];
+                let (head, tail) = full.split_at_mut(sp.spilled);
+                sp.read_exact_at(head, 0);
+                tail.copy_from_slice(&flat);
+                flat = full;
+                sp.spilled = 0;
+            }
+        }
         let bases = std::mem::take(&mut self.base_of);
         let w = self.width.max(1);
         self.compressed = true;
@@ -429,15 +630,91 @@ impl MarkingArena {
         self.new_level = pending_level;
     }
 
+    /// Payload bytes already flushed to the spill file.
+    #[inline]
+    fn spilled(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.spilled)
+    }
+
+    /// The in-memory tail of the active payload layout.
+    #[inline]
+    fn payload_vec(&self) -> &Vec<u8> {
+        if self.compressed {
+            &self.enc
+        } else {
+            &self.flat
+        }
+    }
+
+    /// Total payload length, spilled prefix included.
+    #[inline]
+    fn payload_len(&self) -> usize {
+        self.spilled() + self.payload_vec().len()
+    }
+
+    /// Flush the resident payload tail to the spill file (creating it on
+    /// first use; when creation fails the arena silently stays resident).
+    #[cold]
+    fn flush_spill(&mut self) {
+        if self.spill.is_none() {
+            match SpillFile::create() {
+                Some(f) => self.spill = Some(f),
+                None => {
+                    self.spill_limit = usize::MAX;
+                    return;
+                }
+            }
+        }
+        let sp = self.spill.as_mut().expect("just created");
+        let buf = if self.compressed {
+            &mut self.enc
+        } else {
+            &mut self.flat
+        };
+        sp.write_all_at(buf, sp.spilled as u64);
+        sp.spilled += buf.len();
+        buf.clear();
+    }
+
+    /// Read payload bytes `[off, off + out.len())` into `out`, straddling
+    /// the spilled prefix and the resident tail as needed.
+    fn payload_read_into(&self, off: usize, out: &mut [u8]) {
+        let sp = self.spilled();
+        let vec = self.payload_vec();
+        if off >= sp {
+            out.copy_from_slice(&vec[off - sp..off - sp + out.len()]);
+            return;
+        }
+        let file_part = out.len().min(sp - off);
+        let spill = self.spill.as_ref().expect("spilled() > 0");
+        spill.read_exact_at(&mut out[..file_part], off as u64);
+        if file_part < out.len() {
+            let rest = out.len() - file_part;
+            out[file_part..].copy_from_slice(&vec[..rest]);
+        }
+    }
+
+    /// Byte range of compressed entry `s` (exclusive end): `entry_ptr`
+    /// bounds it exactly, the last entry running to the payload end.
+    #[inline]
+    fn enc_entry_range(&self, s: usize) -> (usize, usize) {
+        let off = self.entry_ptr[s] as usize;
+        let end = self
+            .entry_ptr
+            .get(s + 1)
+            .map_or_else(|| self.payload_len(), |&e| e as usize);
+        (off, end)
+    }
+
     /// Bytes of marking `s` in flat mode.
     ///
     /// # Panics
-    /// Panics once the arena is compressed — bulk callers use
+    /// Panics once the arena is compressed or spilled — bulk callers use
     /// [`Self::read_at`]/[`Self::matches`].
     fn get(&self, s: usize) -> &[u8] {
         assert!(
-            !self.compressed,
-            "marking arena is delta-compressed; use read_into/matches"
+            !self.compressed && self.spilled() == 0,
+            "marking arena is delta-compressed or spilled; use read_into/matches"
         );
         &self.flat[s * self.width..(s + 1) * self.width]
     }
@@ -445,6 +722,13 @@ impl MarkingArena {
     /// Decode marking `s` into `out` (exactly `width` bytes).
     fn copy_to(&self, s: usize, out: &mut [u8]) {
         debug_assert_eq!(out.len(), self.width);
+        if self.spilled() > 0 {
+            SPILL_SCRATCH.with(|c| {
+                let mut scratch = c.borrow_mut();
+                self.copy_to_spilled(s, out, &mut scratch.0);
+            });
+            return;
+        }
         if !self.compressed {
             out.copy_from_slice(&self.flat[s * self.width..(s + 1) * self.width]);
             return;
@@ -465,10 +749,40 @@ impl MarkingArena {
         }
     }
 
-    /// Marking `s` as a slice: zero-copy while flat, decoded into `buf`
-    /// when compressed.
-    fn read_at<'a>(&'a self, s: usize, buf: &'a mut [u8]) -> &'a [u8] {
+    /// [`Self::copy_to`] when part of the payload lives in the spill
+    /// file: entry bytes are materialized through `entry` scratch (the
+    /// delta layout bounds every entry, so the read is one `pread` of at
+    /// most `1 + width/2` + header bytes; flat entries read exactly
+    /// `width`).
+    fn copy_to_spilled(&self, s: usize, out: &mut [u8], entry: &mut Vec<u8>) {
         if !self.compressed {
+            self.payload_read_into(s * self.width, out);
+            return;
+        }
+        let (off, end) = self.enc_entry_range(s);
+        entry.resize(end - off, 0);
+        self.payload_read_into(off, entry);
+        let (h, mut eo) = read_varint(entry, 0);
+        if h == 0 {
+            out.copy_from_slice(&entry[eo..eo + self.width]);
+            return;
+        }
+        // Base entries are verbatim: header byte `0`, then `width` bytes.
+        let boff = self.entry_ptr[self.base_of[s] as usize] as usize + 1;
+        self.payload_read_into(boff, out);
+        let mut pos = 0usize;
+        for _ in 1..h {
+            let (gap, next) = read_varint(entry, eo);
+            pos += gap as usize;
+            out[pos] = entry[next];
+            eo = next + 1;
+        }
+    }
+
+    /// Marking `s` as a slice: zero-copy while flat and unspilled,
+    /// decoded into `buf` otherwise.
+    fn read_at<'a>(&'a self, s: usize, buf: &'a mut [u8]) -> &'a [u8] {
+        if !self.compressed && self.spilled() == 0 {
             &self.flat[s * self.width..(s + 1) * self.width]
         } else {
             self.copy_to(s, buf);
@@ -481,6 +795,13 @@ impl MarkingArena {
     /// compared directly.
     fn matches(&self, s: usize, probe: &[u8]) -> bool {
         debug_assert_eq!(probe.len(), self.width);
+        if self.spilled() > 0 {
+            return SPILL_SCRATCH.with(|c| {
+                let mut scratch = c.borrow_mut();
+                let (entry, base) = &mut *scratch;
+                self.matches_spilled(s, probe, entry, base)
+            });
+        }
         if !self.compressed {
             return &self.flat[s * self.width..(s + 1) * self.width] == probe;
         }
@@ -504,9 +825,49 @@ impl MarkingArena {
         probe[seg..] == base[seg..]
     }
 
-    /// Fx hash of marking `s` (`scratch` decodes compressed entries).
-    fn hash_entry(&self, s: usize, scratch: &mut Vec<u8>) -> u64 {
+    /// [`Self::matches`] when part of the payload lives in the spill
+    /// file — same comparison, entry and base bytes materialized through
+    /// the per-thread scratch.
+    fn matches_spilled(
+        &self,
+        s: usize,
+        probe: &[u8],
+        entry: &mut Vec<u8>,
+        base: &mut Vec<u8>,
+    ) -> bool {
         if !self.compressed {
+            entry.resize(self.width, 0);
+            self.payload_read_into(s * self.width, entry);
+            return &entry[..] == probe;
+        }
+        let (off, end) = self.enc_entry_range(s);
+        entry.resize(end - off, 0);
+        self.payload_read_into(off, entry);
+        let (h, mut eo) = read_varint(entry, 0);
+        if h == 0 {
+            return &entry[eo..eo + self.width] == probe;
+        }
+        let boff = self.entry_ptr[self.base_of[s] as usize] as usize + 1;
+        base.resize(self.width, 0);
+        self.payload_read_into(boff, base);
+        let mut pos = 0usize;
+        let mut seg = 0usize;
+        for _ in 1..h {
+            let (gap, next) = read_varint(entry, eo);
+            pos += gap as usize;
+            if probe[seg..pos] != base[seg..pos] || probe[pos] != entry[next] {
+                return false;
+            }
+            seg = pos + 1;
+            eo = next + 1;
+        }
+        probe[seg..] == base[seg..]
+    }
+
+    /// Fx hash of marking `s` (`scratch` decodes compressed or spilled
+    /// entries).
+    fn hash_entry(&self, s: usize, scratch: &mut Vec<u8>) -> u64 {
+        if !self.compressed && self.spilled() == 0 {
             hash_marking(&self.flat[s * self.width..(s + 1) * self.width])
         } else {
             scratch.resize(self.width, 0);
@@ -515,13 +876,19 @@ impl MarkingArena {
         }
     }
 
-    /// Payload bytes currently stored (either layout, including the
-    /// compressed layout's per-entry offset/base bookkeeping).
+    /// Resident payload bytes (either layout, including the compressed
+    /// layout's per-entry offset/base bookkeeping; the spilled prefix is
+    /// accounted by [`Self::spill_bytes`]).
     fn bytes(&self) -> usize {
         self.flat.len()
             + self.enc.len()
             + self.entry_ptr.len() * std::mem::size_of::<u32>()
             + self.base_of.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Payload bytes parked in the spill file.
+    fn spill_bytes(&self) -> usize {
+        self.spilled()
     }
 }
 
@@ -587,9 +954,16 @@ impl MarkingStore {
         self.arena.width()
     }
 
-    /// Stored payload bytes (see [`ArenaStats`]).
+    /// Resident payload bytes (see [`ArenaStats`]; the spilled prefix is
+    /// reported by [`Self::spill_bytes`]).
     pub fn heap_bytes(&self) -> usize {
         self.arena.bytes()
+    }
+
+    /// Payload bytes parked in the spill file
+    /// ([`MarkingOptions::interner_spill`]); `0` when nothing spilled.
+    pub fn spill_bytes(&self) -> usize {
+        self.arena.spill_bytes()
     }
 
     /// All markings in state order.
@@ -612,15 +986,21 @@ pub struct ArenaStats {
     /// Representative arena bytes (quotient builds; `0` when the keys
     /// double as the stored markings).
     pub reps_bytes: usize,
-    /// Interner bytes: open-addressing slots, or the hash-map estimate
-    /// on the packed paths.
+    /// Interner bytes: open-addressing slots summed over every shard, or
+    /// the hash-map estimate on the packed paths.
     pub interner_bytes: usize,
+    /// Payload bytes parked in spill files across both arenas
+    /// ([`MarkingOptions::interner_spill`]); these are *not* resident,
+    /// so they are excluded from [`Self::total`].
+    pub spill_bytes: usize,
     /// Whether delta compression was active when the build finished.
     pub compressed: bool,
 }
 
 impl ArenaStats {
-    /// Total bytes across both arenas and the interner.
+    /// Total **resident** bytes across both arenas and the interner
+    /// (spilled bytes are on disk; add [`Self::spill_bytes`] for the
+    /// total stored footprint).
     pub fn total(&self) -> usize {
         self.keys_bytes + self.reps_bytes + self.interner_bytes
     }
@@ -663,7 +1043,12 @@ const EMPTY: u32 = u32::MAX;
 
 impl OffsetInterner {
     fn with_capacity(states: usize) -> Self {
-        let cap = (states.max(8) * 2).next_power_of_two();
+        Self::with_slots((states.max(8) * 2).next_power_of_two())
+    }
+
+    /// A table of exactly `slots` slots (rounded up to a power of two).
+    fn with_slots(slots: usize) -> Self {
+        let cap = slots.max(16).next_power_of_two();
         OffsetInterner {
             table: vec![EMPTY; cap],
             mask: cap - 1,
@@ -675,10 +1060,28 @@ impl OffsetInterner {
     /// then append `probe` to the arena to keep ids in sync).
     #[inline]
     fn intern(&mut self, arena: &MarkingArena, probe: &[u8], new_id: u32) -> (u32, bool) {
+        self.intern_hashed(arena, hash_marking(probe), probe, new_id, 0)
+    }
+
+    /// [`Self::intern`] with the hash supplied by the caller (the sharded
+    /// interner hashes once to pick the shard).  `budget_slots` is the
+    /// first-growth jump target: a full table grows to
+    /// `max(2·slots, budget_slots)`, so a budget-presized shard pays at
+    /// most one cheap early rehash instead of a doubling storm (`0`
+    /// keeps plain doubling — the legacy growth schedule).
+    #[inline]
+    fn intern_hashed(
+        &mut self,
+        arena: &MarkingArena,
+        h: u64,
+        probe: &[u8],
+        new_id: u32,
+        budget_slots: usize,
+    ) -> (u32, bool) {
         if (self.len + 1) * 8 > self.table.len() * 7 {
-            self.grow(arena);
+            self.grow(arena, (self.table.len() * 2).max(budget_slots));
         }
-        let mut slot = hash_marking(probe) as usize & self.mask;
+        let mut slot = h as usize & self.mask;
         loop {
             let id = self.table[slot];
             if id == EMPTY {
@@ -693,14 +1096,15 @@ impl OffsetInterner {
         }
     }
 
-    /// Read-only probe: `probe`'s state id if it is interned, else
-    /// `None`.  This is the **level-frozen** lookup of the parallel BFS
-    /// workers — the table is shared immutably across threads while a
-    /// level is being explored, so states discovered *within* the level
-    /// miss here and are deduplicated chunk-locally instead.
+    /// Read-only probe with the hash supplied by the caller: `probe`'s
+    /// state id if it is interned, else `None`.  This is the
+    /// **level-frozen** lookup of the parallel BFS workers — the table is
+    /// shared immutably across threads while a level is being explored,
+    /// so states discovered *within* the level miss here and are
+    /// deduplicated chunk-locally instead.
     #[inline]
-    fn find(&self, arena: &MarkingArena, probe: &[u8]) -> Option<u32> {
-        let mut slot = hash_marking(probe) as usize & self.mask;
+    fn find_hashed(&self, arena: &MarkingArena, h: u64, probe: &[u8]) -> Option<u32> {
+        let mut slot = h as usize & self.mask;
         loop {
             let id = self.table[slot];
             if id == EMPTY {
@@ -714,8 +1118,8 @@ impl OffsetInterner {
     }
 
     #[cold]
-    fn grow(&mut self, arena: &MarkingArena) {
-        let cap = self.table.len() * 2;
+    fn grow(&mut self, arena: &MarkingArena, target_slots: usize) {
+        let cap = target_slots.max(self.table.len() * 2).next_power_of_two();
         let mut table = vec![EMPTY; cap];
         let mask = cap - 1;
         let mut scratch = Vec::new();
@@ -733,6 +1137,87 @@ impl OffsetInterner {
     /// Bytes of the open-addressing slot table.
     fn table_bytes(&self) -> usize {
         self.table.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Two-level interner of the arena BFS paths: `2^k` [`OffsetInterner`]
+/// shards keyed by the **top** `k` bits of the marking hash (slot
+/// probing uses the low bits, so the two levels are independent).
+///
+/// Sharding reorganizes only the hash table: ids are still assigned by
+/// the caller in sequential scan/merge order and deduplication is exact
+/// byte equality, so the chain is **bitwise identical for any shard
+/// count** — the same contract the chunk-parallel BFS honors.  What
+/// sharding buys at 10M+ states is allocation granularity: each shard's
+/// table grows (and rehashes) independently at ~1/2^k the size, and the
+/// first growth of a shard jumps straight to its slice of the
+/// `max_states` budget (`budget_slots`) — at most one cheap early rehash
+/// per shard instead of the ~13 full-table doubling rehashes a 6×7 build
+/// paid under the old fixed 1024-slot start.
+struct ShardedInterner {
+    shards: Vec<OffsetInterner>,
+    /// `hash >> shard_shift` picks the shard; `64` means a single shard.
+    shard_shift: u32,
+    /// Per-shard first-growth target: slots holding `max_states / 2^k`
+    /// entries below the 7/8 load bound (`0` = plain doubling).
+    budget_slots: usize,
+}
+
+impl ShardedInterner {
+    /// `n_shards` tables (rounded to a power of two) presized for a
+    /// `max_states` interning budget.  Shards start at ≤ 2048 slots so
+    /// the many small pattern-chain builds of the engine never pay a
+    /// budget-sized allocation; builds that do scale pay one early
+    /// rehash per shard when they jump to `budget_slots`.
+    fn new(n_shards: usize, max_states: usize) -> Self {
+        let n = n_shards.clamp(1, MAX_INTERNER_SHARDS).next_power_of_two();
+        let budget_slots = if max_states == 0 {
+            0
+        } else {
+            (max_states / n * 8 / 7 + 1).next_power_of_two()
+        };
+        let init = budget_slots.clamp(16, 2048);
+        ShardedInterner {
+            shards: (0..n).map(|_| OffsetInterner::with_slots(init)).collect(),
+            shard_shift: 64 - n.trailing_zeros(),
+            budget_slots,
+        }
+    }
+
+    /// The [`MarkingOptions`]-resolved interner of the big build paths.
+    fn for_opts(opts: &MarkingOptions) -> Self {
+        Self::new(opts.resolved_interner_shards(), opts.max_states)
+    }
+
+    #[inline]
+    fn shard_of(&self, h: u64) -> usize {
+        if self.shard_shift >= 64 {
+            0
+        } else {
+            (h >> self.shard_shift) as usize
+        }
+    }
+
+    /// Find `probe`'s state id, or intern it as `new_id` (see
+    /// [`OffsetInterner::intern`]).
+    #[inline]
+    fn intern(&mut self, arena: &MarkingArena, probe: &[u8], new_id: u32) -> (u32, bool) {
+        let h = hash_marking(probe);
+        let budget = self.budget_slots;
+        let shard = self.shard_of(h);
+        self.shards[shard].intern_hashed(arena, h, probe, new_id, budget)
+    }
+
+    /// Level-frozen read-only probe (see [`OffsetInterner::find`]).
+    #[inline]
+    fn find(&self, arena: &MarkingArena, probe: &[u8]) -> Option<u32> {
+        let h = hash_marking(probe);
+        self.shards[self.shard_of(h)].find_hashed(arena, h, probe)
+    }
+
+    /// Bytes of the slot tables summed over every shard.
+    fn table_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.table_bytes()).sum()
     }
 }
 
@@ -955,9 +1440,10 @@ impl MarkingGraph {
 
         let init = net.initial_marking();
         assert_eq!(init.len(), width);
-        let mut arena = MarkingArena::new(width, opts.arena_compression);
+        let mut arena =
+            MarkingArena::with_spill(width, opts.arena_compression, opts.resolved_spill_limit());
         arena.push(&init);
-        let mut interner = OffsetInterner::with_capacity(1024);
+        let mut interner = ShardedInterner::for_opts(&opts);
         let (id0, fresh) = interner.intern(&arena, &init, 0);
         debug_assert!(fresh && id0 == 0);
 
@@ -1076,6 +1562,7 @@ impl MarkingGraph {
             keys_bytes: arena.bytes(),
             reps_bytes: 0,
             interner_bytes: interner.table_bytes(),
+            spill_bytes: arena.spill_bytes(),
             compressed: arena.is_compressed(),
         };
         Ok(MarkingGraph {
@@ -1096,7 +1583,7 @@ impl MarkingGraph {
         strict_safe: bool,
         cap: i64,
         arena: &MarkingArena,
-        interner: &OffsetInterner,
+        interner: &ShardedInterner,
         width: usize,
         states: std::ops::Range<usize>,
     ) -> ChunkStage {
@@ -1160,7 +1647,7 @@ impl MarkingGraph {
     fn merge_plain_chunk(
         net: &EventNet,
         stage: &ChunkStage,
-        interner: &mut OffsetInterner,
+        interner: &mut ShardedInterner,
         arena: &mut MarkingArena,
         n_states: &mut usize,
         max_states: usize,
@@ -1268,6 +1755,7 @@ impl MarkingGraph {
             reps_bytes: 0,
             interner_bytes: index.capacity()
                 * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>()),
+            spill_bytes: 0,
             compressed: false,
         };
         Ok(MarkingGraph {
@@ -1721,12 +2209,13 @@ impl QuotientGraph {
         let init = net.initial_marking();
         assert_eq!(init.len(), width);
         let period = canon.canonicalize_into(&init, &mut scratch);
-        let mut reps = MarkingArena::new(width, opts.arena_compression);
+        let spill_limit = opts.resolved_spill_limit();
+        let mut reps = MarkingArena::with_spill(width, opts.arena_compression, spill_limit);
         reps.push(&init);
-        let mut keys = MarkingArena::new(width, opts.arena_compression);
+        let mut keys = MarkingArena::with_spill(width, opts.arena_compression, spill_limit);
         keys.push(scratch.key());
         let mut orbit_size: Vec<u32> = vec![period];
-        let mut interner = OffsetInterner::with_capacity(1024);
+        let mut interner = ShardedInterner::for_opts(&opts);
         let (id0, fresh) = interner.intern(&keys, scratch.key(), 0);
         debug_assert!(fresh && id0 == 0);
 
@@ -1885,6 +2374,7 @@ impl QuotientGraph {
             keys_bytes: keys.bytes(),
             reps_bytes: reps.bytes(),
             interner_bytes: interner.table_bytes(),
+            spill_bytes: keys.spill_bytes() + reps.spill_bytes(),
             compressed: keys.is_compressed() || reps.is_compressed(),
         };
         Ok(out.finish(MarkingStore::from_arena(reps), orbit_size, arena_stats))
@@ -1906,7 +2396,7 @@ impl QuotientGraph {
         cap: i64,
         reps: &MarkingArena,
         keys: &MarkingArena,
-        interner: &OffsetInterner,
+        interner: &ShardedInterner,
         width: usize,
         states: std::ops::Range<usize>,
     ) -> ChunkStage {
@@ -2005,7 +2495,7 @@ impl QuotientGraph {
         net: &EventNet,
         stage: &ChunkStage,
         base: u32,
-        interner: &mut OffsetInterner,
+        interner: &mut ShardedInterner,
         keys: &mut MarkingArena,
         reps: &mut MarkingArena,
         orbit_size: &mut Vec<u32>,
@@ -2076,12 +2566,13 @@ impl QuotientGraph {
         let init = net.initial_marking();
         assert_eq!(init.len(), width);
         let period = canon.canonicalize_into(&init, &mut scratch);
-        let mut reps = MarkingArena::new(width, opts.arena_compression);
+        let spill_limit = opts.resolved_spill_limit();
+        let mut reps = MarkingArena::with_spill(width, opts.arena_compression, spill_limit);
         reps.push(&init);
-        let mut keys = MarkingArena::new(width, opts.arena_compression);
+        let mut keys = MarkingArena::with_spill(width, opts.arena_compression, spill_limit);
         keys.push(scratch.key());
         let mut orbit_size: Vec<u32> = vec![period];
-        let mut interner = OffsetInterner::with_capacity(1024);
+        let mut interner = ShardedInterner::for_opts(&opts);
         let (id0, fresh) = interner.intern(&keys, scratch.key(), 0);
         debug_assert!(fresh && id0 == 0);
 
@@ -2147,6 +2638,7 @@ impl QuotientGraph {
             keys_bytes: keys.bytes(),
             reps_bytes: reps.bytes(),
             interner_bytes: interner.table_bytes(),
+            spill_bytes: keys.spill_bytes() + reps.spill_bytes(),
             compressed: keys.is_compressed() || reps.is_compressed(),
         };
         Ok(out.finish(MarkingStore::from_arena(reps), orbit_size, arena_stats))
@@ -2229,6 +2721,7 @@ impl QuotientGraph {
             reps_bytes: reps.len() * std::mem::size_of::<u64>(),
             interner_bytes: index.capacity()
                 * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>()),
+            spill_bytes: 0,
             compressed: false,
         };
         Ok(out.finish(
@@ -2634,6 +3127,167 @@ mod tests {
                 assert!(!arena.matches(s, &probe), "{compression:?} state {s}");
                 let mut scratch = Vec::new();
                 assert_eq!(arena.hash_entry(s, &mut scratch), hash_marking(m));
+            }
+        }
+    }
+
+    /// Spilled-arena roundtrip: with the resident bound forced tiny,
+    /// every pushed marking still reads back exactly, `matches` agrees
+    /// with equality, hashes are unchanged, and the payload really does
+    /// land in the spill file — in every compression mode, including an
+    /// Auto conversion that has to read its flat payload back from disk.
+    #[test]
+    fn spilled_arena_roundtrip() {
+        let width = 24usize;
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut markings: Vec<Vec<u8>> = Vec::new();
+        let mut level_starts = vec![0usize];
+        let mut base = vec![0u8; width];
+        for level in 0..6 {
+            for (p, b) in base.iter_mut().enumerate() {
+                *b = ((level * 5 + p) % 3) as u8;
+            }
+            let n = 1 + (step() % 40) as usize;
+            for _ in 0..n {
+                let mut m = base.clone();
+                for _ in 0..(step() % 5) {
+                    let p = (step() as usize) % width;
+                    m[p] = (step() % 4) as u8;
+                }
+                if !markings.contains(&m) {
+                    markings.push(m);
+                }
+            }
+            level_starts.push(markings.len());
+        }
+
+        for compression in [
+            ArenaCompression::Off,
+            ArenaCompression::On,
+            ArenaCompression::Auto,
+        ] {
+            // A ~3-marking resident bound forces many flush cycles, and
+            // entries straddle the file/memory boundary mid-marking.
+            let mut arena = MarkingArena::with_spill(width, compression, width * 3 + 1);
+            if compression == ArenaCompression::Auto {
+                arena.threshold = markings.len() * width / 2;
+            }
+            let mut next_level = 0usize;
+            for (s, m) in markings.iter().enumerate() {
+                if level_starts[next_level] == s {
+                    arena.begin_level();
+                    next_level += 1;
+                }
+                arena.push(m);
+            }
+            assert_eq!(arena.len(), markings.len());
+            assert!(arena.spill_bytes() > 0, "{compression:?} never spilled");
+            let mut buf = vec![0u8; width];
+            for (s, m) in markings.iter().enumerate() {
+                arena.copy_to(s, &mut buf);
+                assert_eq!(&buf, m, "{compression:?} state {s}");
+                assert_eq!(arena.read_at(s, &mut buf), &m[..]);
+                assert!(arena.matches(s, m), "{compression:?} state {s}");
+                let mut probe = m.clone();
+                probe[s % width] ^= 0x40;
+                assert!(!arena.matches(s, &probe), "{compression:?} state {s}");
+                let mut scratch = Vec::new();
+                assert_eq!(arena.hash_entry(s, &mut scratch), hash_marking(m));
+            }
+        }
+    }
+
+    /// Chain-bit equality of the interning decisions across table
+    /// layouts: the budget-presized sharded interner and the legacy
+    /// fixed-1024-slot doubling table must return the identical
+    /// `(id, is_new)` sequence for the same probe sequence — the id
+    /// assignment is the caller's scan order, never the table's.
+    #[test]
+    fn sharded_interner_matches_legacy_growth_path() {
+        let net = comm_pattern(3, 4, |i, j| 1.0 + (i + 3 * j) as f64);
+        let mg = MarkingGraph::build(&net, MarkingOptions::default()).unwrap();
+        let width = mg.states.width();
+
+        // Replay every stored marking (plus every marking again, to get
+        // hit-paths) against three interner layouts over one arena.
+        let mut arena = MarkingArena::new(width, ArenaCompression::Off);
+        // Legacy: single shard, no budget jump (plain doubling from the
+        // historical 2048-slot start).
+        let mut legacy = OffsetInterner::with_capacity(1024);
+        let mut sharded = ShardedInterner::new(16, mg.n_states());
+        let mut single = ShardedInterner::new(1, 1 << 20);
+        let mut n = 0u32;
+        let mut probe = Vec::new();
+        for pass in 0..2 {
+            for s in 0..mg.n_states() {
+                probe.clear();
+                probe.extend_from_slice(mg.states.get(s));
+                let h = hash_marking(&probe);
+                let a = legacy.intern_hashed(&arena, h, &probe, n, 0);
+                let b = sharded.intern(&arena, &probe, n);
+                let c = single.intern(&arena, &probe, n);
+                assert_eq!(a, b, "pass {pass} state {s}");
+                assert_eq!(a, c, "pass {pass} state {s}");
+                if a.1 {
+                    arena.push(&probe);
+                    n += 1;
+                }
+            }
+        }
+        assert_eq!(n as usize, mg.n_states());
+    }
+
+    /// A sharded + spilled + compressed build must be bitwise identical
+    /// to the default build: the same states, chain bits and enabled
+    /// sets — only the storage accounting differs.
+    #[test]
+    fn spilled_sharded_build_is_bitwise_identical() {
+        let net = comm_pattern(2, 3, |i, j| 1.0 + (i + 2 * j) as f64);
+        let reference = MarkingGraph::build_arena(
+            &net,
+            MarkingOptions {
+                interner_shards: 1,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let spilled = MarkingGraph::build_arena(
+            &net,
+            MarkingOptions {
+                arena_compression: ArenaCompression::On,
+                interner_shards: 16,
+                interner_spill: true,
+                spill_limit: 64,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        assert!(spilled.arena_stats().spill_bytes > 0, "never spilled");
+        assert_eq!(reference.n_states(), spilled.n_states());
+        assert_eq!(reference.ctmc.nnz(), spilled.ctmc.nnz());
+        let mut buf = Vec::new();
+        for s in 0..reference.n_states() {
+            assert_eq!(
+                reference.states.get(s),
+                spilled.states.read_into(s, &mut buf)
+            );
+            assert_eq!(reference.enabled(s), spilled.enabled(s));
+            assert_eq!(reference.ctmc.row_targets(s), spilled.ctmc.row_targets(s));
+            for (a, b) in reference
+                .ctmc
+                .row_rates(s)
+                .iter()
+                .zip(spilled.ctmc.row_rates(s))
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

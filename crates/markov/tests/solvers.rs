@@ -6,7 +6,7 @@
 //! chains the top-end plan exists for.
 
 use proptest::prelude::*;
-use repstream_markov::ctmc::{Ctmc, Solver, SolverChoice};
+use repstream_markov::ctmc::{Ctmc, Precond, Solver, SolverChoice};
 use repstream_markov::krylov::SOR_OMEGA;
 use repstream_markov::marking::{MarkingOptions, QuotientGraph};
 use repstream_markov::net::EventNet;
@@ -142,9 +142,20 @@ fn krylov_agrees_on_real_quotient_chains() {
             "auto residual {:?} n={n}",
             teams
         );
-        for solver in [Solver::Gmres, Solver::Sor] {
+        for solver in [Solver::Gmres, Solver::GmresPlain, Solver::Sor] {
             let (rho, rep) = qg.throughput_solve(c, &net.rates, &last, SolverChoice::Force(solver));
             assert_eq!(rep.solver, solver, "force must run what was forced");
+            let expect_pc = if solver == Solver::Gmres {
+                Precond::Jacobi
+            } else {
+                Precond::None
+            };
+            assert_eq!(
+                rep.precond,
+                expect_pc,
+                "provenance must name the scaling {} ran under",
+                solver.label()
+            );
             assert!(
                 c.stationarity_residual(&rep.pi) < 1e-10,
                 "{} residual {:.3e} on {:?} (n={n})",
@@ -166,6 +177,52 @@ fn krylov_agrees_on_real_quotient_chains() {
             );
         }
     }
+}
+
+/// The Jacobi-scaled GMRES against its unpreconditioned baseline and the
+/// uniformized power iteration on a real Theorem 2 quotient chain with a
+/// *stiff* rate table (compute and link rates two decades apart — the
+/// column-scale spread the scaling exists for).  All three stationary
+/// vectors must agree to 1e-8 and meet the 1e-10 residual contract; the
+/// preconditioned run must not spend more matvecs than the plain one.
+#[test]
+fn jacobi_gmres_pins_plain_and_power_on_quotient_chain() {
+    let shape = MappingShape::new(vec![4usize, 5]);
+    let tpn = Tpn::build(&shape, ExecModel::Strict);
+    let rates = ResourceTable::from_fns(&shape, |_, _| 0.04, |_, _, _| 6.0);
+    let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+    let sym = sym.expect("homogeneous table keeps the row rotation");
+    let qg = QuotientGraph::build(
+        &net,
+        &sym,
+        MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let c = &qg.ctmc;
+    let pc = c.stationary_solve(SolverChoice::Force(Solver::Gmres));
+    let plain = c.stationary_solve(SolverChoice::Force(Solver::GmresPlain));
+    let power = c.stationary_solve(SolverChoice::Force(Solver::Power));
+    assert_eq!(pc.precond, Precond::Jacobi);
+    assert_eq!(plain.precond, Precond::None);
+    for (name, rep) in [("jacobi", &pc), ("plain", &plain), ("power", &power)] {
+        assert!(
+            c.stationarity_residual(&rep.pi) < 1e-10,
+            "{name} residual {:.3e}",
+            rep.residual
+        );
+    }
+    assert_agree(&pc.pi, &plain.pi, 1e-8, "jacobi vs plain gmres");
+    assert_agree(&pc.pi, &power.pi, 1e-8, "jacobi gmres vs power");
+    assert!(
+        pc.iterations <= plain.iterations,
+        "jacobi scaling must not cost matvecs on a stiff table: {} vs {}",
+        pc.iterations,
+        plain.iterations
+    );
 }
 
 /// GTH exactness anchor at a size where `O(n³)` is still affordable:

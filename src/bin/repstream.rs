@@ -34,14 +34,23 @@
 //! Every value produces **bitwise-identical** numbers — the flag only
 //! trades wall-clock for cores.
 //!
-//! `--solver auto|gth|gs|gmres|sor|power` (also accepted by `analyze`)
-//! picks the stationary method of the Theorem 2 chains: `auto` (the
-//! default) runs the measured solver plan (GTH on small/dense chains,
-//! Gauss–Seidel in the mid range, adaptive SOR → restarted GMRES →
-//! power on ≥ 2²⁰-state quotients), anything else forces that one
-//! method.  The
-//! report's Strict section prints the solver that actually ran and its
-//! final residual.
+//! `--solver auto|gth|gs|gmres|gmres-plain|sor|power` (also accepted by
+//! `analyze`) picks the stationary method of the Theorem 2 chains:
+//! `auto` (the default) runs the measured solver plan (GTH on
+//! small/dense chains, Gauss–Seidel in the mid range, adaptive SOR →
+//! Jacobi-scaled GMRES → power on ≥ 2²⁰-state quotients), anything else
+//! forces that one method (`gmres` is Jacobi-preconditioned,
+//! `gmres-plain` the unscaled baseline).  The report's Strict section
+//! prints the solver that actually ran, the preconditioner it iterated
+//! under, its iteration count, final residual, and the build's memory
+//! footprint (arena + interner resident bytes, spilled bytes).
+//!
+//! `analyze` also accepts `--max-states N` (state budget of the Strict
+//! Theorem 2 chain; the 4M default covers 6×7-class quotients, a 7×8
+//! has 14.06M lumped states) and `--interner-spill` (park marking-arena payload bytes
+//! in an unlinked temp file during the BFS — bitwise-neutral, bounds
+//! peak RSS; tune with `REPSTREAM_SPILL_MIB`, `REPSTREAM_SPILL_DIR`,
+//! and `REPSTREAM_INTERNER_SHARDS`).
 //!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
@@ -103,11 +112,24 @@ fn run(args: &[String]) -> i32 {
                         match args.get(i).and_then(|s| SolverChoice::parse(s)) {
                             Some(c) => report_opts.solver = c,
                             None => {
-                                eprintln!("error: --solver needs auto|gth|gs|gmres|sor|power");
+                                eprintln!(
+                                    "error: --solver needs auto|gth|gs|gmres|gmres-plain|sor|power"
+                                );
                                 return 2;
                             }
                         }
                     }
+                    "--max-states" => {
+                        i += 1;
+                        match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(n) if n > 0 => report_opts.max_states = n,
+                            _ => {
+                                eprintln!("error: --max-states needs a positive state budget");
+                                return 2;
+                            }
+                        }
+                    }
+                    "--interner-spill" => report_opts.interner_spill = true,
                     other if path.is_none() && !other.starts_with('-') => path = Some(other),
                     other => {
                         eprintln!("error: unknown analyze argument {other}");
@@ -425,12 +447,13 @@ fn run_workload_search(apps: usize, objective: Objective, portfolio: &PortfolioO
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: repstream <analyze FILE [--no-lump] [--threads N] [--solver S] | \
+        "usage: repstream <analyze FILE [--no-lump] [--threads N] [--solver S] \
+         [--max-states N] [--interner-spill] | \
          dot FILE [overlap|strict] | \
          example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
          [--no-exp] [--no-lump] [--threads N] [--solver S] \
          [--scenario workload --apps K --objective maxmin|weighted|sla]>  \
-         (S: auto|gth|gs|gmres|sor|power)"
+         (S: auto|gth|gs|gmres|gmres-plain|sor|power)"
     );
     2
 }
