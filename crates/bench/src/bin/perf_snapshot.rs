@@ -65,6 +65,7 @@ use repstream_core::{deterministic, timing};
 use repstream_engine::batch::{score_batch, score_batch_with_threads};
 use repstream_engine::WorkloadDetScorer;
 use repstream_markov::ctmc::{Solver, SolverChoice};
+use repstream_markov::govern::Budget;
 use repstream_markov::marking::{ArenaCompression, MarkingGraph, MarkingOptions, QuotientGraph};
 use repstream_markov::net::{comm_pattern, EventNet};
 use repstream_petri::shape::{ExecModel, MappingShape, ResourceTable};
@@ -945,7 +946,87 @@ fn main() {
         );
     }
 
-    json.push_str("  ],\n  \"ten_million\": {\n");
+    json.push_str("  ],\n  \"governor\": {\n");
+
+    // Resource-governor overhead: the 4×5 strict quotient built and
+    // solved end to end, ungoverned vs under a far-away deadline (the
+    // per-level/per-checkpoint `Budget::check` calls run but never
+    // fire).  The contract is twofold: the overhead ratio stays noise
+    // (the checks are one `Instant::now` per BFS level / solver
+    // checkpoint) and the governed outputs are **bitwise identical** —
+    // an un-fired budget changes zero output bits.
+    {
+        let ind = "    ";
+        let teams = &[4usize, 5];
+        let shape = MappingShape::new(teams.to_vec());
+        let tpn = Tpn::build(&shape, ExecModel::Strict);
+        let rates = ResourceTable::from_fns(&shape, |_, _| 0.5, |_, _, _| 2.0);
+        let (net, sym) = EventNet::from_tpn_with_symmetry(&tpn, &rates);
+        let sym = sym.expect("homogeneous table keeps the row rotation");
+        let last = tpn.last_column();
+        let far = Budget::deadline_in(std::time::Duration::from_secs(3600));
+        let mk = |budget: Budget| MarkingOptions {
+            max_states: 1 << 22,
+            capacity: None,
+            budget,
+            ..Default::default()
+        };
+        let rho_plain = Cell::new(0.0f64);
+        let states = Cell::new(0usize);
+        let t_plain = timed(reps, || {
+            let qg = QuotientGraph::build(&net, &sym, mk(Budget::UNLIMITED)).unwrap();
+            states.set(qg.n_states());
+            rho_plain.set(qg.throughput_of(&net, &last));
+        });
+        let q_states = states.get();
+        let rho_governed = Cell::new(0.0f64);
+        let t_governed = timed(reps, || {
+            let qg = QuotientGraph::build(&net, &sym, mk(far)).unwrap();
+            assert_eq!(qg.n_states(), q_states, "governed BFS state count diverged");
+            let (rho, _) = qg
+                .throughput_solve_governed(&qg.ctmc, &net.rates, &last, SolverChoice::Auto, &far)
+                .expect("a one-hour deadline never fires here");
+            rho_governed.set(rho);
+        });
+        assert_eq!(
+            rho_plain.get().to_bits(),
+            rho_governed.get().to_bits(),
+            "un-fired budget must be bitwise invisible: {} vs {}",
+            rho_plain.get(),
+            rho_governed.get()
+        );
+        field(&mut json, ind, "teams", "\"4x5\"", false);
+        field(&mut json, ind, "quotient_states", q_states, false);
+        field(
+            &mut json,
+            ind,
+            "ungoverned_s",
+            format!("{t_plain:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "governed_s",
+            format!("{t_governed:.3e}"),
+            false,
+        );
+        field(
+            &mut json,
+            ind,
+            "overhead_ratio",
+            format!("{:.4}", t_governed / t_plain),
+            false,
+        );
+        field(&mut json, ind, "bitwise_equal", true, true);
+        println!(
+            "governor 4x5: ungoverned {t_plain:.3}s governed {t_governed:.3}s \
+             (ratio {:.3}), bitwise equal",
+            t_governed / t_plain
+        );
+    }
+
+    json.push_str("  },\n  \"ten_million\": {\n");
 
     // The 10M-state acceptance record, in two parts.  (a) The
     // Jacobi-scaled GMRES against its unpreconditioned baseline on the

@@ -64,7 +64,9 @@ pub fn analyze_shape(
 ) -> DeterministicReport {
     let tpn = Tpn::build(shape, model);
     let g = tpn.to_token_graph(times);
-    let cr = maximum_cycle_ratio(&g).expect("a TPN always has resource cycles");
+    let Some(cr) = maximum_cycle_ratio(&g) else {
+        unreachable!("a TPN always has resource cycles")
+    };
     let period = cr.ratio;
     let m = tpn.rows();
     let throughput = m as f64 / period;
@@ -213,7 +215,10 @@ pub fn pattern_period_weights(u: usize, v: usize, w: &[f64]) -> f64 {
         let dst = (k + v) % n;
         g.add_arc(k, dst, w[dst], u32::from(k + v >= n));
     }
-    maximum_cycle_ratio(&g).expect("pattern has cycles").ratio
+    match maximum_cycle_ratio(&g) {
+        Some(cr) => cr.ratio,
+        None => unreachable!("pattern has cycles"),
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use crate::model::SystemRef;
 use crate::timing::exponential_rates;
 use repstream_markov::cache::ChainCache;
 use repstream_markov::ctmc::{Precond, Solver, SolverChoice};
+use repstream_markov::govern::{Budget, Interrupt};
 use repstream_markov::marking::{
     ArenaCompression, ArenaStats, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph,
 };
@@ -63,6 +64,21 @@ impl std::fmt::Display for ExpError {
 }
 
 impl std::error::Error for ExpError {}
+
+impl ExpError {
+    /// The cooperative-governor interrupt behind this error, when the
+    /// analysis was cut short by a deadline / cancel / memory cap rather
+    /// than failing outright.  Callers use this to pick the degradation
+    /// path (fall back to bounds) instead of treating the overrun as a
+    /// hard failure.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            ExpError::PatternTooLarge { source, .. } | ExpError::MarkingGraph(source) => {
+                source.interrupt()
+            }
+        }
+    }
+}
 
 /// Where a throughput candidate comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +159,13 @@ pub struct ExpOptions {
     /// ([`MarkingOptions::interner_spill`]).  Storage only — the chain
     /// is bitwise-unchanged.  Exposed on the CLI as `--interner-spill`.
     pub interner_spill: bool,
+    /// Cooperative resource budget (wall-clock deadline, arena-byte cap,
+    /// external cancel flag), checked once per BFS level of the Theorem 2
+    /// build and at the stationary solver's checkpoints.  An overrun
+    /// surfaces as a structured interrupt
+    /// ([`ExpError::interrupt`]); an un-fired budget never changes a
+    /// single output bit.  Exposed on the CLI as `--deadline`.
+    pub budget: Budget,
 }
 
 impl Default for ExpOptions {
@@ -155,6 +178,7 @@ impl Default for ExpOptions {
             solver: SolverChoice::Auto,
             arena_compression: ArenaCompression::Auto,
             interner_spill: false,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -300,10 +324,9 @@ pub fn throughput_overlap_with_solver(
         }
     }
 
-    let bottleneck = *candidates
-        .iter()
-        .min_by(|a, b| a.rate.total_cmp(&b.rate))
-        .expect("at least one compute column");
+    let Some(&bottleneck) = candidates.iter().min_by(|a, b| a.rate.total_cmp(&b.rate)) else {
+        unreachable!("every stage contributes at least one compute candidate")
+    };
     Ok(ExpReport {
         throughput: bottleneck.rate,
         bottleneck,
@@ -430,6 +453,7 @@ pub fn throughput_strict_report<'a>(
         threads: opts.threads,
         arena_compression: opts.arena_compression,
         interner_spill: opts.interner_spill,
+        budget: opts.budget,
         ..Default::default()
     };
     let last = tpn.last_column();
@@ -439,8 +463,9 @@ pub fn throughput_strict_report<'a>(
         if let Some(sym) = &sym {
             let qg =
                 QuotientGraph::build(&net, sym, marking_opts).map_err(ExpError::MarkingGraph)?;
-            let (throughput, report) =
-                qg.throughput_solve(&qg.ctmc, &net.rates, &last, opts.solver);
+            let (throughput, report) = qg
+                .throughput_solve_governed(&qg.ctmc, &net.rates, &last, opts.solver, &opts.budget)
+                .map_err(|i| ExpError::MarkingGraph(i.into()))?;
             return Ok(StrictReport {
                 throughput,
                 full_states: qg.full_states(),
@@ -480,7 +505,10 @@ pub fn throughput_strict_report<'a>(
             }
         }
     }
-    let report = mg.ctmc.stationary_solve(opts.solver);
+    let report = mg
+        .ctmc
+        .stationary_solve_governed(opts.solver, &opts.budget)
+        .map_err(|i| ExpError::MarkingGraph(i.into()))?;
     Ok(StrictReport {
         throughput: throughput_from(&report.pi),
         full_states: mg.n_states(),
@@ -514,6 +542,7 @@ pub fn throughput_overlap_bounded<'a>(
             capacity: Some(capacity),
             threads: opts.threads,
             arena_compression: opts.arena_compression,
+            budget: opts.budget,
             ..Default::default()
         },
     )

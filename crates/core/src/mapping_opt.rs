@@ -207,7 +207,10 @@ pub fn random_search(
             });
         }
     }
-    Ok(best.expect("at least one iteration"))
+    match best {
+        Some(b) => Ok(b),
+        None => unreachable!("the loop runs at least one iteration"),
+    }
 }
 
 /// Hill climbing: move one processor between teams (or drop it) while the

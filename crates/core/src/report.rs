@@ -10,16 +10,64 @@
 //! All exponential analyses of one report share a single
 //! [`ChainCache`]: the Theorem 7 sandwich refills the pattern chains the
 //! decomposition already built instead of re-running their marking BFS.
+//!
+//! Reports are **resource-governed**: [`ReportOptions::budget`] threads a
+//! deadline / memory cap / cancel flag into the chain builds and solvers,
+//! and [`ReportOptions::degrade`] picks what happens when it fires — fail
+//! with a structured status, or fall back to the N.B.U.E. sandwich
+//! (Theorem 7) and stamp the report with `degraded=` provenance.
+
+// Every `unwrap` in this module is a `writeln!` into a `String`, whose
+// `fmt::Write` impl is infallible — allowed file-wide instead of matched
+// on each formatting line.
+#![allow(clippy::unwrap_used)]
 
 use crate::bounds;
 use crate::deterministic;
-use crate::exponential::{self, ColumnRef, ExpOptions};
+use crate::exponential::{self, ColumnRef, ExpError, ExpOptions};
 use crate::model::{JointMapping, ModelError, System, Workload};
 use crate::timing;
 use repstream_markov::cache::ChainCache;
 use repstream_markov::ctmc::SolverChoice;
+use repstream_markov::govern::{Budget, InterruptReason};
+use repstream_markov::marking::MarkingError;
 use repstream_petri::shape::ExecModel;
 use std::fmt::Write;
+
+/// What a governed report does when its [`Budget`] fires mid-analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Stop: the report carries the interrupt and the caller maps it to
+    /// a failure (the CLI's `--degrade=fail`, exit code 4).
+    Fail,
+    /// Degrade gracefully: replace the interrupted exact section with
+    /// the N.B.U.E. sandwich (Theorem 7, Overlap — polynomial, cached)
+    /// and stamp the report with `degraded=` provenance (the CLI's
+    /// `--degrade=bounds`, still exit code 0).
+    #[default]
+    Bounds,
+}
+
+/// Structured outcome of [`system_report_status`], mapped by the CLI
+/// onto process exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportStatus {
+    /// Every requested analysis completed exactly.
+    Ok,
+    /// The governor fired and the report fell back to bounds
+    /// ([`DegradeMode::Bounds`]); the text carries `degraded=`
+    /// provenance.  Still a success for the CLI (exit 0).
+    Degraded(InterruptReason),
+    /// The governor fired under [`DegradeMode::Fail`]: the exact section
+    /// is missing and no fallback was attempted (CLI exit 4).
+    Interrupted(InterruptReason),
+    /// A chain exceeded its state budget (`max_states`) — a sizing
+    /// problem, not a resource overrun (CLI exit 3).
+    OverBudget,
+    /// An internal failure (spill I/O, unexpected unsafety, …) — CLI
+    /// exit 5.
+    Internal,
+}
 
 /// Options for report generation.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +100,12 @@ pub struct ReportOptions {
     /// BFS (maps to [`ExpOptions::interner_spill`]; the CLI's
     /// `--interner-spill`).  Bitwise-neutral; bounds peak RSS.
     pub interner_spill: bool,
+    /// Cooperative resource budget of the exact chain analyses (maps to
+    /// [`ExpOptions::budget`]; the CLI's `--deadline`).  An un-fired
+    /// budget never changes a single output bit.
+    pub budget: Budget,
+    /// What to do when the budget fires (the CLI's `--degrade`).
+    pub degrade: DegradeMode,
 }
 
 impl Default for ReportOptions {
@@ -64,12 +118,40 @@ impl Default for ReportOptions {
             solver: SolverChoice::Auto,
             max_states: 4_000_000,
             interner_spill: false,
+            budget: Budget::UNLIMITED,
+            degrade: DegradeMode::Bounds,
         }
     }
 }
 
 /// Render the full analysis of `system` as text.
 pub fn system_report(system: &System, opts: ReportOptions) -> String {
+    system_report_status(system, opts).0
+}
+
+/// Classify a hard (non-interrupt) analysis failure.
+fn hard_status(e: &ExpError) -> ReportStatus {
+    match e {
+        ExpError::PatternTooLarge { source, .. } | ExpError::MarkingGraph(source) => match source {
+            MarkingError::TooManyStates(_) => ReportStatus::OverBudget,
+            _ => ReportStatus::Internal,
+        },
+    }
+}
+
+/// Record the first non-`Ok` outcome (later sections cannot upgrade it).
+fn note(status: &mut ReportStatus, new: ReportStatus) {
+    if *status == ReportStatus::Ok {
+        *status = new;
+    }
+}
+
+/// As [`system_report`], also returning the structured [`ReportStatus`]
+/// the CLI maps onto exit codes.  With an un-fired
+/// [`ReportOptions::budget`] the text is bitwise identical to
+/// [`system_report`]'s and the status is [`ReportStatus::Ok`].
+pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, ReportStatus) {
+    let mut status = ReportStatus::Ok;
     let mut s = String::new();
     let shape = system.shape();
     writeln!(
@@ -137,6 +219,7 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
         solver: opts.solver,
         max_states: opts.max_states,
         interner_spill: opts.interner_spill,
+        budget: opts.budget,
         ..Default::default()
     };
 
@@ -158,7 +241,16 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
                 }
             }
         }
-        Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
+        Err(e) => {
+            writeln!(s, "  unavailable: {e}").unwrap();
+            note(
+                &mut status,
+                match e.interrupt() {
+                    Some(i) => ReportStatus::Interrupted(i.reason),
+                    None => hard_status(&e),
+                },
+            );
+        }
     }
 
     // Strict Theorem 2 chain with full-vs-quotient state counts.
@@ -203,7 +295,48 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
                 )
                 .unwrap();
             }
-            Err(e) => writeln!(s, "  unavailable: {e}").unwrap(),
+            // Degradation ladder: an interrupt under `Bounds` falls back
+            // to the polynomial N.B.U.E. sandwich (Overlap — the Strict
+            // N.B.U.E. lower bound may itself need the chain that just
+            // timed out) and stamps the report with provenance; every
+            // other failure is classified for the caller's exit code.
+            Err(e) => match (e.interrupt(), opts.degrade) {
+                (Some(i), DegradeMode::Bounds) => {
+                    writeln!(
+                        s,
+                        "  degraded=yes method=bounds-fallback reason={}",
+                        i.reason.label()
+                    )
+                    .unwrap();
+                    writeln!(
+                        s,
+                        "  progress: phase={} states={} levels={} iterations={}",
+                        i.progress.phase.label(),
+                        i.progress.states,
+                        i.progress.levels,
+                        i.progress.iterations
+                    )
+                    .unwrap();
+                    match bounds::nbue_bounds_cached(system, ExecModel::Overlap, &mut cache) {
+                        Ok(b) => writeln!(
+                            s,
+                            "  N.B.U.E. fallback: throughput in [{:.6}, {:.6}] ({:?})",
+                            b.lower, b.upper, b.method
+                        )
+                        .unwrap(),
+                        Err(be) => writeln!(s, "  bounds fallback unavailable: {be}").unwrap(),
+                    }
+                    note(&mut status, ReportStatus::Degraded(i.reason));
+                }
+                (Some(i), DegradeMode::Fail) => {
+                    writeln!(s, "  interrupted: {i}").unwrap();
+                    note(&mut status, ReportStatus::Interrupted(i.reason));
+                }
+                (None, _) => {
+                    writeln!(s, "  unavailable: {e}").unwrap();
+                    note(&mut status, hard_status(&e));
+                }
+            },
         }
     }
 
@@ -217,7 +350,7 @@ pub fn system_report(system: &System, opts: ReportOptions) -> String {
         )
         .unwrap();
     }
-    s
+    (s, status)
 }
 
 /// Render the multi-app analysis of `workload` under `joint` as text:
@@ -295,6 +428,7 @@ pub fn workload_report(
         lumping: opts.lumping,
         threads: opts.threads,
         solver: opts.solver,
+        budget: opts.budget,
         ..Default::default()
     };
     writeln!(s, "\n[per-app contended throughput]").unwrap();

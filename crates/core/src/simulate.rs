@@ -167,11 +167,14 @@ pub fn monte_carlo<'a>(
         }
         let mut total = OnlineStats::new();
         for h in handles {
-            total.merge(&h.join().expect("replication worker panicked"));
+            match h.join() {
+                Ok(acc) => total.merge(&acc),
+                Err(p) => std::panic::resume_unwind(p),
+            }
         }
         total
     })
-    .expect("crossbeam scope");
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
     stats.summary()
 }
 

@@ -12,10 +12,90 @@ use crate::score::{DetScorer, WorkloadDetScorer};
 use repstream_core::model::{
     Application, JointMapping, Mapping, ModelError, Platform, WorkloadRef,
 };
+use repstream_markov::govern::{Budget, Interrupt, Phase, Progress};
 use repstream_petri::shape::ExecModel;
 
 /// Candidates per thread below which spawning is not worth it.
 const PAR_MIN_CANDIDATES: usize = 64;
+
+/// Errors of the governed batch scorers.
+#[derive(Debug)]
+pub enum BatchError {
+    /// A candidate failed validation.
+    Model(ModelError),
+    /// The budget fired between candidate sub-batches.
+    Interrupted(Interrupt),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Model(e) => write!(f, "batch: {e}"),
+            BatchError::Interrupted(i) => write!(f, "batch: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// As [`score_batch`] under a cooperative [`Budget`], checked once per
+/// sub-batch of `PAR_MIN_CANDIDATES` candidates — the same granularity
+/// the parallel splitter uses.  Scores are bitwise identical to
+/// [`score_batch`]'s (each sub-batch goes through the same chunk-parallel
+/// path); the checks only decide whether the batch aborts early.
+pub fn score_batch_governed(
+    app: &Application,
+    platform: &Platform,
+    model: ExecModel,
+    candidates: &[Mapping],
+    budget: &Budget,
+) -> Result<Vec<f64>, BatchError> {
+    if budget.is_unlimited() {
+        return score_batch(app, platform, model, candidates).map_err(BatchError::Model);
+    }
+    let mut out = Vec::with_capacity(candidates.len());
+    for sub in candidates.chunks(PAR_MIN_CANDIDATES) {
+        budget
+            .check(Progress {
+                phase: Phase::Search,
+                states: 0,
+                levels: 0,
+                iterations: out.len(),
+                arena_bytes: 0,
+            })
+            .map_err(BatchError::Interrupted)?;
+        out.extend(score_batch(app, platform, model, sub).map_err(BatchError::Model)?);
+    }
+    Ok(out)
+}
+
+/// As [`score_joint_batch`] under a cooperative [`Budget`]; see
+/// [`score_batch_governed`] for the sub-batch check granularity and the
+/// bitwise contract.
+pub fn score_joint_batch_governed(
+    workload: WorkloadRef<'_>,
+    model: ExecModel,
+    candidates: &[JointMapping],
+    budget: &Budget,
+) -> Result<Vec<Vec<f64>>, BatchError> {
+    if budget.is_unlimited() {
+        return score_joint_batch(workload, model, candidates).map_err(BatchError::Model);
+    }
+    let mut out = Vec::with_capacity(candidates.len());
+    for sub in candidates.chunks(PAR_MIN_CANDIDATES) {
+        budget
+            .check(Progress {
+                phase: Phase::Search,
+                states: 0,
+                levels: 0,
+                iterations: out.len(),
+                arena_bytes: 0,
+            })
+            .map_err(BatchError::Interrupted)?;
+        out.extend(score_joint_batch(workload, model, sub).map_err(BatchError::Model)?);
+    }
+    Ok(out)
+}
 
 /// Deterministic throughput of every candidate, in input order.
 ///

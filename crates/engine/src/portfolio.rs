@@ -20,7 +20,7 @@
 //!    re-scored by [`ExpScorer`] (chain-cache backed) and the best
 //!    exponential candidate wins.
 
-use crate::batch;
+use crate::batch::{self, BatchError};
 use crate::delta::{DeltaScorer, JointDeltaScorer};
 use crate::score::{ExpScoreError, ExpScorer, WorkloadDetScorer, WorkloadExpScorer};
 use repstream_core::exponential::ExpOptions;
@@ -30,6 +30,7 @@ use repstream_core::model::{
 };
 use repstream_markov::cache::CacheStats;
 use repstream_markov::ctmc::SolverChoice;
+use repstream_markov::govern::{Budget, Interrupt, Phase, Progress};
 use repstream_petri::shape::ExecModel;
 use repstream_workload::random::{random_joint_mappings, random_mappings};
 
@@ -42,6 +43,21 @@ pub enum EngineError {
     Opt(OptError),
     /// The exponential re-rank failed (chain too large).
     Exp(ExpScoreError),
+    /// The search budget fired (deadline / cancel / memory cap).
+    Interrupted(Interrupt),
+}
+
+impl EngineError {
+    /// The governor interrupt behind this error, if that is what it is —
+    /// either a direct search-phase abort or one surfaced through a
+    /// governed re-rank chain build/solve.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            EngineError::Interrupted(i) => Some(*i),
+            EngineError::Exp(e) => e.interrupt(),
+            EngineError::Model(_) | EngineError::Opt(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -50,6 +66,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Model(e) => write!(f, "model: {e}"),
             EngineError::Opt(e) => write!(f, "heuristic: {e}"),
             EngineError::Exp(e) => write!(f, "re-rank: {e}"),
+            EngineError::Interrupted(i) => write!(f, "search: {i}"),
         }
     }
 }
@@ -65,6 +82,21 @@ impl From<ModelError> for EngineError {
 impl From<OptError> for EngineError {
     fn from(e: OptError) -> Self {
         EngineError::Opt(e)
+    }
+}
+
+impl From<Interrupt> for EngineError {
+    fn from(i: Interrupt) -> Self {
+        EngineError::Interrupted(i)
+    }
+}
+
+impl From<BatchError> for EngineError {
+    fn from(e: BatchError) -> Self {
+        match e {
+            BatchError::Model(e) => EngineError::Model(e),
+            BatchError::Interrupted(i) => EngineError::Interrupted(i),
+        }
     }
 }
 
@@ -96,6 +128,11 @@ pub struct PortfolioOptions {
     /// Stationary solver of the re-rank chains (maps to
     /// `ExpOptions::solver`; the CLI's `--solver`).
     pub solver: SolverChoice,
+    /// Cooperative resource budget, checked per candidate sub-batch in
+    /// the random phase and per finalist in the re-rank phase (and
+    /// threaded into the re-rank chain builds/solves).  The default
+    /// [`Budget::UNLIMITED`] never fires and changes nothing.
+    pub budget: Budget,
 }
 
 impl Default for PortfolioOptions {
@@ -111,6 +148,7 @@ impl Default for PortfolioOptions {
             lumping: true,
             threads: 0,
             solver: SolverChoice::Auto,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -247,7 +285,7 @@ pub fn portfolio_search(
         opts.random_candidates,
         opts.seed,
     );
-    let scores = batch::score_batch(app, platform, opts.model, &candidates)?;
+    let scores = batch::score_batch_governed(app, platform, opts.model, &candidates, &opts.budget)?;
     det_evaluations += scores.len();
     // Best-first candidate order (deterministic: total_cmp, then index).
     let mut order: Vec<usize> = (0..scores.len()).collect();
@@ -300,11 +338,19 @@ pub fn portfolio_search(
             lumping: opts.lumping,
             threads: opts.threads,
             solver: opts.solver,
+            budget: opts.budget,
             ..Default::default()
         },
     );
     if opts.exp_rerank {
-        for c in pool.iter_mut() {
+        for (idx, c) in pool.iter_mut().enumerate() {
+            opts.budget.check(Progress {
+                phase: Phase::Search,
+                states: 0,
+                levels: 0,
+                iterations: idx,
+                arena_bytes: 0,
+            })?;
             c.exp = Some(exp_scorer.score(&c.mapping).map_err(EngineError::Exp)?);
         }
         pool.sort_by(|a, b| {
@@ -421,6 +467,8 @@ pub struct WorkloadSearchOptions {
     pub threads: usize,
     /// Stationary solver of the re-rank chains.
     pub solver: SolverChoice,
+    /// Cooperative resource budget; see [`PortfolioOptions::budget`].
+    pub budget: Budget,
 }
 
 impl Default for WorkloadSearchOptions {
@@ -437,6 +485,7 @@ impl Default for WorkloadSearchOptions {
             lumping: true,
             threads: 0,
             solver: SolverChoice::Auto,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -652,7 +701,8 @@ pub fn workload_search<'a>(
         opts.random_candidates,
         opts.seed,
     );
-    let scores = batch::score_joint_batch(workload, opts.model, &candidates)?;
+    let scores =
+        batch::score_joint_batch_governed(workload, opts.model, &candidates, &opts.budget)?;
     det_evaluations += scores.len();
     let values: Vec<f64> = scores
         .iter()
@@ -731,11 +781,19 @@ pub fn workload_search<'a>(
             lumping: opts.lumping,
             threads: opts.threads,
             solver: opts.solver,
+            budget: opts.budget,
             ..Default::default()
         },
     );
     if opts.exp_rerank {
-        for c in pool.iter_mut() {
+        for (idx, c) in pool.iter_mut().enumerate() {
+            opts.budget.check(Progress {
+                phase: Phase::Search,
+                states: 0,
+                levels: 0,
+                iterations: idx,
+                arena_bytes: 0,
+            })?;
             let per = exp_scorer.score(&c.joint).map_err(EngineError::Exp)?;
             c.exp_objective = Some(opts.objective.value(apps, &per));
             c.exp_per_app = Some(per);

@@ -209,6 +209,7 @@ impl<'a> ExpScorer<'a> {
                         threads: self.opts.threads,
                         solver: self.opts.solver,
                         arena_compression: self.opts.arena_compression,
+                        budget: self.opts.budget,
                     },
                 )
                 .map(|s| s.throughput)
@@ -437,6 +438,7 @@ impl<'a> WorkloadExpScorer<'a> {
                             threads: self.opts.threads,
                             solver: self.opts.solver,
                             arena_compression: self.opts.arena_compression,
+                            budget: self.opts.budget,
                         },
                     )
                     .map(|s| s.throughput)
@@ -455,6 +457,17 @@ pub enum ExpScoreError {
     Model(ModelError),
     /// The exponential analysis failed (chain too large).
     Exp(ExpError),
+}
+
+impl ExpScoreError {
+    /// The cooperative-governor interrupt behind this error, when the
+    /// score was cut short by a deadline / cancel / memory cap.
+    pub fn interrupt(&self) -> Option<repstream_markov::govern::Interrupt> {
+        match self {
+            ExpScoreError::Exp(e) => e.interrupt(),
+            ExpScoreError::Model(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ExpScoreError {

@@ -30,6 +30,7 @@
 
 use crate::ctmc::{Precond, Solver, SolverChoice};
 use crate::fxhash::FxHashMap;
+use crate::govern::Budget;
 use crate::marking::{ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
 use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, ResourceTable};
@@ -105,6 +106,11 @@ pub struct StrictOptions {
     /// ([`MarkingOptions::arena_compression`]).  Storage-only: any value
     /// builds the bitwise-identical structure.
     pub arena_compression: ArenaCompression,
+    /// Cooperative resource budget, checked per BFS level of a cold build
+    /// and at the stationary solver's checkpoints.  The checks only
+    /// decide *whether* to abort — an un-fired budget never changes a
+    /// single output bit.
+    pub budget: Budget,
 }
 
 impl Default for StrictOptions {
@@ -115,6 +121,7 @@ impl Default for StrictOptions {
             threads: 0,
             solver: SolverChoice::Auto,
             arena_compression: ArenaCompression::Auto,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -288,7 +295,9 @@ impl ChainCache {
                 },
             );
         }
-        let entry = self.strict.get_mut(&key).expect("just inserted");
+        let Some(entry) = self.strict.get_mut(&key) else {
+            unreachable!("entry inserted above when absent")
+        };
         let trans_rates: Vec<f64> = entry
             .tpn
             .transitions()
@@ -301,6 +310,7 @@ impl ChainCache {
             capacity: None,
             threads: opts.threads,
             arena_compression: opts.arena_compression,
+            budget: opts.budget,
             ..Default::default()
         };
 
@@ -322,9 +332,17 @@ impl ChainCache {
                 let net = EventNet::from_tpn(&entry.tpn, rates);
                 entry.quotient = Some(QuotientGraph::build(&net, sym, marking_opts)?);
             }
-            let qg = entry.quotient.as_ref().expect("just built");
+            let Some(qg) = entry.quotient.as_ref() else {
+                unreachable!("quotient built above when absent")
+            };
             let ctmc = qg.ctmc_with_trans_rates(&trans_rates);
-            let (throughput, report) = qg.throughput_solve(&ctmc, &trans_rates, &last, opts.solver);
+            let (throughput, report) = qg.throughput_solve_governed(
+                &ctmc,
+                &trans_rates,
+                &last,
+                opts.solver,
+                &opts.budget,
+            )?;
             return Ok(StrictSolve {
                 throughput,
                 full_states: qg.full_states(),
@@ -347,9 +365,12 @@ impl ChainCache {
             let net = EventNet::from_tpn(&entry.tpn, rates);
             entry.full = Some(MarkingGraph::build(&net, marking_opts)?);
         }
-        let mg = entry.full.as_ref().expect("just built");
+        let Some(mg) = entry.full.as_ref() else {
+            unreachable!("full graph built above when absent")
+        };
         let ctmc = mg.ctmc_with_trans_rates(&trans_rates);
-        let (throughput, report) = mg.throughput_solve(&ctmc, &trans_rates, &last, opts.solver);
+        let (throughput, report) =
+            mg.throughput_solve_governed(&ctmc, &trans_rates, &last, opts.solver, &opts.budget)?;
         Ok(StrictSolve {
             throughput,
             full_states: mg.n_states(),

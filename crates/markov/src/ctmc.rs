@@ -89,6 +89,8 @@
 //! actually produced the result, its final stationarity residual and its
 //! iteration count — the provenance the CLI reports print.
 
+use crate::govern::{Budget, Interrupt, Phase, Progress};
+
 /// A CTMC in flat compressed-sparse-row form.
 #[derive(Debug, Clone)]
 pub struct Ctmc {
@@ -177,6 +179,42 @@ const GS_RESIDUAL_TOL: f64 = 1e-10;
 /// costs GMRES a few extra restarts and keeps cross-solver agreement in
 /// the 1e-8 class; acceptance (and fallback) still uses the contract.
 const GMRES_TARGET_SAFETY: f64 = 1e-2;
+
+/// One cooperative checkpoint of the governed solvers: the
+/// `solver-stall` fault hook's firing point, then the budget check.
+/// Runs once per GMRES restart / SOR stall check / power check window /
+/// Gauss–Seidel checkpoint — far off the per-entry hot path, so
+/// governing a solve cannot perturb its output bits.
+pub(crate) fn solver_checkpoint(
+    budget: &Budget,
+    states: usize,
+    iterations: usize,
+) -> Result<(), Interrupt> {
+    let progress = Progress {
+        phase: Phase::Solve,
+        states,
+        levels: 0,
+        iterations,
+        arena_bytes: 0,
+    };
+    #[cfg(feature = "fault-inject")]
+    if crate::fault::solver_stall_fault() {
+        return Err(Interrupt {
+            reason: crate::govern::InterruptReason::SolverStall,
+            progress,
+        });
+    }
+    budget.check(progress)
+}
+
+/// Unwrap the result of an internal solver run that was given no budget
+/// — such a run has no checkpoint and therefore cannot be interrupted.
+pub(crate) fn ungoverned<T>(r: Result<T, Interrupt>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(i) => unreachable!("ungoverned solver cannot be interrupted: {i}"),
+    }
+}
 
 /// The stationary methods this crate implements — the members of a
 /// [`SolverPlan`] and the vocabulary of the CLI's `--solver` flag.
@@ -359,8 +397,10 @@ impl CsrBuilder {
     /// Close the current row.
     #[inline]
     pub fn end_row(&mut self) {
-        self.row_ptr
-            .push(u32::try_from(self.col.len()).expect("nnz overflows u32"));
+        let Ok(nnz) = u32::try_from(self.col.len()) else {
+            panic!("nnz overflows u32")
+        };
+        self.row_ptr.push(nnz);
     }
 
     /// Number of complete rows so far.
@@ -680,12 +720,20 @@ impl Ctmc {
     /// [`Ctmc::stationary_solve`] fallback so a near-converged relaxation
     /// iterate is polished instead of thrown away).  Returns the iterate
     /// and the number of sweeps spent.
-    fn stationary_power_from(
+    fn stationary_power_from(&self, pi: Vec<f64>, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+        ungoverned(self.power_budgeted(pi, tol, max_iters, None))
+    }
+
+    /// The power sweep loop; `budget` adds a cooperative checkpoint at
+    /// each 1-in-[`CHECK_PERIOD`] stopping check (`None` never checks,
+    /// hence never errors).
+    fn power_budgeted(
         &self,
         mut pi: Vec<f64>,
         tol: f64,
         max_iters: usize,
-    ) -> (Vec<f64>, usize) {
+        budget: Option<&Budget>,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
         let n = self.n;
         assert_eq!(pi.len(), n);
         // Hoisted out of the sweep: stay[j] = 1 − exit[j]/Λ and the
@@ -709,6 +757,11 @@ impl Ctmc {
             // sweep alone, and doing it sequentially keeps the stopping
             // decision independent of the thread count.
             let check = it % CHECK_PERIOD == CHECK_PERIOD - 1;
+            if check {
+                if let Some(b) = budget {
+                    solver_checkpoint(b, n, sweeps)?;
+                }
+            }
             let diff = if check {
                 pi.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum()
             } else {
@@ -732,7 +785,7 @@ impl Ctmc {
             }
         }
         normalize(&mut pi);
-        (pi, sweeps)
+        Ok((pi, sweeps))
     }
 
     /// Replace `pi` by `candidate` when the candidate is a proper
@@ -779,15 +832,32 @@ impl Ctmc {
     /// [`Ctmc::stationary_gauss_seidel`] plus the number of sweeps spent
     /// (same arithmetic, same bits).
     pub(crate) fn gauss_seidel_counted(&self, tol: f64, max_sweeps: usize) -> (Vec<f64>, usize) {
+        ungoverned(self.gauss_seidel_budgeted(tol, max_sweeps, None))
+    }
+
+    /// The Gauss–Seidel sweep loop; `budget` adds a cooperative
+    /// checkpoint every [`CHECK_PERIOD`] sweeps (`None` never checks,
+    /// hence never errors).
+    fn gauss_seidel_budgeted(
+        &self,
+        tol: f64,
+        max_sweeps: usize,
+        budget: Option<&Budget>,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
         let n = self.n;
         assert!(n > 0);
         if n == 1 {
-            return (vec![1.0], 0);
+            return Ok((vec![1.0], 0));
         }
         let mut pi = vec![1.0 / n as f64; n];
         let mut sweeps = 0usize;
         for it in 0..max_sweeps {
             sweeps = it + 1;
+            if it % CHECK_PERIOD == CHECK_PERIOD - 1 {
+                if let Some(b) = budget {
+                    solver_checkpoint(b, n, sweeps)?;
+                }
+            }
             let mut max_rel = 0.0f64;
             for j in 0..n {
                 let (lo, hi) = (self.in_ptr[j] as usize, self.in_ptr[j + 1] as usize);
@@ -808,7 +878,7 @@ impl Ctmc {
                 break;
             }
         }
-        (pi, sweeps)
+        Ok((pi, sweeps))
     }
 
     /// The explicit [`SolverPlan`] the automatic selection follows for
@@ -872,34 +942,72 @@ impl Ctmc {
         }
     }
 
+    /// [`Ctmc::stationary_solve`] under a cooperative [`Budget`]: the
+    /// iterative solvers check the budget at their sweep/restart
+    /// checkpoints and surface overruns as an [`Interrupt`] instead of
+    /// running to completion.  When no limit fires the result is bitwise
+    /// identical to the ungoverned solve — the checks only decide
+    /// *whether* to abort, never what to compute.
+    pub fn stationary_solve_governed(
+        &self,
+        choice: SolverChoice,
+        budget: &Budget,
+    ) -> Result<SolveReport, Interrupt> {
+        match choice {
+            SolverChoice::Force(s) => self.run_forced_governed(s, Some(budget)),
+            SolverChoice::Auto => self.run_plan_governed(self.solver_plan(), Some(budget)),
+        }
+    }
+
     /// Run one solver with its standard budget and report the outcome.
     fn run_forced(&self, solver: Solver) -> SolveReport {
+        ungoverned(self.run_forced_governed(solver, None))
+    }
+
+    /// [`Ctmc::run_forced`] with optional governance.  `None` means no
+    /// checkpoints at all, so the `Err` arm is unreachable for that case.
+    fn run_forced_governed(
+        &self,
+        solver: Solver,
+        budget: Option<&Budget>,
+    ) -> Result<SolveReport, Interrupt> {
         let mut precond = Precond::None;
         let (pi, iterations) = match solver {
             Solver::Gth => (self.stationary_gth(), self.n),
-            Solver::GaussSeidel => self.gauss_seidel_counted(1e-14, 10_000),
+            Solver::GaussSeidel => self.gauss_seidel_budgeted(1e-14, 10_000, budget)?,
             Solver::Gmres => {
                 precond = Precond::Jacobi;
                 let scale = self.max_rate().max(1e-300);
-                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale, precond)
+                let target = GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale;
+                match budget {
+                    Some(b) => self.gmres_counted_governed(target, precond, b)?,
+                    None => self.gmres_counted(target, precond),
+                }
             }
             Solver::GmresPlain => {
                 let scale = self.max_rate().max(1e-300);
-                self.gmres_counted(GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale, Precond::None)
+                let target = GS_RESIDUAL_TOL * GMRES_TARGET_SAFETY * scale;
+                match budget {
+                    Some(b) => self.gmres_counted_governed(target, Precond::None, b)?,
+                    None => self.gmres_counted(target, Precond::None),
+                }
             }
-            Solver::Sor => self.sor_counted(crate::krylov::SOR_OMEGA, 1e-14, 10_000),
+            Solver::Sor => match budget {
+                Some(b) => self.sor_counted_governed(crate::krylov::SOR_OMEGA, 1e-14, 10_000, b)?,
+                None => self.sor_counted(crate::krylov::SOR_OMEGA, 1e-14, 10_000),
+            },
             Solver::Power => {
-                self.stationary_power_from(vec![1.0 / self.n as f64; self.n], 1e-13, 200_000)
+                self.power_budgeted(vec![1.0 / self.n as f64; self.n], 1e-13, 200_000, budget)?
             }
         };
         let residual = self.stationarity_residual(&pi);
-        SolveReport {
+        Ok(SolveReport {
             pi,
             solver,
             residual,
             iterations,
             precond,
-        }
+        })
     }
 
     /// Execute a [`SolverPlan`]: primary first, then residual-verified
@@ -909,13 +1017,23 @@ impl Ctmc {
     /// keeps the best-balancing iterate if every method misses the
     /// contract.
     fn run_plan(&self, plan: SolverPlan) -> SolveReport {
+        ungoverned(self.run_plan_governed(plan, None))
+    }
+
+    /// [`Ctmc::run_plan`] with optional governance; see
+    /// [`Ctmc::run_forced_governed`] for the `None` contract.
+    fn run_plan_governed(
+        &self,
+        plan: SolverPlan,
+        budget: Option<&Budget>,
+    ) -> Result<SolveReport, Interrupt> {
         let n = self.n;
         let scale = self.max_rate().max(1e-300);
         let tol = GS_RESIDUAL_TOL * scale;
         match plan.primary {
-            Solver::Gth => self.run_forced(Solver::Gth),
+            Solver::Gth => self.run_forced_governed(Solver::Gth, budget),
             Solver::GaussSeidel => {
-                let (pi, sweeps) = self.gauss_seidel_counted(1e-14, 10_000);
+                let (pi, sweeps) = self.gauss_seidel_budgeted(1e-14, 10_000, budget)?;
                 // Acceptance requires finiteness explicitly: a zero-exit
                 // state makes relaxation divide by zero, and `f64::max` in
                 // the residual ignores the resulting NaNs rather than
@@ -924,13 +1042,13 @@ impl Ctmc {
                 if finite {
                     let residual = self.stationarity_residual(&pi);
                     if residual <= tol {
-                        return SolveReport {
+                        return Ok(SolveReport {
                             pi,
                             solver: Solver::GaussSeidel,
                             residual,
                             iterations: sweeps,
                             precond: Precond::None,
-                        };
+                        });
                     }
                 }
                 // Fallback: polish the (partially converged) Gauss–Seidel
@@ -939,35 +1057,38 @@ impl Ctmc {
                 // relaxation produced non-finite entries, which would
                 // poison every later sweep.
                 let pi0 = if finite { pi } else { vec![1.0 / n as f64; n] };
-                let (pw, iters) = self.stationary_power_from(pi0, 1e-13, 200_000);
+                let (pw, iters) = self.power_budgeted(pi0, 1e-13, 200_000, budget)?;
                 let residual = self.stationarity_residual(&pw);
-                SolveReport {
+                Ok(SolveReport {
                     pi: pw,
                     solver: Solver::Power,
                     residual,
                     iterations: iters,
                     precond: Precond::None,
-                }
+                })
             }
             // Top end (n >= 2^20): SOR, then GMRES, then power, each
             // residual-verified; if everything misses the contract, keep
             // whichever iterate balances best.
             Solver::Sor | Solver::Gmres | Solver::GmresPlain | Solver::Power => {
                 if plan.fallbacks.is_empty() {
-                    return self.run_forced(plan.primary);
+                    return self.run_forced_governed(plan.primary, budget);
                 }
                 let mut best: Option<SolveReport> = None;
                 for &solver in std::iter::once(&plan.primary).chain(plan.fallbacks) {
-                    let rep = self.run_forced(solver);
+                    let rep = self.run_forced_governed(solver, budget)?;
                     let finite = rep.residual.is_finite() && rep.pi.iter().all(|v| v.is_finite());
                     if finite && rep.residual <= tol {
-                        return rep;
+                        return Ok(rep);
                     }
                     if finite && best.as_ref().is_none_or(|b| rep.residual < b.residual) {
                         best = Some(rep);
                     }
                 }
-                best.unwrap_or_else(|| self.run_forced(Solver::Power))
+                match best {
+                    Some(rep) => Ok(rep),
+                    None => self.run_forced_governed(Solver::Power, budget),
+                }
             }
         }
     }
@@ -1082,7 +1203,7 @@ fn rre_extrapolate(xs: &[Vec<f64>]) -> Option<Vec<f64>> {
     for col in 0..k {
         let pivot = (col..k)
             .max_by(|&a, &b| m[a * k + col].abs().total_cmp(&m[b * k + col].abs()))
-            .unwrap();
+            .unwrap_or(col);
         if m[pivot * k + col].abs() < 1e-300 {
             return None;
         }

@@ -35,7 +35,10 @@ impl Hasher for FxHasher {
         self.add_to_hash(bytes.len() as u64);
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+            let Ok(word) = <[u8; 8]>::try_from(c) else {
+                unreachable!("chunks_exact(8) yields 8-byte chunks")
+            };
+            self.add_to_hash(u64::from_le_bytes(word));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

@@ -77,7 +77,8 @@
 //! iterations, while GMRES pays O(restart · n) orthogonalization per
 //! matvec and serves as the robust residual-verified fallback.
 
-use crate::ctmc::{Ctmc, Precond};
+use crate::ctmc::{solver_checkpoint, ungoverned, Ctmc, Precond};
+use crate::govern::{Budget, Interrupt};
 
 /// Arnoldi depth per GMRES cycle.  Deep enough that the million-state
 /// quotient chains converge in a handful of restarts; shallow enough
@@ -121,29 +122,49 @@ impl Ctmc {
     /// **unpreconditioned** max-norm residual to certify; the scaling
     /// only changes the operator iterated on, never the contract.
     pub fn stationary_gmres_pc(&self, precond: Precond, tol: f64, max_matvecs: usize) -> Vec<f64> {
-        self.gmres_restarted(GMRES_RESTART, tol, max_matvecs, precond)
-            .0
+        ungoverned(self.gmres_restarted(GMRES_RESTART, tol, max_matvecs, precond, None)).0
     }
 
     /// [`Ctmc::stationary_gmres_pc`] with the standard budget, returning
     /// the matvec count — what [`Ctmc::stationary_solve`] runs.
     pub(crate) fn gmres_counted(&self, target: f64, precond: Precond) -> (Vec<f64>, usize) {
-        self.gmres_restarted(GMRES_RESTART, target, GMRES_MAX_MATVECS, precond)
+        ungoverned(self.gmres_restarted(GMRES_RESTART, target, GMRES_MAX_MATVECS, precond, None))
+    }
+
+    /// [`Ctmc::gmres_counted`] under a [`Budget`], checked once per
+    /// restart (identical arithmetic — a check never changes the
+    /// iteration, only whether it continues).
+    pub(crate) fn gmres_counted_governed(
+        &self,
+        target: f64,
+        precond: Precond,
+        budget: &Budget,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
+        self.gmres_restarted(
+            GMRES_RESTART,
+            target,
+            GMRES_MAX_MATVECS,
+            precond,
+            Some(budget),
+        )
     }
 
     /// Restarted GMRES with explicit Arnoldi depth.  Returns the iterate
-    /// and the number of operator applications (matvecs) spent.
+    /// and the number of operator applications (matvecs) spent.  With a
+    /// budget, one cooperative checkpoint runs per restart cycle; `None`
+    /// never checks (and thus never errors).
     fn gmres_restarted(
         &self,
         restart: usize,
         tol: f64,
         max_matvecs: usize,
         precond: Precond,
-    ) -> (Vec<f64>, usize) {
+        budget: Option<&Budget>,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
         let n = self.n_states();
         assert!(n > 0);
         if n == 1 {
-            return (vec![1.0], 0);
+            return Ok((vec![1.0], 0));
         }
         let m = restart.clamp(2, n.max(2));
         let mut x = vec![1.0 / n as f64; n];
@@ -178,6 +199,9 @@ impl Ctmc {
         let mut matvecs = 0usize;
 
         while matvecs < max_matvecs {
+            if let Some(b) = budget {
+                solver_checkpoint(b, n, matvecs)?;
+            }
             // r0 = −(xQ)D⁻¹ into the first basis slot (D = I when plain).
             {
                 let v0 = &mut v[..n];
@@ -323,7 +347,7 @@ impl Ctmc {
                 *xv *= inv;
             }
         }
-        (x, matvecs)
+        Ok((x, matvecs))
     }
 
     /// Stationary distribution by successive over-relaxation of the
@@ -348,10 +372,34 @@ impl Ctmc {
 
     /// [`Ctmc::stationary_sor`] plus the number of sweeps spent.
     pub(crate) fn sor_counted(&self, omega: f64, tol: f64, max_sweeps: usize) -> (Vec<f64>, usize) {
+        ungoverned(self.sor_budgeted(omega, tol, max_sweeps, None))
+    }
+
+    /// [`Ctmc::sor_counted`] under a [`Budget`], checked once per
+    /// [`SOR_ADAPT_PERIOD`] checkpoint.
+    pub(crate) fn sor_counted_governed(
+        &self,
+        omega: f64,
+        tol: f64,
+        max_sweeps: usize,
+        budget: &Budget,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
+        self.sor_budgeted(omega, tol, max_sweeps, Some(budget))
+    }
+
+    /// The SOR sweep loop; `budget` adds a cooperative checkpoint at
+    /// each stall check (`None` never checks, hence never errors).
+    fn sor_budgeted(
+        &self,
+        omega: f64,
+        tol: f64,
+        max_sweeps: usize,
+        budget: Option<&Budget>,
+    ) -> Result<(Vec<f64>, usize), Interrupt> {
         let n = self.n_states();
         assert!(n > 0);
         if n == 1 {
-            return (vec![1.0], 0);
+            return Ok((vec![1.0], 0));
         }
         let mut omega = omega;
         let mut pi = vec![1.0 / n as f64; n];
@@ -389,6 +437,9 @@ impl Ctmc {
                 break;
             }
             if sweeps.is_multiple_of(SOR_ADAPT_PERIOD) {
+                if let Some(b) = budget {
+                    solver_checkpoint(b, n, sweeps)?;
+                }
                 // Not contracting since the last checkpoint (oscillation
                 // or divergence from over-relaxation): damp toward 1.
                 // Slow-but-steady contraction is left alone — only a
@@ -402,7 +453,7 @@ impl Ctmc {
                 checkpoint_change = max_rel;
             }
         }
-        (pi, sweeps)
+        Ok((pi, sweeps))
     }
 }
 

@@ -47,16 +47,29 @@
 //! * [`transient`] — finite-horizon analysis by uniformization: `π(t)` and
 //!   the expected completions over `[0, t]` (the analytic counterpart of
 //!   the paper's throughput-vs-data-sets curves);
+//! * [`govern`] — the cooperative resource governor: a `Copy`
+//!   [`Budget`] (wall-clock deadline, arena-byte cap,
+//!   external cancel flag) checked once per BFS level / solver
+//!   checkpoint / candidate batch, surfacing overruns as structured
+//!   [`Interrupt`]s instead of running to completion;
+//! * `fault` *(feature `fault-inject`)* — deterministic fault
+//!   injection: spill I/O failures at the Nth operation, forced solver
+//!   stagnation and budget exhaustion at chosen BFS levels, installable
+//!   from `REPSTREAM_FAULT`, so every error path is exercised by tests;
 //! * [`fxhash`] — a small Fx-style hasher for marking deduplication
 //!   (markings are short byte strings; SipHash is measurably slower and
 //!   HashDoS is irrelevant here).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod ctmc;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod fxhash;
+pub mod govern;
 pub mod krylov;
 pub mod lump;
 pub mod marking;
@@ -66,5 +79,6 @@ pub mod transient;
 
 pub use cache::ChainCache;
 pub use ctmc::{Ctmc, SolveReport, Solver, SolverChoice};
+pub use govern::{Budget, Interrupt, InterruptReason, Phase, Progress};
 pub use marking::{ArenaCompression, MarkingGraph, MarkingOptions, QuotientGraph};
 pub use net::EventNet;

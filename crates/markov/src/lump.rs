@@ -96,7 +96,7 @@ impl Partition {
     /// ids in order of first appearance).
     pub fn from_labels(labels: &[u32]) -> Self {
         assert!(!labels.is_empty(), "partition of an empty state set");
-        let max = *labels.iter().max().expect("non-empty") as usize;
+        let max = labels.iter().max().map_or(0, |&m| m as usize);
         // Dense remap when the label range is comparable to the state
         // count (always the case for the refinement's internal block
         // ids); a hash map only for pathological sparse label sets.

@@ -88,6 +88,7 @@
 
 use crate::ctmc::{CsrBuilder, Ctmc, SolveReport, SolverChoice};
 use crate::fxhash::FxHashMap;
+use crate::govern::{Budget, Interrupt, Phase, Progress};
 use crate::lump::{Lift, Partition};
 use crate::net::{EventNet, NetSymmetry};
 use repstream_petri::canon::{CanonScratch, MarkingCanonicalizer};
@@ -167,6 +168,11 @@ pub struct MarkingOptions {
     /// `REPSTREAM_SPILL_MIB` from the environment, falling back to
     /// 64 MiB per arena.
     pub spill_limit: usize,
+    /// Cooperative resource limits ([`Budget`]), checked once per BFS
+    /// level.  The default [`Budget::UNLIMITED`] never fires; output is
+    /// bitwise identical for any budget, as long as no limit fires —
+    /// the checks only decide *whether to abort*, never what to emit.
+    pub budget: Budget,
 }
 
 impl Default for MarkingOptions {
@@ -180,6 +186,7 @@ impl Default for MarkingOptions {
             interner_shards: 0,
             interner_spill: false,
             spill_limit: 0,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -238,6 +245,49 @@ impl MarkingOptions {
 /// shards would only add top-bit collisions without spreading work.
 pub const MAX_INTERNER_SHARDS: usize = 256;
 
+/// Which spill-file operation failed (see [`SpillIoError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillOp {
+    /// A positioned read of spilled payload bytes.
+    Read,
+    /// A positioned write flushing resident payload bytes.
+    Write,
+}
+
+impl SpillOp {
+    fn label(self) -> &'static str {
+        match self {
+            SpillOp::Read => "read",
+            SpillOp::Write => "write",
+        }
+    }
+}
+
+/// A failed spill-file operation: what was attempted, at which payload
+/// byte offset, and the underlying I/O error (shared behind an `Arc`
+/// because `io::Error` is not `Clone`).
+#[derive(Debug, Clone)]
+pub struct SpillIoError {
+    /// The operation that failed.
+    pub op: SpillOp,
+    /// Byte offset into the spill payload at which it failed.
+    pub offset: u64,
+    /// The underlying I/O error.
+    pub source: std::sync::Arc<std::io::Error>,
+}
+
+impl PartialEq for SpillIoError {
+    fn eq(&self, other: &Self) -> bool {
+        // `io::Error` carries no equality; the kind is what callers
+        // match on.
+        self.op == other.op
+            && self.offset == other.offset
+            && self.source.kind() == other.source.kind()
+    }
+}
+
+impl Eq for SpillIoError {}
+
 /// Failure modes of the marking BFS.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MarkingError {
@@ -250,6 +300,30 @@ pub enum MarkingError {
     },
     /// No transition is enabled in some reachable marking.
     Deadlock,
+    /// A spill-file read or write failed.  The build aborts at the next
+    /// level boundary; no temp files are leaked (spill files are
+    /// unlinked at creation, or deleted on drop when that failed).
+    SpillIo(SpillIoError),
+    /// The resource governor fired (deadline, cancellation, memory cap
+    /// — see [`Interrupt`]).
+    Interrupted(Interrupt),
+}
+
+impl MarkingError {
+    /// The governor interrupt behind this error, when that is what it
+    /// is — callers that degrade to bounds match on this.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            MarkingError::Interrupted(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Interrupt> for MarkingError {
+    fn from(i: Interrupt) -> Self {
+        MarkingError::Interrupted(i)
+    }
 }
 
 impl std::fmt::Display for MarkingError {
@@ -263,11 +337,29 @@ impl std::fmt::Display for MarkingError {
                 )
             }
             MarkingError::Deadlock => write!(f, "reachable deadlock marking"),
+            MarkingError::SpillIo(e) => {
+                write!(
+                    f,
+                    "spill {} failed at byte {}: {}",
+                    e.op.label(),
+                    e.offset,
+                    e.source
+                )
+            }
+            MarkingError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
 
-impl std::error::Error for MarkingError {}
+impl std::error::Error for MarkingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkingError::SpillIo(e) => Some(e.source.as_ref()),
+            MarkingError::Interrupted(i) => Some(i),
+            _ => None,
+        }
+    }
+}
 
 /// LEB128-encode `v` (7 payload bits per byte, high bit = continue).
 #[inline]
@@ -373,6 +465,13 @@ struct MarkingArena {
     spill_limit: usize,
     /// Lazily-created spill region (first flush).
     spill: Option<SpillFile>,
+    /// First spill I/O failure.  The `&self` decode paths (`copy_to`,
+    /// `matches`, `hash_entry`) are shared immutably by the parallel
+    /// BFS workers and stay infallible: on a read error they record it
+    /// here and return deterministic zero-filled bytes; the BFS drivers
+    /// drain the slot at level boundaries into
+    /// [`MarkingError::SpillIo`], discarding the garbage level.
+    poison: std::sync::OnceLock<SpillIoError>,
 }
 
 /// Temp-file-backed spill region of one arena: the first `spilled` bytes
@@ -387,6 +486,22 @@ struct MarkingArena {
 struct SpillFile {
     file: std::sync::Arc<std::fs::File>,
     spilled: usize,
+    /// Retained only when the immediate unlink failed (the normal case
+    /// deletes the directory entry at creation): the last clone removes
+    /// the file on drop, so no temp file leaks on any path — error
+    /// paths included.
+    _cleanup: Option<std::sync::Arc<CleanupPath>>,
+}
+
+/// Deletes the named file when dropped (the unlink-failed fallback of
+/// `SpillFile::create`).
+#[derive(Debug)]
+struct CleanupPath(std::path::PathBuf);
+
+impl Drop for CleanupPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
 }
 
 impl SpillFile {
@@ -409,10 +524,14 @@ impl SpillFile {
                 .create_new(true)
                 .open(&path)
                 .ok()?;
-            let _ = std::fs::remove_file(&path);
+            let cleanup = match std::fs::remove_file(&path) {
+                Ok(()) => None,
+                Err(_) => Some(std::sync::Arc::new(CleanupPath(path))),
+            };
             Some(SpillFile {
                 file: std::sync::Arc::new(file),
                 spilled: 0,
+                _cleanup: cleanup,
             })
         }
         #[cfg(not(unix))]
@@ -421,11 +540,15 @@ impl SpillFile {
         }
     }
 
-    fn read_exact_at(&self, buf: &mut [u8], off: u64) {
+    fn read_exact_at(&self, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(e) = crate::fault::spill_read_fault() {
+            return Err(e);
+        }
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(buf, off).expect("spill read");
+            self.file.read_exact_at(buf, off)
         }
         #[cfg(not(unix))]
         {
@@ -434,11 +557,15 @@ impl SpillFile {
         }
     }
 
-    fn write_all_at(&self, buf: &[u8], off: u64) {
+    fn write_all_at(&self, buf: &[u8], off: u64) -> std::io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(e) = crate::fault::spill_write_fault() {
+            return Err(e);
+        }
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
-            self.file.write_all_at(buf, off).expect("spill write");
+            self.file.write_all_at(buf, off)
         }
         #[cfg(not(unix))]
         {
@@ -484,6 +611,7 @@ impl MarkingArena {
             base_cache: Vec::new(),
             spill_limit,
             spill: None,
+            poison: std::sync::OnceLock::new(),
         }
     }
 
@@ -504,6 +632,7 @@ impl MarkingArena {
             base_cache: Vec::new(),
             spill_limit: usize::MAX,
             spill: None,
+            poison: std::sync::OnceLock::new(),
         }
     }
 
@@ -607,15 +736,23 @@ impl MarkingArena {
     #[cold]
     fn convert(&mut self) {
         let mut flat = std::mem::take(&mut self.flat);
+        let mut read_err = None;
         if let Some(sp) = &mut self.spill {
             if sp.spilled > 0 {
                 let mut full = vec![0u8; sp.spilled + flat.len()];
                 let (head, tail) = full.split_at_mut(sp.spilled);
-                sp.read_exact_at(head, 0);
+                if let Err(e) = sp.read_exact_at(head, 0) {
+                    // Re-encode zeroes; the poison drain at the next
+                    // level boundary discards everything anyway.
+                    read_err = Some(e);
+                }
                 tail.copy_from_slice(&flat);
                 flat = full;
                 sp.spilled = 0;
             }
+        }
+        if let Some(e) = read_err {
+            self.poison_read(0, e);
         }
         let bases = std::mem::take(&mut self.base_of);
         let w = self.width.max(1);
@@ -665,15 +802,54 @@ impl MarkingArena {
                 }
             }
         }
-        let sp = self.spill.as_mut().expect("just created");
+        let Some(sp) = self.spill.as_mut() else {
+            return;
+        };
         let buf = if self.compressed {
             &mut self.enc
         } else {
             &mut self.flat
         };
-        sp.write_all_at(buf, sp.spilled as u64);
-        sp.spilled += buf.len();
-        buf.clear();
+        let off = sp.spilled as u64;
+        match sp.write_all_at(buf, off) {
+            Ok(()) => {
+                sp.spilled += buf.len();
+                buf.clear();
+            }
+            Err(e) => {
+                // Keep the unwritten tail resident, stop spilling, and
+                // record the failure for the level-boundary drain.
+                self.spill_limit = usize::MAX;
+                let _ = self.poison.set(SpillIoError {
+                    op: SpillOp::Write,
+                    offset: off,
+                    source: std::sync::Arc::new(e),
+                });
+            }
+        }
+    }
+
+    /// Record a failed spill read observed through a `&self` decode
+    /// path (first failure wins; see the `poison` field docs).
+    #[cold]
+    fn poison_read(&self, offset: u64, e: std::io::Error) {
+        let _ = self.poison.set(SpillIoError {
+            op: SpillOp::Read,
+            offset,
+            source: std::sync::Arc::new(e),
+        });
+    }
+
+    /// `true` once any spill I/O on this arena has failed.
+    #[inline]
+    fn is_poisoned(&self) -> bool {
+        self.poison.get().is_some()
+    }
+
+    /// The first spill I/O failure as a build error — the BFS drivers
+    /// drain this at level boundaries (and once more after the loop).
+    fn take_poison(&self) -> Option<MarkingError> {
+        self.poison.get().map(|p| MarkingError::SpillIo(p.clone()))
     }
 
     /// Read payload bytes `[off, off + out.len())` into `out`, straddling
@@ -686,8 +862,17 @@ impl MarkingArena {
             return;
         }
         let file_part = out.len().min(sp - off);
-        let spill = self.spill.as_ref().expect("spilled() > 0");
-        spill.read_exact_at(&mut out[..file_part], off as u64);
+        match self.spill.as_ref() {
+            Some(spill) => {
+                if let Err(e) = spill.read_exact_at(&mut out[..file_part], off as u64) {
+                    self.poison_read(off as u64, e);
+                    out[..file_part].fill(0);
+                }
+            }
+            // Unreachable (`spilled() > 0` implies a file); degrade to
+            // zero-fill rather than panic under the no-expect policy.
+            None => out[..file_part].fill(0),
+        }
         if file_part < out.len() {
             let rest = out.len() - file_part;
             out[file_part..].copy_from_slice(&vec[..rest]);
@@ -762,6 +947,13 @@ impl MarkingArena {
         let (off, end) = self.enc_entry_range(s);
         entry.resize(end - off, 0);
         self.payload_read_into(off, entry);
+        if self.is_poisoned() {
+            // The entry bytes may be zero-filled garbage; emit a
+            // deterministic zero marking until the level-boundary drain
+            // aborts the build.
+            out.fill(0);
+            return;
+        }
         let (h, mut eo) = read_varint(entry, 0);
         if h == 0 {
             out.copy_from_slice(&entry[eo..eo + self.width]);
@@ -843,6 +1035,11 @@ impl MarkingArena {
         let (off, end) = self.enc_entry_range(s);
         entry.resize(end - off, 0);
         self.payload_read_into(off, entry);
+        if self.is_poisoned() {
+            // Deterministic miss; the duplicate it may cause is
+            // discarded with the rest of the level at the drain.
+            return false;
+        }
         let (h, mut eo) = read_varint(entry, 0);
         if h == 0 {
             return &entry[eo..eo + self.width] == probe;
@@ -1455,9 +1652,24 @@ impl MarkingGraph {
         // Exclusive end of the BFS level being explored: crossing it
         // starts the next level (and a fresh delta base in the arena).
         let mut level_end = 0usize;
+        let mut levels = 0usize;
 
         while frontier < n_states {
             if frontier >= level_end {
+                // Level boundary: drain any spill I/O failure, then one
+                // cooperative governor check (never on the per-firing
+                // hot path, so checks cannot perturb output bits).
+                if let Some(e) = arena.take_poison() {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::MarkingBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: arena.bytes() + interner.table_bytes(),
+                })?;
+                levels += 1;
                 level_end = n_states;
                 arena.begin_level();
             }
@@ -1492,10 +1704,22 @@ impl MarkingGraph {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("marking BFS worker panicked"))
+                        .map(|h| match h.join() {
+                            Ok(stage) => stage,
+                            Err(p) => std::panic::resume_unwind(p),
+                        })
                         .collect()
                 });
                 for stage in &stages {
+                    // Chunk-boundary checkpoint: bounds the coast past a
+                    // deadline to one chunk's replay on parallel levels.
+                    opts.budget.check(Progress {
+                        phase: Phase::MarkingBfs,
+                        states: n_states,
+                        levels,
+                        iterations: 0,
+                        arena_bytes: arena.bytes() + interner.table_bytes(),
+                    })?;
                     Self::merge_plain_chunk(
                         net,
                         stage,
@@ -1512,6 +1736,22 @@ impl MarkingGraph {
 
             let s = frontier;
             frontier += 1;
+            // Mid-level checkpoint: big levels (millions of states) take
+            // seconds, so the per-level cadence alone cannot honor a
+            // deadline-plus-grace contract.  Strided so the hot path
+            // stays one branch per state.
+            if s & 0xfff == 0xfff {
+                if let Some(e) = arena.take_poison() {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::MarkingBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: arena.bytes() + interner.table_bytes(),
+                })?;
+            }
             arena.copy_to(s, &mut cur);
 
             'trans: for t in 0..nt {
@@ -1548,16 +1788,27 @@ impl MarkingGraph {
                 let (id, is_new) = interner.intern(&arena, &scratch, n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
-                        return Err(MarkingError::TooManyStates(opts.max_states));
+                        // A poisoned spill read zero-fills its marking, which
+                        // can cascade into bogus dedup misses or dead rows —
+                        // the root cause must win over the symptom.
+                        return Err(arena
+                            .take_poison()
+                            .unwrap_or(MarkingError::TooManyStates(opts.max_states)));
                     }
                     arena.push(&scratch);
                     n_states += 1;
                 }
                 out.push(t, id as usize, net.rates[t]);
             }
-            out.end_row()?;
+            out.end_row()
+                .map_err(|e| arena.take_poison().unwrap_or(e))?;
         }
 
+        // The last level has no following boundary: drain once more so
+        // a spill failure there still surfaces.
+        if let Some(e) = arena.take_poison() {
+            return Err(e);
+        }
         let arena_stats = ArenaStats {
             keys_bytes: arena.bytes(),
             reps_bytes: 0,
@@ -1667,7 +1918,9 @@ impl MarkingGraph {
                         let (id, is_new) = interner.intern(arena, key, *n_states as u32);
                         if is_new {
                             if *n_states >= max_states {
-                                return Err(MarkingError::TooManyStates(max_states));
+                                return Err(arena
+                                    .take_poison()
+                                    .unwrap_or(MarkingError::TooManyStates(max_states)));
                             }
                             arena.push(key);
                             *n_states += 1;
@@ -1684,7 +1937,8 @@ impl MarkingGraph {
                     return Err(e.clone());
                 }
             }
-            out.end_row()?;
+            out.end_row()
+                .map_err(|e| arena.take_poison().unwrap_or(e))?;
         }
         Ok(())
     }
@@ -1705,6 +1959,18 @@ impl MarkingGraph {
         let mut frontier = 0usize;
 
         while frontier < states.len() {
+            // The packed word path has no level structure; check the
+            // budget every 4096 states instead (same contract: the
+            // check only decides whether to abort).
+            if frontier & 0xfff == 0 {
+                opts.budget.check(Progress {
+                    phase: Phase::MarkingBfs,
+                    states: states.len(),
+                    levels: 0,
+                    iterations: frontier,
+                    arena_bytes: states.len() * std::mem::size_of::<u64>(),
+                })?;
+            }
             let cur = states[frontier];
             frontier += 1;
 
@@ -1956,6 +2222,23 @@ impl MarkingGraph {
         let rates = self.firing_rates_with(trans_rates, &report.pi);
         (transitions.iter().map(|&t| rates[t]).sum(), report)
     }
+
+    /// [`MarkingGraph::throughput_solve`] under a cooperative [`Budget`]:
+    /// the stationary solve checks the budget at its checkpoints and
+    /// surfaces an overrun as an [`Interrupt`].  Bitwise identical to the
+    /// ungoverned path when no limit fires.
+    pub fn throughput_solve_governed(
+        &self,
+        ctmc: &Ctmc,
+        trans_rates: &[f64],
+        transitions: &[usize],
+        choice: SolverChoice,
+        budget: &Budget,
+    ) -> Result<(f64, SolveReport), Interrupt> {
+        let report = ctmc.stationary_solve_governed(choice, budget)?;
+        let rates = self.firing_rates_with(trans_rates, &report.pi);
+        Ok((transitions.iter().map(|&t| rates[t]).sum(), report))
+    }
 }
 
 /// The symmetry-reduced reachability graph of an [`EventNet`]: one state
@@ -2150,8 +2433,10 @@ impl QuotientGraph {
             net.symmetry_valid(sym),
             "QuotientGraph::build needs a validated rate-preserving automorphism"
         );
-        let canon = MarkingCanonicalizer::new(&sym.place_perm)
-            .expect("symmetry_valid guarantees a permutation");
+        let canon = match MarkingCanonicalizer::new(&sym.place_perm) {
+            Some(c) => c,
+            None => unreachable!("symmetry_valid guarantees a permutation"),
+        };
         // Same 31-bit id clamp as the plain BFS (the parallel staging
         // flags chunk-local keys in the top bit).
         let opts = MarkingOptions {
@@ -2227,9 +2512,21 @@ impl QuotientGraph {
         let mut frontier = 0usize;
         let mut n_states = 1usize;
         let mut level_end = 0usize;
+        let mut levels = 0usize;
 
         while frontier < n_states {
             if frontier >= level_end {
+                if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::QuotientBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: keys.bytes() + reps.bytes() + interner.table_bytes(),
+                })?;
+                levels += 1;
                 level_end = n_states;
                 keys.begin_level();
                 reps.begin_level();
@@ -2269,11 +2566,23 @@ impl QuotientGraph {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("quotient BFS worker panicked"))
+                        .map(|h| match h.join() {
+                            Ok(stage) => stage,
+                            Err(p) => std::panic::resume_unwind(p),
+                        })
                         .collect()
                 });
                 let mut base = frontier as u32;
                 for stage in &stages {
+                    // Chunk-boundary checkpoint: bounds the coast past a
+                    // deadline to one chunk's replay on parallel levels.
+                    opts.budget.check(Progress {
+                        phase: Phase::QuotientBfs,
+                        states: n_states,
+                        levels,
+                        iterations: 0,
+                        arena_bytes: keys.bytes() + reps.bytes() + interner.table_bytes(),
+                    })?;
                     Self::merge_quotient_chunk(
                         net,
                         stage,
@@ -2295,6 +2604,21 @@ impl QuotientGraph {
 
             let s = frontier as u32;
             frontier += 1;
+            // Mid-level checkpoint (see the plain BFS): per-level cadence
+            // alone cannot honor deadline-plus-grace on million-state
+            // levels.
+            if s & 0xfff == 0xfff {
+                if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::QuotientBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: keys.bytes() + reps.bytes() + interner.table_bytes(),
+                })?;
+            }
             reps.copy_to(s as usize, &mut cur);
             rot[..width].copy_from_slice(&cur);
             for a in 1..order {
@@ -2347,7 +2671,10 @@ impl QuotientGraph {
                     interner.intern(&keys, &rot[probe_range.clone()], n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
-                        return Err(MarkingError::TooManyStates(opts.max_states));
+                        return Err(keys
+                            .take_poison()
+                            .or_else(|| reps.take_poison())
+                            .unwrap_or(MarkingError::TooManyStates(opts.max_states)));
                     }
                     keys.push(&rot[probe_range]);
                     reps.push(&rot[..width]);
@@ -2367,9 +2694,16 @@ impl QuotientGraph {
                     }
                 }
             }
-            out.end_row()?;
+            out.end_row().map_err(|e| {
+                keys.take_poison()
+                    .or_else(|| reps.take_poison())
+                    .unwrap_or(e)
+            })?;
         }
 
+        if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+            return Err(e);
+        }
         let arena_stats = ArenaStats {
             keys_bytes: keys.bytes(),
             reps_bytes: reps.bytes(),
@@ -2519,7 +2853,10 @@ impl QuotientGraph {
                         let (id, is_new) = interner.intern(keys, key, *n_states as u32);
                         if is_new {
                             if *n_states >= max_states {
-                                return Err(MarkingError::TooManyStates(max_states));
+                                return Err(keys
+                                    .take_poison()
+                                    .or_else(|| reps.take_poison())
+                                    .unwrap_or(MarkingError::TooManyStates(max_states)));
                             }
                             keys.push(key);
                             reps.push(&stage.new_reps[li * width..(li + 1) * width]);
@@ -2539,7 +2876,11 @@ impl QuotientGraph {
                     return Err(e.clone());
                 }
             }
-            out.end_row()?;
+            out.end_row().map_err(|e| {
+                keys.take_poison()
+                    .or_else(|| reps.take_poison())
+                    .unwrap_or(e)
+            })?;
         }
         Ok(())
     }
@@ -2582,15 +2923,40 @@ impl QuotientGraph {
         let mut frontier = 0usize;
         let mut n_states = 1usize;
         let mut level_end = 0usize;
+        let mut levels = 0usize;
 
         while frontier < n_states {
             if frontier >= level_end {
+                if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::QuotientBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: keys.bytes() + reps.bytes() + interner.table_bytes(),
+                })?;
+                levels += 1;
                 level_end = n_states;
                 keys.begin_level();
                 reps.begin_level();
             }
             let s = frontier as u32;
             frontier += 1;
+            // Mid-level checkpoint (see the plain BFS).
+            if s & 0xfff == 0xfff {
+                if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+                    return Err(e);
+                }
+                opts.budget.check(Progress {
+                    phase: Phase::QuotientBfs,
+                    states: n_states,
+                    levels,
+                    iterations: 0,
+                    arena_bytes: keys.bytes() + reps.bytes() + interner.table_bytes(),
+                })?;
+            }
             reps.copy_to(s as usize, &mut cur);
 
             'trans: for t in 0..nt {
@@ -2622,7 +2988,10 @@ impl QuotientGraph {
                 let (id, is_new) = interner.intern(&keys, scratch.key(), n_states as u32);
                 if is_new {
                     if n_states >= opts.max_states {
-                        return Err(MarkingError::TooManyStates(opts.max_states));
+                        return Err(keys
+                            .take_poison()
+                            .or_else(|| reps.take_poison())
+                            .unwrap_or(MarkingError::TooManyStates(opts.max_states)));
                     }
                     keys.push(scratch.key());
                     reps.push(&succ);
@@ -2631,9 +3000,16 @@ impl QuotientGraph {
                 }
                 out.fire(s, id, t, net.rates[t]);
             }
-            out.end_row()?;
+            out.end_row().map_err(|e| {
+                keys.take_poison()
+                    .or_else(|| reps.take_poison())
+                    .unwrap_or(e)
+            })?;
         }
 
+        if let Some(e) = keys.take_poison().or_else(|| reps.take_poison()) {
+            return Err(e);
+        }
         let arena_stats = ArenaStats {
             keys_bytes: keys.bytes(),
             reps_bytes: reps.bytes(),
@@ -2668,6 +3044,17 @@ impl QuotientGraph {
         let mut frontier = 0usize;
 
         while frontier < reps.len() {
+            // No level structure on the packed path: strided checks, as
+            // in the plain packed BFS.
+            if frontier & 0xfff == 0 {
+                opts.budget.check(Progress {
+                    phase: Phase::QuotientBfs,
+                    states: reps.len(),
+                    levels: 0,
+                    iterations: frontier,
+                    arena_bytes: reps.len() * std::mem::size_of::<u64>(),
+                })?;
+            }
             let s = frontier as u32;
             let cur = reps[frontier];
             frontier += 1;
@@ -2836,6 +3223,23 @@ impl QuotientGraph {
         let report = ctmc.stationary_solve(choice);
         let rates = self.firing_rates_with(trans_rates, &report.pi);
         (transitions.iter().map(|&t| rates[t]).sum(), report)
+    }
+
+    /// [`QuotientGraph::throughput_solve`] under a cooperative [`Budget`]:
+    /// the stationary solve checks the budget at its checkpoints and
+    /// surfaces an overrun as an [`Interrupt`].  Bitwise identical to the
+    /// ungoverned path when no limit fires.
+    pub fn throughput_solve_governed(
+        &self,
+        ctmc: &Ctmc,
+        trans_rates: &[f64],
+        transitions: &[usize],
+        choice: SolverChoice,
+        budget: &Budget,
+    ) -> Result<(f64, SolveReport), Interrupt> {
+        let report = ctmc.stationary_solve_governed(choice, budget)?;
+        let rates = self.firing_rates_with(trans_rates, &report.pi);
+        Ok((transitions.iter().map(|&t| rates[t]).sum(), report))
     }
 }
 

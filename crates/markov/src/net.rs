@@ -87,7 +87,10 @@ impl EventNet {
     pub fn initial_marking(&self) -> Vec<u8> {
         self.places
             .iter()
-            .map(|&(_, _, t)| u8::try_from(t).expect("marking too large"))
+            .map(|&(_, _, t)| match u8::try_from(t) {
+                Ok(b) => b,
+                Err(_) => panic!("initial marking {t} exceeds u8"),
+            })
             .collect()
     }
 

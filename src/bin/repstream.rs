@@ -52,6 +52,22 @@
 //! peak RSS; tune with `REPSTREAM_SPILL_MIB`, `REPSTREAM_SPILL_DIR`,
 //! and `REPSTREAM_INTERNER_SHARDS`).
 //!
+//! `--deadline DUR` (`2s`, `500ms`; `analyze` and `search`) arms the
+//! cooperative resource governor: the marking BFS checks it per level,
+//! the stationary solvers per restart/sweep checkpoint, the portfolio
+//! per candidate sub-batch.  What happens when it fires is
+//! `--degrade bounds|fail` (default `bounds`): `bounds` falls the Strict
+//! section back to the cached N.B.U.E. Theorem sandwich and stamps the
+//! report with `degraded=yes method=bounds-fallback reason=…` (exit 0);
+//! `fail` aborts with a structured one-line error (exit 4).  Without
+//! `--deadline` the governor never runs and the output is
+//! bitwise-identical to earlier releases.
+//!
+//! Exit codes: `0` success (including a degraded-to-bounds report),
+//! `2` configuration/usage error, `3` over the `--max-states` budget,
+//! `4` interrupted under `--degrade fail`, `5` internal error (e.g.
+//! spill I/O).
+//!
 //! The `.rsys` format is a small line-oriented description (see
 //! [`repstream::workload` docs] and `parse_system`):
 //!
@@ -71,21 +87,57 @@
 //! ```
 
 use repstream::core::model::{Application, Mapping, Platform, System};
-use repstream::core::report::{system_report, ReportOptions};
+use repstream::core::report::{
+    system_report, system_report_status, DegradeMode, ReportOptions, ReportStatus,
+};
 use repstream::engine::{
     portfolio_search, workload_search, Objective, PortfolioOptions, WorkloadSearchOptions,
 };
 use repstream::markov::ctmc::SolverChoice;
+use repstream::markov::govern::Budget;
 use repstream::petri::dot::to_dot;
 use repstream::petri::shape::ExecModel;
 use repstream::petri::tpn::Tpn;
 use repstream::workload::examples::example_a;
 use repstream::workload::scenarios;
+use std::time::Duration;
 
 fn main() {
+    #[cfg(feature = "fault-inject")]
+    if let Err(e) = repstream::markov::fault::install_from_env() {
+        eprintln!("error: REPSTREAM_FAULT: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = run(&args);
     std::process::exit(code);
+}
+
+/// Parse a `--deadline` spelling: `2s`, `1.5s`, `500ms`.
+fn parse_deadline(s: &str) -> Option<Duration> {
+    let (num, scale) = if let Some(ms) = s.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(sec) = s.strip_suffix('s') {
+        (sec, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num.parse().ok()?;
+    if v.is_finite() && v > 0.0 {
+        Some(Duration::from_secs_f64(v * scale))
+    } else {
+        None
+    }
+}
+
+/// Map the report outcome to the documented exit taxonomy.
+fn exit_code(status: ReportStatus) -> i32 {
+    match status {
+        ReportStatus::Ok | ReportStatus::Degraded(_) => 0,
+        ReportStatus::OverBudget => 3,
+        ReportStatus::Interrupted(_) => 4,
+        ReportStatus::Internal => 5,
+    }
 }
 
 fn run(args: &[String]) -> i32 {
@@ -130,6 +182,27 @@ fn run(args: &[String]) -> i32 {
                         }
                     }
                     "--interner-spill" => report_opts.interner_spill = true,
+                    "--deadline" => {
+                        i += 1;
+                        match args.get(i).and_then(|s| parse_deadline(s)) {
+                            Some(d) => report_opts.budget = Budget::deadline_in(d),
+                            None => {
+                                eprintln!("error: --deadline needs a duration like 2s or 500ms");
+                                return 2;
+                            }
+                        }
+                    }
+                    "--degrade" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("bounds") => report_opts.degrade = DegradeMode::Bounds,
+                            Some("fail") => report_opts.degrade = DegradeMode::Fail,
+                            _ => {
+                                eprintln!("error: --degrade needs bounds|fail");
+                                return 2;
+                            }
+                        }
+                    }
                     other if path.is_none() && !other.starts_with('-') => path = Some(other),
                     other => {
                         eprintln!("error: unknown analyze argument {other}");
@@ -141,8 +214,22 @@ fn run(args: &[String]) -> i32 {
             match path {
                 Some(path) => match load(path) {
                     Ok(sys) => {
-                        print!("{}", system_report(&sys, report_opts));
-                        0
+                        let (report, status) = system_report_status(&sys, report_opts);
+                        print!("{report}");
+                        let code = exit_code(status);
+                        match status {
+                            ReportStatus::OverBudget => {
+                                eprintln!("error: over the --max-states budget (exit {code})")
+                            }
+                            ReportStatus::Interrupted(r) => {
+                                eprintln!("error: interrupted ({}) (exit {code})", r.label())
+                            }
+                            ReportStatus::Internal => {
+                                eprintln!("error: internal analysis failure (exit {code})")
+                            }
+                            ReportStatus::Ok | ReportStatus::Degraded(_) => {}
+                        }
+                        code
                     }
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -287,6 +374,16 @@ fn run_search(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--deadline" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_deadline(s)) {
+                    Some(d) => opts.budget = Budget::deadline_in(d),
+                    None => {
+                        eprintln!("error: --deadline needs a duration like 2s or 500ms");
+                        return 2;
+                    }
+                }
+            }
             other if !scenario_set && !other.starts_with('-') => {
                 scenario = other.to_string();
                 scenario_set = true;
@@ -326,7 +423,7 @@ fn run_search(args: &[String]) -> i32 {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return if e.interrupt().is_some() { 4 } else { 2 };
         }
     };
     println!(
@@ -373,13 +470,14 @@ fn run_workload_search(apps: usize, objective: Objective, portfolio: &PortfolioO
         lumping: portfolio.lumping,
         threads: portfolio.threads,
         solver: portfolio.solver,
+        budget: portfolio.budget,
         ..WorkloadSearchOptions::default()
     };
     let report = match workload_search(&workload, opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return if e.interrupt().is_some() { 4 } else { 2 };
         }
     };
     println!(
@@ -448,12 +546,13 @@ fn run_workload_search(apps: usize, objective: Objective, portfolio: &PortfolioO
 fn usage() -> i32 {
     eprintln!(
         "usage: repstream <analyze FILE [--no-lump] [--threads N] [--solver S] \
-         [--max-states N] [--interner-spill] | \
+         [--max-states N] [--interner-spill] [--deadline DUR] [--degrade bounds|fail] | \
          dot FILE [overlap|strict] | \
          example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
-         [--no-exp] [--no-lump] [--threads N] [--solver S] \
+         [--no-exp] [--no-lump] [--threads N] [--solver S] [--deadline DUR] \
          [--scenario workload --apps K --objective maxmin|weighted|sla]>  \
-         (S: auto|gth|gs|gmres|gmres-plain|sor|power)"
+         (S: auto|gth|gs|gmres|gmres-plain|sor|power; DUR: 2s, 500ms; \
+         exit codes: 0 ok/degraded, 2 config, 3 over-budget, 4 interrupted, 5 internal)"
     );
     2
 }
