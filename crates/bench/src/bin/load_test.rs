@@ -1,0 +1,401 @@
+//! Serving-layer load test: an in-process `repstream serve` hammered by
+//! N client threads with a mixed query stream — a repeated hot shape
+//! (warm after the first build), per-request cold shapes, and
+//! deadline-capped requests that must come back `degraded`, never as
+//! errors.  Client-side p50/p99 latency per class, the shared-cache
+//! warm-hit ratio, and requests/s are merged into the `"serve"` section
+//! of `BENCH_ctmc.json` (`--out` to override) without disturbing the
+//! engine sections recorded by `perf_snapshot`.
+//!
+//! The acceptance numbers are taken on the 4×5 shape: the warm p50 must
+//! be at least 5× below the cold p50 for the same shape (in `--smoke`
+//! the shape shrinks to 2×3 and the bar relaxes to "warm beats cold" —
+//! tiny builds leave the ratio to TCP noise).  Every warm response is
+//! asserted **byte-identical** to the one-shot
+//! [`system_report_status`] text before any time is recorded.
+//!
+//! Accepts the standard harness flags (`--smoke`, `--seed`, `--out`).
+
+use repstream::core::model::{Application, Mapping, Platform, System};
+use repstream::core::report::{system_report_status, ReportOptions, ReportStatus};
+use repstream::core::wire::{AnalyzeRequest, Request, Response, WireOptions};
+use repstream::serve::{Client, ServeOptions, Server};
+use repstream_bench::Args;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Deterministic pseudo-random system with the given stage team sizes
+/// over consecutive processors of a complete platform.  Distinct seeds
+/// yield distinct rate tables, hence distinct chain-cache signatures.
+fn system_with_teams(teams: &[usize], seed: u64) -> System {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(3);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        1.0 + (x >> 40) as f64 / 64.0
+    };
+    let stages = teams.len();
+    let work: Vec<f64> = (0..stages).map(|_| next()).collect();
+    let files: Vec<f64> = (0..stages - 1).map(|_| next()).collect();
+    let m: usize = teams.iter().sum();
+    let speeds: Vec<f64> = (0..m).map(|_| next()).collect();
+    let app = Application::new(work, files).unwrap();
+    let platform = Platform::complete(speeds, next()).unwrap();
+    let mut start = 0;
+    let mapping = Mapping::new(
+        teams
+            .iter()
+            .map(|&r| {
+                start += r;
+                (start - r..start).collect()
+            })
+            .collect(),
+    )
+    .unwrap();
+    System::new(app, platform, mapping).unwrap()
+}
+
+/// p-th percentile (0 ≤ p ≤ 1) of a latency sample, by nearest rank.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    samples[((samples.len() - 1) as f64 * p).round() as usize]
+}
+
+/// Send one analyze request and return (latency, response).
+fn timed_analyze(client: &mut Client, system: &System, options: WireOptions) -> (f64, Response) {
+    let t = Instant::now();
+    let resp = client
+        .call(&Request::Analyze(AnalyzeRequest {
+            system: system.clone(),
+            options,
+        }))
+        .expect("analyze call");
+    (t.elapsed().as_secs_f64(), resp)
+}
+
+fn expect_text(resp: Response) -> String {
+    match resp {
+        Response::Analyze(a) => {
+            assert_eq!(a.status, ReportStatus::Ok, "unexpected status");
+            a.text
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Replace (or insert) the top-level `"serve"` section of an existing
+/// JSON snapshot without re-running the engine benches that produced
+/// the other sections.  The splice is textual: cut the old section by
+/// brace counting (string-aware), then insert the new one before the
+/// final closing brace.
+fn splice_serve(existing: &str, serve_body: &str) -> String {
+    let mut base = existing.trim_end().to_string();
+    assert!(base.ends_with('}'), "snapshot must be a JSON object");
+    if let Some(kpos) = base.find("\"serve\":") {
+        let open = kpos + base[kpos..].find('{').expect("serve section opens");
+        let bytes = base.as_bytes();
+        let (mut depth, mut end, mut in_str, mut escaped) = (0i32, open, false, false);
+        for (i, &b) in bytes.iter().enumerate().skip(open) {
+            if in_str {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_str = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(depth == 0, "unbalanced serve section");
+        // Cut the section plus whichever comma joined it to a neighbour
+        // (the preceding one normally; the following one when serve was
+        // the first key, as in a snapshot written by this harness alone).
+        match base[..kpos].rfind(',') {
+            Some(cut_from) => base.replace_range(cut_from..=end, ""),
+            None => {
+                let mut cut_end = end;
+                if let Some(next) = base[end + 1..].find(|c: char| !c.is_whitespace()) {
+                    if base.as_bytes()[end + 1 + next] == b',' {
+                        cut_end = end + 1 + next;
+                    }
+                }
+                base.replace_range(kpos..=cut_end, "");
+            }
+        }
+    }
+    let last = base.rfind('}').expect("final close brace");
+    let head = base[..last].trim_end();
+    let sep = if head.ends_with('{') { "" } else { "," };
+    format!("{head}{sep}\n  \"serve\": {{\n{serve_body}  }}\n}}\n")
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_ctmc.json".into());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Smoke uses a 3-stage shape: its strict chain takes the full-chain
+    // path, so the cold build is real work even at tiny scale (a 2-stage
+    // smoke shape would collapse to a ~100-state pattern chain whose
+    // cold build disappears into TCP noise).
+    let hot_teams: &[usize] = if args.smoke { &[2, 2, 1] } else { &[4, 5] };
+    let clients = if args.smoke { 2 } else { 4 };
+    let rounds = if args.smoke { 3 } else { 10 };
+    let workers = if args.smoke { 2 } else { 4 };
+
+    let hot = system_with_teams(hot_teams, args.seed);
+    let (oneshot_text, oneshot_status) = system_report_status(&hot, ReportOptions::default());
+    assert_eq!(oneshot_status, ReportStatus::Ok);
+
+    // True-cold measurement: the chain cache keys on *structure* (the
+    // shape signature), so every same-shape request after the very first
+    // is a structure hit no matter its rates.  A genuine cold sample —
+    // marking BFS included — therefore needs a fresh cache: boot a fresh
+    // server per sample, time its first request, shut it down.
+    let mut cold_hot_shape: Vec<f64> = Vec::new();
+    for i in 0..=clients as u64 {
+        let fresh = Server::bind(ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..Default::default()
+        })
+        .expect("bind ephemeral port");
+        let fresh_addr = fresh.local_addr().expect("local addr");
+        let fresh = std::sync::Arc::new(fresh);
+        let fresh_run = {
+            let fresh = fresh.clone();
+            std::thread::spawn(move || fresh.run())
+        };
+        let sys = system_with_teams(hot_teams, args.seed ^ (0xC01D + i));
+        let mut c = Client::connect(fresh_addr).expect("connect");
+        let (t, resp) = timed_analyze(&mut c, &sys, WireOptions::default());
+        expect_text(resp);
+        cold_hot_shape.push(t);
+        assert!(matches!(
+            c.call(&Request::Shutdown).expect("shutdown"),
+            Response::ShuttingDown
+        ));
+        drop(c);
+        fresh_run
+            .join()
+            .expect("cold server thread")
+            .expect("clean shutdown");
+    }
+
+    // The long-lived server every remaining phase talks to.
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let server = std::sync::Arc::new(server);
+    let run = {
+        let server = server.clone();
+        std::thread::spawn(move || server.run())
+    };
+
+    // Cold prime of the hot shape: the one build every warm hit rides on.
+    let mut prime_client = Client::connect(addr).expect("connect");
+    let (cold_prime, resp) = timed_analyze(&mut prime_client, &hot, WireOptions::default());
+    assert_eq!(
+        expect_text(resp),
+        oneshot_text,
+        "served prime diverged from the one-shot report"
+    );
+    // The long-lived server's cache is fresh too: the prime is one more
+    // true-cold sample.
+    cold_hot_shape.push(cold_prime);
+
+    // Warm samples, uncontended (single client, idle server): a
+    // structure hit skips the BFS and pays only the O(nnz) rate refill
+    // plus the stationary solve.
+    let mut warm_hot_shape: Vec<f64> = Vec::new();
+    for _ in 0..2 * clients {
+        let (t, resp) = timed_analyze(&mut prime_client, &hot, WireOptions::default());
+        assert_eq!(
+            expect_text(resp),
+            oneshot_text,
+            "warm response diverged from the one-shot report"
+        );
+        warm_hot_shape.push(t);
+    }
+    drop(prime_client);
+
+    // The mixed load: every client thread runs `rounds` rounds of
+    // 2 warm + 1 varied small shape + 1 deadline-capped query.  (The
+    // small shapes are structure-warm after their first build each —
+    // the class exists to keep the shards busy, not to measure colds.)
+    let warm_lat = Mutex::new(Vec::new());
+    let cold_lat = Mutex::new(Vec::new());
+    let deadline_lat = Mutex::new(Vec::new());
+    let small_shapes: &[&[usize]] = &[&[2, 2], &[2, 3], &[3, 2], &[1, 2, 1]];
+    let t_load = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients as u64 {
+            let (hot, oneshot_text) = (&hot, &oneshot_text);
+            let (warm_lat, cold_lat, deadline_lat) = (&warm_lat, &cold_lat, &deadline_lat);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..rounds as u64 {
+                    for _ in 0..2 {
+                        let (t, resp) = timed_analyze(&mut client, hot, WireOptions::default());
+                        assert_eq!(
+                            &expect_text(resp),
+                            oneshot_text,
+                            "warm response diverged from the one-shot report"
+                        );
+                        warm_lat.lock().unwrap().push(t);
+                    }
+                    let teams = small_shapes[((c + r) % small_shapes.len() as u64) as usize];
+                    let sys = system_with_teams(teams, (c << 32) | r | 1 << 60);
+                    let (t, resp) = timed_analyze(&mut client, &sys, WireOptions::default());
+                    expect_text(resp);
+                    cold_lat.lock().unwrap().push(t);
+                    // An already-expired (0 ms) deadline on a never-seen
+                    // 3-stage shape (the full-chain path, which hits the
+                    // governor checkpoints): the build cannot finish, the
+                    // ladder must degrade to bounds.
+                    let sys = system_with_teams(&[2, 2, 1], (c << 32) | r | 1 << 61);
+                    let (t, resp) = timed_analyze(
+                        &mut client,
+                        &sys,
+                        WireOptions {
+                            deadline_ms: Some(0),
+                            ..Default::default()
+                        },
+                    );
+                    match resp {
+                        Response::Analyze(a) => assert!(
+                            matches!(a.status, ReportStatus::Degraded(_)),
+                            "deadline-capped request must degrade, got {:?}",
+                            a.status
+                        ),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                    deadline_lat.lock().unwrap().push(t);
+                }
+            });
+        }
+    });
+    let load_s = t_load.elapsed().as_secs_f64();
+
+    // Server-side truth: shared-cache hit ratio and request counters.
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(s) => s,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert!(matches!(
+        client.call(&Request::Shutdown).expect("shutdown"),
+        Response::ShuttingDown
+    ));
+    drop(client);
+    run.join()
+        .expect("server thread")
+        .expect("clean server shutdown");
+
+    let mut warm = warm_lat.into_inner().unwrap();
+    let mut cold = cold_lat.into_inner().unwrap();
+    let mut deadline = deadline_lat.into_inner().unwrap();
+    let total_requests = warm.len() + cold.len() + deadline.len();
+    let warm_p50 = percentile(&mut warm, 0.50);
+    let warm_p99 = percentile(&mut warm, 0.99);
+    let cold_p50 = percentile(&mut cold, 0.50);
+    let cold_p99 = percentile(&mut cold, 0.99);
+    let dl_p50 = percentile(&mut deadline, 0.50);
+    let dl_p99 = percentile(&mut deadline, 0.99);
+    let cold_hot_p50 = percentile(&mut cold_hot_shape, 0.50);
+    let warm_hot_p50 = percentile(&mut warm_hot_shape, 0.50);
+    let speedup = cold_hot_p50 / warm_hot_p50;
+    let hits = stats.cache.strict_hits + stats.cache.pattern_hits;
+    let misses = stats.cache.strict_misses + stats.cache.pattern_misses;
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+
+    let teams_label: Vec<String> = hot_teams.iter().map(|r| r.to_string()).collect();
+    let teams_label = teams_label.join("x");
+    let mut body = String::new();
+    let ind = "    ";
+    let mut field = |key: &str, value: String, last: bool| {
+        let comma = if last { "" } else { "," };
+        writeln!(body, "{ind}\"{key}\": {value}{comma}").unwrap();
+    };
+    field("available_parallelism", format!("{cores}"), false);
+    field("workers", format!("{}", stats.workers), false);
+    field("shards", format!("{}", stats.shards), false);
+    field("clients", format!("{clients}"), false);
+    field("rounds", format!("{rounds}"), false);
+    field("hot_teams", format!("\"{teams_label}\""), false);
+    field("requests", format!("{}", stats.requests), false);
+    field("connections", format!("{}", stats.connections), false);
+    field(
+        "requests_per_s",
+        format!("{:.4e}", total_requests as f64 / load_s),
+        false,
+    );
+    // Uncontended service times (single client, idle server).
+    field("cold_prime_s", format!("{cold_prime:.3e}"), false);
+    field("cold_hot_shape_p50_s", format!("{cold_hot_p50:.3e}"), false);
+    field("warm_hot_shape_p50_s", format!("{warm_hot_p50:.3e}"), false);
+    field("warm_speedup_p50", format!("{speedup:.2}"), false);
+    // Client-observed latency under the concurrent mixed load (includes
+    // queueing — on a 1-core box this measures wait, not work).
+    field("load_warm_p50_s", format!("{warm_p50:.3e}"), false);
+    field("load_warm_p99_s", format!("{warm_p99:.3e}"), false);
+    field("load_cold_small_p50_s", format!("{cold_p50:.3e}"), false);
+    field("load_cold_small_p99_s", format!("{cold_p99:.3e}"), false);
+    field("load_deadline_p50_s", format!("{dl_p50:.3e}"), false);
+    field("load_deadline_p99_s", format!("{dl_p99:.3e}"), false);
+    field("warm_hit_ratio", format!("{hit_ratio:.4}"), false);
+    field("bitwise_equal", "true".into(), true);
+
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => splice_serve(&existing, &body),
+        Err(_) => format!("{{\n  \"serve\": {{\n{body}  }}\n}}\n"),
+    };
+    if let Err(e) = std::fs::write(&out_path, &merged) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "serve {teams_label}: {total_requests} requests {clients} clients {workers} workers \
+         idle warm p50 {:.2}ms vs cold p50 {:.1}ms -> speedup {speedup:.1}x | \
+         under load warm p50 {:.1}ms p99 {:.1}ms | hit ratio {hit_ratio:.3} {:.0} req/s",
+        warm_hot_p50 * 1e3,
+        cold_hot_p50 * 1e3,
+        warm_p50 * 1e3,
+        warm_p99 * 1e3,
+        total_requests as f64 / load_s,
+    );
+    println!("wrote {out_path}");
+
+    // The acceptance bar, checked after the honest numbers are on disk:
+    // warm hits must not pay the build.  Smoke shapes are too small for
+    // a ratio claim (their cold build is TCP-noise sized), so smoke only
+    // demands that sharing happened at all.
+    assert!(hits > 0, "the load must produce warm hits");
+    if !args.smoke {
+        assert!(
+            speedup >= 5.0,
+            "warm p50 {warm_hot_p50:.3e}s less than 5x below cold p50 {cold_hot_p50:.3e}s"
+        );
+    }
+}

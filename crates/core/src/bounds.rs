@@ -15,7 +15,7 @@
 //! columns (Theorem 4).
 
 use crate::deterministic;
-use crate::exponential::{self, ExpError, ExpOptions};
+use crate::exponential::{self, ChainSolver, ExpError, ExpOptions};
 use crate::model::SystemRef;
 use crate::simulate::{self, MonteCarloOptions, SimEngine};
 use crate::timing;
@@ -96,6 +96,18 @@ pub fn nbue_bounds_cached<'a>(
     model: ExecModel,
     cache: &mut ChainCache,
 ) -> Result<NbueBounds, ExpError> {
+    nbue_bounds_with(system, model, cache)
+}
+
+/// As [`nbue_bounds_cached`], generic over the chain oracle: the serving
+/// layer passes `&mut &SharedChainCache` so concurrent requests share one
+/// set of chain structures.  Values are bitwise identical to
+/// [`nbue_bounds`] (the [`ChainSolver`] contract).
+pub fn nbue_bounds_with<'a>(
+    system: impl Into<SystemRef<'a>>,
+    model: ExecModel,
+    cache: &mut impl ChainSolver,
+) -> Result<NbueBounds, ExpError> {
     let system = system.into();
     let upper = deterministic::analyze(system, model).throughput;
     let (lower, method) = exponential_lower(system, model, cache)?;
@@ -109,7 +121,7 @@ pub fn nbue_bounds_cached<'a>(
 fn exponential_lower(
     system: SystemRef<'_>,
     model: ExecModel,
-    cache: &mut ChainCache,
+    cache: &mut impl ChainSolver,
 ) -> Result<(f64, LowerBoundMethod), ExpError> {
     let shape = system.shape();
     let rates = timing::exponential_rates(system);
@@ -122,7 +134,7 @@ fn exponential_lower(
         )
         .map(|r| (r.throughput, LowerBoundMethod::Decomposition)),
         ExecModel::Strict => {
-            match cache.strict_throughput(
+            match cache.strict_solve(
                 &shape,
                 &rates,
                 StrictOptions {

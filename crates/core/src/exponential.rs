@@ -23,7 +23,7 @@
 
 use crate::model::SystemRef;
 use crate::timing::exponential_rates;
-use repstream_markov::cache::ChainCache;
+use repstream_markov::cache::{ChainCache, SharedChainCache, StrictOptions, StrictSolve};
 use repstream_markov::ctmc::{Precond, Solver, SolverChoice};
 use repstream_markov::govern::{Budget, Interrupt};
 use repstream_markov::marking::{
@@ -240,6 +240,59 @@ impl PatternSolver for ChainCache {
         max_states: usize,
     ) -> Result<f64, MarkingError> {
         ChainCache::pattern_throughput(self, rate, max_states)
+    }
+}
+
+/// A shared reference to the serving layer's sharded cache is a pattern
+/// oracle too: each solve locks one shard for its duration.
+impl PatternSolver for &SharedChainCache {
+    fn pattern_throughput(
+        &mut self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        SharedChainCache::pattern_throughput(self, rate, max_states)
+    }
+}
+
+/// Oracle for **both** chain families a governed report needs: the
+/// pattern chains of the Theorem 3 decomposition ([`PatternSolver`])
+/// plus the Strict Theorem 2 chain.  Implemented by [`ChainCache`] (one
+/// owner — the one-shot CLI, a search thread) and by `&SharedChainCache`
+/// (the serving layer's sharded concurrent cache).  Both are bitwise
+/// identical to cold solves; [`throughput_strict_with_solver`] and
+/// `report::system_report_with` are generic over this trait so the
+/// one-shot and served paths render byte-for-byte the same report.
+pub trait ChainSolver: PatternSolver {
+    /// Strict Theorem 2 solve of `shape` under per-resource `rates` (the
+    /// caching equivalent of [`throughput_strict_report`]'s core).
+    fn strict_solve(
+        &mut self,
+        shape: &MappingShape,
+        rates: &ResourceTable<f64>,
+        opts: StrictOptions,
+    ) -> Result<StrictSolve, MarkingError>;
+}
+
+impl ChainSolver for ChainCache {
+    fn strict_solve(
+        &mut self,
+        shape: &MappingShape,
+        rates: &ResourceTable<f64>,
+        opts: StrictOptions,
+    ) -> Result<StrictSolve, MarkingError> {
+        self.strict_throughput(shape, rates, opts)
+    }
+}
+
+impl ChainSolver for &SharedChainCache {
+    fn strict_solve(
+        &mut self,
+        shape: &MappingShape,
+        rates: &ResourceTable<f64>,
+        opts: StrictOptions,
+    ) -> Result<StrictSolve, MarkingError> {
+        SharedChainCache::strict_throughput(self, shape, rates, opts)
     }
 }
 
@@ -519,6 +572,54 @@ pub fn throughput_strict_report<'a>(
         iterations: report.iterations,
         residual: report.residual,
         arena: mg.arena_stats(),
+    })
+}
+
+/// As [`throughput_strict_report`], solving through a caller-supplied
+/// [`ChainSolver`]: a warm cache refills the chain's CSR in `O(nnz)`
+/// instead of re-running the marking BFS.  Bitwise identical to the cold
+/// path — including the method label: a validated rate-preserving
+/// rotation yields [`StrictMethod::DirectQuotient`], everything else
+/// [`StrictMethod::Full`] ([`StrictMethod::FullThenLump`] only exists
+/// for externally-injected hints, which the cache pre-validates away —
+/// exactly as [`throughput_strict_report`]'s own gates do).
+pub fn throughput_strict_with_solver<'a>(
+    system: impl Into<SystemRef<'a>>,
+    opts: ExpOptions,
+    solver: &mut impl ChainSolver,
+) -> Result<StrictReport, ExpError> {
+    let system = system.into();
+    let shape = system.shape();
+    let rates = exponential_rates(system);
+    let sol = solver
+        .strict_solve(
+            &shape,
+            &rates,
+            StrictOptions {
+                max_states: opts.max_states,
+                lumping: opts.lumping,
+                threads: opts.threads,
+                solver: opts.solver,
+                arena_compression: opts.arena_compression,
+                interner_spill: opts.interner_spill,
+                budget: opts.budget,
+            },
+        )
+        .map_err(ExpError::MarkingGraph)?;
+    Ok(StrictReport {
+        throughput: sol.throughput,
+        full_states: sol.full_states,
+        lumped_states: sol.lumped_states,
+        method: if sol.quotient_direct {
+            StrictMethod::DirectQuotient
+        } else {
+            StrictMethod::Full
+        },
+        solver: sol.solver,
+        precond: sol.precond,
+        iterations: sol.iterations,
+        residual: sol.residual,
+        arena: sol.arena,
     })
 }
 

@@ -79,6 +79,7 @@ pub mod model;
 pub mod report;
 pub mod simulate;
 pub mod timing;
+pub mod wire;
 
 pub use model::{
     App, Application, JointMapping, Mapping, Platform, System, SystemRef, Workload, WorkloadRef,

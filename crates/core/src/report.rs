@@ -24,10 +24,10 @@
 
 use crate::bounds;
 use crate::deterministic;
-use crate::exponential::{self, ColumnRef, ExpError, ExpOptions};
+use crate::exponential::{self, ChainSolver, ColumnRef, ExpError, ExpOptions};
 use crate::model::{JointMapping, ModelError, System, Workload};
 use crate::timing;
-use repstream_markov::cache::ChainCache;
+use repstream_markov::cache::{ChainCache, SharedChainCache};
 use repstream_markov::ctmc::SolverChoice;
 use repstream_markov::govern::{Budget, InterruptReason};
 use repstream_markov::marking::MarkingError;
@@ -151,6 +151,33 @@ fn note(status: &mut ReportStatus, new: ReportStatus) {
 /// [`ReportOptions::budget`] the text is bitwise identical to
 /// [`system_report`]'s and the status is [`ReportStatus::Ok`].
 pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, ReportStatus) {
+    // One fresh chain cache serves every exponential analysis of the
+    // report: the Theorem 7 sandwich refills the pattern chains the
+    // decomposition already built instead of re-running their BFS.
+    system_report_with(system, opts, &mut ChainCache::new())
+}
+
+/// As [`system_report_status`] against the serving layer's shared
+/// sharded cache: chain structures warmed by *any* earlier request —
+/// this connection's or another's — refill in `O(nnz)` instead of
+/// re-running their marking BFS.  The rendered text is **bitwise
+/// identical** to [`system_report_status`]'s for the same system and
+/// options (the [`ChainSolver`] contract); only the wall-clock differs.
+pub fn system_report_shared(
+    system: &System,
+    opts: ReportOptions,
+    cache: &SharedChainCache,
+) -> (String, ReportStatus) {
+    system_report_with(system, opts, &mut &*cache)
+}
+
+/// The generic renderer behind [`system_report_status`] (one-shot cache)
+/// and [`system_report_shared`] (concurrent sharded cache).
+pub fn system_report_with(
+    system: &System,
+    opts: ReportOptions,
+    solver: &mut impl ChainSolver,
+) -> (String, ReportStatus) {
     let mut status = ReportStatus::Ok;
     let mut s = String::new();
     let shape = system.shape();
@@ -210,8 +237,6 @@ pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, Re
         .unwrap();
     }
 
-    // One chain cache serves every exponential analysis of the report.
-    let mut cache = ChainCache::new();
     let rates = timing::exponential_rates(system);
     let exp_opts = ExpOptions {
         lumping: opts.lumping,
@@ -225,7 +250,7 @@ pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, Re
 
     // Exponential decomposition.
     writeln!(s, "\n[overlap/exponential — Theorems 3/4]").unwrap();
-    match exponential::throughput_overlap_with_solver(&shape, &rates, exp_opts, &mut cache) {
+    match exponential::throughput_overlap_with_solver(&shape, &rates, exp_opts, solver) {
         Ok(rep) => {
             writeln!(s, "  throughput = {:.6}", rep.throughput).unwrap();
             writeln!(s, "  bottleneck: {}", describe(rep.bottleneck.place)).unwrap();
@@ -256,7 +281,7 @@ pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, Re
     // Strict Theorem 2 chain with full-vs-quotient state counts.
     if shape.n_paths() <= opts.max_rows_strict {
         writeln!(s, "\n[strict/exponential — Theorem 2]").unwrap();
-        match exponential::throughput_strict_report(system, exp_opts) {
+        match exponential::throughput_strict_with_solver(system, exp_opts, solver) {
             Ok(rep) => {
                 writeln!(s, "  throughput = {:.6}", rep.throughput).unwrap();
                 match rep.lumped_states {
@@ -317,7 +342,7 @@ pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, Re
                         i.progress.iterations
                     )
                     .unwrap();
-                    match bounds::nbue_bounds_cached(system, ExecModel::Overlap, &mut cache) {
+                    match bounds::nbue_bounds_with(system, ExecModel::Overlap, solver) {
                         Ok(b) => writeln!(
                             s,
                             "  N.B.U.E. fallback: throughput in [{:.6}, {:.6}] ({:?})",
@@ -341,7 +366,7 @@ pub fn system_report_status(system: &System, opts: ReportOptions) -> (String, Re
     }
 
     // Theorem 7 sandwich (reuses the pattern chains cached above).
-    if let Ok(b) = bounds::nbue_bounds_cached(system, ExecModel::Overlap, &mut cache) {
+    if let Ok(b) = bounds::nbue_bounds_with(system, ExecModel::Overlap, solver) {
         writeln!(s, "\n[N.B.U.E. sandwich — Theorem 7, overlap]").unwrap();
         writeln!(
             s,

@@ -183,6 +183,29 @@ pub fn exponential_rates<'a>(system: impl Into<SystemRef<'a>>) -> ResourceTable<
     deterministic_times(system).map(|_, &t| 1.0 / t)
 }
 
+/// Require every derived service time to be positive and finite.
+///
+/// Model validation checks the *inputs* (speeds, bandwidths, work,
+/// sizes) individually, but a derived quotient can still overflow: a
+/// subnormal bandwidth like `1e-320` is positive and finite, yet
+/// `δ / b` is `∞` and its exponential rate `0` — which the chain
+/// builders reject with a panic deep in the Markov layer.  Entry points
+/// that accept untrusted systems (the CLI's `.rsys` loader, the serve
+/// request handlers) call this first so the failure surfaces as a
+/// *configuration* error (exit/class 2), not an internal one.
+pub fn validate_service_times<'a>(system: impl Into<SystemRef<'a>>) -> Result<(), String> {
+    for (res, &t) in deterministic_times(system).iter() {
+        if !(t > 0.0 && t.is_finite()) {
+            return Err(format!(
+                "derived service time of {res} is {t}: work/speed and \
+                 size/bandwidth quotients must be positive and finite \
+                 (check for extreme speeds or bandwidths)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Law table with every resource following `family` at its deterministic
 /// mean.
 pub fn laws<'a>(system: impl Into<SystemRef<'a>>, family: LawFamily) -> ResourceTable<Law> {

@@ -44,7 +44,7 @@ pub mod score;
 pub use batch::{score_batch, score_joint_batch};
 pub use delta::{DeltaScorer, JointDeltaScorer};
 pub use portfolio::{
-    portfolio_search, workload_search, Objective, PortfolioOptions, PortfolioReport,
-    WorkloadSearchOptions, WorkloadSearchReport,
+    portfolio_search, portfolio_search_cached, workload_search, Objective, PortfolioOptions,
+    PortfolioReport, WorkloadSearchOptions, WorkloadSearchReport,
 };
 pub use score::{DetScorer, ExpScorer, WorkloadDetScorer, WorkloadExpScorer};

@@ -28,7 +28,7 @@ use repstream_core::mapping_opt::{self, OptError};
 use repstream_core::model::{
     App, Application, JointMapping, Mapping, ModelError, Platform, ProcId, WorkloadRef,
 };
-use repstream_markov::cache::CacheStats;
+use repstream_markov::cache::{CacheStats, ChainCache};
 use repstream_markov::ctmc::SolverChoice;
 use repstream_markov::govern::{Budget, Interrupt, Phase, Progress};
 use repstream_petri::shape::ExecModel;
@@ -266,6 +266,49 @@ pub fn portfolio_search(
     platform: &Platform,
     opts: PortfolioOptions,
 ) -> Result<PortfolioReport, EngineError> {
+    portfolio_search_cached(app, platform, opts, ChainCache::new()).0
+}
+
+/// As [`portfolio_search`], seeded with an existing [`ChainCache`] and
+/// returning it afterwards — warm or cold, success or failure — so a
+/// resident server can pool chain caches across search requests (shapes
+/// revisited by later searches skip their marking BFS entirely).
+///
+/// Scoring through a warm cache is bitwise identical to a cold search:
+/// the cache equivalence tests pin cached solves to cold builds, so the
+/// only observable difference is [`PortfolioReport::exp_cache`]'s
+/// hit/miss split (counters are cumulative across the cache's life).
+pub fn portfolio_search_cached(
+    app: &Application,
+    platform: &Platform,
+    opts: PortfolioOptions,
+    cache: ChainCache,
+) -> (Result<PortfolioReport, EngineError>, ChainCache) {
+    let mut exp_scorer = ExpScorer::with_cache(
+        app,
+        platform,
+        opts.model,
+        ExpOptions {
+            lumping: opts.lumping,
+            threads: opts.threads,
+            solver: opts.solver,
+            budget: opts.budget,
+            ..Default::default()
+        },
+        cache,
+    );
+    let result = portfolio_phases(app, platform, opts, &mut exp_scorer);
+    (result, exp_scorer.into_cache())
+}
+
+/// The four search phases, generic over an externally-owned scorer so
+/// [`portfolio_search_cached`] can recover the cache on every path.
+fn portfolio_phases<'a>(
+    app: &'a Application,
+    platform: &'a Platform,
+    opts: PortfolioOptions,
+    exp_scorer: &mut ExpScorer<'a>,
+) -> Result<PortfolioReport, EngineError> {
     let mut det_evaluations = 0usize;
     let mut delta_recomputes = 0usize;
 
@@ -330,18 +373,6 @@ pub fn portfolio_search(
     let mut seen = std::collections::HashSet::new();
     pool.retain(|c| seen.insert(c.mapping.teams().to_vec()));
     pool.truncate(opts.finalists.max(1));
-    let mut exp_scorer = ExpScorer::with_options(
-        app,
-        platform,
-        opts.model,
-        ExpOptions {
-            lumping: opts.lumping,
-            threads: opts.threads,
-            solver: opts.solver,
-            budget: opts.budget,
-            ..Default::default()
-        },
-    );
     if opts.exp_rerank {
         for (idx, c) in pool.iter_mut().enumerate() {
             opts.budget.check(Progress {

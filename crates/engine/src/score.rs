@@ -156,14 +156,33 @@ impl<'a> ExpScorer<'a> {
         model: ExecModel,
         opts: ExpOptions,
     ) -> ExpScorer<'a> {
+        Self::with_cache(app, platform, model, opts, ChainCache::new())
+    }
+
+    /// As [`ExpScorer::with_options`], seeding the scorer with an
+    /// already-warm [`ChainCache`] (a served search hands a pooled cache
+    /// in so repeated shapes skip their BFS across requests).
+    pub fn with_cache(
+        app: &'a Application,
+        platform: &'a Platform,
+        model: ExecModel,
+        opts: ExpOptions,
+        cache: ChainCache,
+    ) -> ExpScorer<'a> {
         ExpScorer {
             app,
             platform,
             model,
             opts,
-            cache: ChainCache::new(),
+            cache,
             evaluations: 0,
         }
+    }
+
+    /// Surrender the chain cache (warm entries included) to the caller —
+    /// the inverse of [`ExpScorer::with_cache`].
+    pub fn into_cache(self) -> ChainCache {
+        self.cache
     }
 
     /// Candidates scored so far.
@@ -209,6 +228,7 @@ impl<'a> ExpScorer<'a> {
                         threads: self.opts.threads,
                         solver: self.opts.solver,
                         arena_compression: self.opts.arena_compression,
+                        interner_spill: self.opts.interner_spill,
                         budget: self.opts.budget,
                     },
                 )
@@ -438,6 +458,7 @@ impl<'a> WorkloadExpScorer<'a> {
                             threads: self.opts.threads,
                             solver: self.opts.solver,
                             arena_compression: self.opts.arena_compression,
+                            interner_spill: self.opts.interner_spill,
                             budget: self.opts.budget,
                         },
                     )

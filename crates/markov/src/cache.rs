@@ -29,12 +29,16 @@
 //! deployment, not per candidate.
 
 use crate::ctmc::{Precond, Solver, SolverChoice};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::govern::Budget;
-use crate::marking::{ArenaCompression, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph};
+use crate::marking::{
+    ArenaCompression, ArenaStats, MarkingError, MarkingGraph, MarkingOptions, QuotientGraph,
+};
 use crate::net::{comm_pattern, rates_orbit_invariant, EventNet, NetSymmetry};
 use repstream_petri::shape::{gcd, ExecModel, MappingShape, ResourceTable};
 use repstream_petri::tpn::{Tpn, TpnSignature};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// Hit/miss counters of a [`ChainCache`] (reported by search drivers).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,6 +110,11 @@ pub struct StrictOptions {
     /// ([`MarkingOptions::arena_compression`]).  Storage-only: any value
     /// builds the bitwise-identical structure.
     pub arena_compression: ArenaCompression,
+    /// Spill marking-arena payload bytes of a cold BFS to an unlinked
+    /// temp file ([`MarkingOptions::interner_spill`]).  Storage-only: any
+    /// value builds the bitwise-identical structure, so warm hits never
+    /// depend on it.
+    pub interner_spill: bool,
     /// Cooperative resource budget, checked per BFS level of a cold build
     /// and at the stationary solver's checkpoints.  The checks only
     /// decide *whether* to abort — an un-fired budget never changes a
@@ -121,6 +130,7 @@ impl Default for StrictOptions {
             threads: 0,
             solver: SolverChoice::Auto,
             arena_compression: ArenaCompression::Auto,
+            interner_spill: false,
             budget: Budget::UNLIMITED,
         }
     }
@@ -153,6 +163,10 @@ pub struct StrictSolve {
     /// Iterations the winning solver spent (sweeps for relaxations and
     /// power, matvecs for GMRES, `n` for GTH).
     pub iterations: usize,
+    /// Storage accounting of the structure that served this solve.  On a
+    /// warm hit these are the bytes of the **cached** build (the arenas
+    /// resident in the cache), not of any per-request allocation.
+    pub arena: ArenaStats,
 }
 
 /// A cache of marking-graph structures keyed by chain shape.
@@ -310,6 +324,7 @@ impl ChainCache {
             capacity: None,
             threads: opts.threads,
             arena_compression: opts.arena_compression,
+            interner_spill: opts.interner_spill,
             budget: opts.budget,
             ..Default::default()
         };
@@ -353,6 +368,7 @@ impl ChainCache {
                 precond: report.precond,
                 residual: report.residual,
                 iterations: report.iterations,
+                arena: qg.arena_stats(),
             });
         }
 
@@ -381,7 +397,129 @@ impl ChainCache {
             precond: report.precond,
             residual: report.residual,
             iterations: report.iterations,
+            arena: mg.arena_stats(),
         })
+    }
+}
+
+/// A concurrency-safe, sharded [`ChainCache`] for the serving layer.
+///
+/// One `SharedChainCache` serves every worker of a `repstream serve`
+/// daemon: requests over the **same** chain shape share one structure
+/// build, requests over different shapes proceed in parallel.
+///
+/// # Sharding contract
+///
+/// The cache is `shards` independent [`ChainCache`]s, each behind its own
+/// [`Mutex`].  A solve locks exactly **one** shard — picked by the Fx
+/// hash of its structural key ([`TpnSignature`] for Strict chains, the
+/// coprime `(u′, v′)` pair for pattern chains) — for the whole solve
+/// (cold build included).  Consequences, stated honestly:
+///
+/// - Two requests whose keys land on **different** shards never contend.
+/// - Two requests over the **same** shape serialize: the second waits for
+///   the first's build and then gets a warm hit instead of a duplicate
+///   BFS.  That is the design — one BFS per shape, ever.
+/// - Two requests over **different** shapes that *collide* on a shard
+///   also serialize.  With the default 16 shards and the handful of hot
+///   shapes a deployment sees, collisions are rare; raise `shards` if a
+///   profile shows otherwise.
+///
+/// # Poisoning
+///
+/// A worker that panics mid-build poisons only its shard's mutex, and
+/// the shard is still **consistent**: [`ChainCache`] installs a
+/// structure entry only after its build fully succeeds, so a poisoned
+/// shard never holds a partial chain.  Locks therefore recover from
+/// poisoning (`PoisonError::into_inner`) instead of propagating the
+/// panic — the entry the panicking request was building is simply absent
+/// and the next request rebuilds it.
+///
+/// # Bitwise contract
+///
+/// Same as [`ChainCache`]: every value served — warm or cold, whichever
+/// thread asks — is bitwise identical to a cold sequential solve of the
+/// same inputs.  `repstream`'s `shared_cache` stress tests pin this
+/// under 8-way concurrency.
+#[derive(Debug, Default)]
+pub struct SharedChainCache {
+    shards: Vec<Mutex<ChainCache>>,
+}
+
+impl SharedChainCache {
+    /// Default shard count of [`SharedChainCache::new`].
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A shared cache with [`Self::DEFAULT_SHARDS`] shards.
+    pub fn new() -> SharedChainCache {
+        SharedChainCache::with_shards(SharedChainCache::DEFAULT_SHARDS)
+    }
+
+    /// A shared cache with `shards` shards (rounded up to a power of two,
+    /// minimum 1, so the shard pick is a mask).
+    pub fn with_shards(shards: usize) -> SharedChainCache {
+        let n = shards.max(1).next_power_of_two();
+        SharedChainCache {
+            shards: (0..n).map(|_| Mutex::new(ChainCache::new())).collect(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lock the shard owning `key`, recovering from poisoning (see the
+    /// type docs for why that is sound).
+    fn shard_for<K: Hash>(&self, key: &K) -> std::sync::MutexGuard<'_, ChainCache> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        let idx = (h.finish() as usize) & (self.shards.len() - 1);
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Concurrent equivalent of [`ChainCache::pattern_throughput`]:
+    /// bitwise identical to a cold solve, one shard locked for the call.
+    ///
+    /// # Panics
+    /// Panics on a ragged rate matrix or non-coprime dimensions.
+    pub fn pattern_throughput(
+        &self,
+        rate: &[Vec<f64>],
+        max_states: usize,
+    ) -> Result<f64, MarkingError> {
+        let key = (rate.len(), rate.first().map_or(0, Vec::len));
+        self.shard_for(&key).pattern_throughput(rate, max_states)
+    }
+
+    /// Concurrent equivalent of [`ChainCache::strict_throughput`]:
+    /// bitwise identical to a cold solve, one shard locked for the call.
+    pub fn strict_throughput(
+        &self,
+        shape: &MappingShape,
+        rates: &ResourceTable<f64>,
+        opts: StrictOptions,
+    ) -> Result<StrictSolve, MarkingError> {
+        let key = TpnSignature::of(shape, ExecModel::Strict);
+        self.shard_for(&key).strict_throughput(shape, rates, opts)
+    }
+
+    /// Hit/miss counters summed over every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .stats();
+            total.pattern_hits += s.pattern_hits;
+            total.pattern_misses += s.pattern_misses;
+            total.strict_hits += s.strict_hits;
+            total.strict_misses += s.strict_misses;
+        }
+        total
     }
 }
 

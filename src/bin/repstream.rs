@@ -90,6 +90,10 @@ use repstream::core::model::{Application, Mapping, Platform, System};
 use repstream::core::report::{
     system_report, system_report_status, DegradeMode, ReportOptions, ReportStatus,
 };
+use repstream::core::timing;
+use repstream::core::wire::{
+    AnalyzeRequest, Request, Response, ScaleRequest, SearchRequest, WireOptions,
+};
 use repstream::engine::{
     portfolio_search, workload_search, Objective, PortfolioOptions, WorkloadSearchOptions,
 };
@@ -98,6 +102,7 @@ use repstream::markov::govern::Budget;
 use repstream::petri::dot::to_dot;
 use repstream::petri::shape::ExecModel;
 use repstream::petri::tpn::Tpn;
+use repstream::serve::{response_exit_code, Client, ServeOptions, Server};
 use repstream::workload::examples::example_a;
 use repstream::workload::scenarios;
 use std::time::Duration;
@@ -269,7 +274,379 @@ fn run(args: &[String]) -> i32 {
             0
         }
         Some("search") => run_search(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `repstream serve [--addr A] [--workers N] [--deadline-cap DUR]
+/// [--max-states N] [--shards N]`: run the resident analyzer until a
+/// client sends a shutdown frame.
+fn run_serve(args: &[String]) -> i32 {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => opts.addr = a.clone(),
+                    None => {
+                        eprintln!("error: --addr needs host:port");
+                        return 2;
+                    }
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => opts.workers = n,
+                    _ => {
+                        eprintln!("error: --workers needs a count >= 1");
+                        return 2;
+                    }
+                }
+            }
+            "--deadline-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_deadline(s)) {
+                    Some(d) => opts.deadline_cap = Some(d),
+                    None => {
+                        eprintln!("error: --deadline-cap needs a duration like 2s or 500ms");
+                        return 2;
+                    }
+                }
+            }
+            "--max-states" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => opts.max_states_cap = n,
+                    _ => {
+                        eprintln!("error: --max-states needs a positive state budget");
+                        return 2;
+                    }
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => opts.shards = n,
+                    _ => {
+                        eprintln!("error: --shards needs a count >= 1");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown serve argument {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let server = match Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return 2;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 5;
+        }
+    }
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            5
+        }
+    }
+}
+
+/// `repstream client [--addr A] <ping|stats|shutdown|analyze FILE …|
+/// search FILE …|scale FILE --procs 2,4,…>`: one wire request against a
+/// running server, mapped to the documented exit taxonomy.
+fn run_client(args: &[String]) -> i32 {
+    let mut addr = ServeOptions::default().addr;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            i += 1;
+            match args.get(i) {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("error: --addr needs host:port");
+                    return 2;
+                }
+            }
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let req = match build_client_request(&rest) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connect {addr}: {e}");
+            return 2;
+        }
+    };
+    let resp = match client.call(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 5;
+        }
+    };
+    print_client_response(&resp);
+    response_exit_code(&resp)
+}
+
+/// Parse the client subcommand words into one wire [`Request`].
+fn build_client_request(rest: &[String]) -> Result<Request, String> {
+    match rest.first().map(String::as_str) {
+        Some("ping") => Ok(Request::Ping),
+        Some("stats") => Ok(Request::Stats),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("analyze") => {
+            let (path, options) = client_analyze_args(&rest[1..])?;
+            let system = load(&path)?;
+            Ok(Request::Analyze(AnalyzeRequest { system, options }))
+        }
+        Some("search") => {
+            let mut path = None;
+            let mut req = SearchRequest {
+                app: Application::new(vec![1.0], vec![]).map_err(|e| e.to_string())?,
+                platform: Platform::complete(vec![1.0], 1.0).map_err(|e| e.to_string())?,
+                random_candidates: 512,
+                seed: 2010,
+                exp_rerank: true,
+                lumping: true,
+                deadline_ms: None,
+            };
+            let mut i = 0;
+            while i < rest.len() - 1 {
+                i += 1;
+                match rest[i].as_str() {
+                    "--candidates" => {
+                        i += 1;
+                        req.random_candidates = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--candidates needs a count")?;
+                    }
+                    "--seed" => {
+                        i += 1;
+                        req.seed = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--seed needs a u64")?;
+                    }
+                    "--no-exp" => req.exp_rerank = false,
+                    "--no-lump" => req.lumping = false,
+                    "--deadline" => {
+                        i += 1;
+                        let d = rest
+                            .get(i)
+                            .and_then(|s| parse_deadline(s))
+                            .ok_or("--deadline needs a duration like 2s or 500ms")?;
+                        req.deadline_ms = Some(d.as_millis() as u64);
+                    }
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string())
+                    }
+                    other => return Err(format!("unknown client search argument {other}")),
+                }
+            }
+            let sys = load(&path.ok_or("client search needs an .rsys file")?)?;
+            req.app = sys.app().clone();
+            req.platform = sys.platform().clone();
+            Ok(Request::Search(req))
+        }
+        Some("scale") => {
+            let mut path = None;
+            let mut counts: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < rest.len() - 1 {
+                i += 1;
+                match rest[i].as_str() {
+                    "--procs" => {
+                        i += 1;
+                        counts = rest
+                            .get(i)
+                            .map(|s| s.split(',').map(|t| t.trim().parse()).collect())
+                            .transpose()
+                            .ok()
+                            .flatten()
+                            .ok_or("--procs needs counts like 2,4,6")?;
+                    }
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string())
+                    }
+                    other => return Err(format!("unknown client scale argument {other}")),
+                }
+            }
+            if counts.is_empty() {
+                return Err("client scale needs --procs 2,4,…".into());
+            }
+            let system = load(&path.ok_or("client scale needs an .rsys file")?)?;
+            Ok(Request::Scale(ScaleRequest {
+                system,
+                processor_counts: counts,
+            }))
+        }
+        _ => Err("client needs ping|stats|shutdown|analyze|search|scale".into()),
+    }
+}
+
+/// Parse `client analyze` flags (the one-shot `analyze` surface, minus
+/// the local-only spill knob, plus the wire deadline).
+fn client_analyze_args(args: &[String]) -> Result<(String, WireOptions), String> {
+    let mut path = None;
+    let mut o = WireOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-lump" => o.lumping = false,
+            "--interner-spill" => o.interner_spill = true,
+            "--threads" => {
+                i += 1;
+                o.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a count (0 = auto)")?;
+            }
+            "--solver" => {
+                i += 1;
+                o.solver = args
+                    .get(i)
+                    .and_then(|s| SolverChoice::parse(s))
+                    .ok_or("--solver needs auto|gth|gs|gmres|gmres-plain|sor|power")?;
+            }
+            "--max-states" => {
+                i += 1;
+                o.max_states = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--max-states needs a positive state budget")?;
+            }
+            "--deadline" => {
+                i += 1;
+                let d = args
+                    .get(i)
+                    .and_then(|s| parse_deadline(s))
+                    .ok_or("--deadline needs a duration like 2s or 500ms")?;
+                o.deadline_ms = Some(d.as_millis() as u64);
+            }
+            "--degrade" => {
+                i += 1;
+                o.degrade = match args.get(i).map(String::as_str) {
+                    Some("bounds") => DegradeMode::Bounds,
+                    Some("fail") => DegradeMode::Fail,
+                    _ => return Err("--degrade needs bounds|fail".into()),
+                };
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unknown client analyze argument {other}")),
+        }
+        i += 1;
+    }
+    Ok((path.ok_or("client analyze needs an .rsys file")?, o))
+}
+
+/// Render a served response the way the one-shot commands print theirs.
+fn print_client_response(resp: &Response) {
+    match resp {
+        Response::Pong => println!("pong"),
+        Response::Analyze(a) => {
+            print!("{}", a.text);
+            match a.status {
+                ReportStatus::OverBudget => eprintln!("error: over the state budget (exit 3)"),
+                ReportStatus::Interrupted(r) => {
+                    eprintln!("error: interrupted ({}) (exit 4)", r.label())
+                }
+                ReportStatus::Internal => eprintln!("error: internal analysis failure (exit 5)"),
+                ReportStatus::Ok | ReportStatus::Degraded(_) => {}
+            }
+        }
+        Response::Report(r) => {
+            println!("throughput {:.6}", r.throughput);
+            println!(
+                "states {} (lumped {}) method {} solver {} iterations {} residual {:.3e}",
+                r.full_states,
+                r.lumped_states
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                r.method.label(),
+                r.solver.label(),
+                r.iterations,
+                r.residual
+            );
+        }
+        Response::Search(s) => {
+            println!("origin      det-throughput  exp-throughput  teams");
+            for c in &s.finalists {
+                let exp = c
+                    .exp
+                    .map(|e| format!("{e:>14.5}"))
+                    .unwrap_or_else(|| format!("{:>14}", "-"));
+                println!("{:<11} {:>14.5}  {exp}  {:?}", c.origin, c.det, c.teams);
+            }
+            println!(
+                "evaluations: {} det + {} delta recomputes + {} exp \
+                 (chain cache: {} hits / {} misses)",
+                s.det_evaluations,
+                s.delta_recomputes,
+                s.exp_evaluations,
+                s.cache_hits,
+                s.cache_misses
+            );
+        }
+        Response::Scale(s) => {
+            println!("processors  det-throughput  teams");
+            for p in &s.points {
+                println!(
+                    "{:<11} {:>14.5}  {:?}",
+                    p.processors, p.det_throughput, p.teams
+                );
+            }
+        }
+        Response::Stats(s) => {
+            println!(
+                "requests {} connections {} workers {} shards {}",
+                s.requests, s.connections, s.workers, s.shards
+            );
+            println!(
+                "cache: pattern {} hits / {} misses, strict {} hits / {} misses",
+                s.cache.pattern_hits,
+                s.cache.pattern_misses,
+                s.cache.strict_hits,
+                s.cache.strict_misses
+            );
+        }
+        Response::ShuttingDown => println!("server shutting down"),
+        Response::Error(e) => eprintln!("error (class {}): {}", e.class, e.message),
+        Response::Solve(r) => println!(
+            "solve: {} states, solver {}, {} iterations, residual {:.3e}",
+            r.pi.len(),
+            r.solver.label(),
+            r.iterations,
+            r.residual
+        ),
     }
 }
 
@@ -550,7 +927,11 @@ fn usage() -> i32 {
          dot FILE [overlap|strict] | \
          example-a | search [SCENARIO|FILE] [--model overlap|strict] [--candidates N] [--seed N] \
          [--no-exp] [--no-lump] [--threads N] [--solver S] [--deadline DUR] \
-         [--scenario workload --apps K --objective maxmin|weighted|sla]>  \
+         [--scenario workload --apps K --objective maxmin|weighted|sla] | \
+         serve [--addr A] [--workers N] [--deadline-cap DUR] [--max-states N] [--shards N] | \
+         client [--addr A] (ping | stats | shutdown | analyze FILE [flags] | \
+         search FILE [--candidates N] [--seed N] [--no-exp] [--no-lump] [--deadline DUR] | \
+         scale FILE --procs 2,4,6)>  \
          (S: auto|gth|gs|gmres|gmres-plain|sor|power; DUR: 2s, 500ms; \
          exit codes: 0 ok/degraded, 2 config, 3 over-budget, 4 interrupted, 5 internal)"
     );
@@ -559,7 +940,15 @@ fn usage() -> i32 {
 
 fn load(path: &str) -> Result<System, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_system(&text)
+    let sys = parse_system(&text)?;
+    // A structurally valid system can still derive a broken timing
+    // table (a subnormal bandwidth divides to an infinite transfer
+    // time, whose exponential rate is 0 — the chain builders reject
+    // that deep inside the Markov layer).  Catching it here keeps the
+    // failure in the configuration class (exit 2), with the offending
+    // resource named, instead of a panic.
+    timing::validate_service_times(&sys)?;
+    Ok(sys)
 }
 
 /// Parse the `.rsys` line format (see the module docs).

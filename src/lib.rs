@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod serve;
+
 pub use repstream_core as core;
 pub use repstream_engine as engine;
 pub use repstream_markov as markov;
